@@ -1,0 +1,86 @@
+// EXPERIMENT E15 — ASTM's acquisition-policy ablation (§6.2).
+//
+// The paper names DSTM and ASTM together as the tight Θ(k) witnesses of
+// Theorem 3: the acquisition policy (eager at the write vs lazy at commit)
+// does not change the §6 design-space coordinates. This bench pins that
+// claim and shows what the policy DOES move:
+//
+//   1. FinalReadSteps      — the Theorem 3 quantity is Θ(m) in BOTH modes
+//                            (and matches DSTM's shape).
+//   2. WritePathSteps      — eager pays the ownership CAS at the write
+//                            (Θ(1) shared steps per first write); lazy
+//                            writes are process-local (ZERO shared steps).
+//   3. CommitSteps         — lazy pays the whole acquisition batch at
+//                            commit: Θ(W) there, vs eager's write-back-only
+//                            commit. Total work is the same; only its
+//                            placement differs — the classic early-vs-late
+//                            conflict-detection trade ASTM adapts across.
+#include "bench_common.hpp"
+
+#include "sim/thread_ctx.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_FinalReadSteps(benchmark::State& state, const char* name) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  wl::LowerBoundProbe probe;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, m + 1);
+    probe = wl::lower_bound_probe(*stm, m);
+    benchmark::DoNotOptimize(probe.steps_final_read);
+  }
+  state.counters["steps_final_read"] =
+      static_cast<double>(probe.steps_final_read);
+  state.counters["steps_per_k"] = static_cast<double>(probe.steps_final_read) /
+                                  static_cast<double>(m);
+}
+
+/// Shared-memory steps spent in the WRITE operations of one transaction
+/// writing W distinct variables (then committing).
+void BM_WritePathSteps(benchmark::State& state, const char* name) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  std::uint64_t write_steps = 0;
+  std::uint64_t commit_steps = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, w);
+    sim::ThreadCtx ctx(0);
+    stm->begin(ctx);
+    const std::uint64_t before_writes = ctx.steps.total();
+    for (std::size_t v = 0; v < w; ++v) {
+      (void)stm->write(ctx, static_cast<stm::VarId>(v), v + 1);
+    }
+    const std::uint64_t before_commit = ctx.steps.total();
+    (void)stm->commit(ctx);
+    write_steps = before_commit - before_writes;
+    commit_steps = ctx.steps.total() - before_commit;
+    benchmark::DoNotOptimize(write_steps);
+  }
+  state.counters["write_steps"] = static_cast<double>(write_steps);
+  state.counters["commit_steps"] = static_cast<double>(commit_steps);
+  state.counters["write_steps_per_var"] =
+      static_cast<double>(write_steps) / static_cast<double>(w);
+}
+
+}  // namespace
+
+#define ADAPTIVE_BENCH(fn, label, name)                \
+  BENCHMARK_CAPTURE(fn, label, name)                   \
+      ->RangeMultiplier(4)                             \
+      ->Range(16, 1024)                                \
+      ->Unit(benchmark::kMicrosecond)
+
+ADAPTIVE_BENCH(BM_FinalReadSteps, astm_eager, "astm-eager");
+ADAPTIVE_BENCH(BM_FinalReadSteps, astm_lazy, "astm-lazy");
+ADAPTIVE_BENCH(BM_FinalReadSteps, dstm, "dstm");
+
+ADAPTIVE_BENCH(BM_WritePathSteps, astm_eager, "astm-eager");
+ADAPTIVE_BENCH(BM_WritePathSteps, astm_lazy, "astm-lazy");
+ADAPTIVE_BENCH(BM_WritePathSteps, dstm, "dstm");
+ADAPTIVE_BENCH(BM_WritePathSteps, tl2, "tl2");
+
+#undef ADAPTIVE_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,102 @@
+// EXPERIMENTS E8/E14 — the cost of deciding opacity.
+//
+// Three checking regimes over the same histories:
+//   definitional  — Definition 1's memoized search (exponential worst case)
+//   graph search  — Theorem 2 by exhaustive (≪, V) enumeration
+//   certificate   — Theorem 2 with a given ≪ (polynomial), the regime an
+//                   STM run enables by exporting its commit order
+//
+// Reported: wall time per check and search effort counters, versus the
+// number of transactions. This is the practical payoff of Theorem 2: the
+// certificate column scales to long recorded executions; the other two do
+// not.
+#include <benchmark/benchmark.h>
+
+#include "core/opacity.hpp"
+#include "core/opacity_graph.hpp"
+#include "core/paper.hpp"
+#include "core/random_history.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::bench {
+namespace {
+
+core::History coherent_history(std::size_t txs, std::uint64_t seed) {
+  core::RandomHistoryParams params;
+  params.seed = seed;
+  params.num_txs = txs;
+  params.num_objects = 4;
+  params.max_ops_per_tx = 4;
+  return core::random_history(params);
+}
+
+void BM_DefinitionalChecker(benchmark::State& state) {
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  const core::History h = coherent_history(txs, 11);
+  std::uint64_t states = 0;
+  for (auto _ : state) {
+    const auto result = core::check_opacity(h);
+    benchmark::DoNotOptimize(result.verdict);
+    states = result.states_explored;
+  }
+  state.counters["txs"] = static_cast<double>(txs);
+  state.counters["states_explored"] = static_cast<double>(states);
+}
+BENCHMARK(BM_DefinitionalChecker)->DenseRange(4, 12, 2);
+
+void BM_GraphSearchChecker(benchmark::State& state) {
+  const auto txs = static_cast<std::size_t>(state.range(0));
+  const core::History h = coherent_history(txs, 11);
+  std::uint64_t graphs = 0;
+  for (auto _ : state) {
+    const auto result = core::check_opacity_via_graph(h, /*max_txs=*/8);
+    benchmark::DoNotOptimize(result.verdict);
+    graphs = result.graphs_examined;
+  }
+  state.counters["txs"] = static_cast<double>(txs);
+  state.counters["graphs_examined"] = static_cast<double>(graphs);
+}
+BENCHMARK(BM_GraphSearchChecker)->DenseRange(4, 8, 1);
+
+void BM_CertificateChecker(benchmark::State& state) {
+  // Recorded TL2 runs of growing length; certificate verification.
+  const auto txs_per_thread = static_cast<std::uint64_t>(state.range(0));
+  const auto stm = stm::make_stm("tl2", 8);
+  stm::Recorder recorder(8);
+  stm->set_recorder(&recorder);
+  wl::MixParams params;
+  params.threads = 2;
+  params.vars = 8;
+  params.txs_per_thread = txs_per_thread;
+  params.seed = 21;
+  (void)wl::run_random_mix(*stm, params);
+  const core::History h = recorder.history();
+  const auto order = recorder.certificate_order();
+
+  bool ok = false;
+  for (auto _ : state) {
+    ok = core::verify_opacity_certificate(h, order, {});
+    benchmark::DoNotOptimize(ok);
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+  state.counters["verified"] = ok ? 1 : 0;
+}
+BENCHMARK(BM_CertificateChecker)->RangeMultiplier(4)->Range(64, 4096);
+
+void BM_PaperHistories(benchmark::State& state) {
+  // The worked examples end-to-end: all checkers on H1 and H5.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::check_opacity(core::paper::fig1_h1()).verdict);
+    benchmark::DoNotOptimize(core::check_opacity(core::paper::fig2_h5()).verdict);
+    benchmark::DoNotOptimize(
+        core::check_opacity_via_graph(core::paper::h4()).verdict);
+  }
+}
+BENCHMARK(BM_PaperHistories);
+
+}  // namespace
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// EXPERIMENT E19 — commit-path cost vs write-set size (ablation).
+//
+// Theorem 3 bounds the READ path; this bench completes the per-operation
+// cost picture on the WRITE/commit path: shared-memory steps a solo
+// transaction pays to commit W buffered writes. All runtimes are Θ(W) at
+// commit (write-back or version install), but the constants differ by
+// design: TL2 locks + validates + writes back + releases; DSTM already
+// owns everything (write-back only); ASTM-lazy acquires the whole batch
+// at commit; MV/SI install fresh versions; 2PL installs and releases
+// read+write locks; the global lock pays nothing per variable beyond the
+// write-back itself.
+#include "bench_common.hpp"
+
+#include "sim/thread_ctx.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_CommitSteps(benchmark::State& state, const char* name) {
+  const auto w = static_cast<std::size_t>(state.range(0));
+  std::uint64_t commit_steps = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, w);
+    sim::ThreadCtx ctx(0);
+    stm->begin(ctx);
+    for (std::size_t v = 0; v < w; ++v) {
+      (void)stm->write(ctx, static_cast<stm::VarId>(v), v + 1);
+    }
+    const std::uint64_t before = ctx.steps.total();
+    (void)stm->commit(ctx);
+    commit_steps = ctx.steps.total() - before;
+    benchmark::DoNotOptimize(commit_steps);
+  }
+  state.counters["commit_steps"] = static_cast<double>(commit_steps);
+  state.counters["commit_steps_per_var"] =
+      static_cast<double>(commit_steps) / static_cast<double>(w);
+}
+
+}  // namespace
+
+#define COMMIT_BENCH(label, name)                   \
+  BENCHMARK_CAPTURE(BM_CommitSteps, label, name)    \
+      ->RangeMultiplier(4)                          \
+      ->Range(16, 1024)                             \
+      ->Unit(benchmark::kMicrosecond)
+
+COMMIT_BENCH(tl2, "tl2");
+COMMIT_BENCH(dstm, "dstm");
+COMMIT_BENCH(astm_lazy, "astm-lazy");
+COMMIT_BENCH(astm_eager, "astm-eager");
+COMMIT_BENCH(visible, "visible");
+COMMIT_BENCH(mv, "mv");
+COMMIT_BENCH(sistm, "sistm");
+COMMIT_BENCH(norec, "norec");
+COMMIT_BENCH(twopl, "twopl");
+COMMIT_BENCH(glock, "glock");
+
+#undef COMMIT_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

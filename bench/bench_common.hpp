@@ -1,0 +1,28 @@
+// Shared helpers for the benchmark binaries.
+//
+// Conventions: each binary regenerates one experiment from EXPERIMENTS.md
+// (one paper figure, theorem or worked example). Deterministic quantities —
+// steps per operation, abort counts — are exported as google-benchmark
+// counters so the table the paper's claim lives in is directly visible in
+// the benchmark output; wall-clock time is reported as usual alongside.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "stm/factory.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::bench {
+
+inline void report_run(benchmark::State& state, const wl::RunResult& run) {
+  state.counters["commits"] = static_cast<double>(run.commits);
+  state.counters["aborts"] = static_cast<double>(run.aborts);
+  state.counters["abort_ratio"] = run.abort_ratio();
+  state.counters["steps"] = static_cast<double>(run.steps.total());
+  state.counters["validation_steps"] = static_cast<double>(run.validation_steps);
+}
+
+}  // namespace optm::bench

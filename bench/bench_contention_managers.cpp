@@ -1,0 +1,49 @@
+// EXPERIMENT (ablation) — contention-management policies under conflict.
+//
+// The paper defers progress to contention managers ([9]/[27] in its
+// bibliography) and notes the Θ(k) tightness of DSTM holds "with most
+// contention managers". This ablation sweeps the shipped policies over a
+// contended bank and reports throughput and abort ratios per policy.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_CmBank(benchmark::State& state, const char* stm_name) {
+  wl::BankResult result;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(stm_name, 8);
+    wl::BankParams params;
+    params.threads = 4;
+    params.accounts = 8;  // hot
+    params.transfers_per_thread = 1000;
+    result = wl::run_bank(*stm, params);
+  }
+  report_run(state, result.run);
+  state.counters["commits_per_sec"] = result.run.commits_per_second();
+  state.counters["money_conserved"] =
+      result.final_total == result.expected_total ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define CM_BENCH(policy)                                                      \
+  BENCHMARK_CAPTURE(BM_CmBank, dstm_##policy, "dstm/" #policy)   \
+      ->Unit(benchmark::kMillisecond);                                        \
+  BENCHMARK_CAPTURE(BM_CmBank, visible_##policy,                 \
+                    "visible/" #policy)                                       \
+      ->Unit(benchmark::kMillisecond)
+
+CM_BENCH(aggressive);
+CM_BENCH(polite);
+CM_BENCH(karma);
+CM_BENCH(greedy);
+
+#undef CM_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

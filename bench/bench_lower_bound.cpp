@@ -1,0 +1,65 @@
+// EXPERIMENT E9 — Theorem 3 (§6): the Ω(k) lower bound, measured.
+//
+// The hard instance of the proof: T1 reads m variables; T2 writes ONE
+// fresh variable and commits; T1 then reads that variable. T1's process
+// cannot know (invisible reads) that its snapshot survived, so it must
+// examine all m read-set entries — and, nothing having changed, a
+// progressive TM must then let T1 commit: the Ω(m) scan has no early
+// exit. The benchmark reports `steps_final_read` — base-shared-object
+// accesses T1's process performs for that single operation — as a
+// function of m, for every STM in the design space.
+//
+// Paper-claimed shape:
+//   dstm    : Θ(m)  (tight witness — incremental validation)
+//   tiny    : Θ(m)  (tight witness — snapshot extension, then SUCCEEDS)
+//   norec   : Θ(m)  (value revalidation; premises of the theorem hold)
+//   tl2     : O(1)  (escapes: not progressive)
+//   visible : O(1)  (escapes: visible reads)
+//   mv      : O(1) in k (escapes: multi-version; cost tracks ring depth)
+//   weak    : O(1)  (escapes: not opaque — and admits the zombie)
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_FinalReadSteps(benchmark::State& state, const char* name) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  wl::LowerBoundProbe probe;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, m + 1);
+    probe = wl::lower_bound_probe(*stm, m);
+    benchmark::DoNotOptimize(probe.steps_final_read);
+  }
+  state.counters["steps_final_read"] =
+      static_cast<double>(probe.steps_final_read);
+  state.counters["validation_steps"] =
+      static_cast<double>(probe.validation_steps_final_read);
+  state.counters["read_succeeded"] = probe.read_succeeded ? 1 : 0;
+  state.counters["steps_per_k"] = static_cast<double>(probe.steps_final_read) /
+                                  static_cast<double>(m);
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define PROBE_BENCH(name)                                                   \
+  BENCHMARK_CAPTURE(BM_FinalReadSteps, name, #name)            \
+      ->RangeMultiplier(4)                                                  \
+      ->Range(16, 4096)                                                     \
+      ->Unit(benchmark::kMicrosecond)
+
+PROBE_BENCH(dstm);
+PROBE_BENCH(tiny);
+PROBE_BENCH(norec);
+PROBE_BENCH(tl2);
+PROBE_BENCH(visible);
+PROBE_BENCH(mv);
+PROBE_BENCH(weak);
+
+#undef PROBE_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

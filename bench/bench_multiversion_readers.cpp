@@ -1,0 +1,94 @@
+// EXPERIMENT E4 — §5.2 / H4: the multi-version read-only optimization.
+//
+//   "Multi-version TMs, like JVSTM and LSA-STM, indeed use such
+//    optimizations to allow long read-only transactions to commit despite
+//    concurrent updates performed by other transactions."
+//
+// Schedule (two logical processes, deterministic): a long read-only
+// transaction T1 starts scanning k variables; between every two of its
+// reads, a writer transaction commits an update to an already-scanned
+// variable. Reported: did T1 commit, and how many attempts the scan took
+// per algorithm. The multi-version STM commits on the first try; every
+// single-version opaque STM keeps aborting the reader.
+#include "bench_common.hpp"
+
+#include "stm/mv.hpp"
+
+namespace optm::bench {
+namespace {
+
+struct Outcome {
+  std::uint64_t reader_attempts = 0;
+  std::uint64_t reader_commits = 0;
+  std::uint64_t reader_aborts = 0;
+};
+
+Outcome hostile_scan(stm::Stm& stm, std::size_t k, std::uint64_t max_attempts) {
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+  Outcome out;
+  std::uint64_t stamp = 1;
+
+  for (std::uint64_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++out.reader_attempts;
+    if (auto* mv = dynamic_cast<stm::MvStm*>(&stm)) {
+      mv->begin_read_only(reader);
+    } else {
+      stm.begin(reader);
+    }
+    bool ok = true;
+    for (std::size_t v = 0; v < k && ok; ++v) {
+      std::uint64_t value = 0;
+      ok = stm.read(reader, static_cast<stm::VarId>(v), value);
+      // The hostile writer: one transaction overwriting a variable the
+      // reader already saw AND the one it will read next — any
+      // single-version opaque STM must now abort the reader.
+      stm.begin(writer);
+      (void)stm.write(writer, static_cast<stm::VarId>(v / 2), stamp++);
+      if (v + 1 < k) {
+        (void)stm.write(writer, static_cast<stm::VarId>(v + 1), stamp++);
+      }
+      (void)stm.commit(writer);
+    }
+    if (ok && stm.commit(reader)) {
+      ++out.reader_commits;
+      return out;
+    }
+    ++out.reader_aborts;
+  }
+  return out;
+}
+
+void BM_HostileScan(benchmark::State& state, const char* name) {
+  constexpr std::size_t k = 64;
+  constexpr std::uint64_t kMaxAttempts = 50;
+  Outcome out;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, k);
+    out = hostile_scan(*stm, k, kMaxAttempts);
+  }
+  state.counters["reader_committed"] = out.reader_commits > 0 ? 1 : 0;
+  state.counters["attempts_needed"] = static_cast<double>(out.reader_attempts);
+  state.counters["reader_aborts"] = static_cast<double>(out.reader_aborts);
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define HOSTILE_BENCH(name)                                              \
+  BENCHMARK_CAPTURE(BM_HostileScan, name, #name)            \
+      ->Unit(benchmark::kMillisecond)
+
+HOSTILE_BENCH(mv);
+HOSTILE_BENCH(tl2);
+HOSTILE_BENCH(dstm);
+HOSTILE_BENCH(visible);
+HOSTILE_BENCH(norec);
+
+#undef HOSTILE_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// EXPERIMENT E18 — online monitoring cost (§5.2's prefix discipline).
+//
+// The definitional prefix checker re-solves an NP-hard problem per
+// response; the streaming certificate monitor is amortized O(1) per event.
+// This bench makes the gap concrete: events/second for each backend as the
+// recorded history grows, plus the certificate monitor alone on long runs
+// the definitional backend could never touch.
+#include "bench_common.hpp"
+
+#include "core/online.hpp"
+#include "stm/recorder.hpp"
+
+namespace optm::bench {
+namespace {
+
+/// Record a mix run of the given size on an opaque STM.
+core::History recorded_mix(std::uint64_t txs_per_thread) {
+  const auto stm = stm::make_stm("tl2", 8);
+  stm::Recorder recorder(8);
+  stm->set_recorder(&recorder);
+  wl::MixParams params;
+  params.threads = 3;
+  params.vars = 8;
+  params.txs_per_thread = txs_per_thread;
+  params.seed = 4242;
+  (void)wl::run_random_mix(*stm, params);
+  return recorder.history();
+}
+
+void BM_CertificateMonitor(benchmark::State& state) {
+  const core::History h = recorded_mix(static_cast<std::uint64_t>(state.range(0)));
+  bool clean = true;
+  for (auto _ : state) {
+    core::OnlineCertificateMonitor monitor(h.model());
+    for (const core::Event& e : h.events()) (void)monitor.feed(e);
+    clean = monitor.ok();
+    benchmark::DoNotOptimize(clean);
+  }
+  if (!clean) {
+    state.SkipWithError("certificate violation on an opaque STM's run");
+    return;
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(h.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_DefinitionalMonitor(benchmark::State& state) {
+  // The exact backend re-runs Definition 1 per response: only small
+  // prefixes are feasible (it subsumes view-serializability).
+  const core::History h = recorded_mix(static_cast<std::uint64_t>(state.range(0)));
+  bool clean = true;
+  for (auto _ : state) {
+    core::OnlineDefinitionalMonitor monitor(h.model());
+    for (const core::Event& e : h.events()) (void)monitor.feed(e);
+    clean = monitor.ok();
+    benchmark::DoNotOptimize(clean);
+  }
+  if (!clean) {
+    state.SkipWithError("definitional violation on an opaque STM's run");
+    return;
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(h.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_CertificateMonitor)
+    ->RangeMultiplier(4)
+    ->Range(16, 4096)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_DefinitionalMonitor)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// EXPERIMENT E16 — pessimistic (database-style) vs optimistic TMs.
+//
+// The paper's §2/§6 framing: databases fully isolate transactional code
+// (locks, sandboxing), general TM frameworks cannot. This bench quantifies
+// the cost structure on the bank-transfer workload as contention varies
+// (fewer accounts = hotter): strict 2PL (wait-die) never aborts at commit
+// but dies at lock acquisition; the optimistic STMs speculate and abort at
+// validation; the global lock serializes everything. Who wins flips with
+// contention — low contention favours optimism, extreme contention the
+// coarse lock.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_BankContention(benchmark::State& state, const char* name) {
+  const auto accounts = static_cast<std::uint32_t>(state.range(0));
+  wl::BankParams params;
+  params.threads = 4;
+  params.accounts = accounts;
+  params.transfers_per_thread = 2000;
+
+  wl::BankResult result;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, accounts);
+    result = wl::run_bank(*stm, params);
+    if (result.final_total != result.expected_total) {
+      state.SkipWithError("money not conserved");
+      return;
+    }
+    benchmark::DoNotOptimize(result.run.commits);
+  }
+  report_run(state, result.run);
+  state.counters["transfers_per_sec"] = benchmark::Counter(
+      static_cast<double>(params.threads * params.transfers_per_thread),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+#define BANK_BENCH(label, name)                       \
+  BENCHMARK_CAPTURE(BM_BankContention, label, name)   \
+      ->Arg(2)                                        \
+      ->Arg(8)                                        \
+      ->Arg(64)                                       \
+      ->Unit(benchmark::kMillisecond)                 \
+      ->MeasureProcessCPUTime()                       \
+      ->UseRealTime()
+
+BANK_BENCH(tl2, "tl2");
+BANK_BENCH(dstm, "dstm");
+BANK_BENCH(astm, "astm");
+BANK_BENCH(visible, "visible");
+BANK_BENCH(mv, "mv");
+BANK_BENCH(norec, "norec");
+BANK_BENCH(twopl, "twopl");
+BANK_BENCH(glock, "glock");
+
+#undef BANK_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// EXPERIMENT E11 — §6.2: TL2's non-progressiveness, counted.
+//
+//   "TL2 is not progressive: it may forcefully abort a transaction Ti that
+//    conflicts with a concurrent transaction Tk, even if Ti invokes a
+//    conflicting operation after Tk commits."
+//
+// Schedule (deterministic, two logical processes): T1 begins and reads y
+// (pinning its lazily-sampled snapshot — §6.2's Ti must already be
+// running); T2 writes x and commits; T1 reads x for the first time and
+// tries to commit. There is never a live-live conflicting access on x, so
+// a progressive TM commits T1 every round; TL2 aborts every round (stale
+// rv), and tiny — TL2 plus snapshot extension — commits every round at the
+// Θ(read set) extension price. Reported: aborts per 1000 rounds.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_PostCommitConflict(benchmark::State& state, const char* name) {
+  constexpr std::uint64_t kRounds = 1000;
+  std::uint64_t aborted = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 2);
+    sim::ThreadCtx p1(0);
+    sim::ThreadCtx p2(1);
+    aborted = 0;
+    for (std::uint64_t round = 0; round < kRounds; ++round) {
+      stm->begin(p1);
+      std::uint64_t v = 0;
+      (void)stm->read(p1, 1, v);  // pins T1's snapshot
+
+      stm->begin(p2);
+      (void)stm->write(p2, 0, round * 2 + 1);
+      (void)stm->commit(p2);
+
+      const bool ok = stm->read(p1, 0, v) && stm->commit(p1);
+      aborted += ok ? 0 : 1;
+    }
+  }
+  state.counters["aborts_per_1000"] = static_cast<double>(aborted);
+  state.counters["progressive_claimed"] =
+      stm::make_stm(name, 1)->properties().progressive ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define PROG_BENCH(name)                                                     \
+  BENCHMARK_CAPTURE(BM_PostCommitConflict, name, #name)         \
+      ->Unit(benchmark::kMillisecond)
+
+PROG_BENCH(tl2);
+PROG_BENCH(tiny);
+PROG_BENCH(astm);
+PROG_BENCH(dstm);
+PROG_BENCH(visible);
+PROG_BENCH(mv);
+PROG_BENCH(norec);
+
+#undef PROG_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// EXPERIMENT E17 — the snapshot-isolation trade (§1):
+//
+//   "There are indeed TM implementations that do not ensure opacity;
+//    these, however, explicitly trade safety guarantees ... for improved
+//    performance."
+//
+// The deterministic fully-overlapped withdraw schedule (two transactions
+// read {x,y} and zero disjoint halves). Counters per STM:
+//   both_committed — rounds where BOTH withdrawers committed (SI's
+//                    "performance": no aborts, twice the commit rate)
+//   skew_rounds    — rounds ending with the invariant broken (SI's "cost")
+// Serializable TMs show both_committed = skew = 0: one withdrawer pays
+// with an abort every round.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_WriteSkew(benchmark::State& state, const char* name) {
+  wl::WriteSkewParams params;
+  params.rounds = static_cast<std::uint64_t>(state.range(0));
+  wl::WriteSkewResult result;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 2);
+    result = wl::run_write_skew(*stm, params);
+    benchmark::DoNotOptimize(result.skew_rounds);
+  }
+  state.counters["rounds"] = static_cast<double>(result.rounds_played);
+  state.counters["both_committed"] =
+      static_cast<double>(result.both_committed_rounds);
+  state.counters["skew_rounds"] = static_cast<double>(result.skew_rounds);
+}
+
+}  // namespace
+
+#define SKEW_BENCH(label, name)                   \
+  BENCHMARK_CAPTURE(BM_WriteSkew, label, name)    \
+      ->Arg(100)                                  \
+      ->Unit(benchmark::kMillisecond)
+
+SKEW_BENCH(sistm, "sistm");
+SKEW_BENCH(tl2, "tl2");
+SKEW_BENCH(dstm, "dstm");
+SKEW_BENCH(astm, "astm");
+SKEW_BENCH(mv, "mv");
+SKEW_BENCH(norec, "norec");
+SKEW_BENCH(weak, "weak");
+SKEW_BENCH(twopl_nowait, "twopl-nowait");
+
+#undef SKEW_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// EXPERIMENT E13 — throughput cross-section over the design space.
+//
+// The paper's motivation (§1, §6): the safety/performance trade-offs of
+// opacity mechanisms show up as throughput differences under read-mostly
+// and contended workloads. Reported: commits/second and abort ratios for
+// all six implementations on (a) read-dominated scans and (b) a contended
+// bank. Absolute numbers are machine-specific; the interesting shape is
+// the ordering and the abort ratios.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_ReadMostly(benchmark::State& state, const char* name) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  wl::RunResult run;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 256);
+    wl::ReadMostlyParams params;
+    params.reader_threads = threads;
+    params.vars = 256;
+    params.scan_length = 32;
+    params.scans_per_thread = 300;
+    params.writer_txs = 100;
+    run = wl::run_read_mostly(*stm, params);
+  }
+  report_run(state, run);
+  state.counters["commits_per_sec"] = run.commits_per_second();
+  state.counters["shared_writes_per_read"] =
+      run.reads > 0 ? static_cast<double>(run.steps.shared_writes()) /
+                          static_cast<double>(run.reads)
+                    : 0.0;
+}
+
+void BM_ContendedBank(benchmark::State& state, const char* name) {
+  const auto threads = static_cast<std::uint32_t>(state.range(0));
+  wl::BankResult result;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 16);
+    wl::BankParams params;
+    params.threads = threads;
+    params.accounts = 16;  // small: high contention
+    params.transfers_per_thread = 1500;
+    result = wl::run_bank(*stm, params);
+  }
+  report_run(state, result.run);
+  state.counters["commits_per_sec"] = result.run.commits_per_second();
+  state.counters["money_conserved"] =
+      result.final_total == result.expected_total ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define THROUGHPUT_BENCH(name)                                             \
+  BENCHMARK_CAPTURE(BM_ReadMostly, name, #name)               \
+      ->Arg(2)                                                             \
+      ->Unit(benchmark::kMillisecond);                                     \
+  BENCHMARK_CAPTURE(BM_ContendedBank, name, #name)            \
+      ->Arg(2)                                                             \
+      ->Unit(benchmark::kMillisecond)
+
+THROUGHPUT_BENCH(tl2);
+THROUGHPUT_BENCH(tiny);
+THROUGHPUT_BENCH(astm);
+THROUGHPUT_BENCH(dstm);
+THROUGHPUT_BENCH(visible);
+THROUGHPUT_BENCH(mv);
+THROUGHPUT_BENCH(norec);
+THROUGHPUT_BENCH(weak);
+THROUGHPUT_BENCH(sistm);
+THROUGHPUT_BENCH(twopl);
+
+#undef THROUGHPUT_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// EXPERIMENT E12 — §6's invisible-vs-visible trade-off on the read path.
+//
+//   "A practical advantage of invisible reads is that pk, while executing
+//    op, does not invalidate any processor cache lines."
+//
+// Measured: shared-memory WRITES (stores + RMWs) issued on the read path
+// of a k-variable read-only scan — the §6 cache-traffic analog. Invisible
+// designs score 0; the visible-read design pays exactly one RMW per read.
+// Wall-clock time of the scan is reported alongside.
+#include "bench_common.hpp"
+
+namespace optm::bench {
+namespace {
+
+void BM_ReadPathSharedWrites(benchmark::State& state, const char* name) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::uint64_t shared_writes = 0;
+  std::uint64_t reads = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, k);
+    sim::ThreadCtx ctx(0);
+    stm->begin(ctx);
+    const std::uint64_t before = ctx.steps.shared_writes();
+    for (std::size_t v = 0; v < k; ++v) {
+      std::uint64_t out = 0;
+      if (!stm->read(ctx, static_cast<stm::VarId>(v), out)) break;
+      benchmark::DoNotOptimize(out);
+    }
+    shared_writes = ctx.steps.shared_writes() - before;
+    reads = ctx.stats.reads;
+    benchmark::DoNotOptimize(stm->commit(ctx));
+  }
+  state.counters["read_path_shared_writes"] = static_cast<double>(shared_writes);
+  state.counters["shared_writes_per_read"] =
+      reads > 0 ? static_cast<double>(shared_writes) / static_cast<double>(reads)
+                : 0.0;
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define VIS_BENCH(name)                                                       \
+  BENCHMARK_CAPTURE(BM_ReadPathSharedWrites, name, #name)        \
+      ->Arg(256)                                                              \
+      ->Unit(benchmark::kMicrosecond)
+
+VIS_BENCH(visible);
+VIS_BENCH(twopl);
+VIS_BENCH(tl2);
+VIS_BENCH(tiny);
+VIS_BENCH(astm);
+VIS_BENCH(dstm);
+VIS_BENCH(mv);
+VIS_BENCH(norec);
+VIS_BENCH(weak);
+
+#undef VIS_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// EXPERIMENT E5 — §2's motivation, quantified: how often does a TM without
+// opacity expose inconsistent state to LIVE transactions?
+//
+// Workload: an invariant-carrying pair (x, y) with y == 2x maintained by
+// writer transactions; reader transactions read x then y and check the
+// invariant INSIDE the transaction (as §2's 1/(y-x) computation would).
+// Reported: invariant violations observed by live transactions per 10k
+// reader transactions. Opaque STMs: always 0. WeakStm: > 0 under
+// contention — each of those is a potential division-by-zero / runaway
+// loop in real code.
+#include "bench_common.hpp"
+
+#include <thread>
+
+namespace optm::bench {
+namespace {
+
+void BM_ZombieRate(benchmark::State& state, const char* name) {
+  constexpr std::uint64_t kReaderTxs = 10000;
+  std::uint64_t violations = 0;
+  std::uint64_t committed_violations = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 2);
+    violations = 0;
+    committed_violations = 0;
+
+    std::thread writer([&stm] {
+      sim::ThreadCtx ctx(1);
+      for (std::uint64_t i = 1; i <= kReaderTxs; ++i) {
+        (void)stm::atomically(*stm, ctx, [&](stm::TxHandle& tx) {
+          tx.write(0, i);      // x := i
+          tx.write(1, 2 * i);  // y := 2x, preserving the invariant
+        });
+      }
+    });
+
+    sim::ThreadCtx ctx(0);
+    for (std::uint64_t i = 0; i < kReaderTxs; ++i) {
+      stm->begin(ctx);
+      std::uint64_t x = 0, y = 0;
+      const bool rx = stm->read(ctx, 0, x);
+      const bool ry = rx && stm->read(ctx, 1, y);
+      bool violated = false;
+      if (ry && y != 2 * x) {
+        // A LIVE transaction just observed an impossible state (§2: this
+        // is where 1/(y-x) would trap or the loop would run away).
+        ++violations;
+        violated = true;
+      }
+      if (ry && stm->commit(ctx) && violated) ++committed_violations;
+    }
+    writer.join();
+  }
+  state.counters["live_violations_per_10k"] = static_cast<double>(violations);
+  state.counters["committed_violations"] =
+      static_cast<double>(committed_violations);
+  state.counters["opaque_claimed"] =
+      stm::make_stm(name, 1)->properties().opaque ? 1 : 0;
+}
+
+/// The same §2 hazard, driven deterministically from one OS thread (the
+/// racy variant above depends on true parallelism; on a single-core host
+/// the adversarial window rarely opens). Schedule per round: the reader
+/// reads x, the writer commits {x := i, y := 2i}, the reader reads y and
+/// checks the invariant — the exact Figure-from-§2 interleaving. WeakStm
+/// hands the live reader a torn pair every round; every opaque STM either
+/// aborts the reader's second read or serves a consistent snapshot; SiStm
+/// serves the OLD consistent pair (no zombie, despite not being opaque).
+void BM_ZombieDeterministic(benchmark::State& state, const char* name) {
+  constexpr std::uint64_t kRounds = 10000;
+  std::uint64_t violations = 0;
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, 2);
+    sim::ThreadCtx reader(0);
+    sim::ThreadCtx writer(1);
+    violations = 0;
+    for (std::uint64_t i = 1; i <= kRounds; ++i) {
+      stm->begin(reader);
+      std::uint64_t x = 0, y = 0;
+      const bool rx = stm->read(reader, 0, x);
+
+      (void)stm::atomically(*stm, writer, [&](stm::TxHandle& tx) {
+        tx.write(0, i);
+        tx.write(1, 2 * i);
+      });
+
+      const bool ry = rx && stm->read(reader, 1, y);
+      if (ry && ((x == 0 && y != 0) || (x != 0 && y != 2 * x))) ++violations;
+      if (ry) {
+        (void)stm->commit(reader);
+      } else if (rx) {
+        stm->abort(reader);
+      }
+    }
+  }
+  state.counters["live_violations_per_10k"] = static_cast<double>(violations);
+  state.counters["opaque_claimed"] =
+      stm::make_stm(name, 1)->properties().opaque ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace optm::bench
+
+namespace optm::bench {
+
+#define ZOMBIE_BENCH(name)                                            \
+  BENCHMARK_CAPTURE(BM_ZombieRate, name, #name)          \
+      ->Unit(benchmark::kMillisecond)->Iterations(1);    \
+  BENCHMARK_CAPTURE(BM_ZombieDeterministic, name, #name) \
+      ->Unit(benchmark::kMillisecond)->Iterations(1)
+
+ZOMBIE_BENCH(weak);
+ZOMBIE_BENCH(sistm);
+ZOMBIE_BENCH(tl2);
+ZOMBIE_BENCH(tiny);
+ZOMBIE_BENCH(astm);
+ZOMBIE_BENCH(dstm);
+ZOMBIE_BENCH(visible);
+ZOMBIE_BENCH(mv);
+ZOMBIE_BENCH(norec);
+
+#undef ZOMBIE_BENCH
+
+}  // namespace optm::bench
+
+BENCHMARK_MAIN();

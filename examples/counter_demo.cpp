@@ -1,0 +1,117 @@
+// §3.4 of the paper: why the TM model must admit objects richer than
+// read/write registers.
+//
+// k threads increment one shared counter. Two encodings of "increment":
+//   register encoding  — read x; write x+1  (every pair of increments
+//                        conflicts; under contention, aborts and retries)
+//   semantic encoding  — a commutative counter increment (never conflicts;
+//                        zero aborts, regardless of contention)
+//
+//   build/examples/counter_demo --threads=4 --increments=20000
+#include <cstdio>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/tvar.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+/// §3.4's conflict, deterministically: two transactions increment the same
+/// counter concurrently. With the register encoding both read the same
+/// value, so only one may commit; with the semantic encoding both commit.
+void deterministic_conflict() {
+  std::printf("[deterministic §3.4 schedule] two concurrent increments:\n");
+
+  // Register encoding: read x, write x+1, interleaved.
+  {
+    const auto stm = optm::stm::make_stm("tl2", 1);
+    optm::sim::ThreadCtx p1(0);
+    optm::sim::ThreadCtx p2(1);
+    stm->begin(p1);
+    stm->begin(p2);
+    std::uint64_t v1 = 0, v2 = 0;
+    (void)stm->read(p1, 0, v1);  // both read 0
+    (void)stm->read(p2, 0, v2);
+    (void)stm->write(p1, 0, v1 + 1);
+    (void)stm->write(p2, 0, v2 + 1);
+    const bool c1 = stm->commit(p1);
+    const bool c2 = stm->commit(p2);
+    std::printf("  register encoding: T1 %s, T2 %s (both read 0 -> only one "
+                "may commit)\n",
+                c1 ? "committed" : "ABORTED", c2 ? "committed" : "ABORTED");
+  }
+
+  // Semantic encoding: commutative deltas, no shared read, no conflict.
+  {
+    const auto stm = optm::stm::make_stm("tl2", 1);
+    optm::stm::TCounter counter;
+    optm::sim::ThreadCtx p1(0);
+    optm::sim::ThreadCtx p2(1);
+    stm->begin(p1);
+    stm->begin(p2);
+    counter.inc(p1);
+    counter.inc(p2);
+    const bool c1 = stm->commit(p1);
+    const bool c2 = stm->commit(p2);
+    if (c1) counter.apply_deltas(p1);
+    if (c2) counter.apply_deltas(p2);
+    std::printf("  semantic encoding: T1 %s, T2 %s, final value %lld "
+                "(inc commutes -> no conflict)\n\n",
+                c1 ? "committed" : "ABORTED", c2 ? "committed" : "ABORTED",
+                static_cast<long long>(counter.value()));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optm::util::Cli cli("counter_demo",
+                      "semantic vs register counter increments (§3.4)");
+  cli.flag("threads", "4", "incrementing threads");
+  cli.flag("increments", "5000", "increments per thread");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto threads = static_cast<std::uint32_t>(cli.get_int("threads"));
+  const auto increments = static_cast<std::uint64_t>(cli.get_int("increments"));
+
+  deterministic_conflict();
+
+  optm::util::Table table({"stm", "encoding", "final value", "commits",
+                           "aborts", "abort ratio"});
+  bool all_exact = true;
+
+  for (const auto stm_name : {"tl2", "dstm", "visible"}) {
+    for (const bool semantic : {false, true}) {
+      const auto stm = optm::stm::make_stm(stm_name, 2);
+      optm::wl::CounterParams params;
+      params.threads = threads;
+      params.increments_per_thread = increments;
+      params.semantic = semantic;
+      const auto result = optm::wl::run_counter(*stm, params);
+
+      const auto expected =
+          static_cast<std::int64_t>(threads) * static_cast<std::int64_t>(increments);
+      all_exact &= result.final_value == expected;
+      table.add_row({std::string(stm_name),
+                     semantic ? "semantic inc" : "register r/w",
+                     optm::util::Table::num(result.final_value),
+                     optm::util::Table::num(result.run.commits),
+                     optm::util::Table::num(result.run.aborts),
+                     optm::util::Table::num(result.run.abort_ratio(), 3)});
+    }
+  }
+
+  std::printf("%u threads x %llu increments (expected total: %llu)\n\n",
+              threads, static_cast<unsigned long long>(increments),
+              static_cast<unsigned long long>(threads * increments));
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nThe semantic rows abort 0 times: commutative increments never\n"
+      "conflict (§3.4) — yet strict recoverability would forbid exactly\n"
+      "this concurrency (§3.5), which is why opacity, not recoverability,\n"
+      "is the right TM correctness criterion.\n");
+  return all_exact ? 0 : 2;
+}

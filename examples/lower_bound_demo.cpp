@@ -1,0 +1,55 @@
+// Theorem 3 at the terminal: the Ω(k) per-operation cost of invisible
+// reads, printed as the table the paper argues in prose.
+//
+//   build/examples/lower_bound_demo --max-k=4096
+//
+// For each STM and each k, runs the adversarial schedule from the proof of
+// Theorem 3 (T1 reads k variables, T2 overwrites them and commits, T1
+// reads once more) and prints the steps the final read operation cost.
+#include <cstdio>
+#include <vector>
+
+#include "stm/factory.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "workload/workloads.hpp"
+
+int main(int argc, char** argv) {
+  optm::util::Cli cli("lower_bound_demo", "Theorem 3's Ω(k) bound, measured");
+  cli.flag("max-k", "4096", "largest read-set size to probe");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto max_k = static_cast<std::size_t>(cli.get_int("max-k"));
+  std::vector<std::size_t> ks;
+  for (std::size_t k = 16; k <= max_k; k *= 4) ks.push_back(k);
+
+  std::vector<std::string> header{"stm", "invisible", "single-v", "progressive"};
+  for (const std::size_t k : ks) header.push_back("k=" + std::to_string(k));
+  optm::util::Table table(header);
+
+  for (const auto name : optm::stm::all_stm_names()) {
+    const auto props = optm::stm::make_stm(name, 1)->properties();
+    std::vector<std::string> row{std::string(name),
+                                 props.invisible_reads ? "yes" : "no",
+                                 props.single_version ? "yes" : "no",
+                                 props.progressive ? "yes" : "no"};
+    for (const std::size_t k : ks) {
+      const auto stm = optm::stm::make_stm(name, k + 1);
+      const auto probe = optm::wl::lower_bound_probe(*stm, k);
+      row.push_back(optm::util::Table::num(probe.steps_final_read));
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::printf("Steps executed by the reading process for ONE read operation\n"
+              "after a conflicting commit (Theorem 3's adversarial schedule):\n\n");
+  std::fputs(table.str().c_str(), stdout);
+  std::printf(
+      "\nReading the table against Theorem 3 (§6):\n"
+      "  dstm/norec — all three premises hold -> steps grow linearly in k;\n"
+      "  tl2        — not progressive          -> O(1) (it just aborts);\n"
+      "  visible    — reads are visible        -> O(1) (writer warned it);\n"
+      "  mv         — multi-version            -> bounded independent of k;\n"
+      "  weak       — not opaque               -> O(1), but admits zombies.\n");
+  return 0;
+}

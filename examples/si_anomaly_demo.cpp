@@ -1,0 +1,79 @@
+// Write skew under snapshot isolation — §1's "trade safety for
+// performance" made visible, and the formal account of why it is NOT an
+// opacity violation of the §2 zombie kind.
+//
+//   build/examples/si_anomaly_demo --stm=sistm --rounds=50
+//
+// Two withdrawers share the invariant x + y >= 1. Each reads BOTH
+// accounts and zeroes ONE of them if the total permits. The schedule
+// fully overlaps them. A serializable TM aborts one withdrawer per round;
+// snapshot isolation commits both — their write sets are disjoint, so
+// first-committer-wins never fires — and the invariant breaks.
+#include <cstdio>
+
+#include "core/opacity.hpp"
+#include "core/phenomena.hpp"
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "util/cli.hpp"
+#include "workload/workloads.hpp"
+
+int main(int argc, char** argv) {
+  optm::util::Cli cli("si_anomaly_demo", "write skew under snapshot isolation");
+  cli.flag("stm", "sistm", "non-blocking STM name (try tl2, dstm, sistm)");
+  cli.flag("rounds", "50", "overlapped withdraw rounds");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto stm = optm::stm::make_stm(cli.get("stm"), 2);
+  optm::wl::WriteSkewParams params;
+  params.rounds = static_cast<std::uint64_t>(cli.get_int("rounds"));
+
+  const optm::wl::WriteSkewResult result = optm::wl::run_write_skew(*stm, params);
+  std::printf("stm=%s rounds=%llu both-committed=%llu skew(x+y==0)=%llu\n",
+              cli.get("stm").c_str(),
+              static_cast<unsigned long long>(result.rounds_played),
+              static_cast<unsigned long long>(result.both_committed_rounds),
+              static_cast<unsigned long long>(result.skew_rounds));
+
+  // The formal account, on one recorded round: SI yields consistent live
+  // snapshots (no §2 zombies!) yet a non-opaque history — the two faces of
+  // the correctness trade, which is why the paper needs ONE criterion that
+  // rules out both failure modes.
+  const auto recorded = optm::stm::make_stm(cli.get("stm"), 2);
+  optm::stm::Recorder recorder(2);
+  recorded->set_recorder(&recorder);
+  {
+    optm::sim::ThreadCtx coordinator(2);
+    (void)optm::stm::atomically(*recorded, coordinator,
+                                [](optm::stm::TxHandle& tx) {
+                                  tx.write(0, 0x101);
+                                  tx.write(1, 0x101);
+                                });
+    optm::sim::ThreadCtx p0(0);
+    optm::sim::ThreadCtx p1(1);
+    recorded->begin(p0);
+    recorded->begin(p1);
+    std::uint64_t x0 = 0, y0 = 0, x1 = 0, y1 = 0;
+    bool a0 = recorded->read(p0, 0, x0) && recorded->read(p0, 1, y0);
+    bool a1 = recorded->read(p1, 0, x1) && recorded->read(p1, 1, y1);
+    if (a0) a0 = recorded->write(p0, 0, 0x200);
+    if (a1) a1 = recorded->write(p1, 1, 0x300);
+    const bool c0 = a0 && recorded->commit(p0);
+    const bool c1 = a1 && recorded->commit(p1);
+    std::printf("recorded round: withdrawer0 %s, withdrawer1 %s\n",
+                c0 ? "committed" : "aborted", c1 ? "committed" : "aborted");
+  }
+
+  const optm::core::History h = recorder.history();
+  const auto opacity = optm::core::check_opacity(h);
+  std::printf("opacity:                %s\n",
+              optm::core::to_string(opacity.verdict));
+  const auto snapshot = optm::core::find_inconsistent_snapshot(h);
+  std::printf("inconsistent snapshot:  %s\n",
+              snapshot ? snapshot->explanation.c_str() : "none (no zombies)");
+  const auto skew = optm::core::find_write_skew(h);
+  std::printf("write skew:             %s\n",
+              skew ? skew->explanation.c_str() : "none");
+  return 0;
+}

@@ -1,0 +1,161 @@
+// §2 of the paper, live: why opacity matters even for transactions that
+// will abort.
+//
+// Invariants: y == x² and x >= 2, maintained by every writer transaction.
+// The victim transaction computes 1/(y - x) — safe under the invariant
+// (x >= 2 implies y - x = x(x-1) >= 2) — and would loop from x to y.
+// Under a non-opaque STM ("weak") a live transaction can observe the old x
+// with the new y; with x == y the division traps and the loop runs away.
+//
+// Part 1 replays the exact §2 schedule deterministically (two logical
+// processes, one OS thread): T2 reads x; T1 commits {x:=2, y:=4}; T2 reads
+// y. Part 2 races a writer thread against victim transactions (with a
+// yield between the two reads to widen the window on small machines).
+//
+//   build/examples/zombie_demo --stm=weak     # observe zombies
+//   build/examples/zombie_demo --stm=tl2      # opacity precludes them
+#include <cstdio>
+#include <thread>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+constexpr optm::stm::VarId kX = 0;
+constexpr optm::stm::VarId kY = 1;
+
+struct ZombieStats {
+  std::uint64_t victim_runs = 0;
+  std::uint64_t zombies = 0;           // inconsistent (x, y) observed live
+  std::uint64_t would_divide_by_zero = 0;
+  std::uint64_t runaway_loop_bounds = 0;
+};
+
+/// The paper's schedule, move for move. Returns true if the LIVE victim
+/// observed a state violating y == x².
+bool deterministic_zombie(optm::stm::Stm& stm) {
+  optm::sim::ThreadCtx writer(0);
+  optm::sim::ThreadCtx victim(1);
+
+  // Initially x = 4, y = 16 (the §2 premise).
+  (void)optm::stm::atomically(stm, writer, [](optm::stm::TxHandle& tx) {
+    tx.write(kX, 4);
+    tx.write(kY, 16);
+  });
+
+  stm.begin(victim);
+  std::uint64_t x = 0, y = 0;
+  const bool read_x = stm.read(victim, kX, x);  // sees the old x = 4
+
+  // T1: x := 2; y := 4; commit  (invariant preserved transactionally)
+  (void)optm::stm::atomically(stm, writer, [](optm::stm::TxHandle& tx) {
+    tx.write(kX, 2);
+    tx.write(kY, 4);
+  });
+
+  const bool read_y = read_x && stm.read(victim, kY, y);
+  const bool zombie = read_y && y != x * x;
+  if (zombie) {
+    std::printf("  LIVE victim observed x=%llu, y=%llu:\n",
+                static_cast<unsigned long long>(x),
+                static_cast<unsigned long long>(y));
+    if (y == x) {
+      std::printf("    computing 1/(y-x) divides by ZERO\n");
+    }
+    std::printf("    loop 'for t in [x, y)' would execute %lld iterations\n",
+                static_cast<long long>(y) - static_cast<long long>(x));
+  } else if (!read_y) {
+    std::printf("  victim was aborted instead of being shown the torn state\n");
+  } else {
+    std::printf("  victim saw a consistent snapshot (x=%llu, y=%llu)\n",
+                static_cast<unsigned long long>(x),
+                static_cast<unsigned long long>(y));
+  }
+  if (read_y) (void)stm.commit(victim);
+  return zombie;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optm::util::Cli cli("zombie_demo", "§2's inconsistent-view hazard, live");
+  cli.flag("stm", "weak",
+           "weak (non-opaque) | sistm | tl2 | tiny | dstm | astm | visible "
+           "| mv | norec | twopl");
+  cli.flag("rounds", "20000", "victim transactions for the racy part");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const auto rounds = static_cast<std::uint64_t>(cli.get_int("rounds"));
+  const auto stm = optm::stm::make_stm(cli.get("stm"), 2);
+  const auto props = stm->properties();
+  std::printf("stm=%s (opaque: %s)\n\n", cli.get("stm").c_str(),
+              props.opaque ? "yes" : "NO");
+
+  std::printf("[part 1] the exact §2 schedule, deterministically:\n");
+  const bool deterministic = deterministic_zombie(*stm);
+
+  std::printf("\n[part 2] racing %llu victim transactions against a writer:\n",
+              static_cast<unsigned long long>(rounds));
+  const auto racy_stm = optm::stm::make_stm(cli.get("stm"), 2);
+  {
+    optm::sim::ThreadCtx ctx(0);
+    (void)optm::stm::atomically(*racy_stm, ctx, [](optm::stm::TxHandle& tx) {
+      tx.write(kX, 4);
+      tx.write(kY, 16);
+    });
+  }
+  std::thread writer([&] {
+    optm::sim::ThreadCtx ctx(1);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      const bool small = (i & 1) != 0;
+      (void)optm::stm::atomically(*racy_stm, ctx, [&](optm::stm::TxHandle& tx) {
+        tx.write(kX, small ? 2 : 4);
+        tx.write(kY, small ? 4 : 16);
+      });
+    }
+  });
+
+  ZombieStats stats;
+  {
+    optm::sim::ThreadCtx ctx(0);
+    for (std::uint64_t i = 0; i < rounds; ++i) {
+      racy_stm->begin(ctx);
+      std::uint64_t x = 0, y = 0;
+      if (!racy_stm->read(ctx, kX, x)) continue;
+      std::this_thread::yield();  // widen the race window
+      if (!racy_stm->read(ctx, kY, y)) continue;
+      ++stats.victim_runs;
+      if (y != x * x) {  // the victim is LIVE here: §2's damage is done
+        ++stats.zombies;
+        if (y == x) ++stats.would_divide_by_zero;
+        if (y < x * (x - 1)) ++stats.runaway_loop_bounds;
+      }
+      (void)racy_stm->commit(ctx);
+    }
+  }
+  writer.join();
+
+  std::printf("  victim transactions completed: %llu\n",
+              static_cast<unsigned long long>(stats.victim_runs));
+  std::printf("  zombie observations (live):    %llu\n",
+              static_cast<unsigned long long>(stats.zombies));
+  std::printf("    -> 1/(y-x) would trap:       %llu\n",
+              static_cast<unsigned long long>(stats.would_divide_by_zero));
+  std::printf("    -> runaway loop bounds:      %llu\n",
+              static_cast<unsigned long long>(stats.runaway_loop_bounds));
+
+  if (props.opaque && (deterministic || stats.zombies != 0)) {
+    std::printf("\nERROR: an allegedly opaque STM exposed an inconsistent view\n");
+    return 2;
+  }
+  if (!props.opaque && deterministic) {
+    std::printf(
+        "\nThe §2 hazard is real: this STM is strictly serializable for\n"
+        "committed transactions, satisfies every §3 criterion, and still\n"
+        "handed a live transaction an impossible state. Only opacity (§5)\n"
+        "rules this out.\n");
+  }
+  return 0;
+}

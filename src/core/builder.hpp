@@ -1,0 +1,104 @@
+// Fluent construction of histories for tests, examples and the paper's
+// worked figures. The builder appends events in the *global* order the
+// caller dictates, which is how interleavings are expressed:
+//
+//   auto h = HistoryBuilder::registers(2)
+//                .write(1, x, 1).commit_now(1)   // T1: write x:=1; commit
+//                .read(2, x, 1)                  // T2 reads 1
+//                .write(3, x, 2).write(3, y, 2).commit_now(3)
+//                .read(2, y, 2).tryc(2).abort(2) // T2 forcefully aborted
+//                .build();
+#pragma once
+
+#include <unordered_map>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+class HistoryBuilder {
+ public:
+  explicit HistoryBuilder(ObjectModel model) : h_(std::move(model)) {}
+
+  /// Model of k registers initialized to `initial`.
+  [[nodiscard]] static HistoryBuilder registers(std::size_t k, Value initial = 0) {
+    return HistoryBuilder(ObjectModel::registers(k, initial));
+  }
+
+  // --- complete operation executions (inv immediately followed by ret) ----
+
+  HistoryBuilder& exec(TxId tx, ObjId obj, OpCode op, Value arg, Value ret) {
+    h_.append(ev::inv(tx, obj, op, arg));
+    h_.append(ev::ret(tx, obj, op, arg, ret));
+    return *this;
+  }
+  HistoryBuilder& read(TxId tx, ObjId obj, Value ret) {
+    return exec(tx, obj, OpCode::kRead, 0, ret);
+  }
+  HistoryBuilder& write(TxId tx, ObjId obj, Value v) {
+    return exec(tx, obj, OpCode::kWrite, v, kOk);
+  }
+  HistoryBuilder& inc(TxId tx, ObjId obj) { return exec(tx, obj, OpCode::kInc, 0, kOk); }
+  HistoryBuilder& dec(TxId tx, ObjId obj) { return exec(tx, obj, OpCode::kDec, 0, kOk); }
+  HistoryBuilder& get(TxId tx, ObjId obj, Value ret) {
+    return exec(tx, obj, OpCode::kGet, 0, ret);
+  }
+  HistoryBuilder& fetch_add(TxId tx, ObjId obj, Value d, Value old) {
+    return exec(tx, obj, OpCode::kFetchAdd, d, old);
+  }
+  HistoryBuilder& enq(TxId tx, ObjId obj, Value v) {
+    return exec(tx, obj, OpCode::kEnq, v, kOk);
+  }
+  HistoryBuilder& deq(TxId tx, ObjId obj, Value ret) {
+    return exec(tx, obj, OpCode::kDeq, 0, ret);
+  }
+  HistoryBuilder& push(TxId tx, ObjId obj, Value v) {
+    return exec(tx, obj, OpCode::kPush, v, kOk);
+  }
+  HistoryBuilder& pop(TxId tx, ObjId obj, Value ret) {
+    return exec(tx, obj, OpCode::kPop, 0, ret);
+  }
+  HistoryBuilder& insert(TxId tx, ObjId obj, Value v, Value ret = 1) {
+    return exec(tx, obj, OpCode::kInsert, v, ret);
+  }
+  HistoryBuilder& erase(TxId tx, ObjId obj, Value v, Value ret = 1) {
+    return exec(tx, obj, OpCode::kErase, v, ret);
+  }
+  HistoryBuilder& contains(TxId tx, ObjId obj, Value v, Value ret) {
+    return exec(tx, obj, OpCode::kContains, v, ret);
+  }
+
+  // --- split events, for overlapping operations (as in Figure 2 / H5) -----
+
+  HistoryBuilder& inv(TxId tx, ObjId obj, OpCode op, Value arg = 0) {
+    h_.append(ev::inv(tx, obj, op, arg));
+    pending_[tx] = ev::inv(tx, obj, op, arg);
+    return *this;
+  }
+  /// Completes `tx`'s pending invocation with return value `retv`.
+  HistoryBuilder& ret(TxId tx, Value retv) {
+    const Event inv_e = pending_.at(tx);
+    pending_.erase(tx);
+    h_.append(ev::ret(tx, inv_e.obj, inv_e.op, inv_e.arg, retv));
+    return *this;
+  }
+
+  // --- termination events ---------------------------------------------------
+
+  HistoryBuilder& tryc(TxId tx) { h_.append(ev::try_commit(tx)); return *this; }
+  HistoryBuilder& commit(TxId tx) { h_.append(ev::commit(tx)); return *this; }
+  HistoryBuilder& trya(TxId tx) { h_.append(ev::try_abort(tx)); return *this; }
+  HistoryBuilder& abort(TxId tx) { h_.append(ev::abort(tx)); return *this; }
+  HistoryBuilder& commit_now(TxId tx) { return tryc(tx).commit(tx); }
+  HistoryBuilder& abort_now(TxId tx) { return trya(tx).abort(tx); }
+
+  HistoryBuilder& raw(Event e) { h_.append(e); return *this; }
+
+  [[nodiscard]] History build() const { return h_; }
+
+ private:
+  History h_;
+  std::unordered_map<TxId, Event> pending_;
+};
+
+}  // namespace optm::core

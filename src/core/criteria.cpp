@@ -1,0 +1,89 @@
+#include "core/criteria.hpp"
+
+#include <sstream>
+
+#include "core/linearizability.hpp"
+#include "core/one_copy.hpp"
+#include "core/recoverability.hpp"
+#include "core/rigorous.hpp"
+#include "core/serializability.hpp"
+
+namespace optm::core {
+
+std::string CriteriaReport::table() const {
+  std::size_t width = 0;
+  for (const auto& [c, v] : verdicts) width = std::max(width, std::string(to_string(c)).size());
+  std::ostringstream os;
+  for (const auto& [c, v] : verdicts) {
+    std::string name = to_string(c);
+    name.resize(width, ' ');
+    os << "  " << name << " : " << to_string(v);
+    const auto note = notes.find(c);
+    if (note != notes.end() && !note->second.empty())
+      os << "   (" << note->second << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+CriteriaReport evaluate_criteria(const History& h) {
+  CriteriaReport report;
+  auto set = [&report](Criterion c, Verdict v, std::string note = "") {
+    report.verdicts[c] = v;
+    report.notes[c] = std::move(note);
+  };
+  auto guard = [&set](Criterion c, auto&& fn) {
+    try {
+      fn();
+    } catch (const std::exception& e) {
+      set(c, Verdict::kUnknown, e.what());
+    }
+  };
+
+  guard(Criterion::kSerializability, [&] {
+    const auto r = check_serializability(h);
+    set(Criterion::kSerializability, r.verdict, r.reason);
+  });
+  guard(Criterion::kStrictSerializability, [&] {
+    const auto r = check_strict_serializability(h);
+    set(Criterion::kStrictSerializability, r.verdict, r.reason);
+  });
+  guard(Criterion::kConflictSerializability, [&] {
+    const auto r = check_conflict_serializability(h);
+    set(Criterion::kConflictSerializability, r.verdict, r.reason);
+  });
+  guard(Criterion::kOneCopySerializability, [&] {
+    const auto r = check_one_copy_serializability(h);
+    set(Criterion::kOneCopySerializability, r.verdict, r.reason);
+  });
+  guard(Criterion::kGlobalAtomicity, [&] {
+    const auto r = check_global_atomicity(h);
+    set(Criterion::kGlobalAtomicity, r.verdict, r.reason);
+  });
+  guard(Criterion::kRecoverability, [&] {
+    const auto r = check_recoverability(h);
+    set(Criterion::kRecoverability, r.holds ? Verdict::kYes : Verdict::kNo,
+        r.reason);
+  });
+  guard(Criterion::kStrictRecoverability, [&] {
+    const auto r = check_strict_recoverability(h);
+    set(Criterion::kStrictRecoverability, r.holds ? Verdict::kYes : Verdict::kNo,
+        r.reason);
+  });
+  guard(Criterion::kRigorousness, [&] {
+    const auto r = check_rigorous(h);
+    set(Criterion::kRigorousness, r.holds ? Verdict::kYes : Verdict::kNo,
+        r.reason);
+  });
+  guard(Criterion::kTxLinearizability, [&] {
+    const auto r = check_transactional_linearizability(h);
+    set(Criterion::kTxLinearizability, r.verdict, r.reason);
+  });
+  guard(Criterion::kOpacity, [&] {
+    const auto r = check_opacity(h);
+    set(Criterion::kOpacity, r.verdict, r.reason);
+  });
+  return report;
+}
+
+}  // namespace optm::core

@@ -1,0 +1,60 @@
+// Umbrella evaluation of every correctness criterion the paper surveys
+// (§3) plus opacity itself (§5), producing the comparison matrix that the
+// paper develops in prose: which criteria a given history satisfies.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/history.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+
+enum class Criterion : std::uint8_t {
+  kSerializability,          // §3.2 (committed only)
+  kStrictSerializability,    // §3.2 + real-time
+  kConflictSerializability,  // classical polynomial variant
+  kOneCopySerializability,   // §3.3
+  kGlobalAtomicity,          // §3.4
+  kRecoverability,           // §3.5 (reads-from commit order)
+  kStrictRecoverability,     // §3.5 strongest form
+  kRigorousness,             // §3.6
+  kTxLinearizability,        // §3.1
+  kOpacity,                  // §5
+};
+
+[[nodiscard]] constexpr const char* to_string(Criterion c) noexcept {
+  switch (c) {
+    case Criterion::kSerializability: return "serializability";
+    case Criterion::kStrictSerializability: return "strict serializability";
+    case Criterion::kConflictSerializability: return "conflict serializability";
+    case Criterion::kOneCopySerializability: return "1-copy serializability";
+    case Criterion::kGlobalAtomicity: return "global atomicity";
+    case Criterion::kRecoverability: return "recoverability";
+    case Criterion::kStrictRecoverability: return "strict recoverability";
+    case Criterion::kRigorousness: return "rigorousness";
+    case Criterion::kTxLinearizability: return "tx-linearizability";
+    case Criterion::kOpacity: return "OPACITY";
+  }
+  return "?";
+}
+
+struct CriteriaReport {
+  std::map<Criterion, Verdict> verdicts;
+  std::map<Criterion, std::string> notes;  // failure reasons etc.
+
+  [[nodiscard]] Verdict verdict(Criterion c) const {
+    const auto it = verdicts.find(c);
+    return it == verdicts.end() ? Verdict::kUnknown : it->second;
+  }
+  /// Render as an aligned two-column text table.
+  [[nodiscard]] std::string table() const;
+};
+
+/// Evaluate every applicable criterion on `h`. Criteria whose preconditions
+/// fail (e.g. the register-only checkers on a counter history) report
+/// kUnknown with an explanatory note.
+[[nodiscard]] CriteriaReport evaluate_criteria(const History& h);
+
+}  // namespace optm::core

@@ -1,0 +1,100 @@
+// Transactional events (paper §4, "Transactional events").
+//
+// A history is a sequence of these events. Invocation events (operation
+// invocation, commit-try, abort-try) are initiated by transactions;
+// response events (operation response, commit, abort) by the TM.
+#pragma once
+
+#include <string>
+
+#include "core/types.hpp"
+
+namespace optm::core {
+
+enum class EventKind : std::uint8_t {
+  kInvoke,     // inv_i(ob, op, args)
+  kResponse,   // ret_i(ob, op, val)
+  kTryCommit,  // tryC_i
+  kCommit,     // C_i
+  kTryAbort,   // tryA_i
+  kAbort,      // A_i
+};
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kInvoke: return "inv";
+    case EventKind::kResponse: return "ret";
+    case EventKind::kTryCommit: return "tryC";
+    case EventKind::kCommit: return "C";
+    case EventKind::kTryAbort: return "tryA";
+    case EventKind::kAbort: return "A";
+  }
+  return "?";
+}
+
+struct Event {
+  EventKind kind{EventKind::kInvoke};
+  TxId tx{kNoTx};
+  ObjId obj{kNoObj};     // valid for kInvoke / kResponse
+  OpCode op{OpCode::kRead};
+  Value arg{0};          // operation argument (kInvoke; copied onto kResponse)
+  Value ret{0};          // return value (kResponse only)
+
+  [[nodiscard]] constexpr bool is_invocation() const noexcept {
+    return kind == EventKind::kInvoke || kind == EventKind::kTryCommit ||
+           kind == EventKind::kTryAbort;
+  }
+  [[nodiscard]] constexpr bool is_response() const noexcept {
+    return !is_invocation();
+  }
+
+  /// Do `*this` (an invocation) and `r` (a response) match in the paper's
+  /// sense: same transaction, and for operations the same object/op?
+  [[nodiscard]] constexpr bool matches(const Event& r) const noexcept {
+    if (tx != r.tx) return false;
+    switch (kind) {
+      case EventKind::kInvoke:
+        return (r.kind == EventKind::kResponse && obj == r.obj && op == r.op) ||
+               r.kind == EventKind::kAbort;  // abort may replace a response
+      case EventKind::kTryCommit:
+        return r.kind == EventKind::kCommit || r.kind == EventKind::kAbort;
+      case EventKind::kTryAbort:
+        return r.kind == EventKind::kAbort;
+      default:
+        return false;
+    }
+  }
+
+  friend constexpr bool operator==(const Event&, const Event&) noexcept = default;
+};
+
+/// Factory helpers mirroring the paper's notation.
+namespace ev {
+
+[[nodiscard]] constexpr Event inv(TxId tx, ObjId obj, OpCode op, Value arg = 0) noexcept {
+  return Event{EventKind::kInvoke, tx, obj, op, arg, 0};
+}
+[[nodiscard]] constexpr Event ret(TxId tx, ObjId obj, OpCode op, Value arg,
+                                  Value val) noexcept {
+  return Event{EventKind::kResponse, tx, obj, op, arg, val};
+}
+[[nodiscard]] constexpr Event try_commit(TxId tx) noexcept {
+  return Event{EventKind::kTryCommit, tx, kNoObj, OpCode::kRead, 0, 0};
+}
+[[nodiscard]] constexpr Event commit(TxId tx) noexcept {
+  return Event{EventKind::kCommit, tx, kNoObj, OpCode::kRead, 0, 0};
+}
+[[nodiscard]] constexpr Event try_abort(TxId tx) noexcept {
+  return Event{EventKind::kTryAbort, tx, kNoObj, OpCode::kRead, 0, 0};
+}
+[[nodiscard]] constexpr Event abort(TxId tx) noexcept {
+  return Event{EventKind::kAbort, tx, kNoObj, OpCode::kRead, 0, 0};
+}
+
+}  // namespace ev
+
+/// Renders an event in the paper's notation, e.g. "inv1(x3, read)",
+/// "ret2(x0, read -> 5)", "tryC1", "A2".
+[[nodiscard]] std::string to_string(const Event& e);
+
+}  // namespace optm::core

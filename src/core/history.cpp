@@ -1,0 +1,514 @@
+#include "core/history.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace optm::core {
+
+namespace {
+
+/// Per-transaction well-formedness automaton (paper §4: H|Ti is a prefix of
+/// O · F).
+enum class TxFsm : std::uint8_t {
+  kIdle,           // between operations
+  kOpPending,      // operation invoked, no response yet
+  kCommitPending,  // tryC issued
+  kAbortPending,   // tryA issued
+  kDone,           // C or A received
+};
+
+struct FsmState {
+  TxFsm fsm = TxFsm::kIdle;
+  Event pending{};           // the pending invocation (valid in kOpPending)
+  EventKind last = EventKind::kAbort;  // last event seen (valid once any seen)
+  bool any = false;
+  bool saw_try_abort = false;
+};
+
+}  // namespace
+
+std::vector<TxId> History::transactions() const {
+  std::vector<TxId> order;
+  std::unordered_set<TxId> seen;
+  for (const Event& e : events_) {
+    if (seen.insert(e.tx).second) order.push_back(e.tx);
+  }
+  return order;
+}
+
+bool History::contains(TxId tx) const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [tx](const Event& e) { return e.tx == tx; });
+}
+
+History History::project_tx(TxId tx) const {
+  History out(model_);
+  for (const Event& e : events_)
+    if (e.tx == tx) out.append(e);
+  return out;
+}
+
+History History::project_obj(ObjId obj) const {
+  History out(model_);
+  for (const Event& e : events_) {
+    if ((e.kind == EventKind::kInvoke || e.kind == EventKind::kResponse) &&
+        e.obj == obj) {
+      out.append(e);
+    }
+  }
+  return out;
+}
+
+History History::committed_only() const {
+  std::unordered_set<TxId> committed;
+  for (TxId tx : transactions())
+    if (is_committed(tx)) committed.insert(tx);
+  History out(model_);
+  for (const Event& e : events_)
+    if (committed.count(e.tx)) out.append(e);
+  return out;
+}
+
+bool History::equivalent(const History& other) const {
+  std::unordered_map<TxId, std::vector<Event>> mine, theirs;
+  for (const Event& e : events_) mine[e.tx].push_back(e);
+  for (const Event& e : other.events_) theirs[e.tx].push_back(e);
+  return mine == theirs;
+}
+
+History History::concat(const History& other) const {
+  History out(model_);
+  out.events_ = events_;
+  out.events_.insert(out.events_.end(), other.events_.begin(),
+                     other.events_.end());
+  return out;
+}
+
+bool History::well_formed(std::string* why) const {
+  auto fail = [&](std::size_t pos, const std::string& msg) {
+    if (why != nullptr) {
+      *why = "event " + std::to_string(pos) + " (" + to_string(events_[pos]) +
+             "): " + msg;
+    }
+    return false;
+  };
+
+  std::unordered_map<TxId, FsmState> st;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    FsmState& s = st[e.tx];
+    if (s.fsm == TxFsm::kDone) return fail(i, "event after commit/abort");
+
+    switch (e.kind) {
+      case EventKind::kInvoke: {
+        if (s.fsm != TxFsm::kIdle) return fail(i, "invocation while not idle");
+        if (!model_.contains(e.obj)) return fail(i, "unknown object");
+        if (!model_.spec(e.obj).supports(e.op))
+          return fail(i, std::string("operation '") + to_string(e.op) +
+                             "' not supported by " +
+                             std::string(model_.spec(e.obj).name()));
+        s.fsm = TxFsm::kOpPending;
+        s.pending = e;
+        break;
+      }
+      case EventKind::kResponse: {
+        if (s.fsm != TxFsm::kOpPending)
+          return fail(i, "response without pending invocation");
+        if (!s.pending.matches(e)) return fail(i, "response does not match invocation");
+        s.fsm = TxFsm::kIdle;
+        break;
+      }
+      case EventKind::kTryCommit: {
+        if (s.fsm != TxFsm::kIdle) return fail(i, "tryC while not idle");
+        s.fsm = TxFsm::kCommitPending;
+        break;
+      }
+      case EventKind::kTryAbort: {
+        if (s.fsm != TxFsm::kIdle) return fail(i, "tryA while not idle");
+        s.fsm = TxFsm::kAbortPending;
+        s.saw_try_abort = true;
+        break;
+      }
+      case EventKind::kCommit: {
+        if (s.fsm != TxFsm::kCommitPending) return fail(i, "C without pending tryC");
+        s.fsm = TxFsm::kDone;
+        break;
+      }
+      case EventKind::kAbort: {
+        if (s.fsm != TxFsm::kOpPending && s.fsm != TxFsm::kCommitPending &&
+            s.fsm != TxFsm::kAbortPending) {
+          return fail(i, "A must follow a pending invocation, tryC, or tryA");
+        }
+        s.fsm = TxFsm::kDone;
+        break;
+      }
+    }
+    s.last = e.kind;
+    s.any = true;
+  }
+  return true;
+}
+
+std::optional<Event> History::pending_invocation(TxId tx) const {
+  std::optional<Event> pending;
+  for (const Event& e : events_) {
+    if (e.tx != tx) continue;
+    if (e.is_invocation()) {
+      pending = e;
+    } else {
+      pending.reset();
+    }
+  }
+  return pending;
+}
+
+TxStatus History::status(TxId tx) const {
+  bool saw_tryc = false;
+  EventKind last = EventKind::kAbort;
+  bool any = false;
+  for (const Event& e : events_) {
+    if (e.tx != tx) continue;
+    any = true;
+    last = e.kind;
+    if (e.kind == EventKind::kTryCommit) saw_tryc = true;
+  }
+  if (!any) return TxStatus::kLive;  // not in H; callers should check contains()
+  if (last == EventKind::kCommit) return TxStatus::kCommitted;
+  if (last == EventKind::kAbort) return TxStatus::kAborted;
+  return saw_tryc ? TxStatus::kCommitPending : TxStatus::kLive;
+}
+
+bool History::is_forcefully_aborted(TxId tx) const {
+  if (!is_aborted(tx)) return false;
+  for (const Event& e : events_)
+    if (e.tx == tx && e.kind == EventKind::kTryAbort) return false;
+  return true;
+}
+
+bool History::precedes(TxId a, TxId b) const {
+  if (a == b || !is_completed(a)) return false;
+  std::size_t last_a = 0;
+  bool found_a = false;
+  std::size_t first_b = events_.size();
+  bool found_b = false;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].tx == a) {
+      last_a = i;
+      found_a = true;
+    }
+    if (events_[i].tx == b && !found_b) {
+      first_b = i;
+      found_b = true;
+    }
+  }
+  return found_a && found_b && last_a < first_b;
+}
+
+bool History::preserves_real_time_order_of(const History& other) const {
+  const auto txs = other.transactions();
+  for (TxId a : txs) {
+    for (TxId b : txs) {
+      if (a != b && other.precedes(a, b) && !precedes(a, b)) return false;
+    }
+  }
+  return true;
+}
+
+bool History::is_sequential(std::string* why) const {
+  // Sequential <=> transaction event ranges are pairwise disjoint intervals,
+  // which for a scan means the active transaction can never be re-entered.
+  std::unordered_set<TxId> closed;
+  TxId current = kNoTx;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TxId tx = events_[i].tx;
+    if (tx == current) continue;
+    if (closed.count(tx)) {
+      if (why != nullptr) {
+        *why = "transaction T" + std::to_string(tx) +
+               " re-enters at event " + std::to_string(i);
+      }
+      return false;
+    }
+    if (current != kNoTx) closed.insert(current);
+    current = tx;
+  }
+  return true;
+}
+
+bool History::is_complete() const {
+  for (TxId tx : transactions())
+    if (is_live(tx)) return false;
+  return true;
+}
+
+std::vector<History> History::completions(std::size_t max_results) const {
+  std::vector<TxId> commit_pending;
+  std::vector<TxId> to_abort;  // live, not commit-pending
+  for (TxId tx : transactions()) {
+    switch (status(tx)) {
+      case TxStatus::kCommitPending: commit_pending.push_back(tx); break;
+      case TxStatus::kLive: to_abort.push_back(tx); break;
+      default: break;
+    }
+  }
+  if (commit_pending.size() < 64 &&
+      (1ULL << commit_pending.size()) > max_results) {
+    throw std::length_error("Complete(H): too many commit-pending transactions");
+  }
+
+  std::vector<History> out;
+  const std::uint64_t combos = 1ULL << commit_pending.size();
+  for (std::uint64_t mask = 0; mask < combos; ++mask) {
+    History h = *this;
+    for (TxId tx : to_abort) {
+      if (pending_invocation(tx).has_value()) {
+        h.append(ev::abort(tx));  // F = <inv, A>
+      } else {
+        h.append(ev::try_commit(tx));  // Complete() may insert only tryC/C/A
+        h.append(ev::abort(tx));
+      }
+    }
+    for (std::size_t i = 0; i < commit_pending.size(); ++i) {
+      h.append((mask >> i) & 1 ? ev::commit(commit_pending[i])
+                               : ev::abort(commit_pending[i]));
+    }
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
+History History::nonlocal() const {
+  // Identify local register operations per §5.4. Operations on non-register
+  // objects are never considered local.
+  auto is_register = [this](ObjId obj) {
+    return model_.contains(obj) && model_.spec(obj).name() == "register";
+  };
+
+  // For each (tx, obj): positions of that transaction's writes, in order.
+  std::map<std::pair<TxId, ObjId>, std::vector<std::size_t>> writes;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind == EventKind::kInvoke && e.op == OpCode::kWrite && is_register(e.obj))
+      writes[{e.tx, e.obj}].push_back(i);
+  }
+
+  auto local_invocation = [&](std::size_t i) {
+    const Event& e = events_[i];
+    if (e.kind != EventKind::kInvoke || !is_register(e.obj)) return false;
+    const auto it = writes.find({e.tx, e.obj});
+    if (it == writes.end()) return false;
+    if (e.op == OpCode::kRead) {
+      // Local iff some write by the same tx to the same register precedes it.
+      return it->second.front() < i;
+    }
+    if (e.op == OpCode::kWrite) {
+      // Local iff a later write by the same tx to the same register exists.
+      return it->second.back() > i;
+    }
+    return false;
+  };
+
+  History out(model_);
+  std::unordered_set<TxId> skip_response;  // txs whose next response is local
+  // Pair each response with its invocation: track pending invocation per tx.
+  std::unordered_map<TxId, bool> pending_local;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind == EventKind::kInvoke) {
+      const bool local = local_invocation(i);
+      pending_local[e.tx] = local;
+      if (!local) out.append(e);
+    } else if (e.kind == EventKind::kResponse) {
+      const auto it = pending_local.find(e.tx);
+      const bool local = it != pending_local.end() && it->second;
+      if (!local) out.append(e);
+      pending_local.erase(e.tx);
+    } else {
+      out.append(e);
+    }
+  }
+  return out;
+}
+
+bool History::locally_consistent(std::string* why) const {
+  // Track, per (tx, register), the argument of the transaction's latest
+  // completed write; a local read must return exactly that value.
+  std::map<std::pair<TxId, ObjId>, Value> own_write;
+  std::unordered_map<TxId, Event> pending;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    if (e.kind == EventKind::kInvoke) {
+      pending[e.tx] = e;
+    } else if (e.kind == EventKind::kResponse) {
+      const Event inv = pending[e.tx];
+      pending.erase(e.tx);
+      if (!model_.contains(inv.obj) || model_.spec(inv.obj).name() != "register")
+        continue;
+      if (inv.op == OpCode::kWrite) {
+        own_write[{e.tx, inv.obj}] = inv.arg;
+      } else if (inv.op == OpCode::kRead) {
+        const auto it = own_write.find({e.tx, inv.obj});
+        if (it != own_write.end() && e.ret != it->second) {
+          if (why != nullptr) {
+            *why = "local read at event " + std::to_string(i) + " returned " +
+                   std::to_string(e.ret) + ", expected own write " +
+                   std::to_string(it->second);
+          }
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool History::consistent(std::string* why) const {
+  if (!locally_consistent(why)) return false;
+
+  const History nl = nonlocal();
+  // Values written (per register) anywhere in nonlocal(H); the initial value
+  // plays the role of the implicit initializing transaction T0.
+  std::map<ObjId, std::set<Value>> written;
+  for (const Event& e : nl.events()) {
+    if (e.kind == EventKind::kInvoke && e.op == OpCode::kWrite &&
+        model_.contains(e.obj) && model_.spec(e.obj).name() == "register") {
+      written[e.obj].insert(e.arg);
+    }
+  }
+  for (const Event& e : nl.events()) {
+    if (e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+        model_.contains(e.obj) && model_.spec(e.obj).name() == "register") {
+      const auto* reg = dynamic_cast<const RegisterSpec*>(&model_.spec(e.obj));
+      const Value init = reg != nullptr ? reg->initial_value() : 0;
+      if (e.ret == init) continue;
+      const auto it = written.find(e.obj);
+      if (it == written.end() || it->second.count(e.ret) == 0) {
+        if (why != nullptr) {
+          *why = "non-local read of x" + std::to_string(e.obj) + " by T" +
+                 std::to_string(e.tx) + " returns value " +
+                 std::to_string(e.ret) + " never written in nonlocal(H)";
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::string History::str() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    os << (i < 10 ? "  " : i < 100 ? " " : "") << i << ": "
+       << to_string(events_[i]) << '\n';
+  }
+  return os.str();
+}
+
+std::string History::timeline() const {
+  const auto txs = transactions();
+  std::unordered_map<TxId, std::size_t> lane;
+  for (std::size_t i = 0; i < txs.size(); ++i) lane[txs[i]] = i;
+
+  // One column per event; each cell shows a compact event label.
+  std::vector<std::string> labels(events_.size());
+  std::size_t col_width = 1;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const Event& e = events_[i];
+    std::ostringstream os;
+    switch (e.kind) {
+      case EventKind::kInvoke:
+        os << to_string(e.op) << "(x" << e.obj;
+        if (!model_.spec(e.obj).is_readonly(e.op)) os << "," << e.arg;
+        os << ")";
+        break;
+      case EventKind::kResponse:
+        if (model_.contains(e.obj) && model_.spec(e.obj).is_readonly(e.op)) {
+          os << "->" << e.ret;
+        } else {
+          os << "->ok";
+        }
+        break;
+      default:
+        os << to_string(e.kind);
+        break;
+    }
+    labels[i] = os.str();
+    col_width = std::max(col_width, labels[i].size() + 1);
+  }
+
+  std::ostringstream out;
+  for (TxId tx : txs) {
+    out << 'T' << tx << (tx < 10 ? ":  " : ": ");
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      std::string cell = events_[i].tx == tx ? labels[i] : "";
+      cell.resize(col_width, events_[i].tx == tx ? ' ' : '.');
+      out << cell;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// ---------------------------------------------------------------------------
+// HistoryIndex
+// ---------------------------------------------------------------------------
+
+HistoryIndex::HistoryIndex(const History& h) : h_(&h) {
+  std::string why;
+  if (!h.well_formed(&why)) {
+    throw std::invalid_argument("HistoryIndex: history not well-formed: " + why);
+  }
+
+  std::unordered_map<TxId, std::size_t> pos;
+  const auto& events = h.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    auto it = pos.find(e.tx);
+    if (it == pos.end()) {
+      it = pos.emplace(e.tx, txs_.size()).first;
+      txs_.push_back(TxInfo{});
+      txs_.back().id = e.tx;
+      txs_.back().first_pos = i;
+    }
+    TxInfo& info = txs_[it->second];
+    info.last_pos = i;
+    switch (e.kind) {
+      case EventKind::kInvoke: {
+        OpExec op;
+        op.obj = e.obj;
+        op.op = e.op;
+        op.arg = e.arg;
+        op.inv_pos = i;
+        info.ops.push_back(op);
+        if (!h.model().spec(e.obj).is_readonly(e.op)) info.read_only = false;
+        break;
+      }
+      case EventKind::kResponse: {
+        OpExec& op = info.ops.back();
+        op.ret = e.ret;
+        op.has_response = true;
+        op.ret_pos = i;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  for (TxInfo& info : txs_) {
+    info.status = h.status(info.id);
+    info.forcefully_aborted = h.is_forcefully_aborted(info.id);
+  }
+}
+
+std::size_t HistoryIndex::pos_of(TxId tx) const {
+  for (std::size_t i = 0; i < txs_.size(); ++i)
+    if (txs_[i].id == tx) return i;
+  throw std::out_of_range("HistoryIndex::pos_of: unknown transaction");
+}
+
+}  // namespace optm::core

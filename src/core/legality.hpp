@@ -1,0 +1,32 @@
+// Legal histories and transaction legality (paper §4, "Legal histories and
+// transactions").
+//
+// A sequential history S is legal if S|ob ∈ Seq(ob) for every shared object
+// ob. For our deterministic specifications this is decidable by replay: run
+// every operation through the object state machines in history order and
+// compare each recorded return value with the specified one.
+//
+// A transaction Ti in a complete sequential history S is legal in S if the
+// largest subsequence S' of S consisting of (a) committed transactions
+// preceding Ti in S and (b) Ti itself, is a legal history.
+#pragma once
+
+#include <string>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+/// Is the sequential history S legal (S|ob ∈ Seq(ob) for all ob)?
+/// Precondition: S is well-formed and sequential.
+[[nodiscard]] bool sequential_legal(const History& s, std::string* why = nullptr);
+
+/// Is transaction `ti` legal in the complete sequential history S?
+[[nodiscard]] bool transaction_legal(const History& s, TxId ti,
+                                     std::string* why = nullptr);
+
+/// Are all transactions legal in S (the condition (2) of Definition 1)?
+[[nodiscard]] bool all_transactions_legal(const History& s,
+                                          std::string* why = nullptr);
+
+}  // namespace optm::core

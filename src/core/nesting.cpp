@@ -1,0 +1,166 @@
+#include "core/nesting.hpp"
+
+#include <stdexcept>
+
+namespace optm::core {
+
+namespace {
+
+/// Transitive top-level ancestor, with cycle detection.
+TxId top_level(TxId tx, const NestingForest& forest) {
+  TxId current = tx;
+  std::size_t hops = 0;
+  for (auto it = forest.find(current); it != forest.end();
+       it = forest.find(current)) {
+    current = it->second;
+    if (++hops > forest.size()) {
+      throw std::invalid_argument("flatten_closed_nesting: cyclic parent map");
+    }
+  }
+  return current;
+}
+
+}  // namespace
+
+History flatten_closed_nesting(const History& h, const NestingForest& forest) {
+  // Determine which nested transactions committed: only those merge.
+  std::map<TxId, bool> merges;
+  for (const auto& [child, parent] : forest) {
+    (void)parent;
+    merges[child] = h.is_committed(child);
+  }
+
+  History out(h.model());
+  for (const Event& e : h.events()) {
+    const auto it = merges.find(e.tx);
+    if (it == merges.end() || !it->second) {
+      out.append(e);  // top-level, or aborted/live child kept as-is
+      continue;
+    }
+    // Committed child: operations become the ancestor's; its termination
+    // events vanish (the paper: "as if they were executed directly by the
+    // parent transaction").
+    switch (e.kind) {
+      case EventKind::kInvoke:
+      case EventKind::kResponse: {
+        Event relabeled = e;
+        relabeled.tx = top_level(e.tx, forest);
+        out.append(relabeled);
+        break;
+      }
+      case EventKind::kTryCommit:
+      case EventKind::kCommit:
+        break;  // absorbed into the parent
+      default:
+        throw std::invalid_argument(
+            "flatten_closed_nesting: committed child with abort events");
+    }
+  }
+
+  std::string why;
+  if (!out.well_formed(&why)) {
+    // E.g. a child ran outside its parent's lifetime.
+    throw std::invalid_argument("flatten_closed_nesting: result malformed: " +
+                                why);
+  }
+  return out;
+}
+
+History flatten_open_nesting(const History& h, const NestingForest& forest) {
+  // Ancestry test (with the same cycle guard as the closed reduction).
+  const auto is_ancestor = [&forest](TxId anc, TxId tx) {
+    TxId current = tx;
+    std::size_t hops = 0;
+    for (auto it = forest.find(current); it != forest.end();
+         it = forest.find(current)) {
+      current = it->second;
+      if (current == anc) return true;
+      if (++hops > forest.size()) {
+        throw std::invalid_argument("flatten_open_nesting: cyclic parent map");
+      }
+    }
+    return false;
+  };
+  for (const auto& [child, parent] : forest) {
+    (void)top_level(child, forest);  // cycle detection even for anc==self
+    if (child == parent) {
+      throw std::invalid_argument("flatten_open_nesting: self-parent");
+    }
+  }
+
+  // Resolve, per (object, value), the writing transaction (value-unique
+  // writes, as in §5.4) and the position of the write invocation.
+  std::map<std::pair<ObjId, Value>, std::pair<TxId, std::size_t>> writer_of;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    if (e.kind == EventKind::kInvoke && e.op == OpCode::kWrite) {
+      const auto [it, inserted] =
+          writer_of.emplace(std::make_pair(e.obj, e.arg), std::make_pair(e.tx, i));
+      if (!inserted && it->second.first != e.tx) {
+        throw std::invalid_argument(
+            "flatten_open_nesting: writes must be value-unique");
+      }
+    }
+  }
+
+  // First event position per transaction; commit position per transaction.
+  std::map<TxId, std::size_t> first_pos;
+  std::map<TxId, std::size_t> commit_pos;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    first_pos.emplace(h[i].tx, i);
+    if (h[i].kind == EventKind::kCommit) commit_pos[h[i].tx] = i;
+  }
+
+  // Mark the event positions to drop: a child read whose value was written
+  // by a (transitive) ancestor before the child's first event AND was not
+  // yet committed at the read (a committed ancestor's value is judged
+  // globally — dropping it would hide genuine staleness). The matching
+  // invocation is the reader's preceding event.
+  std::vector<bool> drop(h.size(), false);
+  std::map<TxId, std::size_t> last_event_of;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    if (e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+        forest.count(e.tx) != 0) {
+      const auto w = writer_of.find({e.obj, e.ret});
+      if (w != writer_of.end()) {
+        const auto [writer, wpos] = w->second;
+        const auto c = commit_pos.find(writer);
+        const bool committed_before = c != commit_pos.end() && c->second < i;
+        if (is_ancestor(writer, e.tx) && wpos < first_pos.at(e.tx) &&
+            !committed_before) {
+          drop[i] = true;
+          drop[last_event_of.at(e.tx)] = true;  // the matching invocation
+        }
+      }
+    }
+    last_event_of[e.tx] = i;
+  }
+
+  History out(h.model());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (!drop[i]) out.append(h[i]);
+  }
+
+  std::string why;
+  if (!out.well_formed(&why)) {
+    throw std::invalid_argument("flatten_open_nesting: result malformed: " + why);
+  }
+  return out;
+}
+
+History with_non_transactional_access(const History& h, TxId tx, ObjId obj,
+                                      OpCode op, Value arg, Value ret) {
+  if (h.contains(tx)) {
+    throw std::invalid_argument(
+        "with_non_transactional_access: transaction id already used");
+  }
+  History out = h;
+  out.append(ev::inv(tx, obj, op, arg));
+  out.append(ev::ret(tx, obj, op, arg, ret));
+  out.append(ev::try_commit(tx));
+  out.append(ev::commit(tx));
+  return out;
+}
+
+}  // namespace optm::core

@@ -1,0 +1,224 @@
+#include "core/object_spec.hpp"
+
+#include <deque>
+#include <set>
+
+namespace optm::core {
+
+namespace {
+
+void encode_value(std::string& out, Value v) {
+  const auto u = static_cast<std::uint64_t>(v);
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((u >> (i * 8)) & 0xff));
+}
+
+// Unsupported operations are modeled as returning kEmpty; legality checking
+// additionally rejects them via ObjectSpec::supports before replay.
+class RegisterState final : public ObjectState {
+ public:
+  explicit RegisterState(Value v) noexcept : v_(v) {}
+  Value apply(OpCode op, Value arg) override {
+    switch (op) {
+      case OpCode::kRead: return v_;
+      case OpCode::kWrite: v_ = arg; return kOk;
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<RegisterState>(v_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('R');
+    encode_value(out, v_);
+  }
+
+ private:
+  Value v_;
+};
+
+class CounterState final : public ObjectState {
+ public:
+  explicit CounterState(Value v) noexcept : v_(v) {}
+  Value apply(OpCode op, Value) override {
+    switch (op) {
+      case OpCode::kInc: ++v_; return kOk;
+      case OpCode::kDec: --v_; return kOk;
+      case OpCode::kGet: return v_;
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<CounterState>(v_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('C');
+    encode_value(out, v_);
+  }
+
+ private:
+  Value v_;
+};
+
+class FetchAddState final : public ObjectState {
+ public:
+  explicit FetchAddState(Value v) noexcept : v_(v) {}
+  Value apply(OpCode op, Value arg) override {
+    switch (op) {
+      case OpCode::kFetchAdd: {
+        const Value old = v_;
+        v_ += arg;
+        return old;
+      }
+      case OpCode::kGet: return v_;
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<FetchAddState>(v_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('F');
+    encode_value(out, v_);
+  }
+
+ private:
+  Value v_;
+};
+
+class QueueState final : public ObjectState {
+ public:
+  QueueState() = default;
+  explicit QueueState(std::deque<Value> q) : q_(std::move(q)) {}
+  Value apply(OpCode op, Value arg) override {
+    switch (op) {
+      case OpCode::kEnq: q_.push_back(arg); return kOk;
+      case OpCode::kDeq: {
+        if (q_.empty()) return kEmpty;
+        const Value front = q_.front();
+        q_.pop_front();
+        return front;
+      }
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<QueueState>(q_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('Q');
+    encode_value(out, static_cast<Value>(q_.size()));
+    for (Value v : q_) encode_value(out, v);
+  }
+
+ private:
+  std::deque<Value> q_;
+};
+
+class StackState final : public ObjectState {
+ public:
+  StackState() = default;
+  explicit StackState(std::vector<Value> s) : s_(std::move(s)) {}
+  Value apply(OpCode op, Value arg) override {
+    switch (op) {
+      case OpCode::kPush: s_.push_back(arg); return kOk;
+      case OpCode::kPop: {
+        if (s_.empty()) return kEmpty;
+        const Value top = s_.back();
+        s_.pop_back();
+        return top;
+      }
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<StackState>(s_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('S');
+    encode_value(out, static_cast<Value>(s_.size()));
+    for (Value v : s_) encode_value(out, v);
+  }
+
+ private:
+  std::vector<Value> s_;
+};
+
+class SetState final : public ObjectState {
+ public:
+  SetState() = default;
+  explicit SetState(std::set<Value> s) : s_(std::move(s)) {}
+  Value apply(OpCode op, Value arg) override {
+    switch (op) {
+      case OpCode::kInsert: return s_.insert(arg).second ? 1 : 0;
+      case OpCode::kErase: return s_.erase(arg) > 0 ? 1 : 0;
+      case OpCode::kContains: return s_.count(arg) > 0 ? 1 : 0;
+      default: return kEmpty;
+    }
+  }
+  [[nodiscard]] std::unique_ptr<ObjectState> clone() const override {
+    return std::make_unique<SetState>(s_);
+  }
+  void encode(std::string& out) const override {
+    out.push_back('T');
+    encode_value(out, static_cast<Value>(s_.size()));
+    for (Value v : s_) encode_value(out, v);
+  }
+
+ private:
+  std::set<Value> s_;
+};
+
+}  // namespace
+
+std::unique_ptr<ObjectState> RegisterSpec::initial() const {
+  return std::make_unique<RegisterState>(initial_);
+}
+std::unique_ptr<ObjectState> CounterSpec::initial() const {
+  return std::make_unique<CounterState>(initial_);
+}
+std::unique_ptr<ObjectState> FetchAddSpec::initial() const {
+  return std::make_unique<FetchAddState>(initial_);
+}
+std::unique_ptr<ObjectState> QueueSpec::initial() const {
+  return std::make_unique<QueueState>();
+}
+std::unique_ptr<ObjectState> StackSpec::initial() const {
+  return std::make_unique<StackState>();
+}
+std::unique_ptr<ObjectState> SetSpec::initial() const {
+  return std::make_unique<SetState>();
+}
+
+ObjectModel ObjectModel::registers(std::size_t k, Value initial) {
+  ObjectModel m;
+  const auto spec = std::make_shared<const RegisterSpec>(initial);
+  for (std::size_t i = 0; i < k; ++i) m.add(spec);
+  return m;
+}
+
+SystemState::SystemState(const ObjectModel& model) {
+  states_.reserve(model.size());
+  for (ObjId i = 0; i < model.size(); ++i)
+    states_.push_back(model.spec(i).initial());
+}
+
+SystemState::SystemState(const SystemState& other) {
+  states_.reserve(other.states_.size());
+  for (const auto& s : other.states_) states_.push_back(s->clone());
+}
+
+SystemState& SystemState::operator=(const SystemState& other) {
+  if (this == &other) return *this;
+  states_.clear();
+  states_.reserve(other.states_.size());
+  for (const auto& s : other.states_) states_.push_back(s->clone());
+  return *this;
+}
+
+std::string SystemState::encode() const {
+  std::string out;
+  for (const auto& s : states_) s->encode(out);
+  return out;
+}
+
+}  // namespace optm::core

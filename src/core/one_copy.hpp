@@ -1,0 +1,48 @@
+// 1-copy serializability (paper §3.3, after Bernstein & Goodman '83).
+//
+// Multi-version register histories: a read may return any version, but the
+// execution must be equivalent to a serial history over a single copy of
+// every register. Decided via the multiversion serialization graph (MVSG):
+// H is 1-copy serializable iff there exists a version order such that
+// MVSG(H, version-order) is acyclic. As in the classical theory, it
+// suffices to consider version orders induced by total orders on the
+// committed transactions, which is how the exhaustive checker searches.
+//
+// Like serializability — and unlike opacity — 1-copy serializability says
+// nothing about live or aborted transactions.
+//
+// Preconditions: register-only history, value-unique writes (so reads-from
+// is derivable from values).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+
+struct OneCopyResult {
+  Verdict verdict{Verdict::kUnknown};
+  /// Witness total order on committed transactions (iff kYes).
+  std::optional<std::vector<TxId>> order;
+  std::string reason;
+  std::uint64_t orders_examined{0};
+
+  [[nodiscard]] bool holds() const noexcept { return verdict == Verdict::kYes; }
+};
+
+/// Exhaustive MVSG search over total orders of the committed transactions;
+/// kUnknown if there are more than `max_txs` committed transactions.
+[[nodiscard]] OneCopyResult check_one_copy_serializability(
+    const History& h, std::size_t max_txs = 9);
+
+/// Polynomial certificate: is MVSG(H, version order induced by `order`)
+/// acyclic? `order` lists the committed transactions.
+[[nodiscard]] bool verify_one_copy_certificate(const History& h,
+                                               const std::vector<TxId>& order,
+                                               std::string* why = nullptr);
+
+}  // namespace optm::core

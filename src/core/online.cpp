@@ -1,0 +1,246 @@
+#include "core/online.hpp"
+
+#include <stdexcept>
+
+#include "core/object_spec.hpp"
+
+namespace optm::core {
+
+// ---------------------------------------------------------------------------
+// OnlineDefinitionalMonitor
+// ---------------------------------------------------------------------------
+
+OnlineDefinitionalMonitor::OnlineDefinitionalMonitor(ObjectModel model,
+                                                     OpacityOptions options)
+    : h_(std::move(model)), options_(options) {}
+
+bool OnlineDefinitionalMonitor::feed(const Event& e) {
+  h_.append(e);
+  if (violation_.has_value()) return false;
+
+  std::string why;
+  if (!h_.well_formed(&why)) {
+    violation_ = OnlineViolation{h_.size() - 1, "not well-formed: " + why};
+    return false;
+  }
+  // Invocations cannot break an opaque prefix: they add no return values
+  // and complete no transaction, so the previous witness serialization
+  // still serves (the new invocation is simply pending).
+  if (e.is_invocation()) return true;
+
+  const OpacityResult result = check_opacity(h_, options_);
+  if (result.verdict != Verdict::kYes) {
+    violation_ = OnlineViolation{
+        h_.size() - 1, result.verdict == Verdict::kNo
+                           ? "prefix not opaque: " + result.reason
+                           : "search budget exhausted: " + result.reason};
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// OnlineCertificateMonitor
+// ---------------------------------------------------------------------------
+
+OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model)
+    : model_(std::move(model)) {
+  current_.resize(model_.size());
+  holders_.resize(model_.size());
+  for (ObjId r = 0; r < model_.size(); ++r) {
+    const auto* reg = dynamic_cast<const RegisterSpec*>(&model_.spec(r));
+    if (reg == nullptr) {
+      throw std::invalid_argument(
+          "online certificate monitor: register histories only");
+    }
+    // The initializer's version of every register: open from rank 0.
+    const auto key = std::make_pair(r, reg->initial_value());
+    versions_[key] = VersionRec{kInitTx, 0, kOpen};
+    current_[r] = key;
+  }
+}
+
+bool OnlineCertificateMonitor::fail(const std::string& reason) {
+  violation_ = OnlineViolation{pos_, reason};
+  return false;
+}
+
+bool OnlineCertificateMonitor::on_operation_response(const Event& e,
+                                                     TxState& tx) {
+  const std::string tag = "T" + std::to_string(e.tx);
+  if (e.op == OpCode::kWrite) {
+    // Value-unique writes underpin reads-from resolution (§5.4).
+    const auto key = std::make_pair(e.obj, e.arg);
+    const auto [it, inserted] = versions_.emplace(key, VersionRec{e.tx, 0, 0});
+    if (!inserted && it->second.writer != e.tx) {
+      return fail(tag + " rewrote value " + std::to_string(e.arg) + " of x" +
+                  std::to_string(e.obj) + " (value-unique writes required)");
+    }
+    it->second.writer = e.tx;  // ranks assigned at commit
+    tx.has_write = true;
+    tx.writes[e.obj] = e.arg;
+    return true;
+  }
+
+  // Read response. Local reads must return the transaction's own latest
+  // write and do not touch the window.
+  const auto own = tx.writes.find(e.obj);
+  if (own != tx.writes.end()) {
+    if (own->second != e.ret) {
+      return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+                  std::to_string(e.ret) + " despite its own write of " +
+                  std::to_string(own->second) + " (local consistency)");
+    }
+    return true;
+  }
+
+  const auto v = versions_.find({e.obj, e.ret});
+  if (v == versions_.end()) {
+    return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+                std::to_string(e.ret) + ", a value never written");
+  }
+  const VersionRec& rec = v->second;
+  if (rec.writer == e.tx) {
+    return fail(tag + " read back its own value without a prior write");
+  }
+  if (rec.writer != kInitTx) {
+    const auto w = txs_.find(rec.writer);
+    if (w == txs_.end() || !w->second.committed) {
+      // Possibly the H4 commit-pending case — conservative (see header).
+      return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+                  std::to_string(e.ret) + " from non-committed T" +
+                  std::to_string(rec.writer));
+    }
+  }
+
+  // Intersect the snapshot window with the version's validity interval.
+  if (rec.open_rank > tx.lo) tx.lo = rec.open_rank;
+  if (rec.close_rank < tx.hi) tx.hi = rec.close_rank;
+  if (rec.close_rank == kOpen) holders_[e.obj].push_back(e.tx);
+
+  if (tx.lo >= tx.hi) {
+    return fail(tag + "'s reads form no consistent snapshot (window empty " +
+                "after reading x" + std::to_string(e.obj) + "=" +
+                std::to_string(e.ret) + ")");
+  }
+  if (tx.hi <= tx.birth_rank) {
+    return fail(tag + " read the outdated x" + std::to_string(e.obj) + "=" +
+                std::to_string(e.ret) +
+                ", overwritten before the transaction's first event "
+                "(real-time order)");
+  }
+  return true;
+}
+
+bool OnlineCertificateMonitor::on_commit(TxState& tx, TxId id) {
+  const std::string tag = "T" + std::to_string(id);
+  // Serialization-point checks BEFORE installing this commit's writes.
+  if (tx.has_write) {
+    // Update transactions serialize at their commit rank: every read
+    // version must still be open (SiStm's write skew dies here).
+    if (tx.hi != kOpen) {
+      return fail(tag + " committed updates although a version it read was "
+                        "overwritten (reads not current at commit)");
+    }
+  } else {
+    if (tx.lo >= tx.hi || tx.hi <= tx.birth_rank) {
+      return fail(tag + " (read-only) committed with no serialization point "
+                        "compatible with real-time order");
+    }
+  }
+
+  tx.committed = true;
+  if (!tx.has_write) return true;
+
+  // Install: one rank for the whole commit; each written register's
+  // previous version closes here.
+  ++rank_;
+  for (const auto& [obj, value] : tx.writes) {
+    auto& prev_key = current_[obj];
+    versions_[prev_key].close_rank = rank_;
+    for (const TxId holder : holders_[obj]) {
+      auto h = txs_.find(holder);
+      if (h != txs_.end() && rank_ < h->second.hi) h->second.hi = rank_;
+    }
+    holders_[obj].clear();
+
+    const auto key = std::make_pair(obj, value);
+    VersionRec& rec = versions_[key];
+    rec.writer = id;
+    rec.open_rank = rank_;
+    rec.close_rank = kOpen;
+    prev_key = key;
+  }
+  return true;
+}
+
+bool OnlineCertificateMonitor::feed(const Event& e) {
+  if (violation_.has_value()) {
+    ++pos_;
+    return false;
+  }
+  const std::string tag = "T" + std::to_string(e.tx);
+  TxState& tx = txs_[e.tx];
+  if (!tx.born) {
+    tx.born = true;
+    tx.birth_rank = rank_;
+  }
+
+  bool ok = true;
+  switch (e.kind) {
+    case EventKind::kInvoke:
+      if (tx.phase != Phase::kIdle) {
+        ok = fail(tag + " invoked an operation while not idle (well-formedness)");
+      } else if (!model_.contains(e.obj)) {
+        ok = fail(tag + " invoked an operation on unknown object x" +
+                  std::to_string(e.obj));
+      } else {
+        tx.phase = Phase::kOpPending;
+        tx.pending = e;
+      }
+      break;
+    case EventKind::kResponse:
+      if (tx.phase != Phase::kOpPending || !tx.pending.matches(e)) {
+        ok = fail(tag + " received a response with no matching invocation "
+                        "(well-formedness)");
+      } else {
+        tx.phase = Phase::kIdle;
+        ok = on_operation_response(e, tx);
+      }
+      break;
+    case EventKind::kTryCommit:
+      if (tx.phase != Phase::kIdle) {
+        ok = fail(tag + " issued tryC while not idle (well-formedness)");
+      } else {
+        tx.phase = Phase::kCommitPending;
+      }
+      break;
+    case EventKind::kCommit:
+      if (tx.phase != Phase::kCommitPending) {
+        ok = fail(tag + " committed without tryC (well-formedness)");
+      } else {
+        tx.phase = Phase::kDone;
+        ok = on_commit(tx, e.tx);
+      }
+      break;
+    case EventKind::kTryAbort:
+      if (tx.phase != Phase::kIdle) {
+        ok = fail(tag + " issued tryA while not idle (well-formedness)");
+      } else {
+        tx.phase = Phase::kAbortPending;
+      }
+      break;
+    case EventKind::kAbort:
+      // A answers tryA, tryC, or a pending operation invocation.
+      if (tx.phase == Phase::kDone) {
+        ok = fail(tag + " aborted after completing (well-formedness)");
+      } else {
+        tx.phase = Phase::kDone;  // aborted: writes never install
+      }
+      break;
+  }
+  ++pos_;
+  return ok;
+}
+
+}  // namespace optm::core

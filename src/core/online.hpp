@@ -1,0 +1,161 @@
+// Online (streaming) opacity monitors.
+//
+// §5.2 observes that "a history of a TM is generated progressively and at
+// each time the history of all events issued so far must be opaque" — the
+// set of opaque histories is not prefix-closed, but a correct TM's run is
+// judged prefix by prefix. These monitors consume one transactional event
+// at a time, as a TM would emit them, and report the FIRST event whose
+// prefix is condemned. Two backends with the usual exactness/efficiency
+// trade:
+//
+//  * OnlineDefinitionalMonitor — exact. Replays Definition 1 on every
+//    prefix that ends in a response-class event (invocations alone cannot
+//    make an opaque prefix non-opaque: they add no return values and
+//    complete no transaction, so the previous witness still works).
+//    Exponential worst case; intended for checker-scale histories, tests,
+//    and cross-validation of the certificate backend.
+//
+//  * OnlineCertificateMonitor — polynomial (amortized O(1) per event), for
+//    register histories with value-unique writes whose committed version
+//    order is the commit order (true of every STM in this repository; the
+//    §3.6 "smart" blind-write orderings are the exception). It is a
+//    SUFFICIENT certificate, not a decision procedure: a clean run is
+//    certified opaque-prefix-by-prefix; a flagged event is a certificate
+//    violation that the definitional backend can then adjudicate. Reads
+//    from commit-pending writers (legal under opacity via the set V — the
+//    H4 optimization) are flagged conservatively; none of our runtimes
+//    produce them, because the recorder window makes commit points atomic
+//    with their C events.
+//
+// The certificate backend maintains, per live transaction, the interval of
+// committed-prefix positions ("ranks") at which ALL its non-local reads
+// were simultaneously current — the same snapshot-window idea as
+// find_inconsistent_snapshot, but incremental:
+//
+//   * every committed write opens a version at the committing rank and
+//     closes the previous version of that register;
+//   * a read intersects the transaction's window with the version's
+//     [open, close) interval; an empty window is an inconsistent snapshot;
+//   * a window that closes at or before the transaction's "birth rank"
+//     (commits completed before its first event) cannot be serialized
+//     without violating the real-time order ≺_H — the stale-read case;
+//   * at commit, an UPDATE transaction must additionally have a
+//     still-open window (its reads current at its commit point — the
+//     commit-order serialization); a read-only transaction only needs a
+//     nonempty window extending past its birth rank.
+//
+// SiStm's write skew is caught at the second skewed commit: the rival's
+// commit closed a version the committer read, so the window no longer
+// contains the commit rank.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+
+struct OnlineViolation {
+  /// Index (0-based) of the event whose prefix is condemned; the prefix
+  /// h[0..pos] inclusive is the shortest bad one this monitor saw.
+  std::size_t pos{0};
+  std::string reason;
+};
+
+/// Exact streaming monitor: Definition 1 on every response-ended prefix.
+class OnlineDefinitionalMonitor {
+ public:
+  explicit OnlineDefinitionalMonitor(ObjectModel model,
+                                     OpacityOptions options = {});
+
+  /// Feed the next event. Returns false once a violation has been found
+  /// (sticky); further events are recorded but not re-checked.
+  bool feed(const Event& e);
+
+  [[nodiscard]] bool ok() const noexcept { return !violation_.has_value(); }
+  [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
+    return violation_;
+  }
+  [[nodiscard]] const History& history() const noexcept { return h_; }
+  [[nodiscard]] std::size_t events_fed() const noexcept { return h_.size(); }
+
+ private:
+  History h_;
+  OpacityOptions options_;
+  std::optional<OnlineViolation> violation_;
+};
+
+/// Polynomial streaming certificate monitor (see file header for the
+/// precise guarantee). Requires an all-register object model; throws
+/// std::invalid_argument otherwise.
+class OnlineCertificateMonitor {
+ public:
+  explicit OnlineCertificateMonitor(ObjectModel model);
+
+  /// Feed the next event. Returns false once a violation has been found
+  /// (sticky).
+  bool feed(const Event& e);
+
+  [[nodiscard]] bool ok() const noexcept { return !violation_.has_value(); }
+  [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
+    return violation_;
+  }
+  [[nodiscard]] std::size_t events_fed() const noexcept { return pos_; }
+  /// Committed transactions seen so far (the rank space of the windows).
+  [[nodiscard]] std::size_t commits_seen() const noexcept { return rank_; }
+
+ private:
+  static constexpr std::size_t kOpen = static_cast<std::size_t>(-1);
+
+  /// Life-cycle of one transaction, §4's well-formedness state machine.
+  enum class Phase : std::uint8_t {
+    kIdle,           // between responses
+    kOpPending,      // operation invoked, response outstanding
+    kCommitPending,  // tryC issued
+    kAbortPending,   // tryA issued
+    kDone,           // C or A received
+  };
+
+  struct TxState {
+    Phase phase{Phase::kIdle};
+    bool born{false};
+    bool committed{false};
+    std::size_t birth_rank{0};
+    std::size_t lo{0};          // window: max over reads of version open rank
+    std::size_t hi{kOpen};      // min over reads of version close rank
+    bool has_write{false};      // an executed write exists
+    Event pending{};            // the outstanding invocation (kOpPending)
+    std::map<ObjId, Value> writes;  // executed writes, latest value per obj
+  };
+
+  struct VersionRec {
+    TxId writer{kNoTx};
+    std::size_t open_rank{0};
+    std::size_t close_rank{kOpen};
+  };
+
+  bool fail(const std::string& reason);
+  bool on_operation_response(const Event& e, TxState& tx);
+  bool on_commit(TxState& tx, TxId id);
+
+  ObjectModel model_;
+  std::size_t pos_{0};
+  std::size_t rank_{0};  // committed transactions so far
+  std::optional<OnlineViolation> violation_;
+  std::unordered_map<TxId, TxState> txs_;
+  /// (register, value) -> version record; value-unique writes.
+  std::map<std::pair<ObjId, Value>, VersionRec> versions_;
+  /// Register -> key of its current committed version in versions_.
+  std::vector<std::pair<ObjId, Value>> current_;
+  /// Register -> live transactions holding the current version in their
+  /// window (their hi must shrink when it closes).
+  std::vector<std::vector<TxId>> holders_;
+};
+
+}  // namespace optm::core

@@ -1,0 +1,224 @@
+#include "core/opacity.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace optm::core {
+
+namespace {
+
+/// DFS machinery for search_legal_serialization.
+class Searcher {
+ public:
+  explicit Searcher(const SearchSpec& spec)
+      : spec_(spec), index_(*spec.index), n_(spec.participants.size()) {
+    if (n_ > 64) {
+      throw std::invalid_argument(
+          "search_legal_serialization: more than 64 transactions; use the "
+          "certificate checker (opacity_graph.hpp) for long histories");
+    }
+    // pred_[i] = bitmask of participants that must be placed before i
+    // (real-time predecessors within the participant set).
+    pred_.assign(n_, 0);
+    if (spec.require_real_time) {
+      for (std::size_t i = 0; i < n_; ++i) {
+        for (std::size_t j = 0; j < n_; ++j) {
+          if (i != j && index_.precedes(spec.participants[j], spec.participants[i])) {
+            pred_[i] |= 1ULL << j;
+          }
+        }
+      }
+    }
+  }
+
+  SearchOutcome run() {
+    SystemState state(index_.history().model());
+    order_.reserve(n_);
+    roles_.reserve(n_);
+    const bool found = dfs(0, state);
+    SearchOutcome out;
+    out.states_explored = states_;
+    if (found) {
+      out.verdict = Verdict::kYes;
+      SerializationWitness w;
+      for (std::size_t k = 0; k < n_; ++k) {
+        w.order.push_back(index_.txs()[spec_.participants[order_[k]]].id);
+        w.roles.push_back(roles_[k]);
+      }
+      out.witness = std::move(w);
+    } else {
+      out.verdict = budget_exceeded_ ? Verdict::kUnknown : Verdict::kNo;
+    }
+    return out;
+  }
+
+ private:
+  /// Replay participant `p`'s operations on `state`. Returns false on the
+  /// first return-value mismatch. Pending trailing invocations are skipped
+  /// (nothing to validate; allowed by prefix-closed specifications).
+  [[nodiscard]] static bool replay(const TxInfo& tx, SystemState& state) {
+    for (const OpExec& op : tx.ops) {
+      if (!op.has_response) continue;
+      if (state.apply(op.obj, op.op, op.arg) != op.ret) return false;
+    }
+    return true;
+  }
+
+  bool dfs(std::uint64_t placed, SystemState& state) {
+    if (order_.size() == n_) return true;
+    if (states_ >= spec_.max_states) {
+      budget_exceeded_ = true;
+      return false;
+    }
+
+    // Memoize failed configurations. The residual problem depends only on
+    // the set of placed transactions and the committed object states.
+    std::string key = state.encode();
+    key.append(reinterpret_cast<const char*>(&placed), sizeof(placed));
+    if (failed_.count(key)) return false;
+
+    for (std::size_t i = 0; i < n_; ++i) {
+      if ((placed >> i) & 1) continue;
+      if ((pred_[i] & ~placed) != 0) continue;  // a ≺_H predecessor missing
+      const TxInfo& tx = index_.txs()[spec_.participants[i]];
+
+      // Try committed first: committed placements constrain the future state
+      // and tend to fail fast; aborted placements are side-effect-free.
+      const auto role = spec_.roles[i];
+      const bool try_committed = !role.has_value() || *role == Role::kCommitted;
+      const bool try_aborted = !role.has_value() || *role == Role::kAborted;
+
+      if (try_committed) {
+        ++states_;
+        SystemState next = state;  // deep copy
+        if (replay(tx, next)) {
+          order_.push_back(i);
+          roles_.push_back(Role::kCommitted);
+          if (dfs(placed | (1ULL << i), next)) return true;
+          order_.pop_back();
+          roles_.pop_back();
+        }
+      }
+      if (try_aborted) {
+        ++states_;
+        SystemState scratch = state;  // T sees committed state + own effects
+        if (replay(tx, scratch)) {
+          order_.push_back(i);
+          roles_.push_back(Role::kAborted);
+          if (dfs(placed | (1ULL << i), state)) return true;  // state unchanged
+          order_.pop_back();
+          roles_.pop_back();
+        }
+      }
+    }
+
+    failed_.insert(std::move(key));
+    return false;
+  }
+
+  const SearchSpec& spec_;
+  const HistoryIndex& index_;
+  std::size_t n_;
+  std::vector<std::uint64_t> pred_;
+  std::vector<std::size_t> order_;  // participant positions, in placement order
+  std::vector<Role> roles_;
+  std::unordered_set<std::string> failed_;
+  std::uint64_t states_ = 0;
+  bool budget_exceeded_ = false;
+};
+
+}  // namespace
+
+SearchOutcome search_legal_serialization(const SearchSpec& spec) {
+  if (spec.index == nullptr) {
+    throw std::invalid_argument("search_legal_serialization: null index");
+  }
+  return Searcher(spec).run();
+}
+
+OpacityResult check_opacity(const History& h, const OpacityOptions& options) {
+  const HistoryIndex index(h);
+
+  SearchSpec spec;
+  spec.index = &index;
+  spec.require_real_time = options.require_real_time;
+  spec.max_states = options.max_states;
+  for (std::size_t i = 0; i < index.num_txs(); ++i) {
+    spec.participants.push_back(i);
+    switch (index.txs()[i].status) {
+      case TxStatus::kCommitted:
+        spec.roles.emplace_back(Role::kCommitted);
+        break;
+      case TxStatus::kAborted:
+      case TxStatus::kLive:  // live, not commit-pending: must appear aborted
+        spec.roles.emplace_back(Role::kAborted);
+        break;
+      case TxStatus::kCommitPending:  // Complete(H) duality: searcher's choice
+        spec.roles.emplace_back(std::nullopt);
+        break;
+    }
+  }
+
+  SearchOutcome outcome = search_legal_serialization(spec);
+  OpacityResult result;
+  result.verdict = outcome.verdict;
+  result.witness = std::move(outcome.witness);
+  result.states_explored = outcome.states_explored;
+  if (result.verdict == Verdict::kNo) {
+    result.reason = "no legal real-time-preserving serialization exists (" +
+                    std::to_string(result.states_explored) + " states explored)";
+  } else if (result.verdict == Verdict::kUnknown) {
+    result.reason = "search budget exhausted after " +
+                    std::to_string(result.states_explored) + " states";
+  }
+  return result;
+}
+
+std::optional<std::size_t> first_non_opaque_prefix(const History& h,
+                                                   const OpacityOptions& options) {
+  // Only prefixes that are themselves well-formed histories are considered
+  // (a prefix may not split an invocation from its response — it cannot,
+  // since a prefix only *truncates*; truncation always leaves a well-formed
+  // history, so every prefix qualifies).
+  for (std::size_t len = 0; len <= h.size(); ++len) {
+    History prefix(h.model());
+    for (std::size_t i = 0; i < len; ++i) prefix.append(h[i]);
+    const OpacityResult r = check_opacity(prefix, options);
+    if (r.verdict == Verdict::kNo) return len;
+    if (r.verdict == Verdict::kUnknown) {
+      throw std::runtime_error("first_non_opaque_prefix: budget exhausted");
+    }
+  }
+  return std::nullopt;
+}
+
+History witness_history(const History& h, const SerializationWitness& witness) {
+  History s(h.model());
+  for (std::size_t k = 0; k < witness.order.size(); ++k) {
+    const TxId tx = witness.order[k];
+    const History sub = h.project_tx(tx);
+    for (const Event& e : sub.events()) s.append(e);
+    // Complete the transaction per its witness role, mirroring Complete(H).
+    switch (h.status(tx)) {
+      case TxStatus::kCommitted:
+      case TxStatus::kAborted:
+        break;  // already complete
+      case TxStatus::kCommitPending:
+        s.append(witness.roles[k] == Role::kCommitted ? ev::commit(tx)
+                                                      : ev::abort(tx));
+        break;
+      case TxStatus::kLive:
+        if (h.pending_invocation(tx).has_value()) {
+          s.append(ev::abort(tx));
+        } else {
+          s.append(ev::try_commit(tx));
+          s.append(ev::abort(tx));
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+}  // namespace optm::core

@@ -1,0 +1,116 @@
+// Opacity (paper §5, Definition 1) — the definitional checker.
+//
+//   A history H is opaque if there exists a sequential history S equivalent
+//   to some history in Complete(H), such that (1) S preserves the real-time
+//   order of H, and (2) every transaction Ti ∈ S is legal in S.
+//
+// Deciding opacity subsumes view-serializability and is NP-hard, so the
+// checker is an exact memoized search intended for checker-scale histories
+// (up to 64 transactions). Long recorded executions are verified instead
+// with the polynomial certificate checker in opacity_graph.hpp.
+//
+// Search shape: place transactions one at a time into the candidate
+// serialization S. A transaction is placeable once all its ≺_H predecessors
+// are placed. Placing T as *committed* replays T's operations against the
+// current committed system state and, on success, advances that state;
+// placing T as *aborted* replays against a throwaway clone (T sees committed
+// state + its own effects, leaves no trace). Commit-pending transactions may
+// be placed in either role — this folds the whole Complete(H) enumeration
+// into the search. Failures are memoized on (placed-set, state-encoding):
+// if a configuration was shown unextendable once, any other path reaching
+// the same set of placed transactions and the same object states fails too.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+enum class Verdict : std::uint8_t {
+  kYes,
+  kNo,
+  kUnknown,  // search budget exhausted (or >64 transactions)
+};
+
+[[nodiscard]] constexpr const char* to_string(Verdict v) noexcept {
+  switch (v) {
+    case Verdict::kYes: return "yes";
+    case Verdict::kNo: return "no";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Role a transaction plays in a witness serialization.
+enum class Role : std::uint8_t { kCommitted, kAborted };
+
+struct SerializationWitness {
+  std::vector<TxId> order;  // the serialization S, as transaction ids
+  std::vector<Role> roles;  // role of each transaction in S
+};
+
+struct OpacityResult {
+  Verdict verdict{Verdict::kUnknown};
+  std::optional<SerializationWitness> witness;  // set iff verdict == kYes
+  std::string reason;                           // human-readable on kNo/kUnknown
+  std::uint64_t states_explored{0};
+
+  [[nodiscard]] bool opaque() const noexcept { return verdict == Verdict::kYes; }
+};
+
+struct OpacityOptions {
+  /// Upper bound on DFS states; kUnknown once exceeded.
+  std::uint64_t max_states = 4'000'000;
+  /// Definition 1 requires S to preserve ≺_H; disabling yields the weaker
+  /// "non-strict" variant (every transaction sees *some* consistent state,
+  /// but possibly an outdated one — §2's real-time discussion).
+  bool require_real_time = true;
+};
+
+/// Decide Definition 1 for `h`. Precondition: h.well_formed().
+[[nodiscard]] OpacityResult check_opacity(const History& h,
+                                          const OpacityOptions& options = {});
+
+/// Check that every prefix of `h` is opaque (the paper notes a TM generates
+/// its history progressively, so each prefix of a run must itself be opaque
+/// even though opacity as defined is not prefix-closed). Returns the length
+/// of the shortest non-opaque prefix, or nullopt if all prefixes are opaque.
+[[nodiscard]] std::optional<std::size_t> first_non_opaque_prefix(
+    const History& h, const OpacityOptions& options = {});
+
+/// Reconstruct the witness serialization as an actual sequential history
+/// equivalent to a member of Complete(h).
+[[nodiscard]] History witness_history(const History& h,
+                                      const SerializationWitness& witness);
+
+// ---------------------------------------------------------------------------
+// Shared search engine (also used by the serializability checkers)
+// ---------------------------------------------------------------------------
+
+/// What to place, and how, in a legal-serialization search.
+struct SearchSpec {
+  const HistoryIndex* index = nullptr;
+  /// Dense indices (into index->txs()) of the transactions to serialize.
+  std::vector<std::size_t> participants;
+  /// Role constraint per participant, same order: kCommitted / kAborted /
+  /// nullopt = searcher's choice (commit-pending duality).
+  std::vector<std::optional<Role>> roles;
+  bool require_real_time = true;
+  std::uint64_t max_states = 4'000'000;
+};
+
+struct SearchOutcome {
+  Verdict verdict{Verdict::kUnknown};
+  std::optional<SerializationWitness> witness;
+  std::uint64_t states_explored{0};
+};
+
+/// Find a legal serialization of the given transactions. The engine behind
+/// check_opacity, check_serializability and check_strict_serializability.
+[[nodiscard]] SearchOutcome search_legal_serialization(const SearchSpec& spec);
+
+}  // namespace optm::core

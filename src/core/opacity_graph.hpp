@@ -1,0 +1,107 @@
+// Graph characterization of opacity (paper §5.4, Theorem 2).
+//
+//   THEOREM 2. A history H is opaque if, and only if, (1) H is consistent,
+//   and (2) there exists a total order ≪ on the transactions of H and a
+//   subset V of the commit-pending transactions of H such that
+//   OPG(nonlocal(H), ≪, V) is well-formed and acyclic.
+//
+// The characterization applies to histories over read/write registers, with
+// the §5.4 conventions: writes are value-unique per register, and histories
+// start with an initializing committed transaction T0 writing every
+// register. This module synthesizes T0 as a virtual vertex when the history
+// does not contain an explicit transaction kInitTx, so builder histories and
+// recorded STM runs need no special setup.
+//
+// Three entry points:
+//  * build_opg            — construct OPG(nonlocal(H), ≪, V) explicitly.
+//  * check_opacity_via_graph — decide Theorem 2's right-hand side by
+//    exhaustive search over (≪, V); exponential, for small histories; used
+//    to machine-check Theorem 2 against the definitional checker.
+//  * verify_opacity_certificate — polynomial-time verification given a
+//    concrete (≪, V), e.g. the commit order recorded by an STM. Checks that
+//    every OPG edge is aligned with ≪, which implies acyclicity. This is
+//    the workhorse for verifying long recorded executions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+
+/// Edge labels, as bit flags (one physical edge can carry several labels).
+enum EdgeLabel : std::uint8_t {
+  kLrt = 1 << 0,  // real-time order
+  kLrf = 1 << 1,  // reads-from
+  kLrw = 1 << 2,  // read before overwrite (anti-dependency aligned with ≪)
+  kLww = 1 << 3,  // version order (visible writer before read source)
+};
+
+[[nodiscard]] std::string edge_labels_to_string(std::uint8_t mask);
+
+/// OPG(H, ≪, V): a directed labeled graph over the transactions of H plus
+/// (if H lacks an explicit T0) a synthetic initializing vertex 0.
+struct OpacityGraph {
+  std::vector<TxId> vertex_tx;             // vertex -> transaction id
+  std::vector<bool> vis;                    // vertex -> labelled Lvis?
+  std::vector<std::vector<std::uint8_t>> label;  // adjacency matrix of masks
+  bool has_synthetic_init = false;          // vertex 0 synthesized?
+
+  [[nodiscard]] std::size_t size() const noexcept { return vertex_tx.size(); }
+  [[nodiscard]] bool has_edge(std::size_t i, std::size_t k) const noexcept {
+    return label[i][k] != 0;
+  }
+
+  /// No Lrf out-edge from an Lloc vertex (nobody observed a non-visible tx).
+  [[nodiscard]] bool well_formed(std::string* why = nullptr) const;
+
+  /// Acyclicity; optionally reports one cycle (as vertex indices).
+  [[nodiscard]] bool acyclic(std::vector<std::size_t>* cycle = nullptr) const;
+
+  /// Graphviz rendering (vertices labelled with tx ids and Lvis/Lloc).
+  [[nodiscard]] std::string dot() const;
+};
+
+/// Construct OPG(nonlocal(h), ≪, V).
+///   order : all transactions of h in ≪ order (T0 may be omitted; it is
+///           always placed first).
+///   v     : the subset V of commit-pending transactions.
+/// Throws std::invalid_argument if h is not a register history with
+/// value-unique writes, if order does not cover the transactions of h, or
+/// if v contains a non-commit-pending transaction.
+[[nodiscard]] OpacityGraph build_opg(const History& h,
+                                     const std::vector<TxId>& order,
+                                     const std::vector<TxId>& v);
+
+struct GraphCheckResult {
+  Verdict verdict{Verdict::kUnknown};
+  std::optional<std::vector<TxId>> order;  // witness ≪ (iff kYes)
+  std::optional<std::vector<TxId>> v;      // witness V (iff kYes)
+  std::string reason;
+  std::uint64_t graphs_examined{0};
+};
+
+/// Decide Theorem 2's condition by exhaustive search over total orders ≪
+/// and subsets V. Exponential (n! · 2^p); intended for histories with at
+/// most `max_txs` transactions (default 9).
+[[nodiscard]] GraphCheckResult check_opacity_via_graph(const History& h,
+                                                       std::size_t max_txs = 9);
+
+/// Polynomial certificate verification: given a concrete total order ≪ and
+/// visible set V (e.g. an STM's commit order), verify that H is consistent
+/// and that every OPG(nonlocal(H), ≪, V) edge agrees with ≪ — which implies
+/// the graph is well-formed and acyclic, hence (Theorem 2) H is opaque.
+///
+/// Sound but conservative with respect to the *given* certificate: an
+/// anti-≪ edge fails verification even if the graph happens to be acyclic
+/// under some other topological order. Runs in O(|H| log |H|).
+[[nodiscard]] bool verify_opacity_certificate(const History& h,
+                                              const std::vector<TxId>& order,
+                                              const std::vector<TxId>& v,
+                                              std::string* why = nullptr);
+
+}  // namespace optm::core

@@ -1,0 +1,137 @@
+#include "core/paper.hpp"
+
+#include "core/builder.hpp"
+
+namespace optm::core::paper {
+
+History fig1_h1() {
+  return HistoryBuilder::registers(2)
+      .write(1, kX, 1)
+      .tryc(1)
+      .commit(1)
+      .read(2, kX, 1)
+      .write(3, kX, 2)
+      .write(3, kY, 2)
+      .tryc(3)
+      .commit(3)
+      .read(2, kY, 2)
+      .tryc(2)
+      .abort(2)
+      .build();
+}
+
+History h2() {
+  return HistoryBuilder::registers(2)
+      .write(1, kX, 1)
+      .tryc(1)
+      .commit(1)
+      .write(3, kX, 2)
+      .write(3, kY, 2)
+      .tryc(3)
+      .commit(3)
+      .read(2, kX, 1)
+      .read(2, kY, 2)
+      .tryc(2)
+      .abort(2)
+      .build();
+}
+
+History h3() {
+  return HistoryBuilder::registers(1)
+      .write(1, kX, 1)
+      .tryc(1)
+      .read(2, kX, 1)
+      .build();
+}
+
+History h4() {
+  return HistoryBuilder::registers(2)
+      .read(1, kX, 0)
+      .write(2, kX, 5)
+      .write(2, kY, 5)
+      .tryc(2)
+      .read(3, kY, 5)
+      .read(1, kY, 0)
+      .build();
+}
+
+History fig2_h5() {
+  // Transcribed event-for-event from §5.3.
+  HistoryBuilder b = HistoryBuilder::registers(2);
+  b.write(2, kX, 1).write(2, kY, 2).tryc(2);
+  b.inv(1, kX, OpCode::kRead);
+  b.commit(2);
+  b.inv(3, kY, OpCode::kWrite, 3);
+  b.ret(1, 1);  // ret1(x, read, 1)
+  b.inv(1, kX, OpCode::kWrite, 5);
+  b.ret(3, kOk);  // ret3(y, write, ok)
+  b.ret(1, kOk);  // ret1(x, write, ok)
+  b.inv(1, kY, OpCode::kRead);
+  b.inv(3, kX, OpCode::kRead);
+  b.ret(1, 2);  // ret1(y, read, 2)
+  b.tryc(1);
+  b.ret(3, 1);  // ret3(x, read, 1)
+  b.tryc(3);
+  b.abort(1);   // A1
+  b.commit(3);  // C3
+  return b.build();
+}
+
+History section2_zombie() {
+  ObjectModel model;
+  model.add(std::make_shared<const RegisterSpec>(4));   // x = 4
+  model.add(std::make_shared<const RegisterSpec>(16));  // y = 16 = x²
+  return HistoryBuilder(std::move(model))
+      .read(2, kX, 4)    // T2 sees the old x ...
+      .write(1, kX, 2)
+      .write(1, kY, 4)
+      .tryc(1)
+      .commit(1)
+      .read(2, kY, 4)    // ... and the new y: y - x == 0, 1/(y-x) traps
+      .trya(2)
+      .abort(2)
+      .build();
+}
+
+History counter_increments(std::size_t k) {
+  ObjectModel model;
+  model.add(std::make_shared<const CounterSpec>(0));
+  HistoryBuilder b(std::move(model));
+  // All transactions overlap: every inc is invoked before any commits.
+  for (std::size_t i = 1; i <= k; ++i)
+    b.inv(static_cast<TxId>(i), 0, OpCode::kInc);
+  for (std::size_t i = 1; i <= k; ++i) b.ret(static_cast<TxId>(i), kOk);
+  for (std::size_t i = 1; i <= k; ++i) b.commit_now(static_cast<TxId>(i));
+  return b.build();
+}
+
+History register_increments_all_commit(std::size_t k) {
+  HistoryBuilder b = HistoryBuilder::registers(1);
+  for (std::size_t i = 1; i <= k; ++i) b.read(static_cast<TxId>(i), kX, 0);
+  for (std::size_t i = 1; i <= k; ++i)
+    b.write(static_cast<TxId>(i), kX, static_cast<Value>(i));
+  for (std::size_t i = 1; i <= k; ++i) b.commit_now(static_cast<TxId>(i));
+  return b.build();
+}
+
+History register_increments_one_commits(std::size_t k) {
+  HistoryBuilder b = HistoryBuilder::registers(1);
+  for (std::size_t i = 1; i <= k; ++i) b.read(static_cast<TxId>(i), kX, 0);
+  for (std::size_t i = 1; i <= k; ++i)
+    b.write(static_cast<TxId>(i), kX, static_cast<Value>(i));
+  b.commit_now(1);
+  for (std::size_t i = 2; i <= k; ++i) b.tryc(static_cast<TxId>(i)).abort(static_cast<TxId>(i));
+  return b.build();
+}
+
+History blind_overlapping_writes(std::size_t k) {
+  HistoryBuilder b = HistoryBuilder::registers(3);
+  for (ObjId obj : {kX, kY, kZ}) {
+    for (std::size_t i = 1; i <= k; ++i)
+      b.write(static_cast<TxId>(i), obj, static_cast<Value>(i));
+  }
+  for (std::size_t i = 1; i <= k; ++i) b.commit_now(static_cast<TxId>(i));
+  return b.build();
+}
+
+}  // namespace optm::core::paper

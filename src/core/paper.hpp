@@ -1,0 +1,76 @@
+// The paper's worked histories and examples, encoded programmatically so
+// every claim the paper makes about them is machine-checkable (tests) and
+// demonstrable (examples/checker_tool).
+//
+// Object ids: x = 0, y = 1, z = 2 throughout (matching the paper's naming).
+#pragma once
+
+#include "core/history.hpp"
+
+namespace optm::core::paper {
+
+inline constexpr ObjId kX = 0;
+inline constexpr ObjId kY = 1;
+inline constexpr ObjId kZ = 2;
+
+/// Figure 1 / history H1 (§4): satisfies global atomicity (with real-time
+/// order) and recoverability, yet aborted T2 observes an inconsistent state
+/// — the paper's separating example against all pre-existing criteria.
+///
+///   H1 = <write1(x,1), tryC1, C1, read2(x,1),
+///         write3(x,2), write3(y,2), tryC3, C3,
+///         read2(y,2), tryC2, A2>
+[[nodiscard]] History fig1_h1();
+
+/// H2 (§4): a sequential history equivalent to H1.
+[[nodiscard]] History h2();
+
+/// H3 (§4): incomplete history used to illustrate Complete(H):
+///   H3 = <write1(x,1), tryC1, read2(x,1)>
+[[nodiscard]] History h3();
+
+/// H4 (§5.2): the commit-pending subtlety. T3 reads the value written by
+/// commit-pending T2 while T1 subsequently reads the old value of y; opaque
+/// (T1 serializes before T2, T3 after), and the optimization multi-version
+/// TMs exploit.
+///
+///   H4 = <read1(x,0), write2(x,5), write2(y,5), tryC2,
+///         read3(y,5), read1(y,0)>
+[[nodiscard]] History h4();
+
+/// Figure 2 / history H5 (§5.3): the paper's fully worked opaque history,
+/// with overlapping operations, witness serialization T2 · T1 · T3.
+[[nodiscard]] History fig2_h5();
+
+/// §2's motivating zombie: invariants y = x² and x >= 2 hold initially
+/// (x=4, y=16); T1 executes {x:=2; y:=4; commit}; concurrent T2 reads the
+/// OLD x (4) and the NEW y (4), so computing 1/(y-x) divides by zero even
+/// though T2 later aborts. Not opaque.
+[[nodiscard]] History section2_zombie();
+
+/// §3.4: k transactions concurrently increment a shared counter (semantic
+/// counter object, inc is commutative) and all commit. Opaque — showcases
+/// why the model admits arbitrary objects.
+[[nodiscard]] History counter_increments(std::size_t k);
+
+/// §3.4, read/write encoding: each of the k transactions reads the register
+/// (value 0) and writes back 1; all commit. NOT serializable (hence not
+/// opaque) for k >= 2 — only one such transaction may commit.
+[[nodiscard]] History register_increments_all_commit(std::size_t k);
+
+/// Same, but only the first transaction commits; the rest abort. Opaque.
+[[nodiscard]] History register_increments_one_commits(std::size_t k);
+
+/// §3.6: k transactions blindly write x, y, z (values i) with interleaved
+/// operations, all commit. Opaque, but NOT rigorous — the example showing
+/// rigorous scheduling is too strong for TM.
+[[nodiscard]] History blind_overlapping_writes(std::size_t k);
+
+/// §3.5's observation: strict recoverability forbids the concurrent counter
+/// increments of §3.4 (each modifies the same object before the others
+/// complete) even though they are perfectly opaque.
+[[nodiscard]] inline History recoverability_counterexample() {
+  return counter_increments(3);
+}
+
+}  // namespace optm::core::paper

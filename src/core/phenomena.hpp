@@ -1,0 +1,73 @@
+// Phenomenon detectors (paper §1-§2): dirty reads and inconsistent
+// snapshots ("read skew generalized to all transactions").
+//
+// These are the direct, constructive counterparts of the opacity checker:
+// where check_opacity searches for a witness serialization, the detectors
+// point at the concrete read that observed a state no sequence of committed
+// transactions could have produced. The zombie demo and the WeakStm tests
+// use them to exhibit §2's motivating failures.
+//
+// Register histories with value-unique writes.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+struct DirtyRead {
+  TxId reader{kNoTx};
+  TxId writer{kNoTx};
+  ObjId obj{kNoObj};
+  Value value{0};
+  std::size_t read_pos{0};  // position of the read's response in H
+  /// True if the writer had issued tryC by the read (a "speculative" read
+  /// from a commit-pending transaction — permitted by opacity, cf. H4).
+  bool writer_commit_pending{false};
+};
+
+/// First read (if any) that returned a value whose writer had not committed
+/// by the time of the read's response. Reads from commit-pending writers
+/// are reported with writer_commit_pending = true; truly dirty reads (from
+/// live or aborted writers) with false.
+[[nodiscard]] std::optional<DirtyRead> find_dirty_read(const History& h);
+
+struct InconsistentSnapshot {
+  TxId tx{kNoTx};
+  std::string explanation;
+  /// The two reads that cannot coexist in any committed-prefix state.
+  ObjId obj_a{kNoObj};
+  Value value_a{0};
+  ObjId obj_b{kNoObj};
+  Value value_b{0};
+};
+
+/// Detects a transaction (of any status) whose non-local reads do not form
+/// a consistent snapshot: there is no point in H at which all the observed
+/// versions were simultaneously the latest committed versions. This is the
+/// §2 hazard (the "x = 4, y = 4" zombie) in detector form. Reads from
+/// never-committed writers are inconsistent by definition.
+[[nodiscard]] std::optional<InconsistentSnapshot> find_inconsistent_snapshot(
+    const History& h);
+
+struct WriteSkew {
+  TxId tx_a{kNoTx};
+  TxId tx_b{kNoTx};
+  ObjId read_by_a_written_by_b{kNoObj};
+  ObjId read_by_b_written_by_a{kNoObj};
+  std::string explanation;
+};
+
+/// Detects the write-skew anomaly among COMMITTED transactions: a pair of
+/// concurrent committed Ta, Tb with disjoint write sets where Ta read (the
+/// pre-state of) an object Tb wrote and vice versa, and neither saw the
+/// other's update. This is the serializability violation snapshot isolation
+/// admits — the failure mode of TMs that keep consistent live snapshots
+/// (no §2 zombies) but give up opacity on the committed side. Register
+/// histories with value-unique writes.
+[[nodiscard]] std::optional<WriteSkew> find_write_skew(const History& h);
+
+}  // namespace optm::core

@@ -1,0 +1,49 @@
+// Progress properties as history predicates (§6.1 and §7).
+//
+// Opacity is a safety property; the paper pairs it with progress notions
+// and uses one — *progressiveness* — as a premise of Theorem 3:
+//
+//   "[A TM] is progressive if it forcefully aborts a transaction Ti only
+//    when there is a time t at which Ti conflicts with another, concurrent
+//    transaction Tk that is not committed or aborted by time t; we say
+//    that two transactions conflict if they access some common shared
+//    object."
+//
+// check_progressive decides this on a recorded history: for every
+// forcefully aborted transaction there must exist a concurrent conflicting
+// transaction that was live at some point during the overlap. A recorded
+// TL2 run containing its signature post-commit abort FAILS this check; the
+// progressive runtimes pass it by construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+struct ProgressViolation {
+  TxId aborted_tx{kNoTx};
+  std::string explanation;
+};
+
+struct ProgressResult {
+  bool progressive{false};
+  std::optional<ProgressViolation> violation;  // first one found
+  std::uint64_t forced_aborts{0};
+  std::uint64_t justified_aborts{0};
+};
+
+/// Decide progressiveness of `h`: every forcefully aborted transaction must
+/// have a *justifying conflict* — some other transaction that (a) accesses
+/// an object the aborted transaction also accesses, and (b) is live at some
+/// instant of the aborted transaction's lifespan.
+///
+/// This is a conservative sufficient condition in the paper's spirit: we
+/// require the conflicting transaction's lifetime to overlap the aborted
+/// one's (both live at a common time t). Works on any object model.
+[[nodiscard]] ProgressResult check_progressive(const History& h);
+
+}  // namespace optm::core

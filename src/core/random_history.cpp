@@ -1,0 +1,153 @@
+#include "core/random_history.hpp"
+
+#include <map>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace optm::core {
+
+namespace {
+
+struct TxPlan {
+  TxId id;
+  std::size_t ops_left;
+  bool has_pending_response = false;
+  Event pending_inv{};
+  enum class End : std::uint8_t {
+    kCommit,
+    kCommitFails,
+    kVoluntaryAbort,
+    kCommitPending,
+    kLive
+  } end = End::kCommit;
+  bool terminated = false;
+  std::map<ObjId, Value> write_buffer;
+};
+
+}  // namespace
+
+History random_history(const RandomHistoryParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  History h(ObjectModel::registers(params.num_objects, 0));
+
+  std::vector<Value> committed(params.num_objects, 0);
+  std::vector<Value> all_written{0};  // candidate pool for adversarial reads
+  Value next_value = 1;               // value-unique writes
+
+  std::vector<TxPlan> plans;
+  for (std::size_t i = 0; i < params.num_txs; ++i) {
+    TxPlan plan;
+    plan.id = static_cast<TxId>(i + 1);
+    plan.ops_left = static_cast<std::size_t>(rng.range(
+        static_cast<std::int64_t>(params.min_ops_per_tx),
+        static_cast<std::int64_t>(params.max_ops_per_tx)));
+    const double r = rng.uniform();
+    if (r < params.leave_live_prob) {
+      plan.end = TxPlan::End::kLive;
+    } else if (r < params.leave_live_prob + params.leave_commit_pending_prob) {
+      plan.end = TxPlan::End::kCommitPending;
+    } else if (r < params.leave_live_prob + params.leave_commit_pending_prob +
+                       params.voluntary_abort_prob) {
+      plan.end = TxPlan::End::kVoluntaryAbort;
+    } else if (r < params.leave_live_prob + params.leave_commit_pending_prob +
+                       params.voluntary_abort_prob + params.commit_fail_prob) {
+      plan.end = TxPlan::End::kCommitFails;
+    } else {
+      plan.end = TxPlan::End::kCommit;
+    }
+    plans.push_back(plan);
+  }
+
+  auto all_done = [&plans] {
+    for (const auto& p : plans)
+      if (!p.terminated) return false;
+    return true;
+  };
+
+  while (!all_done()) {
+    // Pick a random unfinished transaction.
+    std::size_t idx = rng.below(plans.size());
+    while (plans[idx].terminated) idx = rng.below(plans.size());
+    TxPlan& tx = plans[idx];
+
+    if (tx.has_pending_response) {
+      // Deliver the delayed response now.
+      const Event& inv = tx.pending_inv;
+      Value ret = kOk;
+      if (inv.op == OpCode::kRead) {
+        const auto own = tx.write_buffer.find(inv.obj);
+        if (own != tx.write_buffer.end()) {
+          ret = own->second;
+        } else if (params.value_model == ValueModel::kCoherent) {
+          ret = committed[inv.obj];
+        } else {
+          ret = all_written[rng.below(all_written.size())];
+        }
+      }
+      h.append(ev::ret(tx.id, inv.obj, inv.op, inv.arg, ret));
+      tx.has_pending_response = false;
+      continue;
+    }
+
+    if (tx.ops_left > 0) {
+      --tx.ops_left;
+      const ObjId obj = static_cast<ObjId>(rng.below(params.num_objects));
+      Event inv;
+      if (rng.chance(params.write_prob)) {
+        inv = ev::inv(tx.id, obj, OpCode::kWrite, next_value);
+        tx.write_buffer[obj] = next_value;
+        all_written.push_back(next_value);
+        ++next_value;
+      } else {
+        inv = ev::inv(tx.id, obj, OpCode::kRead);
+      }
+      h.append(inv);
+      tx.pending_inv = inv;
+      tx.has_pending_response = true;
+      if (!rng.chance(params.split_op_prob)) {
+        // Deliver the response immediately (the common case).
+        Value ret = kOk;
+        if (inv.op == OpCode::kRead) {
+          const auto own = tx.write_buffer.find(inv.obj);
+          if (own != tx.write_buffer.end() && inv.op == OpCode::kRead) {
+            ret = own->second;
+          } else if (params.value_model == ValueModel::kCoherent) {
+            ret = committed[inv.obj];
+          } else {
+            ret = all_written[rng.below(all_written.size())];
+          }
+        }
+        h.append(ev::ret(tx.id, inv.obj, inv.op, inv.arg, ret));
+        tx.has_pending_response = false;
+      }
+      continue;
+    }
+
+    // Terminate.
+    switch (tx.end) {
+      case TxPlan::End::kCommit:
+        h.append(ev::try_commit(tx.id));
+        h.append(ev::commit(tx.id));
+        for (const auto& [obj, v] : tx.write_buffer) committed[obj] = v;
+        break;
+      case TxPlan::End::kCommitFails:
+        h.append(ev::try_commit(tx.id));
+        h.append(ev::abort(tx.id));
+        break;
+      case TxPlan::End::kVoluntaryAbort:
+        h.append(ev::try_abort(tx.id));
+        h.append(ev::abort(tx.id));
+        break;
+      case TxPlan::End::kCommitPending:
+        h.append(ev::try_commit(tx.id));
+        break;
+      case TxPlan::End::kLive:
+        break;
+    }
+    tx.terminated = true;
+  }
+  return h;
+}
+
+}  // namespace optm::core

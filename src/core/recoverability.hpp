@@ -1,0 +1,44 @@
+// Recoverability (paper §3.5, after Hadzilacos '88).
+//
+// Two checkers:
+//
+//  * check_recoverability — the classical reads-from condition: a committed
+//    transaction must only have read from transactions that committed, and
+//    that committed before the reader did. (Register histories with
+//    value-unique writes, so reads-from is derivable.)
+//
+//  * check_strict_recoverability — the paper's "strongest form": once a
+//    transaction Ti updates a shared object x, no other transaction may
+//    perform ANY operation on x until Ti commits or aborts. This is the
+//    variant §3.5 shows is (a) still insufficient for TM when combined with
+//    global atomicity (Figure 1), and (b) already too strong for arbitrary
+//    objects (it forbids the §3.4 concurrent counter increments).
+//    Applies to arbitrary objects ("update" = any non-read-only operation).
+// Both conflict-window checkers count only operation EXECUTIONS (an
+// invocation with a matching response): an invocation answered by A never
+// accessed the object — that is how a rigorous/strict scheduler refuses a
+// conflicting request in the first place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+struct RecoverabilityResult {
+  bool holds{false};
+  std::string reason;  // first violation, if any
+};
+
+[[nodiscard]] RecoverabilityResult check_recoverability(const History& h);
+
+[[nodiscard]] RecoverabilityResult check_strict_recoverability(const History& h);
+
+/// For each event position: true iff it is an invocation that received a
+/// matching response (i.e., became an operation execution). Shared by the
+/// strict-recoverability and rigorous-scheduling checkers.
+[[nodiscard]] std::vector<bool> executed_invocations(const History& h);
+
+}  // namespace optm::core

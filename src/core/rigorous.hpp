@@ -1,0 +1,24 @@
+// Rigorous scheduling (paper §3.6, after Breitbart et al. '91).
+//
+// A history is rigorous if, in addition to strict recoverability (no
+// operation on an object updated by an incomplete transaction), no
+// transaction updates an object that an incomplete transaction has read.
+// §3.6 argues this is *too strong* a basis for TM correctness: the
+// overlapping blind-writes example is perfectly acceptable (and opaque)
+// yet not rigorous.
+#pragma once
+
+#include <string>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+struct RigorousResult {
+  bool holds{false};
+  std::string reason;
+};
+
+[[nodiscard]] RigorousResult check_rigorous(const History& h);
+
+}  // namespace optm::core

@@ -1,0 +1,178 @@
+#include "core/serializability.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace optm::core {
+
+namespace {
+
+SerializabilityResult run_view_search(const History& h, bool real_time,
+                                      std::uint64_t max_states) {
+  const HistoryIndex index(h);
+  SearchSpec spec;
+  spec.index = &index;
+  spec.require_real_time = real_time;
+  spec.max_states = max_states;
+  for (std::size_t i = 0; i < index.num_txs(); ++i) {
+    if (index.txs()[i].status != TxStatus::kCommitted) continue;
+    spec.participants.push_back(i);
+    spec.roles.emplace_back(Role::kCommitted);
+  }
+
+  const SearchOutcome outcome = search_legal_serialization(spec);
+  SerializabilityResult result;
+  result.verdict = outcome.verdict;
+  result.witness = outcome.witness;
+  result.states_explored = outcome.states_explored;
+  if (result.verdict == Verdict::kNo) {
+    result.reason = real_time
+                        ? "no legal real-time-preserving serialization of the "
+                          "committed transactions"
+                        : "no legal serialization of the committed transactions";
+  } else if (result.verdict == Verdict::kUnknown) {
+    result.reason = "search budget exhausted";
+  }
+  return result;
+}
+
+struct CommittedOps {
+  std::vector<TxId> txs;                      // committed, in first-event order
+  std::map<TxId, std::size_t> dense;          // TxId -> index in txs
+  // Completed register operations of committed transactions, in H order:
+  struct Op {
+    TxId tx;
+    ObjId obj;
+    bool is_write;
+    std::size_t inv_pos;
+    std::size_t ret_pos;
+  };
+  std::vector<Op> ops;
+};
+
+/// Collect the committed register operations, or return an explanation of
+/// why the conflict framework does not apply.
+bool collect(const History& h, CommittedOps& out, std::string* why) {
+  for (TxId tx : h.transactions()) {
+    if (h.is_committed(tx)) {
+      out.dense[tx] = out.txs.size();
+      out.txs.push_back(tx);
+    }
+  }
+  std::map<TxId, std::pair<Event, std::size_t>> pending;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const Event& e = h[i];
+    if (!out.dense.count(e.tx)) continue;
+    if (e.kind == EventKind::kInvoke) {
+      if (e.op != OpCode::kRead && e.op != OpCode::kWrite) {
+        if (why != nullptr)
+          *why = "conflict serializability requires register operations only";
+        return false;
+      }
+      pending[e.tx] = {e, i};
+    } else if (e.kind == EventKind::kResponse) {
+      const auto [inv, inv_pos] = pending.at(e.tx);
+      pending.erase(e.tx);
+      out.ops.push_back(
+          {e.tx, inv.obj, inv.op == OpCode::kWrite, inv_pos, i});
+    }
+  }
+  // Precondition: conflicting operations of distinct transactions are
+  // totally ordered (no interval overlap).
+  for (std::size_t a = 0; a < out.ops.size(); ++a) {
+    for (std::size_t b = a + 1; b < out.ops.size(); ++b) {
+      const auto& oa = out.ops[a];
+      const auto& ob = out.ops[b];
+      if (oa.tx == ob.tx || oa.obj != ob.obj) continue;
+      if (!oa.is_write && !ob.is_write) continue;
+      const bool disjoint = oa.ret_pos < ob.inv_pos || ob.ret_pos < oa.inv_pos;
+      if (!disjoint) {
+        if (why != nullptr)
+          *why = "conflicting operations overlap; conflict order undefined";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+ConflictResult conflict_check(const History& h, bool strict) {
+  ConflictResult result;
+  CommittedOps cops;
+  std::string why;
+  if (!collect(h, cops, &why)) {
+    result.verdict = Verdict::kUnknown;
+    result.reason = why;
+    return result;
+  }
+
+  const std::size_t n = cops.txs.size();
+  std::vector<std::vector<bool>> edge(n, std::vector<bool>(n, false));
+  for (const auto& oa : cops.ops) {
+    for (const auto& ob : cops.ops) {
+      if (oa.tx == ob.tx || oa.obj != ob.obj) continue;
+      if (!oa.is_write && !ob.is_write) continue;
+      if (oa.ret_pos < ob.inv_pos) {
+        edge[cops.dense[oa.tx]][cops.dense[ob.tx]] = true;
+      }
+    }
+  }
+  if (strict) {
+    for (TxId a : cops.txs) {
+      for (TxId b : cops.txs) {
+        if (a != b && h.precedes(a, b)) edge[cops.dense[a]][cops.dense[b]] = true;
+      }
+    }
+  }
+
+  // Kahn's algorithm; a completed topological order is the witness.
+  std::vector<std::size_t> indeg(n, 0);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t k = 0; k < n; ++k)
+      if (edge[i][k]) ++indeg[k];
+  std::vector<TxId> order;
+  std::vector<bool> done(n, false);
+  for (std::size_t round = 0; round < n; ++round) {
+    std::size_t pick = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!done[i] && indeg[i] == 0) {
+        pick = i;
+        break;
+      }
+    }
+    if (pick == n) {
+      result.verdict = Verdict::kNo;
+      result.reason = "conflict graph is cyclic";
+      return result;
+    }
+    done[pick] = true;
+    order.push_back(cops.txs[pick]);
+    for (std::size_t k = 0; k < n; ++k)
+      if (edge[pick][k]) --indeg[k];
+  }
+  result.verdict = Verdict::kYes;
+  result.order = std::move(order);
+  return result;
+}
+
+}  // namespace
+
+SerializabilityResult check_serializability(const History& h,
+                                            std::uint64_t max_states) {
+  return run_view_search(h, /*real_time=*/false, max_states);
+}
+
+SerializabilityResult check_strict_serializability(const History& h,
+                                                   std::uint64_t max_states) {
+  return run_view_search(h, /*real_time=*/true, max_states);
+}
+
+ConflictResult check_conflict_serializability(const History& h) {
+  return conflict_check(h, /*strict=*/false);
+}
+
+ConflictResult check_strict_conflict_serializability(const History& h) {
+  return conflict_check(h, /*strict=*/true);
+}
+
+}  // namespace optm::core

@@ -1,0 +1,69 @@
+// Fundamental identifier and value types of the TM model (paper §4).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace optm::core {
+
+/// Transaction identifier. The paper's transactions are T1, T2, ...;
+/// by convention Tx 0 is the initializing transaction T0 of §5.4 that
+/// writes the initial value of every object and commits first.
+using TxId = std::uint32_t;
+inline constexpr TxId kNoTx = std::numeric_limits<TxId>::max();
+inline constexpr TxId kInitTx = 0;
+
+/// Shared-object identifier (index into the history's ObjectModel).
+using ObjId = std::uint32_t;
+inline constexpr ObjId kNoObj = std::numeric_limits<ObjId>::max();
+
+/// Operation arguments and return values. A single 64-bit integer is
+/// enough for every object class the paper discusses (registers, counters,
+/// queues, sets, ...); richer payloads can be interned by the caller.
+using Value = std::int64_t;
+
+/// Conventional return value of void operations ("ok" in the paper).
+inline constexpr Value kOk = 0;
+
+/// Conventional return value of partial operations applied outside their
+/// domain (dequeue/pop on empty, remove of absent element, ...).
+inline constexpr Value kEmpty = std::numeric_limits<Value>::min();
+
+/// Operation codes. The set is the union over all object classes; each
+/// sequential specification supports a subset (ObjectSpec::supports).
+enum class OpCode : std::uint8_t {
+  kRead,      // register: () -> value
+  kWrite,     // register: (v) -> ok
+  kInc,       // counter: () -> ok            (commutative, §3.4)
+  kDec,       // counter: () -> ok
+  kGet,       // counter: () -> value
+  kFetchAdd,  // faa counter: (d) -> old value
+  kEnq,       // queue: (v) -> ok
+  kDeq,       // queue: () -> front | kEmpty
+  kPush,      // stack: (v) -> ok
+  kPop,       // stack: () -> top | kEmpty
+  kInsert,    // set: (v) -> 1 if inserted, 0 if present
+  kErase,     // set: (v) -> 1 if erased, 0 if absent
+  kContains,  // set: (v) -> 0/1
+};
+
+[[nodiscard]] constexpr const char* to_string(OpCode op) noexcept {
+  switch (op) {
+    case OpCode::kRead: return "read";
+    case OpCode::kWrite: return "write";
+    case OpCode::kInc: return "inc";
+    case OpCode::kDec: return "dec";
+    case OpCode::kGet: return "get";
+    case OpCode::kFetchAdd: return "fetch_add";
+    case OpCode::kEnq: return "enq";
+    case OpCode::kDeq: return "deq";
+    case OpCode::kPush: return "push";
+    case OpCode::kPop: return "pop";
+    case OpCode::kInsert: return "insert";
+    case OpCode::kErase: return "erase";
+    case OpCode::kContains: return "contains";
+  }
+  return "?";
+}
+
+}  // namespace optm::core

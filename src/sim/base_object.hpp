@@ -1,0 +1,89 @@
+// Instrumented base shared objects (§6.1).
+//
+// BaseWord wraps std::atomic<uint64_t> and charges every instruction to the
+// acting process's step counter. All STM metadata — values, versioned
+// locks, ownership records, reader bitmaps, the global clock — is built
+// from BaseWords, so the step counts the benchmarks report measure exactly
+// the quantity Theorem 3 bounds.
+//
+// Memory orderings follow the usual STM discipline: acquire on loads that
+// establish happens-before with a committer's release store, release on
+// publication stores, acq_rel on CAS.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "sim/thread_ctx.hpp"
+#include "util/cache.hpp"
+
+namespace optm::sim {
+
+class BaseWord {
+ public:
+  BaseWord() noexcept = default;
+  explicit BaseWord(std::uint64_t v) noexcept : v_(v) {}
+  BaseWord(const BaseWord&) = delete;
+  BaseWord& operator=(const BaseWord&) = delete;
+
+  [[nodiscard]] std::uint64_t load(
+      ThreadCtx& ctx, std::memory_order mo = std::memory_order_acquire) const noexcept {
+    ctx.on_load();
+    return v_.load(mo);
+  }
+
+  void store(ThreadCtx& ctx, std::uint64_t v,
+             std::memory_order mo = std::memory_order_release) noexcept {
+    ctx.on_store();
+    v_.store(v, mo);
+  }
+
+  [[nodiscard]] bool cas(ThreadCtx& ctx, std::uint64_t& expected,
+                         std::uint64_t desired) noexcept {
+    ctx.on_rmw();
+    return v_.compare_exchange_strong(expected, desired,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire);
+  }
+
+  std::uint64_t fetch_add(ThreadCtx& ctx, std::uint64_t d) noexcept {
+    ctx.on_rmw();
+    return v_.fetch_add(d, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t fetch_or(ThreadCtx& ctx, std::uint64_t bits) noexcept {
+    ctx.on_rmw();
+    return v_.fetch_or(bits, std::memory_order_acq_rel);
+  }
+
+  std::uint64_t fetch_and(ThreadCtx& ctx, std::uint64_t mask) noexcept {
+    ctx.on_rmw();
+    return v_.fetch_and(mask, std::memory_order_acq_rel);
+  }
+
+  /// Uninstrumented peek for assertions and test oracles ONLY — never for
+  /// algorithm steps (it would falsify the step accounting).
+  [[nodiscard]] std::uint64_t peek() const noexcept {
+    return v_.load(std::memory_order_acquire);
+  }
+
+  /// Uninstrumented initialization, for construction-time setup before any
+  /// process runs.
+  void init(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// The global version clock shared by TL2-style and multi-version runtimes.
+class GlobalClock {
+ public:
+  [[nodiscard]] std::uint64_t read(ThreadCtx& ctx) noexcept { return w_->load(ctx); }
+  /// Atomically advance and return the NEW value.
+  std::uint64_t advance(ThreadCtx& ctx) noexcept { return w_->fetch_add(ctx, 1) + 1; }
+
+ private:
+  util::Padded<BaseWord> w_;
+};
+
+}  // namespace optm::sim

@@ -1,0 +1,50 @@
+// Step accounting for the §6.1 cost model.
+//
+// "In a single step, a process issues a single instruction on a single base
+//  shared object" and "it does not require information about more than a
+//  constant number of shared objects to be retrieved from a single base
+//  shared object (i.e., in a single step)".
+//
+// Every access to a BaseWord (sim/base_object.hpp) increments the acting
+// thread's StepCounts. Theorem 3's Ω(k) bound is therefore a *measured*
+// quantity in this library: benchmarks report steps per operation, which is
+// deterministic and machine-independent, alongside wall-clock time.
+#pragma once
+
+#include <cstdint>
+
+namespace optm::sim {
+
+struct StepCounts {
+  std::uint64_t loads = 0;   // base-object reads
+  std::uint64_t stores = 0;  // base-object writes
+  std::uint64_t rmws = 0;    // CAS / fetch-add instructions
+
+  [[nodiscard]] constexpr std::uint64_t total() const noexcept {
+    return loads + stores + rmws;
+  }
+  /// Writes to shared memory (the §6 "visibility" cost: cache-line
+  /// invalidations a reader inflicts on other processors).
+  [[nodiscard]] constexpr std::uint64_t shared_writes() const noexcept {
+    return stores + rmws;
+  }
+
+  constexpr StepCounts& operator-=(const StepCounts& o) noexcept {
+    loads -= o.loads;
+    stores -= o.stores;
+    rmws -= o.rmws;
+    return *this;
+  }
+  friend constexpr StepCounts operator-(StepCounts a, const StepCounts& b) noexcept {
+    a -= b;
+    return a;
+  }
+  constexpr StepCounts& operator+=(const StepCounts& o) noexcept {
+    loads += o.loads;
+    stores += o.stores;
+    rmws += o.rmws;
+    return *this;
+  }
+};
+
+}  // namespace optm::sim

@@ -1,0 +1,51 @@
+// The process model of §6.1: each transaction is executed by a single
+// process; each process executes transactions sequentially.
+//
+// A ThreadCtx identifies one such process. STM implementations key ALL
+// per-transaction state on ctx.id() — never on thread-local storage — so
+// tests can drive several logical processes deterministically from one OS
+// thread (this is how the progressiveness and lower-bound tests construct
+// exact interleavings).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/step_counter.hpp"
+
+namespace optm::sim {
+
+/// Upper bound on concurrently registered processes. Reader bitmaps (the
+/// visible-read STM) store one bit per slot in a 64-bit base object.
+inline constexpr std::uint32_t kMaxThreads = 64;
+
+/// Per-transaction statistics accumulated by the runtimes.
+struct TxLocalStats {
+  std::uint64_t begins = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t aborts = 0;
+  std::uint64_t reads = 0;
+  std::uint64_t writes = 0;
+  /// Steps spent inside read-set validation only (the Theorem 3 quantity).
+  std::uint64_t validation_steps = 0;
+};
+
+class ThreadCtx {
+ public:
+  explicit ThreadCtx(std::uint32_t id) noexcept : id_(id) {}
+  ThreadCtx(const ThreadCtx&) = delete;
+  ThreadCtx& operator=(const ThreadCtx&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+
+  StepCounts steps;
+  TxLocalStats stats;
+
+  void on_load() noexcept { ++steps.loads; }
+  void on_store() noexcept { ++steps.stores; }
+  void on_rmw() noexcept { ++steps.rmws; }
+
+ private:
+  std::uint32_t id_;
+};
+
+}  // namespace optm::sim

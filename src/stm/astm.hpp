@@ -1,0 +1,164 @@
+// ASTM-style adaptive STM (Marathe, Scherer III, Scott — DISC'05), the
+// paper's second named tight witness of the lower bound (§6.2):
+//
+//   "The lower bound is tight because DSTM and ASTM are progressive and
+//    single-version, ensure opacity and use invisible reads, and have the
+//    time complexity of Θ(k) (with most contention managers)."
+//
+// ASTM's contribution over DSTM is WHEN ownership of written variables is
+// acquired. DSTM acquires eagerly, at the write operation itself, which
+// exposes the writer to contention-manager duels for the rest of the
+// transaction. ASTM can defer acquisition to commit time (lazy acquire):
+// writes buffer locally at zero shared-memory cost, and all write-write
+// conflicts are resolved in one batch at commit. Neither choice changes
+// the §6 design-space coordinates — reads stay invisible, storage stays
+// single-version, aborts happen only on live conflicts — so per-read
+// incremental validation remains Θ(|read set|), and Theorem 3 applies to
+// both modes identically (bench/bench_adaptive measures exactly this
+// invariance, plus the commit-cost asymmetry the modes trade).
+//
+// The adaptive policy mirrors the published heuristic at history scale:
+// a process whose lazy transactions keep losing commit-time acquisition
+// duels switches to eager acquire (fail fast, hold longer); a process
+// whose eager transactions keep committing without ever meeting a rival
+// switches back to lazy (stop paying acquisition pessimism up front).
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/contention.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+/// Ownership-acquisition policy for AstmStm.
+enum class AcquirePolicy : std::uint8_t {
+  kAdaptive,    // per-process hysteresis between lazy and eager (default)
+  kForceEager,  // always acquire at the write operation (DSTM-like)
+  kForceLazy,   // always acquire at commit (OSTM-like)
+};
+
+class AstmStm final : public RuntimeBase {
+ public:
+  explicit AstmStm(std::size_t num_vars,
+                   std::unique_ptr<ContentionManager> cm = nullptr,
+                   AcquirePolicy policy = AcquirePolicy::kAdaptive);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "astm",
+            .invisible_reads = true,
+            .single_version = true,
+            .progressive = true,
+            .opaque = true};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+  /// True if the NEXT transaction of this process would acquire eagerly.
+  [[nodiscard]] bool eager_mode(std::uint32_t process) const noexcept {
+    return mode_[process]->eager;
+  }
+  /// Lazy<->eager transitions taken by this process so far (adaptive only).
+  [[nodiscard]] std::uint64_t mode_switches(std::uint32_t process) const noexcept {
+    return mode_[process]->switches;
+  }
+
+  // Adaptation thresholds (fixed, documented for the tests):
+  /// Consecutive commit-time ("late") aborts that flip lazy -> eager. In
+  /// lazy mode EVERY conflict — acquisition duel or stale read — surfaces
+  /// only at commit, after the whole transaction has run; the policy
+  /// reacts to that lateness regardless of which conflict fired.
+  static constexpr std::uint32_t kLazyLossesToEager = 2;
+  /// Consecutive uncontended eager commits that flip eager -> lazy.
+  static constexpr std::uint32_t kEagerCleanToLazy = 16;
+
+ private:
+  // Transaction identity and variable metadata follow the DSTM layout:
+  // revocable ownership via a per-process status word (epoch << 2 | state),
+  // per-variable owner word ((slot + 1) << 32 | epoch), and a seqlock-style
+  // version (odd while a write-back is in flight).
+  enum State : std::uint64_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+
+  [[nodiscard]] static constexpr std::uint64_t status_word(std::uint64_t epoch,
+                                                           State s) noexcept {
+    return (epoch << 2) | s;
+  }
+  [[nodiscard]] static constexpr State state_of(std::uint64_t w) noexcept {
+    return static_cast<State>(w & 3);
+  }
+  [[nodiscard]] static constexpr std::uint64_t epoch_of(std::uint64_t w) noexcept {
+    return w >> 2;
+  }
+  [[nodiscard]] static constexpr std::uint64_t owner_word(std::uint32_t slot,
+                                                          std::uint64_t epoch) noexcept {
+    return (static_cast<std::uint64_t>(slot + 1) << 32) | (epoch & 0xffffffffULL);
+  }
+
+  struct VarMeta {
+    sim::BaseWord owner;    // 0 = unowned
+    sim::BaseWord value;    // latest committed value (single-version)
+    sim::BaseWord version;  // bumped by 2 per write-back; odd = in flight
+  };
+
+  struct OwnedEntry {
+    VarId var;
+    std::uint64_t acq_version;  // version at acquisition (for write-back)
+  };
+
+  struct Slot {
+    bool active = false;
+    bool eager = false;  // acquisition mode of the CURRENT transaction
+    std::uint64_t epoch = 0;
+    std::vector<ReadEntry> rs;
+    WriteSet pending;               // buffered values (both modes)
+    std::vector<OwnedEntry> owned;  // acquired ownership records
+    CmTxView cm_view;
+    std::uint32_t cm_retries = 0;
+    bool met_rival = false;  // any CM duel this transaction (adaptation input)
+  };
+
+  /// Per-process adaptation state; read by begin(), written at completion.
+  struct Mode {
+    bool eager = false;  // ASTM defaults to lazy acquire
+    std::uint32_t lazy_losses = 0;
+    std::uint32_t eager_clean = 0;
+    std::uint64_t switches = 0;
+  };
+
+  /// Θ(|read set|) incremental validation — the Theorem 3 cost.
+  [[nodiscard]] bool validate(sim::ThreadCtx& ctx, Slot& slot);
+
+  /// CAS-acquire `var`'s ownership record, duelling live owners through the
+  /// contention manager. Returns false if the CM ruled kAbortSelf.
+  [[nodiscard]] bool acquire(sim::ThreadCtx& ctx, Slot& slot, VarId var);
+
+  void release_owned(sim::ThreadCtx& ctx, Slot& slot);
+
+  /// Record the outcome of a finished transaction with the adaptive policy
+  /// (no-op under kForceEager / kForceLazy). `late_abort` marks an abort
+  /// that fired at commit time rather than at an operation.
+  void adapt(std::uint32_t process, const Slot& slot, bool committed,
+             bool late_abort);
+
+  bool fail_op(sim::ThreadCtx& ctx);
+
+  std::vector<util::Padded<VarMeta>> vars_;
+  std::array<util::Padded<sim::BaseWord>, sim::kMaxThreads> status_;
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+  std::array<util::Padded<Mode>, sim::kMaxThreads> mode_;
+  std::unique_ptr<ContentionManager> cm_;
+  AcquirePolicy policy_;
+  std::atomic<std::uint64_t> start_stamps_{0};  // CM metadata (advisory only)
+};
+
+}  // namespace optm::stm

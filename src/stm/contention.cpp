@@ -1,0 +1,17 @@
+#include "stm/contention.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace optm::stm {
+
+std::unique_ptr<ContentionManager> make_contention_manager(std::string_view name) {
+  if (name == "aggressive") return std::make_unique<AggressiveCm>();
+  if (name == "polite") return std::make_unique<PoliteCm>();
+  if (name == "timid") return std::make_unique<TimidCm>();
+  if (name == "karma") return std::make_unique<KarmaCm>();
+  if (name == "greedy") return std::make_unique<GreedyCm>();
+  throw std::invalid_argument("unknown contention manager: " + std::string(name));
+}
+
+}  // namespace optm::stm

@@ -1,0 +1,99 @@
+// Contention managers for the eager-acquire (DSTM-style) runtimes.
+//
+// When a writer finds a variable owned by another live transaction it asks
+// the contention manager who yields. The paper defers progress policy to
+// contention management ([9], [27] in its bibliography); we ship the
+// classical policies so the progressive STMs remain parameterizable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+namespace optm::stm {
+
+enum class CmDecision : std::uint8_t {
+  kAbortOther,  // kill the conflicting transaction and proceed
+  kAbortSelf,   // abort the requesting transaction
+  kWait,        // back off and retry the acquisition
+};
+
+/// Everything a policy may consult about one side of a conflict.
+struct CmTxView {
+  std::uint64_t start_stamp = 0;  // begin() timestamp (monotonic)
+  std::uint64_t ops_executed = 0; // reads+writes so far ("karma")
+  std::uint32_t retries = 0;      // consecutive aborts of this attempt chain
+};
+
+class ContentionManager {
+ public:
+  virtual ~ContentionManager() = default;
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual CmDecision resolve(const CmTxView& self,
+                                           const CmTxView& other,
+                                           std::uint32_t attempt) = 0;
+};
+
+/// Always aborts the transaction in the way (obstruction-freedom's default).
+class AggressiveCm final : public ContentionManager {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "aggressive"; }
+  [[nodiscard]] CmDecision resolve(const CmTxView&, const CmTxView&,
+                                   std::uint32_t) override {
+    return CmDecision::kAbortOther;
+  }
+};
+
+/// Backs off a bounded number of times, then aborts the other transaction.
+class PoliteCm final : public ContentionManager {
+ public:
+  explicit PoliteCm(std::uint32_t max_waits = 4) noexcept : max_waits_(max_waits) {}
+  [[nodiscard]] std::string_view name() const noexcept override { return "polite"; }
+  [[nodiscard]] CmDecision resolve(const CmTxView&, const CmTxView&,
+                                   std::uint32_t attempt) override {
+    return attempt < max_waits_ ? CmDecision::kWait : CmDecision::kAbortOther;
+  }
+
+ private:
+  std::uint32_t max_waits_;
+};
+
+/// Timid policy: always aborts itself (useful as a worst-case baseline;
+/// livelock-prone under contention, hence the retry backoff in the runtime).
+class TimidCm final : public ContentionManager {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "timid"; }
+  [[nodiscard]] CmDecision resolve(const CmTxView&, const CmTxView&,
+                                   std::uint32_t) override {
+    return CmDecision::kAbortSelf;
+  }
+};
+
+/// Karma: the transaction with less accumulated work yields.
+class KarmaCm final : public ContentionManager {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "karma"; }
+  [[nodiscard]] CmDecision resolve(const CmTxView& self, const CmTxView& other,
+                                   std::uint32_t attempt) override {
+    const std::uint64_t self_karma = self.ops_executed + self.retries;
+    const std::uint64_t other_karma = other.ops_executed + other.retries;
+    if (self_karma >= other_karma) return CmDecision::kAbortOther;
+    return attempt < 2 ? CmDecision::kWait : CmDecision::kAbortSelf;
+  }
+};
+
+/// Greedy: the older transaction (smaller start stamp) wins outright.
+class GreedyCm final : public ContentionManager {
+ public:
+  [[nodiscard]] std::string_view name() const noexcept override { return "greedy"; }
+  [[nodiscard]] CmDecision resolve(const CmTxView& self, const CmTxView& other,
+                                   std::uint32_t) override {
+    return self.start_stamp <= other.start_stamp ? CmDecision::kAbortOther
+                                                 : CmDecision::kAbortSelf;
+  }
+};
+
+[[nodiscard]] std::unique_ptr<ContentionManager> make_contention_manager(
+    std::string_view name);
+
+}  // namespace optm::stm

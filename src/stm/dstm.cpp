@@ -1,0 +1,228 @@
+#include "stm/dstm.hpp"
+
+#include "util/spin.hpp"
+
+namespace optm::stm {
+
+DstmStm::DstmStm(std::size_t num_vars, std::unique_ptr<ContentionManager> cm)
+    : RuntimeBase(num_vars),
+      vars_(num_vars),
+      cm_(cm != nullptr ? std::move(cm) : std::make_unique<AggressiveCm>()) {}
+
+void DstmStm::begin(sim::ThreadCtx& ctx) {
+  Slot& slot = *slots_[ctx.id()];
+  slot.active = true;
+  ++slot.epoch;
+  slot.rs.clear();
+  slot.ws.clear();
+  slot.cm_view.start_stamp = start_stamps_.fetch_add(1) + 1;
+  slot.cm_view.ops_executed = 0;
+  slot.cm_view.retries = slot.cm_retries;
+  status_[ctx.id()]->store(ctx, status_word(slot.epoch, kActive));
+  ++ctx.stats.begins;
+  rec_begin(ctx);
+}
+
+bool DstmStm::validate(sim::ThreadCtx& ctx, Slot& slot) {
+  const std::uint64_t before = ctx.steps.total();
+  bool ok = true;
+  for (const ReadEntry& r : slot.rs) {
+    if (vars_[r.var]->version.load(ctx) != r.version) {
+      ok = false;
+      break;
+    }
+  }
+  // A transaction that owns variables may have been aborted by a rival.
+  if (ok && !slot.ws.empty()) {
+    ok = status_[ctx.id()]->load(ctx) == status_word(slot.epoch, kActive);
+  }
+  ctx.stats.validation_steps += ctx.steps.total() - before;
+  return ok;
+}
+
+void DstmStm::release_owned(sim::ThreadCtx& ctx, Slot& slot) {
+  for (const OwnedEntry& e : slot.ws) {
+    std::uint64_t expect = owner_word(ctx.id(), slot.epoch);
+    (void)vars_[e.var]->owner.cas(ctx, expect, 0);  // may have been stolen
+  }
+  slot.ws.clear();
+}
+
+bool DstmStm::fail_op(sim::ThreadCtx& ctx) {
+  Slot& slot = *slots_[ctx.id()];
+  status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));
+  release_owned(ctx, slot);
+  slot.active = false;
+  ++slot.cm_retries;
+  ++ctx.stats.aborts;
+  rec_abort_mid_op(ctx);
+  return false;
+}
+
+bool DstmStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
+  bounds_check(var);
+  Slot& slot = *slots_[ctx.id()];
+  if (!slot.active) return false;
+  ++ctx.stats.reads;
+  ++slot.cm_view.ops_executed;
+  rec_inv(ctx, var, core::OpCode::kRead, 0);
+
+  if (const OwnedEntry* own = find_owned(slot, var)) {
+    out = own->value;
+    rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+    return true;
+  }
+
+  VarMeta& meta = *vars_[var];
+  const RecWindow window = rec_window();
+
+  // Sample a stable (value, version) pair of the latest committed state.
+  // Versions advance by 2 per commit; an odd version marks a write-back in
+  // flight (seqlock discipline), so a torn pair is impossible.
+  std::uint64_t ver = 0;
+  std::uint64_t val = 0;
+  util::Backoff backoff;
+  for (;;) {
+    const std::uint64_t own = meta.owner.load(ctx);
+    if (own != 0) {
+      const std::uint32_t s = static_cast<std::uint32_t>((own >> 32) - 1);
+      const std::uint64_t e = own & 0xffffffffULL;
+      const std::uint64_t st = status_[s]->load(ctx);
+      if (epoch_of(st) == e && state_of(st) == kCommitted) {
+        // Commit point passed but write-back in flight: wait it out.
+        backoff.pause();
+        continue;
+      }
+      // Active owner: the committed state is still (value, version) — an
+      // invisible read of the old value. Aborted/stale: likewise.
+    }
+    ver = meta.version.load(ctx);
+    val = meta.value.load(ctx);
+    if ((ver & 1) == 0 && meta.version.load(ctx) == ver) break;  // stable
+    backoff.pause();
+  }
+
+  slot.rs.push_back({var, ver});
+
+  // INCREMENTAL VALIDATION (the Θ(k) step of Theorem 3): with invisible
+  // reads no other process can tell us a concurrent commit overwrote part
+  // of our snapshot, so every read re-checks the whole read set.
+  if (!validate(ctx, slot)) return fail_op(ctx);
+
+  out = val;
+  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+  return true;
+}
+
+bool DstmStm::write(sim::ThreadCtx& ctx, VarId var, std::uint64_t value) {
+  bounds_check(var);
+  Slot& slot = *slots_[ctx.id()];
+  if (!slot.active) return false;
+  ++ctx.stats.writes;
+  ++slot.cm_view.ops_executed;
+  rec_inv(ctx, var, core::OpCode::kWrite, value);
+
+  for (OwnedEntry& e : slot.ws) {
+    if (e.var == var) {
+      e.value = value;  // already own it: update the buffered value
+      rec_ret(ctx, var, core::OpCode::kWrite, value, 0);
+      return true;
+    }
+  }
+
+  VarMeta& meta = *vars_[var];
+  const std::uint64_t me = owner_word(ctx.id(), slot.epoch);
+  util::Backoff backoff;
+  for (std::uint32_t attempt = 0;; ++attempt) {
+    std::uint64_t own = meta.owner.load(ctx);
+    if (own == 0) {
+      if (meta.owner.cas(ctx, own, me)) break;  // acquired
+      continue;
+    }
+    const std::uint32_t s = static_cast<std::uint32_t>((own >> 32) - 1);
+    const std::uint64_t e = own & 0xffffffffULL;
+    const std::uint64_t st = status_[s]->load(ctx);
+    if (epoch_of(st) != e || state_of(st) == kAborted) {
+      // Stale or aborted owner: steal the ownership record.
+      if (meta.owner.cas(ctx, own, me)) break;
+      continue;
+    }
+    if (state_of(st) == kCommitted) {
+      backoff.pause();  // write-back in flight; will release shortly
+      continue;
+    }
+    // Live conflict: ask the contention manager.
+    switch (cm_->resolve(slot.cm_view, slots_[s]->cm_view, attempt)) {
+      case CmDecision::kAbortOther: {
+        std::uint64_t expect = status_word(e, kActive);
+        (void)status_[s]->cas(ctx, expect, status_word(e, kAborted));
+        continue;  // re-examine (either aborted now, or it just finished)
+      }
+      case CmDecision::kAbortSelf:
+        return fail_op(ctx);
+      case CmDecision::kWait:
+        backoff.pause();
+        continue;
+    }
+  }
+
+  slot.ws.push_back({var, value, meta.version.load(ctx)});
+  rec_ret(ctx, var, core::OpCode::kWrite, value, 0);
+  return true;
+}
+
+bool DstmStm::commit(sim::ThreadCtx& ctx) {
+  Slot& slot = *slots_[ctx.id()];
+  if (!slot.active) return false;
+  rec_try_commit(ctx);
+
+  const RecWindow window = rec_window();
+
+  if (!validate(ctx, slot)) {
+    status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));
+    release_owned(ctx, slot);
+    slot.active = false;
+    ++slot.cm_retries;
+    ++ctx.stats.aborts;
+    rec_abort_at_commit(ctx);
+    return false;
+  }
+
+  // Commit point: the status-word CAS (revocable until this instant).
+  std::uint64_t expect = status_word(slot.epoch, kActive);
+  if (!status_[ctx.id()]->cas(ctx, expect, status_word(slot.epoch, kCommitted))) {
+    release_owned(ctx, slot);
+    slot.active = false;
+    ++slot.cm_retries;
+    ++ctx.stats.aborts;
+    rec_abort_at_commit(ctx);
+    return false;
+  }
+  rec_commit(ctx);
+
+  // Write back and release ownership (odd version while in flight).
+  for (const OwnedEntry& e : slot.ws) {
+    VarMeta& meta = *vars_[e.var];
+    meta.version.store(ctx, e.acq_version + 1);
+    meta.value.store(ctx, e.value);
+    meta.version.store(ctx, e.acq_version + 2);
+    meta.owner.store(ctx, 0);
+  }
+  slot.ws.clear();
+  slot.active = false;
+  slot.cm_retries = 0;
+  ++ctx.stats.commits;
+  return true;
+}
+
+void DstmStm::abort(sim::ThreadCtx& ctx) {
+  Slot& slot = *slots_[ctx.id()];
+  if (!slot.active) return;
+  status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));
+  release_owned(ctx, slot);
+  slot.active = false;
+  ++ctx.stats.aborts;
+  rec_voluntary_abort(ctx);
+}
+
+}  // namespace optm::stm

@@ -1,0 +1,64 @@
+#include "stm/factory.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "stm/astm.hpp"
+#include "stm/contention.hpp"
+#include "stm/dstm.hpp"
+#include "stm/glock.hpp"
+#include "stm/mv.hpp"
+#include "stm/norec.hpp"
+#include "stm/sistm.hpp"
+#include "stm/tiny.hpp"
+#include "stm/tl2.hpp"
+#include "stm/twopl.hpp"
+#include "stm/visible.hpp"
+#include "stm/weak.hpp"
+
+namespace optm::stm {
+
+std::vector<std::string_view> all_stm_names() {
+  return {"dstm", "astm", "tl2", "tiny", "visible", "mv", "norec", "weak",
+          "sistm"};
+}
+
+std::vector<std::string_view> opaque_stm_names() {
+  return {"dstm", "astm", "tl2", "tiny", "visible", "mv", "norec"};
+}
+
+std::unique_ptr<Stm> make_stm(std::string_view name, std::size_t num_vars) {
+  std::string_view base = name;
+  std::string_view cm_name;
+  if (const auto slash = name.find('/'); slash != std::string_view::npos) {
+    base = name.substr(0, slash);
+    cm_name = name.substr(slash + 1);
+  }
+  auto cm = [&]() -> std::unique_ptr<ContentionManager> {
+    return cm_name.empty() ? nullptr : make_contention_manager(cm_name);
+  };
+
+  if (base == "tl2") return std::make_unique<Tl2Stm>(num_vars);
+  if (base == "tiny") return std::make_unique<TinyStm>(num_vars);
+  if (base == "dstm") return std::make_unique<DstmStm>(num_vars, cm());
+  if (base == "astm") return std::make_unique<AstmStm>(num_vars, cm());
+  if (base == "astm-eager") {
+    return std::make_unique<AstmStm>(num_vars, cm(), AcquirePolicy::kForceEager);
+  }
+  if (base == "astm-lazy") {
+    return std::make_unique<AstmStm>(num_vars, cm(), AcquirePolicy::kForceLazy);
+  }
+  if (base == "visible") return std::make_unique<VisibleReadStm>(num_vars, cm());
+  if (base == "mv") return std::make_unique<MvStm>(num_vars);
+  if (base == "norec") return std::make_unique<NorecStm>(num_vars);
+  if (base == "weak") return std::make_unique<WeakStm>(num_vars);
+  if (base == "sistm") return std::make_unique<SiStm>(num_vars);
+  if (base == "glock") return std::make_unique<GlobalLockStm>(num_vars);
+  if (base == "twopl") return std::make_unique<TwoPlStm>(num_vars);
+  if (base == "twopl-nowait") {
+    return std::make_unique<TwoPlStm>(num_vars, WaitPolicy::kNoWait);
+  }
+  throw std::invalid_argument("unknown STM: " + std::string(name));
+}
+
+}  // namespace optm::stm

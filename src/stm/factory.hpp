@@ -1,0 +1,36 @@
+// Construction of the STM implementations by name — the benchmark harness
+// and example tools sweep over all of them.
+#pragma once
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "stm/api.hpp"
+
+namespace optm::stm {
+
+/// Names accepted by make_stm, in canonical bench order. Two families are
+/// excluded because their operations can BLOCK on a rival transaction, so
+/// they cannot be driven as interleaved logical processes from one OS
+/// thread the way the deterministic tests drive the others: "glock"
+/// (begin() takes the global lock) and "twopl" (lock_read/lock_write may
+/// wait-die-wait on a live holder; use "twopl-nowait" for deterministic
+/// driving). Request those by name where blocking is acceptable.
+[[nodiscard]] std::vector<std::string_view> all_stm_names();
+
+/// Names of the STMs that ensure opacity AND never block inside an
+/// operation (excludes "weak" and "sistm", which trade opacity away, and
+/// the blocking "glock"/"twopl" family).
+[[nodiscard]] std::vector<std::string_view> opaque_stm_names();
+
+/// Create an STM over `num_vars` variables: "tl2", "tiny" (TL2 plus
+/// snapshot extension), "dstm", "astm" (plus the pinned
+/// "astm-eager"/"astm-lazy" ablations), "visible", "mv", "norec", "weak",
+/// "sistm", "glock", or "twopl"/"twopl-nowait". The
+/// ownership-record STMs (dstm, astm*, visible) accept a contention-manager
+/// suffix, e.g. "dstm/karma" (default: aggressive).
+[[nodiscard]] std::unique_ptr<Stm> make_stm(std::string_view name,
+                                            std::size_t num_vars);
+
+}  // namespace optm::stm

@@ -1,0 +1,51 @@
+// GlobalLockStm: the §1 reference point — "concurrency as easy as with
+// coarse-grained critical sections".
+//
+// One global lock serializes whole transactions: trivially opaque (every
+// history it generates is literally sequential), never aborts (progressive
+// vacuously), and the baseline every real TM is trying to beat on
+// scalability. Included so the throughput benches can show what the
+// fine-grained designs buy — and the contract/recorded tests treat it as
+// just another Stm.
+#pragma once
+
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+class GlobalLockStm final : public RuntimeBase {
+ public:
+  explicit GlobalLockStm(std::size_t num_vars);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "glock",
+            .invisible_reads = false,  // begin() writes the lock word
+            .single_version = true,
+            .progressive = true,  // vacuously: it never forcefully aborts
+            .opaque = true};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+ private:
+  struct Slot {
+    bool active = false;
+    WriteSet undo;  // original values, restored on voluntary abort
+  };
+
+  std::vector<util::Padded<sim::BaseWord>> values_;
+  util::Padded<sim::BaseWord> lock_;  // holder slot + 1, 0 = free
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+};
+
+}  // namespace optm::stm

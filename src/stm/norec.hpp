@@ -1,0 +1,75 @@
+// NOrec-style STM (Dalessandro, Spear, Scott — PPoPP'10), included as an
+// ablation for Theorem 3: progressive-in-spirit, single-version, invisible
+// reads, opaque — and, exactly as the bound dictates, its worst-case
+// per-operation cost is Θ(|read set|): whenever the global sequence lock
+// moved, a read must value-revalidate everything read so far. It only
+// looks cheap because the Ω(k) work is *amortized* away when there is no
+// concurrent commit traffic; the adversarial schedule in
+// bench/bench_lower_bound makes the worst case visible.
+//
+// The entire shared metadata is ONE global sequence lock: no per-variable
+// ownership records (hence "NOrec"). Commits serialize on it; reads use
+// value-based validation against it.
+#pragma once
+
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+class NorecStm final : public RuntimeBase {
+ public:
+  explicit NorecStm(std::size_t num_vars);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "norec",
+            .invisible_reads = true,
+            .single_version = true,
+            .progressive = true,
+            .opaque = true};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+ private:
+  struct Slot {
+    bool active = false;
+    bool rv_sampled = false;  // lazy rv (see ensure_rv)
+    std::uint64_t rv = 0;  // seqlock snapshot the read set is valid at
+    std::vector<ReadEntry> rs;  // value-based: (var, VALUE read)
+    WriteSet ws;
+  };
+
+  /// Spin until the sequence lock is even (no committer inside).
+  [[nodiscard]] std::uint64_t wait_even(sim::ThreadCtx& ctx);
+
+  /// Lazy rv, for the same ≺_H reason as Tl2Stm::ensure_rv: the snapshot
+  /// must not predate the transaction's first event.
+  void ensure_rv(sim::ThreadCtx& ctx, Slot& slot) {
+    if (!slot.rv_sampled) {
+      slot.rv = wait_even(ctx);
+      slot.rv_sampled = true;
+    }
+  }
+
+  /// Value-based revalidation of the whole read set; updates slot.rv.
+  /// Returns false on any changed value (the transaction must abort).
+  [[nodiscard]] bool revalidate(sim::ThreadCtx& ctx, Slot& slot);
+
+  bool fail_op(sim::ThreadCtx& ctx);
+
+  std::vector<util::Padded<sim::BaseWord>> values_;
+  util::Padded<sim::BaseWord> seqlock_;
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+};
+
+}  // namespace optm::stm

@@ -1,0 +1,180 @@
+// Concurrent history recorder: turns live STM executions into
+// core::History values that the checkers can judge.
+//
+// Every hook appends its event under one mutex, so the recorded global
+// order is a legal linearization of the actual event order (each event is
+// recorded at the moment it semantically occurs: invocations before the
+// shared-memory work of the operation, responses after the value is fixed,
+// C at the commit point). Commit order is captured separately — it is the
+// total order ≪ the certificate checker (Theorem 2) verifies against.
+//
+// Soundness of the certificate requires more than per-event atomicity: the
+// *value sampling* of a read must be atomic with the recording of its
+// response, and the *commit point* atomic with the recording of C —
+// otherwise a descheduled thread records its event after a conflicting
+// commit slipped in between, and the recorded ≪ is no longer a valid
+// serialization even though the execution was correct. Runtimes therefore
+// wrap those two short sections in window() when a recorder is attached
+// (RuntimeBase::RecWindow). Recording mode thus serializes the instants at
+// which operations take effect — it changes timing, never algorithm logic —
+// and is intended for verification runs; benchmarks run unrecorded.
+#pragma once
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/history.hpp"
+#include "stm/api.hpp"
+
+namespace optm::stm {
+
+class Recorder {
+ public:
+  explicit Recorder(std::size_t num_vars)
+      : model_(core::ObjectModel::registers(num_vars, 0)) {}
+
+  /// Critical section making a shared-memory action atomic with the
+  /// recording of its event. Recursive so the on_* hooks may be called
+  /// while a window is held.
+  [[nodiscard]] std::unique_lock<std::recursive_mutex> window() {
+    return std::unique_lock<std::recursive_mutex>(mu_);
+  }
+
+  /// Allocate a fresh transaction id (starts at 1; 0 is the §5.4
+  /// initializer).
+  core::TxId begin_tx() {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    return next_tx_++;
+  }
+
+  void on_inv(core::TxId tx, VarId var, core::OpCode op, core::Value arg) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::inv(tx, var, op, arg));
+  }
+  void on_ret(core::TxId tx, VarId var, core::OpCode op, core::Value arg,
+              core::Value ret) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::ret(tx, var, op, arg, ret));
+  }
+  void on_try_commit(core::TxId tx) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::try_commit(tx));
+  }
+  /// `stamp` is the transaction's serialization stamp within the run. For
+  /// runtimes that re-validate the whole read set at the commit point
+  /// (DSTM, visible-read, 2PL) the commit record order IS the
+  /// serialization order — they pass stamp = 0 and certificate_order()
+  /// falls back to record order. Clock-based runtimes serialize read-only
+  /// transactions at their snapshot time (TL2's rv, MV's ub), which may lie
+  /// before already-recorded commits; they pass composite stamps (2·wv for
+  /// updates, 2·rv+1 for read-only) so certificate_order() can interleave
+  /// them correctly.
+  void on_commit(core::TxId tx, std::uint64_t stamp = 0) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::commit(tx));
+    stamp_[tx] = stamp;
+  }
+  void on_try_abort(core::TxId tx) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::try_abort(tx));
+  }
+  /// `stamp` is the serialization point of the ABORTED transaction — the
+  /// moment its (validated) reads were simultaneously current. Clock-based
+  /// runtimes pass 2·rv+1 (the snapshot they read from); record-order
+  /// runtimes pass 0 and certificate_order() anchors the transaction at
+  /// its last response (its last successful whole-read-set validation).
+  void on_abort(core::TxId tx, std::uint64_t stamp = 0) {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::abort(tx));
+    stamp_[tx] = stamp;
+  }
+
+  /// Snapshot of the recorded history.
+  [[nodiscard]] core::History history() const {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    core::History h(model_);
+    for (const core::Event& e : events_) h.append(e);
+    return h;
+  }
+
+  /// The certificate ≪: every recorded transaction ordered by its
+  /// serialization point, the key (stamp, seq) where
+  ///   * committed:     (commit stamp, position of its C event) — for
+  ///     stamp-0 runtimes that is plain commit-record order;
+  ///   * non-committed: (abort stamp,  position of its LAST NON-LOCAL READ
+  ///     RESPONSE) — the last moment the runtime vouched for its whole
+  ///     read set (read responses re-validate in the stamp-0 runtimes;
+  ///     WRITE responses do not, so they must not advance the anchor). A
+  ///     transaction with no such reads anchors at its first event.
+  /// A LOCAL read (preceded by the transaction's own write to the same
+  /// register) is answered from the write buffer without validation, so
+  /// it must not advance the anchor either. Unlike the naive "committed
+  /// first, aborted appended" order, this respects the real-time order of
+  /// ALL transactions, which Theorem 2's well-formedness check requires
+  /// (an aborted transaction that completed before a later one began must
+  /// precede it in ≪).
+  [[nodiscard]] std::vector<core::TxId> certificate_order() const {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+
+    struct Key {
+      std::uint64_t stamp = 0;
+      std::size_t seq = 0;
+      bool committed = false;
+      bool seen = false;
+    };
+    std::unordered_map<core::TxId, Key> keys;
+    std::set<std::pair<core::TxId, VarId>> wrote;
+    for (std::size_t i = 0; i < events_.size(); ++i) {
+      const core::Event& e = events_[i];
+      Key& k = keys[e.tx];
+      if (!k.seen) {
+        k.seen = true;
+        k.seq = i;  // first-event fallback
+      }
+      if (e.kind == core::EventKind::kInvoke &&
+          e.op == core::OpCode::kWrite) {
+        wrote.insert({e.tx, static_cast<VarId>(e.obj)});
+      } else if (e.kind == core::EventKind::kResponse &&
+                 e.op == core::OpCode::kRead && !k.committed &&
+                 !wrote.count({e.tx, static_cast<VarId>(e.obj)})) {
+        k.seq = i;
+      } else if (e.kind == core::EventKind::kCommit) {
+        k.committed = true;
+        k.seq = i;
+      }
+    }
+    for (auto& [tx, k] : keys) {
+      const auto s = stamp_.find(tx);
+      if (s != stamp_.end()) k.stamp = s->second;
+    }
+
+    std::vector<core::TxId> order;
+    order.reserve(keys.size());
+    for (const auto& [tx, k] : keys) order.push_back(tx);
+    std::sort(order.begin(), order.end(), [&](core::TxId a, core::TxId b) {
+      const Key& ka = keys.at(a);
+      const Key& kb = keys.at(b);
+      if (ka.stamp != kb.stamp) return ka.stamp < kb.stamp;
+      return ka.seq < kb.seq;
+    });
+    return order;
+  }
+
+  [[nodiscard]] std::size_t num_events() const {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    return events_.size();
+  }
+
+ private:
+  mutable std::recursive_mutex mu_;
+  core::ObjectModel model_;
+  std::vector<core::Event> events_;
+  std::unordered_map<core::TxId, std::uint64_t> stamp_;  // at completion
+  core::TxId next_tx_ = 1;
+};
+
+}  // namespace optm::stm

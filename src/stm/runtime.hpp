@@ -1,0 +1,152 @@
+// Shared machinery for the STM runtimes: per-process transaction slots,
+// read/write sets, statistics and recorder plumbing.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "stm/api.hpp"
+#include "stm/recorder.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+struct ReadEntry {
+  VarId var;
+  std::uint64_t version;
+};
+
+struct WriteEntry {
+  VarId var;
+  std::uint64_t value;
+};
+
+/// Write-set with linear lookup — transactions touch few variables, and a
+/// flat vector beats a hash map at these sizes by a wide margin.
+class WriteSet {
+ public:
+  void clear() noexcept { entries_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] const std::vector<WriteEntry>& entries() const noexcept {
+    return entries_;
+  }
+  [[nodiscard]] std::vector<WriteEntry>& entries() noexcept { return entries_; }
+
+  [[nodiscard]] const WriteEntry* find(VarId var) const noexcept {
+    for (const auto& e : entries_)
+      if (e.var == var) return &e;
+    return nullptr;
+  }
+
+  void upsert(VarId var, std::uint64_t value) {
+    for (auto& e : entries_) {
+      if (e.var == var) {
+        e.value = value;
+        return;
+      }
+    }
+    entries_.push_back({var, value});
+  }
+
+ private:
+  std::vector<WriteEntry> entries_;
+};
+
+/// Base class handling recorder hooks and per-slot transaction ids.
+///
+/// Recording protocol (matching the paper's event model):
+///   begin        -> fresh TxId
+///   read/write   -> inv before any shared access, ret after the value is
+///                   decided, or A instead of ret when the op dooms the tx
+///   commit       -> tryC, then C (after the commit point) or A
+///   abort (tryA) -> tryA, A
+class RuntimeBase : public Stm {
+ public:
+  explicit RuntimeBase(std::size_t num_vars) noexcept : num_vars_(num_vars) {}
+
+  [[nodiscard]] std::size_t num_vars() const noexcept override { return num_vars_; }
+
+  void set_recorder(Recorder* recorder) noexcept override { recorder_ = recorder; }
+
+ protected:
+  /// An out-of-range VarId is a caller bug; fail loudly instead of indexing
+  /// past the metadata vector (a silently corrupted lock word spins forever,
+  /// which is how this class of bug actually manifests).
+  void bounds_check(VarId var) const {
+    if (var >= num_vars_) {
+      throw std::out_of_range("optm: VarId " + std::to_string(var) +
+                              " out of range (num_vars = " +
+                              std::to_string(num_vars_) + ")");
+    }
+  }
+
+  /// Scoped recorder window (see recorder.hpp): while held, the runtime's
+  /// shared-memory action and its recorded event are atomic with respect to
+  /// every other recorded event. No-op when no recorder is attached.
+  class [[nodiscard]] RecWindow {
+   public:
+    explicit RecWindow(Recorder* recorder) {
+      if (recorder != nullptr) lock_ = recorder->window();
+    }
+
+   private:
+    std::unique_lock<std::recursive_mutex> lock_;
+  };
+
+  [[nodiscard]] RecWindow rec_window() const { return RecWindow(recorder_); }
+
+  void rec_begin(sim::ThreadCtx& ctx) {
+    if (recorder_ != nullptr) rec_tx_[ctx.id()] = recorder_->begin_tx();
+  }
+  void rec_inv(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
+               std::uint64_t arg) {
+    if (recorder_ != nullptr) {
+      recorder_->on_inv(rec_tx_[ctx.id()], var, op,
+                        static_cast<core::Value>(arg));
+    }
+  }
+  void rec_ret(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
+               std::uint64_t arg, std::uint64_t ret) {
+    if (recorder_ != nullptr) {
+      recorder_->on_ret(rec_tx_[ctx.id()], var, op, static_cast<core::Value>(arg),
+                        static_cast<core::Value>(ret));
+    }
+  }
+  // Abort hooks take the aborted transaction's serialization stamp (see
+  // Recorder::on_abort): clock-based runtimes pass 2·rv+1, record-order
+  // runtimes leave the default 0.
+
+  /// A replaces the pending operation response (forceful abort mid-op).
+  void rec_abort_mid_op(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
+    if (recorder_ != nullptr) recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+  }
+  void rec_try_commit(sim::ThreadCtx& ctx) {
+    if (recorder_ != nullptr) recorder_->on_try_commit(rec_tx_[ctx.id()]);
+  }
+  void rec_commit(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
+    if (recorder_ != nullptr) recorder_->on_commit(rec_tx_[ctx.id()], stamp);
+  }
+  /// A answering tryC (commit failed).
+  void rec_abort_at_commit(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
+    if (recorder_ != nullptr) recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+  }
+  void rec_voluntary_abort(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
+    if (recorder_ != nullptr) {
+      recorder_->on_try_abort(rec_tx_[ctx.id()]);
+      recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+    }
+  }
+
+  std::size_t num_vars_;
+  Recorder* recorder_ = nullptr;
+
+ private:
+  std::array<core::TxId, sim::kMaxThreads> rec_tx_{};
+};
+
+}  // namespace optm::stm

@@ -1,0 +1,93 @@
+// TL2-style STM (Dice, Shalev, Shavit — DISC'06), the paper's running
+// example of an opaque, invisible-read, single-version TM that escapes the
+// Ω(k) bound by NOT being progressive (§6.2):
+//
+//   "TL2 has a constant time complexity, although it ensures opacity, uses
+//    invisible reads, and is single-version. That is because TL2 is not
+//    progressive: it may forcefully abort a transaction Ti that conflicts
+//    with a concurrent transaction Tk, even if Ti invokes a conflicting
+//    operation after Tk commits."
+//
+// Algorithm: global version clock; per-variable versioned lock. A
+// transaction samples the clock at begin (rv). Reads are invisible and
+// validated in O(1) against rv (version > rv => abort, even when the writer
+// is long gone — the non-progressive abort). Writes are buffered; commit
+// locks the write set, advances the clock, revalidates the read set,
+// writes back and releases with the new version.
+#pragma once
+
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+class Tl2Stm final : public RuntimeBase {
+ public:
+  explicit Tl2Stm(std::size_t num_vars);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "tl2",
+            .invisible_reads = true,
+            .single_version = true,
+            .progressive = false,
+            .opaque = true};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+ private:
+  // Versioned lock encoding: bit 0 = locked, bits 63..1 = version.
+  static constexpr std::uint64_t kLockedBit = 1;
+  [[nodiscard]] static constexpr bool locked(std::uint64_t vl) noexcept {
+    return (vl & kLockedBit) != 0;
+  }
+  [[nodiscard]] static constexpr std::uint64_t version_of(std::uint64_t vl) noexcept {
+    return vl >> 1;
+  }
+  [[nodiscard]] static constexpr std::uint64_t pack(std::uint64_t version) noexcept {
+    return version << 1;
+  }
+
+  struct VarMeta {
+    sim::BaseWord lock_ver;  // versioned lock
+    sim::BaseWord value;
+  };
+
+  struct Slot {
+    bool active = false;
+    bool rv_sampled = false;  // lazy rv (see ensure_rv)
+    std::uint64_t rv = 0;     // read version: clock sample at first access
+    std::vector<ReadEntry> rs;
+    WriteSet ws;
+  };
+
+  /// Lazy rv: the clock is sampled at the FIRST operation rather than at
+  /// begin(). The paper's real-time order ≺_H is defined by a
+  /// transaction's first EVENT; an rv predating it would let a read-only
+  /// transaction serialize before transactions that completed before it
+  /// issued anything (a ≺_H violation the §5.4 certificate rejects).
+  void ensure_rv(sim::ThreadCtx& ctx, Slot& slot) {
+    if (!slot.rv_sampled) {
+      slot.rv = clock_.read(ctx);
+      slot.rv_sampled = true;
+    }
+  }
+
+  /// Abort in the middle of an operation (A instead of a response).
+  bool fail_op(sim::ThreadCtx& ctx);
+
+  std::vector<util::Padded<VarMeta>> vars_;
+  sim::GlobalClock clock_;
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+};
+
+}  // namespace optm::stm

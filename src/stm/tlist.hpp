@@ -1,0 +1,157 @@
+// TSortedList: a transactional sorted linked list with set semantics —
+// the classic STM workload (DSTM's IntSet benchmark; also the paper's §1
+// "dynamic-sized data structures" motivation via [14]).
+//
+// Layout over STM variables (fixed node pool, no dynamic allocation):
+//   var 0                   : head  — index of the first node (0 = nil)
+//   var 1                   : free  — head of the free list
+//   var 2 + 2i              : node i's value
+//   var 2 + 2i + 1          : node i's next (index, 0 = nil)
+// Node indices are 1-based so 0 can mean nil.
+//
+// All operations run inside the caller's transaction (TxHandle), so a
+// single transaction can compose several list operations atomically —
+// the programming model §1 promises.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "stm/api.hpp"
+
+namespace optm::stm {
+
+class TSortedList {
+ public:
+  /// The list needs `2 + 2 * capacity` variables starting at `base`.
+  TSortedList(VarId base, std::uint32_t capacity) noexcept
+      : base_(base), capacity_(capacity) {}
+
+  [[nodiscard]] static constexpr std::size_t vars_needed(
+      std::uint32_t capacity) noexcept {
+    return 2 + 2 * static_cast<std::size_t>(capacity);
+  }
+
+  /// One-time initialization (inside a transaction): builds the free list.
+  void init(TxHandle& tx) const {
+    tx.write(head_var(), kNil);
+    for (std::uint32_t i = 1; i <= capacity_; ++i) {
+      tx.write(next_var(i), i < capacity_ ? i + 1 : kNil);
+    }
+    tx.write(free_var(), capacity_ > 0 ? 1 : kNil);
+  }
+
+  /// Insert `value`; returns false if already present. Throws
+  /// std::length_error when the pool is exhausted.
+  bool insert(TxHandle& tx, std::int64_t value) const {
+    std::uint64_t prev = kNil;
+    std::uint64_t cur = tx.read(head_var());
+    while (cur != kNil) {
+      const auto v = static_cast<std::int64_t>(tx.read(value_var(cur)));
+      if (v == value) return false;
+      if (v > value) break;
+      prev = cur;
+      cur = tx.read(next_var(cur));
+    }
+    const std::uint64_t node = tx.read(free_var());
+    if (node == kNil) throw std::length_error("TSortedList: pool exhausted");
+    tx.write(free_var(), tx.read(next_var(node)));
+    tx.write(value_var(node), static_cast<std::uint64_t>(value));
+    tx.write(next_var(node), cur);
+    if (prev == kNil) {
+      tx.write(head_var(), node);
+    } else {
+      tx.write(next_var(prev), node);
+    }
+    return true;
+  }
+
+  /// Erase `value`; returns false if absent.
+  bool erase(TxHandle& tx, std::int64_t value) const {
+    std::uint64_t prev = kNil;
+    std::uint64_t cur = tx.read(head_var());
+    while (cur != kNil) {
+      const auto v = static_cast<std::int64_t>(tx.read(value_var(cur)));
+      if (v == value) {
+        const std::uint64_t next = tx.read(next_var(cur));
+        if (prev == kNil) {
+          tx.write(head_var(), next);
+        } else {
+          tx.write(next_var(prev), next);
+        }
+        tx.write(next_var(cur), tx.read(free_var()));  // recycle
+        tx.write(free_var(), cur);
+        return true;
+      }
+      if (v > value) return false;
+      prev = cur;
+      cur = tx.read(next_var(cur));
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(TxHandle& tx, std::int64_t value) const {
+    std::uint64_t cur = tx.read(head_var());
+    while (cur != kNil) {
+      const auto v = static_cast<std::int64_t>(tx.read(value_var(cur)));
+      if (v == value) return true;
+      if (v > value) return false;
+      cur = tx.read(next_var(cur));
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t size(TxHandle& tx) const {
+    std::uint64_t count = 0;
+    for (std::uint64_t cur = tx.read(head_var()); cur != kNil;
+         cur = tx.read(next_var(cur))) {
+      ++count;
+    }
+    return count;
+  }
+
+  /// Sum of elements — a whole-structure read-only scan (the workload that
+  /// separates multi-version from single-version designs).
+  [[nodiscard]] std::int64_t sum(TxHandle& tx) const {
+    std::int64_t total = 0;
+    for (std::uint64_t cur = tx.read(head_var()); cur != kNil;
+         cur = tx.read(next_var(cur))) {
+      total += static_cast<std::int64_t>(tx.read(value_var(cur)));
+    }
+    return total;
+  }
+
+  /// Structural invariant: strictly sorted, length within capacity.
+  [[nodiscard]] bool invariant_holds(TxHandle& tx) const {
+    std::uint64_t cur = tx.read(head_var());
+    std::uint64_t count = 0;
+    bool first = true;
+    std::int64_t last = 0;
+    while (cur != kNil) {
+      if (++count > capacity_) return false;  // cycle or corruption
+      const auto v = static_cast<std::int64_t>(tx.read(value_var(cur)));
+      if (!first && v <= last) return false;
+      last = v;
+      first = false;
+      cur = tx.read(next_var(cur));
+    }
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t kNil = 0;
+
+  [[nodiscard]] VarId head_var() const noexcept { return base_; }
+  [[nodiscard]] VarId free_var() const noexcept { return base_ + 1; }
+  [[nodiscard]] VarId value_var(std::uint64_t node) const noexcept {
+    return base_ + 2 + 2 * (static_cast<VarId>(node) - 1);
+  }
+  [[nodiscard]] VarId next_var(std::uint64_t node) const noexcept {
+    return base_ + 2 + 2 * (static_cast<VarId>(node) - 1) + 1;
+  }
+
+  VarId base_;
+  std::uint32_t capacity_;
+};
+
+}  // namespace optm::stm

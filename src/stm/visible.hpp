@@ -1,0 +1,103 @@
+// Visible-read STM (RSTM/SXM family), the counterpoint to Theorem 3:
+//
+//   "TM implementations that use visible reads, e.g., SXM and RSTM ...
+//    can have a constant complexity."
+//
+// Readers announce themselves in a per-variable reader bitmap (one RMW on
+// the read path — the §6 cost: a shared-memory write that invalidates
+// other processors' cache lines). Writers eagerly abort every visible
+// reader at acquisition time, so a still-active transaction KNOWS its read
+// set is intact: per-operation validation is a single status check, O(1)
+// regardless of k. Progressive, single-version, opaque — it escapes the
+// Ω(k) bound precisely by giving up invisibility.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/contention.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+class VisibleReadStm final : public RuntimeBase {
+ public:
+  explicit VisibleReadStm(std::size_t num_vars,
+                          std::unique_ptr<ContentionManager> cm = nullptr);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "visible",
+            .invisible_reads = false,
+            .single_version = true,
+            .progressive = true,
+            .opaque = true};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+ private:
+  enum State : std::uint64_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+  [[nodiscard]] static constexpr std::uint64_t status_word(std::uint64_t epoch,
+                                                           State s) noexcept {
+    return (epoch << 2) | s;
+  }
+  [[nodiscard]] static constexpr State state_of(std::uint64_t w) noexcept {
+    return static_cast<State>(w & 3);
+  }
+  [[nodiscard]] static constexpr std::uint64_t epoch_of(std::uint64_t w) noexcept {
+    return w >> 2;
+  }
+  [[nodiscard]] static constexpr std::uint64_t owner_word(std::uint32_t slot,
+                                                          std::uint64_t epoch) noexcept {
+    return (static_cast<std::uint64_t>(slot + 1) << 32) | (epoch & 0xffffffffULL);
+  }
+
+  struct VarMeta {
+    sim::BaseWord owner;    // 0 = unowned
+    sim::BaseWord value;    // latest committed value
+    sim::BaseWord readers;  // bitmap: bit s = process s is reading
+  };
+
+  struct OwnedEntry {
+    VarId var;
+    std::uint64_t value;
+  };
+
+  struct Slot {
+    bool active = false;
+    std::uint64_t epoch = 0;
+    std::vector<VarId> rs;  // for reader-bit cleanup
+    std::vector<OwnedEntry> ws;
+    CmTxView cm_view;
+    std::uint32_t cm_retries = 0;
+  };
+
+  [[nodiscard]] bool still_active(sim::ThreadCtx& ctx, const Slot& slot) {
+    const std::uint64_t before = ctx.steps.total();
+    const bool ok =
+        status_[ctx.id()]->load(ctx) == status_word(slot.epoch, kActive);
+    ctx.stats.validation_steps += ctx.steps.total() - before;
+    return ok;
+  }
+
+  void clear_read_bits(sim::ThreadCtx& ctx, Slot& slot);
+  void release_owned(sim::ThreadCtx& ctx, Slot& slot);
+  bool fail_op(sim::ThreadCtx& ctx);
+
+  std::vector<util::Padded<VarMeta>> vars_;
+  std::array<util::Padded<sim::BaseWord>, sim::kMaxThreads> status_;
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+  std::unique_ptr<ContentionManager> cm_;
+  std::atomic<std::uint64_t> start_stamps_{0};
+};
+
+}  // namespace optm::stm

@@ -1,0 +1,73 @@
+// WeakStm: the control group — an STM that deliberately does NOT ensure
+// opacity (the paper's §1: "there are indeed TM implementations that do
+// not ensure opacity; these, however, explicitly trade safety guarantees
+// ... for improved performance. Examples are: a version of SI-STM and the
+// TM described in [Ennals 06]").
+//
+// Structurally TL2 without the read-time rv check: reads are invisible and
+// O(1) with NO validation of any kind; only commit validates (version
+// check on the read set, locks on the write set). Consequences:
+//  * committed transactions are strictly serializable — all the §3
+//    criteria hold for every committed execution;
+//  * live and aborted transactions can observe inconsistent snapshots —
+//    the §2 zombies (1/(y-x) division by zero, runaway loops) become
+//    reachable, which examples/zombie_demo.cpp demonstrates and the
+//    recorded-history tests detect with find_inconsistent_snapshot.
+#pragma once
+
+#include <vector>
+
+#include "sim/base_object.hpp"
+#include "stm/runtime.hpp"
+#include "util/cache.hpp"
+
+namespace optm::stm {
+
+class WeakStm final : public RuntimeBase {
+ public:
+  explicit WeakStm(std::size_t num_vars);
+
+  [[nodiscard]] StmProperties properties() const noexcept override {
+    return {.name = "weak",
+            .invisible_reads = true,
+            .single_version = true,
+            .progressive = true,
+            .opaque = false};
+  }
+
+  void begin(sim::ThreadCtx& ctx) override;
+  [[nodiscard]] bool read(sim::ThreadCtx& ctx, VarId var,
+                          std::uint64_t& out) override;
+  [[nodiscard]] bool write(sim::ThreadCtx& ctx, VarId var,
+                           std::uint64_t value) override;
+  [[nodiscard]] bool commit(sim::ThreadCtx& ctx) override;
+  void abort(sim::ThreadCtx& ctx) override;
+
+ private:
+  static constexpr std::uint64_t kLockedBit = 1;
+  [[nodiscard]] static constexpr bool locked(std::uint64_t vl) noexcept {
+    return (vl & kLockedBit) != 0;
+  }
+  [[nodiscard]] static constexpr std::uint64_t version_of(std::uint64_t vl) noexcept {
+    return vl >> 1;
+  }
+  [[nodiscard]] static constexpr std::uint64_t pack(std::uint64_t v) noexcept {
+    return v << 1;
+  }
+
+  struct VarMeta {
+    sim::BaseWord lock_ver;
+    sim::BaseWord value;
+  };
+
+  struct Slot {
+    bool active = false;
+    std::vector<ReadEntry> rs;
+    WriteSet ws;
+  };
+
+  std::vector<util::Padded<VarMeta>> vars_;
+  std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
+};
+
+}  // namespace optm::stm

@@ -1,0 +1,69 @@
+// A small dynamic bitset tuned for the opacity checker's memoization keys
+// (sets of placed transactions) and for reader registries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/hash.hpp"
+
+namespace optm::util {
+
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(std::size_t bits)
+      : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+  [[nodiscard]] std::size_t size() const noexcept { return bits_; }
+
+  [[nodiscard]] bool test(std::size_t i) const noexcept {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  void set(std::size_t i) noexcept { words_[i >> 6] |= 1ULL << (i & 63); }
+  void reset(std::size_t i) noexcept { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+
+  void clear() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    std::size_t total = 0;
+    for (auto w : words_) total += static_cast<std::size_t>(__builtin_popcountll(w));
+    return total;
+  }
+
+  [[nodiscard]] bool none() const noexcept {
+    for (auto w : words_)
+      if (w != 0) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool all() const noexcept { return count() == bits_; }
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) noexcept {
+    return a.bits_ == b.bits_ && a.words_ == b.words_;
+  }
+
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    std::uint64_t h = fnv1a_init();
+    for (auto w : words_) h = fnv1a_step(h, w);
+    return h;
+  }
+
+ private:
+  std::size_t bits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace optm::util
+
+template <>
+struct std::hash<optm::util::DynamicBitset> {
+  std::size_t operator()(const optm::util::DynamicBitset& b) const noexcept {
+    return static_cast<std::size_t>(b.hash());
+  }
+};

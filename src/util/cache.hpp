@@ -1,0 +1,27 @@
+// Cache-topology constants and false-sharing avoidance helpers.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace optm::util {
+
+// std::hardware_destructive_interference_size is not universally available
+// (and is an ABI hazard when it is); 64 bytes is correct for every x86-64
+// and most AArch64 parts, and a safe over-alignment elsewhere.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// Wraps T so that distinct array elements never share a cache line.
+/// Used for per-thread counters and per-variable metadata that different
+/// threads write concurrently.
+template <typename T>
+struct alignas(kCacheLine) Padded {
+  T value{};
+
+  constexpr T& operator*() noexcept { return value; }
+  constexpr const T& operator*() const noexcept { return value; }
+  constexpr T* operator->() noexcept { return &value; }
+  constexpr const T* operator->() const noexcept { return &value; }
+};
+
+}  // namespace optm::util

@@ -1,0 +1,72 @@
+#include "util/cli.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace optm::util {
+
+Cli::Cli(std::string program, std::string blurb)
+    : program_(std::move(program)), blurb_(std::move(blurb)) {}
+
+Cli& Cli::flag(std::string name, std::string default_value, std::string help) {
+  order_.push_back(name);
+  flags_[std::move(name)] = Flag{std::move(default_value), std::move(help)};
+  return *this;
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
+                   arg.c_str(), usage().c_str());
+      return false;
+    }
+    const auto eq = arg.find('=');
+    std::string name = arg.substr(2, eq == std::string::npos ? arg.npos : eq - 2);
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag '--%s'\n%s", name.c_str(),
+                   usage().c_str());
+      return false;
+    }
+    if (eq != std::string::npos) {
+      it->second.value = arg.substr(eq + 1);
+    } else {
+      it->second.value = "true";  // bare --flag means boolean true
+    }
+  }
+  return true;
+}
+
+const std::string& Cli::get(const std::string& name) const {
+  return flags_.at(name).value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return std::stoll(get(name));
+}
+
+bool Cli::get_bool(const std::string& name) const {
+  const auto& v = get(name);
+  return v == "true" || v == "1" || v == "yes" || v == "on";
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << program_ << " — " << blurb_ << "\n\nflags:\n";
+  for (const auto& name : order_) {
+    const auto& f = flags_.at(name);
+    os << "  --" << name << "=<value>   " << f.help << " (default: " << f.value
+       << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace optm::util

@@ -1,0 +1,39 @@
+// A tiny `--flag=value` command-line parser for the example binaries.
+// Deliberately minimal: flags are strings/integers/bools with defaults;
+// unknown flags are an error so typos fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace optm::util {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string blurb);
+
+  Cli& flag(std::string name, std::string default_value, std::string help);
+
+  /// Parse argv. Returns false (after printing usage) on error or --help.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] const std::string& get(const std::string& name) const;
+  [[nodiscard]] std::int64_t get_int(const std::string& name) const;
+  [[nodiscard]] bool get_bool(const std::string& name) const;
+
+  [[nodiscard]] std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string help;
+  };
+  std::string program_;
+  std::string blurb_;
+  std::vector<std::string> order_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace optm::util

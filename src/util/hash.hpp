@@ -1,0 +1,29 @@
+// Hashing building blocks shared by the checker memo tables.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace optm::util {
+
+[[nodiscard]] constexpr std::uint64_t fnv1a_init() noexcept {
+  return 0xcbf29ce484222325ULL;
+}
+
+/// Fold one 64-bit word into an FNV-1a accumulator, byte by byte.
+[[nodiscard]] constexpr std::uint64_t fnv1a_step(std::uint64_t h,
+                                                 std::uint64_t word) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xffULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// boost::hash_combine-style mixing for composite keys.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace optm::util

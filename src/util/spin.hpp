@@ -1,0 +1,73 @@
+// Minimal spinning primitives used by the STM runtimes.
+//
+// These follow the usual test-and-test-and-set discipline: spin on a plain
+// load (cache-friendly, no bus traffic while the line is shared) and only
+// attempt the RMW when the lock looks free. Backoff is bounded-exponential
+// to avoid pathological contention collapse on oversubscribed machines.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace optm::util {
+
+/// Bounded exponential backoff. `pause()` cost grows 2x per call up to a cap,
+/// then yields to the scheduler — important on machines with fewer cores
+/// than threads (including the single-core CI box this repo targets).
+class Backoff {
+ public:
+  explicit Backoff(std::uint32_t cap = 1024) noexcept : cap_(cap) {}
+
+  void pause() noexcept {
+    if (spins_ >= cap_) {
+      std::this_thread::yield();
+      return;
+    }
+    for (std::uint32_t i = 0; i < spins_; ++i) cpu_relax();
+    spins_ *= 2;
+  }
+
+  void reset() noexcept { spins_ = 1; }
+
+  static void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+  }
+
+ private:
+  std::uint32_t spins_ = 1;
+  std::uint32_t cap_;
+};
+
+/// TTAS spinlock. Satisfies Cpp17BasicLockable so it composes with
+/// std::lock_guard / std::scoped_lock.
+class SpinLock {
+ public:
+  SpinLock() noexcept = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void lock() noexcept {
+    Backoff backoff;
+    for (;;) {
+      if (!locked_.exchange(true, std::memory_order_acquire)) return;
+      while (locked_.load(std::memory_order_relaxed)) backoff.pause();
+    }
+  }
+
+  [[nodiscard]] bool try_lock() noexcept {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() noexcept { locked_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace optm::util

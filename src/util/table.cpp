@@ -1,0 +1,87 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace optm::util {
+
+namespace {
+
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  for (; i < s.size(); ++i) {
+    const char c = s[i];
+    if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' && c != 'e' &&
+        c != 'E' && c != '+' && c != '-' && c != 'x' && c != ',') {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string Table::num(std::uint64_t v) { return std::to_string(v); }
+std::string Table::num(std::int64_t v) { return std::to_string(v); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (auto w : width) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto line = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = width[c] - cells[c].size();
+      if (looks_numeric(cells[c])) {
+        os << ' ' << std::string(pad, ' ') << cells[c] << " |";
+      } else {
+        os << ' ' << cells[c] << std::string(pad, ' ') << " |";
+      }
+    }
+    os << '\n';
+  };
+
+  rule();
+  line(header_);
+  rule();
+  for (const auto& row : rows_) line(row);
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.str();
+}
+
+}  // namespace optm::util

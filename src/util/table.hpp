@@ -1,0 +1,35 @@
+// ASCII table rendering used by the benchmark harness and example tools to
+// print paper-style result tables.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace optm::util {
+
+/// Column-aligned ASCII table. Cells are strings; numeric helpers format
+/// with fixed precision. Right-aligns cells that look numeric.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the point.
+  static std::string num(double v, int precision = 2);
+  static std::string num(std::uint64_t v);
+  static std::string num(std::int64_t v);
+
+  /// Render with box-drawing separators.
+  [[nodiscard]] std::string str() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace optm::util

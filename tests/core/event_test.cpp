@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "core/event.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(Event, FactoryHelpers) {
+  const Event i = ev::inv(3, 7, OpCode::kWrite, 42);
+  EXPECT_EQ(i.kind, EventKind::kInvoke);
+  EXPECT_EQ(i.tx, 3u);
+  EXPECT_EQ(i.obj, 7u);
+  EXPECT_EQ(i.op, OpCode::kWrite);
+  EXPECT_EQ(i.arg, 42);
+  EXPECT_TRUE(i.is_invocation());
+  EXPECT_FALSE(i.is_response());
+
+  const Event r = ev::ret(3, 7, OpCode::kWrite, 42, kOk);
+  EXPECT_TRUE(r.is_response());
+  EXPECT_EQ(r.ret, kOk);
+}
+
+TEST(Event, InvocationResponseMatching) {
+  const Event i = ev::inv(1, 0, OpCode::kRead);
+  EXPECT_TRUE(i.matches(ev::ret(1, 0, OpCode::kRead, 0, 5)));
+  EXPECT_FALSE(i.matches(ev::ret(2, 0, OpCode::kRead, 0, 5)));  // other tx
+  EXPECT_FALSE(i.matches(ev::ret(1, 1, OpCode::kRead, 0, 5)));  // other obj
+  EXPECT_FALSE(i.matches(ev::ret(1, 0, OpCode::kWrite, 0, 5))); // other op
+  // An abort may arrive instead of an operation response (paper §4).
+  EXPECT_TRUE(i.matches(ev::abort(1)));
+  EXPECT_FALSE(i.matches(ev::abort(2)));
+}
+
+TEST(Event, TryCommitMatching) {
+  const Event t = ev::try_commit(4);
+  EXPECT_TRUE(t.matches(ev::commit(4)));
+  EXPECT_TRUE(t.matches(ev::abort(4)));   // tryC may be answered with A
+  EXPECT_FALSE(t.matches(ev::commit(5)));
+  EXPECT_TRUE(t.is_invocation());
+}
+
+TEST(Event, TryAbortMatching) {
+  const Event t = ev::try_abort(4);
+  EXPECT_TRUE(t.matches(ev::abort(4)));
+  EXPECT_FALSE(t.matches(ev::commit(4)));  // tryA always results in A
+}
+
+TEST(Event, ResponseNeverMatches) {
+  const Event r = ev::ret(1, 0, OpCode::kRead, 0, 5);
+  EXPECT_FALSE(r.matches(ev::ret(1, 0, OpCode::kRead, 0, 5)));
+}
+
+TEST(Event, ToStringNotation) {
+  EXPECT_EQ(to_string(ev::try_commit(1)), "tryC1");
+  EXPECT_EQ(to_string(ev::commit(2)), "C2");
+  EXPECT_EQ(to_string(ev::try_abort(3)), "tryA3");
+  EXPECT_EQ(to_string(ev::abort(4)), "A4");
+  EXPECT_EQ(to_string(ev::inv(1, 0, OpCode::kRead)), "inv1(x0, read)");
+  EXPECT_EQ(to_string(ev::inv(1, 0, OpCode::kWrite, 9)), "inv1(x0, write, 9)");
+  EXPECT_EQ(to_string(ev::ret(2, 1, OpCode::kRead, 0, 7)),
+            "ret2(x1, read -> 7)");
+}
+
+TEST(Event, EqualityIsStructural) {
+  EXPECT_EQ(ev::inv(1, 0, OpCode::kRead), ev::inv(1, 0, OpCode::kRead));
+  EXPECT_NE(ev::inv(1, 0, OpCode::kRead), ev::inv(1, 1, OpCode::kRead));
+}
+
+TEST(OpCode, Names) {
+  EXPECT_STREQ(to_string(OpCode::kRead), "read");
+  EXPECT_STREQ(to_string(OpCode::kWrite), "write");
+  EXPECT_STREQ(to_string(OpCode::kInc), "inc");
+  EXPECT_STREQ(to_string(OpCode::kFetchAdd), "fetch_add");
+  EXPECT_STREQ(to_string(OpCode::kDeq), "deq");
+  EXPECT_STREQ(to_string(OpCode::kContains), "contains");
+}
+
+}  // namespace
+}  // namespace optm::core

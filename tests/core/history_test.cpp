@@ -1,0 +1,387 @@
+// History model (§4): well-formedness, projections, equivalence, statuses,
+// real-time order, Complete(H), and the §5.4 register-history notions.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/history.hpp"
+
+namespace optm::core {
+namespace {
+
+History two_tx_history() {
+  return HistoryBuilder::registers(2)
+      .write(1, 0, 1)
+      .read(2, 0, 0)
+      .commit_now(1)
+      .read(2, 1, 0)
+      .commit_now(2)
+      .build();
+}
+
+// --- well-formedness -----------------------------------------------------
+
+TEST(WellFormed, AcceptsTypicalHistory) {
+  std::string why;
+  EXPECT_TRUE(two_tx_history().well_formed(&why)) << why;
+}
+
+TEST(WellFormed, RejectsResponseWithoutInvocation) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::ret(1, 0, OpCode::kRead, 0, 0));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsSecondInvocationWhilePending) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsMismatchedResponse) {
+  History h(ObjectModel::registers(2));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  h.append(ev::ret(1, 1, OpCode::kRead, 0, 0));  // wrong object
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsEventsAfterCommit) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::try_commit(1));
+  h.append(ev::commit(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsCommitWithoutTryCommit) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::commit(1));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsCommitAfterTryAbort) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::try_abort(1));
+  h.append(ev::commit(1));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, AbortMayReplaceOperationResponse) {
+  // F = <inv_i(ob, op, args), A_i> is a valid termination (paper §4).
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  h.append(ev::abort(1));
+  std::string why;
+  EXPECT_TRUE(h.well_formed(&why)) << why;
+  EXPECT_TRUE(h.is_aborted(1));
+}
+
+TEST(WellFormed, RejectsOperationUnsupportedBySpec) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kInc));  // registers have no inc
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, RejectsUnknownObject) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 5, OpCode::kRead));
+  EXPECT_FALSE(h.well_formed());
+}
+
+TEST(WellFormed, TryCWhileOpPendingIsInvalid) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  h.append(ev::try_commit(1));
+  EXPECT_FALSE(h.well_formed());
+}
+
+// --- projections and equivalence -------------------------------------------
+
+TEST(Projection, ByTransaction) {
+  const History h = two_tx_history();
+  const History h1 = h.project_tx(1);
+  for (const Event& e : h1.events()) EXPECT_EQ(e.tx, 1u);
+  EXPECT_EQ(h1.size(), 4u);  // inv, ret, tryC, C
+  const History h9 = h.project_tx(9);
+  EXPECT_TRUE(h9.empty());
+}
+
+TEST(Projection, ByObject) {
+  const History h = two_tx_history();
+  const History hx = h.project_obj(0);
+  for (const Event& e : hx.events()) EXPECT_EQ(e.obj, 0u);
+  EXPECT_EQ(hx.size(), 4u);  // T1's write + T2's read (termination excluded)
+}
+
+TEST(Equivalence, ReorderingAcrossTxPreserves) {
+  const History a = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 0)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  const History b = HistoryBuilder::registers(1)
+                        .read(2, 0, 0)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(a.equivalent(b));
+}
+
+TEST(Equivalence, ReorderingWithinTxBreaks) {
+  const History a =
+      HistoryBuilder::registers(2).read(1, 0, 0).read(1, 1, 0).build();
+  const History b =
+      HistoryBuilder::registers(2).read(1, 1, 0).read(1, 0, 0).build();
+  EXPECT_FALSE(a.equivalent(b));
+}
+
+TEST(Equivalence, MissingTransactionBreaks) {
+  const History a = HistoryBuilder::registers(1).read(1, 0, 0).build();
+  const History b = HistoryBuilder::registers(1)
+                        .read(1, 0, 0)
+                        .read(2, 0, 0)
+                        .build();
+  EXPECT_FALSE(a.equivalent(b));
+  EXPECT_FALSE(b.equivalent(a));
+}
+
+// --- statuses -----------------------------------------------------------------
+
+TEST(Status, AllFourStates) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)   // committed
+                        .write(2, 0, 2)
+                        .trya(2)
+                        .abort(2)        // aborted (voluntarily)
+                        .write(3, 0, 3)
+                        .tryc(3)         // commit-pending
+                        .write(4, 0, 4)  // live
+                        .build();
+  EXPECT_EQ(h.status(1), TxStatus::kCommitted);
+  EXPECT_EQ(h.status(2), TxStatus::kAborted);
+  EXPECT_EQ(h.status(3), TxStatus::kCommitPending);
+  EXPECT_EQ(h.status(4), TxStatus::kLive);
+  EXPECT_FALSE(h.is_forcefully_aborted(2));  // it asked to abort
+  EXPECT_TRUE(h.is_completed(1));
+  EXPECT_TRUE(h.is_completed(2));
+  EXPECT_TRUE(h.is_live(3));  // commit-pending transactions are live
+  EXPECT_TRUE(h.is_live(4));
+}
+
+TEST(Status, ForcefulAbort) {
+  const History h =
+      HistoryBuilder::registers(1).write(1, 0, 1).tryc(1).abort(1).build();
+  EXPECT_TRUE(h.is_forcefully_aborted(1));
+}
+
+TEST(PendingInvocation, DetectsAndClears) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));
+  ASSERT_TRUE(h.pending_invocation(1).has_value());
+  EXPECT_EQ(h.pending_invocation(1)->op, OpCode::kRead);
+  h.append(ev::ret(1, 0, OpCode::kRead, 0, 0));
+  EXPECT_FALSE(h.pending_invocation(1).has_value());
+}
+
+// --- real-time order -------------------------------------------------------------
+
+TEST(RealTime, SequentialHistoryTotallyOrdered) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(h.precedes(1, 2));
+  EXPECT_FALSE(h.precedes(2, 1));
+  EXPECT_FALSE(h.concurrent(1, 2));
+  EXPECT_TRUE(h.is_sequential());
+}
+
+TEST(RealTime, LiveTransactionPrecedesNothing) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)  // T1 stays live
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(h.precedes(1, 2));  // T1 incomplete -> not ordered before T2
+  EXPECT_TRUE(h.concurrent(1, 2));
+}
+
+TEST(RealTime, PreservationIsSubsetRelation) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .build();
+  // The reversed order does not preserve h's order.
+  const History rev = HistoryBuilder::registers(1)
+                          .write(2, 0, 2)
+                          .commit_now(2)
+                          .write(1, 0, 1)
+                          .commit_now(1)
+                          .build();
+  EXPECT_FALSE(rev.preserves_real_time_order_of(h));
+  EXPECT_TRUE(h.preserves_real_time_order_of(h));
+}
+
+TEST(Sequential, InterleavedIsNotSequential) {
+  std::string why;
+  EXPECT_FALSE(two_tx_history().is_sequential(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+// --- Complete(H) -------------------------------------------------------------------
+
+TEST(Complete, CompleteHistoryHasSingleCompletion) {
+  const History h = two_tx_history();
+  EXPECT_TRUE(h.is_complete());
+  const auto cs = h.completions();
+  ASSERT_EQ(cs.size(), 1u);
+  EXPECT_TRUE(cs[0].equivalent(h));
+}
+
+TEST(Complete, LivePendingOpGetsAbortEvent) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::inv(1, 0, OpCode::kRead));  // pending op, live
+  const auto cs = h.completions();
+  ASSERT_EQ(cs.size(), 1u);
+  std::string why;
+  EXPECT_TRUE(cs[0].well_formed(&why)) << why;
+  EXPECT_TRUE(cs[0].is_aborted(1));
+}
+
+TEST(Complete, TwoCommitPendingGiveFourCompletions) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .write(2, 1, 2)
+                        .tryc(2)
+                        .build();
+  const auto cs = h.completions();
+  ASSERT_EQ(cs.size(), 4u);
+  int committed_count = 0;
+  for (const History& c : cs) {
+    EXPECT_TRUE(c.is_complete());
+    committed_count += c.is_committed(1) + c.is_committed(2);
+  }
+  EXPECT_EQ(committed_count, 4);  // (0,0),(1,0),(0,1),(1,1)
+}
+
+TEST(Complete, ThrowsWhenTooManyCombinations) {
+  HistoryBuilder b = HistoryBuilder::registers(12);
+  for (TxId t = 1; t <= 12; ++t) b.write(t, t - 1, t).tryc(t);
+  EXPECT_THROW((void)b.build().completions(16), std::length_error);
+}
+
+// --- §5.4 notions ----------------------------------------------------------------------
+
+TEST(Nonlocal, StripsLocalReadsAndOverwrittenWrites) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)  // local (overwritten below)
+                        .read(1, 0, 1)   // local (preceded by own write)
+                        .write(1, 0, 2)  // non-local (last write)
+                        .commit_now(1)
+                        .build();
+  const History nl = h.nonlocal();
+  // Only the final write's two events plus tryC/C remain.
+  EXPECT_EQ(nl.size(), 4u);
+  EXPECT_EQ(nl[0].op, OpCode::kWrite);
+  EXPECT_EQ(nl[0].arg, 2);
+}
+
+TEST(Nonlocal, FirstReadBeforeOwnWriteIsNonLocal) {
+  const History h = HistoryBuilder::registers(1)
+                        .read(1, 0, 0)   // non-local: no own write before it
+                        .write(1, 0, 1)  // non-local: last write
+                        .commit_now(1)
+                        .build();
+  EXPECT_EQ(h.nonlocal().size(), h.size());
+}
+
+TEST(LocallyConsistent, DetectsBrokenLocalRead) {
+  const History good = HistoryBuilder::registers(1)
+                           .write(1, 0, 5)
+                           .read(1, 0, 5)
+                           .build();
+  EXPECT_TRUE(good.locally_consistent());
+  const History bad = HistoryBuilder::registers(1)
+                          .write(1, 0, 5)
+                          .read(1, 0, 7)
+                          .build();
+  std::string why;
+  EXPECT_FALSE(bad.locally_consistent(&why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Consistent, ReadOfNeverWrittenValueFails) {
+  const History h = HistoryBuilder::registers(1).read(1, 0, 99).build();
+  std::string why;
+  EXPECT_FALSE(h.consistent(&why));
+}
+
+TEST(Consistent, InitialValueCountsAsWritten) {
+  const History h = HistoryBuilder::registers(1, 7).read(1, 0, 7).build();
+  EXPECT_TRUE(h.consistent());
+}
+
+TEST(Consistent, WrittenValueSatisfies) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 3)
+                        .commit_now(1)
+                        .read(2, 0, 3)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(h.consistent());
+}
+
+// --- rendering ------------------------------------------------------------------------
+
+TEST(Rendering, StrAndTimelineNonEmpty) {
+  const History h = two_tx_history();
+  EXPECT_NE(h.str().find("write"), std::string::npos);
+  const std::string tl = h.timeline();
+  EXPECT_NE(tl.find("T1:"), std::string::npos);
+  EXPECT_NE(tl.find("T2:"), std::string::npos);
+}
+
+// --- HistoryIndex -----------------------------------------------------------------------
+
+TEST(HistoryIndex, DigestsOpsAndStatus) {
+  const History h = two_tx_history();
+  const HistoryIndex idx(h);
+  ASSERT_EQ(idx.num_txs(), 2u);
+  const TxInfo& t1 = idx.txs()[idx.pos_of(1)];
+  EXPECT_EQ(t1.ops.size(), 1u);
+  EXPECT_EQ(t1.ops[0].op, OpCode::kWrite);
+  EXPECT_TRUE(t1.ops[0].has_response);
+  EXPECT_FALSE(t1.read_only);
+  const TxInfo& t2 = idx.txs()[idx.pos_of(2)];
+  EXPECT_TRUE(t2.read_only);
+  EXPECT_EQ(t2.ops.size(), 2u);
+}
+
+TEST(HistoryIndex, RejectsMalformedHistory) {
+  History h(ObjectModel::registers(1));
+  h.append(ev::commit(1));
+  EXPECT_THROW(HistoryIndex idx(h), std::invalid_argument);
+}
+
+TEST(HistoryIndex, PrecedesUsesDenseIndices) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .build();
+  const HistoryIndex idx(h);
+  EXPECT_TRUE(idx.precedes(idx.pos_of(1), idx.pos_of(2)));
+  EXPECT_FALSE(idx.precedes(idx.pos_of(2), idx.pos_of(1)));
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,138 @@
+// Legality by replay (§4): legal sequential histories and per-transaction
+// legality (committed prefix + the transaction itself).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/legality.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(SequentialLegal, AcceptsCorrectReplay) {
+  const History s = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .commit_now(1)
+                        .read(2, 0, 5)
+                        .commit_now(2)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(sequential_legal(s, &why)) << why;
+}
+
+TEST(SequentialLegal, RejectsWrongReadValue) {
+  const History s = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .commit_now(1)
+                        .read(2, 0, 7)
+                        .commit_now(2)
+                        .build();
+  std::string why;
+  EXPECT_FALSE(sequential_legal(s, &why));
+  EXPECT_NE(why.find("return"), std::string::npos);
+}
+
+TEST(SequentialLegal, RejectsNonSequential) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .read(2, 0, 0)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  std::string why;
+  EXPECT_FALSE(sequential_legal(h, &why));
+  EXPECT_NE(why.find("sequential"), std::string::npos);
+}
+
+TEST(SequentialLegal, TrailingPendingInvocationAllowed) {
+  History s(ObjectModel::registers(1));
+  s.append(ev::inv(1, 0, OpCode::kWrite, 1));
+  s.append(ev::ret(1, 0, OpCode::kWrite, 1, kOk));
+  s.append(ev::inv(1, 0, OpCode::kRead));  // pending
+  std::string why;
+  EXPECT_TRUE(sequential_legal(s, &why)) << why;
+}
+
+TEST(SequentialLegal, QueueSemanticsChecked) {
+  ObjectModel m;
+  m.add(std::make_shared<QueueSpec>());
+  const History good = HistoryBuilder(m)
+                           .enq(1, 0, 10)
+                           .enq(1, 0, 20)
+                           .commit_now(1)
+                           .deq(2, 0, 10)
+                           .commit_now(2)
+                           .build();
+  EXPECT_TRUE(sequential_legal(good));
+  const History bad = HistoryBuilder(m)
+                          .enq(1, 0, 10)
+                          .enq(1, 0, 20)
+                          .commit_now(1)
+                          .deq(2, 0, 20)  // LIFO answer from a FIFO queue
+                          .commit_now(2)
+                          .build();
+  EXPECT_FALSE(sequential_legal(bad));
+}
+
+TEST(TransactionLegal, SkipsAbortedPredecessors) {
+  // T1 aborts after writing; T2 must see the initial value, not T1's write.
+  const History s = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .tryc(1)
+                        .abort(1)
+                        .read(2, 0, 0)
+                        .commit_now(2)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(transaction_legal(s, 2, &why)) << why;
+  EXPECT_TRUE(all_transactions_legal(s, &why)) << why;
+}
+
+TEST(TransactionLegal, AbortedTransactionStillJudged) {
+  // The aborted transaction itself must have read a consistent state.
+  const History s = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .commit_now(1)
+                        .read(2, 0, 0)  // stale: committed prefix has x=5
+                        .trya(2)
+                        .abort(2)
+                        .build();
+  EXPECT_TRUE(transaction_legal(s, 1));
+  std::string why;
+  EXPECT_FALSE(transaction_legal(s, 2, &why));
+  EXPECT_FALSE(all_transactions_legal(s));
+}
+
+TEST(TransactionLegal, ReadsOwnWritesWithinTransaction) {
+  const History s = HistoryBuilder::registers(1)
+                        .write(1, 0, 9)
+                        .read(1, 0, 9)
+                        .commit_now(1)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(transaction_legal(s, 1, &why)) << why;
+}
+
+TEST(TransactionLegal, UnknownTransaction) {
+  const History s = HistoryBuilder::registers(1).read(1, 0, 0).build();
+  std::string why;
+  EXPECT_FALSE(transaction_legal(s, 42, &why));
+}
+
+TEST(AllTransactionsLegal, MixedRolesSequence) {
+  // committed T1, aborted T2 (sees T1), committed T3 (sees T1 only).
+  const History s = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .write(2, 1, 7)
+                        .trya(2)
+                        .abort(2)
+                        .read(3, 1, 0)  // T2 aborted: its write to y invisible
+                        .commit_now(3)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(all_transactions_legal(s, &why)) << why;
+}
+
+}  // namespace
+}  // namespace optm::core

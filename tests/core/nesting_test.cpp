@@ -1,0 +1,240 @@
+// §7's model extensions: closed nesting via flattening, and
+// non-transactional accesses as single-operation committed transactions.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/nesting.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(Nesting, CommittedChildMergesIntoParent) {
+  // Parent T1 writes x; nested child T10 writes y and commits; parent
+  // commits. Flattened: one transaction with both writes.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(10, 1, 2)  // child ops
+                        .commit_now(10)   // child commits
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_closed_nesting(h, {{10, 1}});
+  EXPECT_EQ(flat.transactions(), (std::vector<TxId>{1}));
+  const HistoryIndex idx(flat);
+  EXPECT_EQ(idx.txs()[0].ops.size(), 2u);
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+}
+
+TEST(Nesting, ChildSeesParentWrites) {
+  // The §7 requirement: "a nested transaction should observe the changes
+  // done by its parent transaction". After flattening, the child's read of
+  // the parent's write is a plain read-own-write — legal.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .read(10, 0, 7)  // child reads parent's write
+                        .commit_now(10)
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_closed_nesting(h, {{10, 1}});
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+
+  // WITHOUT the nesting relationship the run is incorrect, but in the
+  // subtle prefix sense of §5.2: the COMPLETE history is opaque (T1
+  // eventually commits, so "T1 then T10" is a legal witness), yet the
+  // prefix ending at the child's commit is not — there T1 is live and not
+  // commit-pending, so every completion aborts it, making T10's read
+  // illegal. A TM generates its history progressively, so that prefix
+  // alone condemns the execution.
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+  const auto bad_prefix = first_non_opaque_prefix(h);
+  ASSERT_TRUE(bad_prefix.has_value());
+  // The earliest offending prefix ends right after T10's read RESPONSE:
+  // there both T1 and T10 are live and not commit-pending, every
+  // completion aborts both, and aborted T10's read of T1's never-committed
+  // value is illegal.
+  EXPECT_EQ(*bad_prefix, 4u);
+}
+
+TEST(Nesting, AbortedChildStaysSeparateAndInvisible) {
+  // Child T10 writes y then aborts; parent commits. The child's write must
+  // not be visible — T2 reading it makes the flattened history non-opaque.
+  const History ok = HistoryBuilder::registers(2)
+                         .write(1, 0, 1)
+                         .write(10, 1, 2)
+                         .trya(10)
+                         .abort(10)
+                         .commit_now(1)
+                         .read(2, 1, 0)  // sees initial y: child discarded
+                         .commit_now(2)
+                         .build();
+  const History flat_ok = flatten_closed_nesting(ok, {{10, 1}});
+  EXPECT_EQ(check_opacity(flat_ok).verdict, Verdict::kYes);
+
+  const History bad = HistoryBuilder::registers(2)
+                          .write(1, 0, 1)
+                          .write(10, 1, 2)
+                          .trya(10)
+                          .abort(10)
+                          .commit_now(1)
+                          .read(2, 1, 2)  // observes the aborted child!
+                          .commit_now(2)
+                          .build();
+  const History flat_bad = flatten_closed_nesting(bad, {{10, 1}});
+  EXPECT_EQ(check_opacity(flat_bad).verdict, Verdict::kNo);
+}
+
+TEST(Nesting, TwoLevelNestingFlattensTransitively) {
+  const History h = HistoryBuilder::registers(3)
+                        .write(1, 0, 1)
+                        .write(10, 1, 2)
+                        .write(20, 2, 3)  // grandchild
+                        .commit_now(20)
+                        .commit_now(10)
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_closed_nesting(h, {{10, 1}, {20, 10}});
+  EXPECT_EQ(flat.transactions(), (std::vector<TxId>{1}));
+  const HistoryIndex idx(flat);
+  EXPECT_EQ(idx.txs()[0].ops.size(), 3u);
+}
+
+TEST(Nesting, CyclicForestRejected) {
+  const History h = HistoryBuilder::registers(1).read(1, 0, 0).commit_now(1).build();
+  EXPECT_THROW((void)flatten_closed_nesting(h, {{1, 2}, {2, 1}}),
+               std::invalid_argument);
+}
+
+TEST(OpenNesting, CommittedChildSurvivesParentAbort) {
+  // The defining difference from closed nesting: the open-nested child's
+  // commit publishes immediately and survives the parent's abort. Parent
+  // T1 writes x (never commits); child T10 logs y:=2 and commits; T1
+  // aborts; T2 then reads the child's y.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(10, 1, 2)
+                        .commit_now(10)
+                        .trya(1)
+                        .abort(1)
+                        .read(2, 1, 2)  // the child's effect is visible
+                        .commit_now(2)
+                        .build();
+  const History flat = flatten_open_nesting(h, {{10, 1}});
+  EXPECT_TRUE(flat.is_committed(10));
+  EXPECT_TRUE(flat.is_aborted(1));
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+
+  // Under CLOSED nesting the same history is contradictory — a committed
+  // child inside an aborted parent would relabel the child's events into
+  // the aborted parent, and T2's read of y could then never be justified.
+  const History closed = flatten_closed_nesting(h, {{10, 1}});
+  EXPECT_EQ(check_opacity(closed).verdict, Verdict::kNo);
+}
+
+TEST(OpenNesting, ChildReadOfParentPendingWriteIsNestLocal) {
+  // Child T10 reads the parent's uncommitted x — justified by the nest
+  // context ("operations of a nested transaction together with all the
+  // preceding operations of its parent"), so the reduction removes the
+  // read; the remaining history is opaque.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 7)
+                        .read(10, 0, 7)  // parent's pending write
+                        .write(10, 1, 9)
+                        .commit_now(10)
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_open_nesting(h, {{10, 1}});
+  // The nest-local read is gone; the child keeps its own write.
+  const HistoryIndex idx(flat);
+  EXPECT_EQ(idx.txs()[idx.pos_of(10)].ops.size(), 1u);
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+
+  // WITHOUT the reduction the raw history's prefix is condemned (the read
+  // looks dirty to the flat model).
+  ASSERT_TRUE(first_non_opaque_prefix(h).has_value());
+}
+
+TEST(OpenNesting, ChildReadOfParentCommittedWriteIsJudgedGlobally) {
+  // If the ancestor COMMITTED before the child's read, the read is an
+  // ordinary global read and must stay: dropping it would hide staleness.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .commit_now(1)
+                        .read(10, 0, 7)
+                        .commit_now(10)
+                        .build();
+  // T10 begins after T1 committed, so the parent map is vacuous here; the
+  // read survives the reduction and the history stays opaque.
+  const History flat = flatten_open_nesting(h, {{10, 1}});
+  const HistoryIndex idx(flat);
+  EXPECT_EQ(idx.txs()[idx.pos_of(10)].ops.size(), 1u);
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+}
+
+TEST(OpenNesting, StaleChildReadStillCondemned) {
+  // The reduction must NOT whitewash a genuinely stale child read: T9
+  // (unrelated) overwrites x and commits; the child then reads the
+  // parent's STALE pending value... which is fine as nest-local — but a
+  // stale read of an unrelated committed value stays condemned.
+  const History h = HistoryBuilder::registers(2)
+                        .write(9, 0, 5)
+                        .commit_now(9)
+                        .write(1, 1, 1)   // parent writes y
+                        .read(10, 0, 0)   // child reads x = 0: stale!
+                        .commit_now(10)
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_open_nesting(h, {{10, 1}});
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kNo);
+}
+
+TEST(OpenNesting, CyclicForestRejected) {
+  const History h =
+      HistoryBuilder::registers(1).read(1, 0, 0).commit_now(1).build();
+  EXPECT_THROW((void)flatten_open_nesting(h, {{1, 2}, {2, 1}}),
+               std::invalid_argument);
+}
+
+TEST(OpenNesting, GrandparentWritesAreNestLocalToo) {
+  // Two-level nest: grandchild T20 reads top-level T1's pending write.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 3)
+                        .read(20, 0, 3)
+                        .write(20, 1, 4)
+                        .commit_now(20)
+                        .commit_now(10)  // middle child (no ops)
+                        .commit_now(1)
+                        .build();
+  const History flat = flatten_open_nesting(h, {{10, 1}, {20, 10}});
+  const HistoryIndex idx(flat);
+  EXPECT_EQ(idx.txs()[idx.pos_of(20)].ops.size(), 1u);
+  EXPECT_EQ(check_opacity(flat).verdict, Verdict::kYes);
+}
+
+TEST(NonTransactional, EncapsulatedAsCommittedSingleton) {
+  // §7: "encapsulating every non-transactional operation into a committed
+  // transaction" preserves the illusion of instantaneous execution.
+  History h = HistoryBuilder::registers(1)
+                  .write(1, 0, 1)
+                  .commit_now(1)
+                  .build();
+  const History extended =
+      with_non_transactional_access(h, 99, 0, OpCode::kRead, 0, 1);
+  EXPECT_TRUE(extended.is_committed(99));
+  EXPECT_EQ(check_opacity(extended).verdict, Verdict::kYes);
+
+  // A non-transactional read of a never-written value is a race the model
+  // now CATCHES instead of leaving undefined:
+  const History racy =
+      with_non_transactional_access(h, 99, 0, OpCode::kRead, 0, 42);
+  EXPECT_EQ(check_opacity(racy).verdict, Verdict::kNo);
+}
+
+TEST(NonTransactional, DuplicateTxIdRejected) {
+  const History h = HistoryBuilder::registers(1).read(1, 0, 0).build();
+  EXPECT_THROW(
+      (void)with_non_transactional_access(h, 1, 0, OpCode::kRead, 0, 0),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optm::core

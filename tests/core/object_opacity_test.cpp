@@ -1,0 +1,228 @@
+// Opacity over ARBITRARY shared objects — the §3.4 requirement the paper
+// insists on ("we need to consider a formal description of the semantics
+// of the implemented shared objects as an input parameter to the TM
+// correctness criterion"). These tests drive the definitional checker
+// through queue, stack, counter, fetch-add and set histories, where
+// legality is decided by sequential-specification replay rather than
+// last-write bookkeeping.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/builder.hpp"
+#include "core/object_spec.hpp"
+#include "core/opacity.hpp"
+#include "core/recoverability.hpp"
+
+namespace optm::core {
+namespace {
+
+ObjectModel one(std::shared_ptr<const ObjectSpec> spec) {
+  ObjectModel m;
+  m.add(std::move(spec));
+  return m;
+}
+
+// --- FIFO queue ---------------------------------------------------------------
+
+TEST(QueueOpacity, FifoOrderAccepted) {
+  const History h = HistoryBuilder(one(std::make_shared<QueueSpec>()))
+                        .enq(1, 0, 10)
+                        .enq(1, 0, 20)
+                        .commit_now(1)
+                        .deq(2, 0, 10)
+                        .commit_now(2)
+                        .deq(3, 0, 20)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(QueueOpacity, SkippedHeadRejected) {
+  // Dequeuing 20 while 10 is still at the front matches no sequential
+  // execution of a FIFO queue.
+  const History h = HistoryBuilder(one(std::make_shared<QueueSpec>()))
+                        .enq(1, 0, 10)
+                        .enq(1, 0, 20)
+                        .commit_now(1)
+                        .deq(2, 0, 20)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(QueueOpacity, DuplicateDequeueRejected) {
+  // Two committed transactions both claim the same element.
+  const History h = HistoryBuilder(one(std::make_shared<QueueSpec>()))
+                        .enq(1, 0, 10)
+                        .commit_now(1)
+                        .deq(2, 0, 10)
+                        .deq(3, 0, 10)
+                        .commit_now(2)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(QueueOpacity, EmptyDequeueIsAState) {
+  // kEmpty is a legal return precisely while nothing is enqueued — and an
+  // aborted enqueuer never changes that.
+  const History ok = HistoryBuilder(one(std::make_shared<QueueSpec>()))
+                         .enq(1, 0, 10)
+                         .abort_now(1)
+                         .deq(2, 0, kEmpty)
+                         .commit_now(2)
+                         .build();
+  EXPECT_EQ(check_opacity(ok).verdict, Verdict::kYes);
+
+  const History bad = HistoryBuilder(one(std::make_shared<QueueSpec>()))
+                          .enq(1, 0, 10)
+                          .abort_now(1)
+                          .deq(2, 0, 10)  // observes the aborted enqueue
+                          .commit_now(2)
+                          .build();
+  EXPECT_EQ(check_opacity(bad).verdict, Verdict::kNo);
+}
+
+TEST(QueueOpacity, DequeueFromCommitPendingEnqueuerAllowed) {
+  // The H4 duality on a queue: T1 is commit-pending when T2 dequeues its
+  // element; Complete(H) may commit T1, so the history is opaque.
+  HistoryBuilder b(one(std::make_shared<QueueSpec>()));
+  b.enq(1, 0, 10).tryc(1);  // commit-pending
+  b.deq(2, 0, 10).commit_now(2);
+  const History h = b.build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- LIFO stack ----------------------------------------------------------------
+
+TEST(StackOpacity, LifoOrderAccepted) {
+  const History h = HistoryBuilder(one(std::make_shared<StackSpec>()))
+                        .push(1, 0, 10)
+                        .push(1, 0, 20)
+                        .commit_now(1)
+                        .pop(2, 0, 20)
+                        .pop(2, 0, 10)
+                        .pop(2, 0, kEmpty)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(StackOpacity, FifoOrderRejected) {
+  const History h = HistoryBuilder(one(std::make_shared<StackSpec>()))
+                        .push(1, 0, 10)
+                        .push(1, 0, 20)
+                        .commit_now(1)
+                        .pop(2, 0, 10)  // bottom first: not a stack
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+// --- counter (§3.4) --------------------------------------------------------------
+
+TEST(CounterOpacity, ConcurrentBlindIncrementsAllCommit) {
+  // The paper's motivating example: k concurrent inc() transactions are
+  // all opaque together — any serialization is legal because inc is
+  // write-only and commutative.
+  HistoryBuilder b(one(std::make_shared<CounterSpec>()));
+  b.inc(1, 0).inc(2, 0).inc(3, 0);
+  b.commit_now(1).commit_now(2).commit_now(3);
+  const History h = b.build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+
+  // ... while strict recoverability (§3.5) forbids exactly this — the
+  // paper's argument that it is too strong for arbitrary objects.
+  EXPECT_FALSE(check_strict_recoverability(h).holds);
+}
+
+TEST(CounterOpacity, GetPinsTheCount) {
+  // A reader between increments constrains the serialization: get() -> 1
+  // with two committed incs around it is opaque (one before, one after),
+  // but get() -> 3 with only two incs is not.
+  HistoryBuilder ok(one(std::make_shared<CounterSpec>()));
+  ok.inc(1, 0).commit_now(1);
+  ok.get(2, 0, 1).commit_now(2);
+  ok.inc(3, 0).commit_now(3);
+  EXPECT_EQ(check_opacity(ok.build()).verdict, Verdict::kYes);
+
+  HistoryBuilder bad(one(std::make_shared<CounterSpec>()));
+  bad.inc(1, 0).commit_now(1);
+  bad.inc(2, 0).commit_now(2);
+  bad.get(3, 0, 3).commit_now(3);  // only two increments ever committed
+  EXPECT_EQ(check_opacity(bad.build()).verdict, Verdict::kNo);
+}
+
+TEST(CounterOpacity, AbortedIncrementInvisible) {
+  HistoryBuilder b(one(std::make_shared<CounterSpec>()));
+  b.inc(1, 0).abort_now(1);
+  b.get(2, 0, 1).commit_now(2);  // claims to see the aborted inc
+  EXPECT_EQ(check_opacity(b.build()).verdict, Verdict::kNo);
+}
+
+// --- fetch-add ----------------------------------------------------------------------
+
+TEST(FetchAddOpacity, ReturnValuesForceATotalOrder) {
+  // faa returns the OLD value, so concurrent faa(1)s must observe distinct
+  // predecessors: {0, 1} is opaque, {0, 0} is not.
+  HistoryBuilder ok(one(std::make_shared<FetchAddSpec>()));
+  ok.fetch_add(1, 0, 1, 0).fetch_add(2, 0, 1, 1);
+  ok.commit_now(1).commit_now(2);
+  EXPECT_EQ(check_opacity(ok.build()).verdict, Verdict::kYes);
+
+  HistoryBuilder bad(one(std::make_shared<FetchAddSpec>()));
+  bad.fetch_add(1, 0, 1, 0).fetch_add(2, 0, 1, 0);
+  bad.commit_now(1).commit_now(2);
+  EXPECT_EQ(check_opacity(bad.build()).verdict, Verdict::kNo);
+}
+
+// --- set ------------------------------------------------------------------------------
+
+TEST(SetOpacity, DisjointInsertsCommute) {
+  HistoryBuilder b(one(std::make_shared<SetSpec>()));
+  b.exec(1, 0, OpCode::kInsert, 5, 1).exec(2, 0, OpCode::kInsert, 7, 1);
+  b.commit_now(1).commit_now(2);
+  b.exec(3, 0, OpCode::kContains, 5, 1)
+      .exec(3, 0, OpCode::kContains, 7, 1)
+      .commit_now(3);
+  EXPECT_EQ(check_opacity(b.build()).verdict, Verdict::kYes);
+}
+
+TEST(SetOpacity, DoubleInsertOfSameKeyCannotBothSucceed) {
+  // insert returns 1 only when the key was absent: two committed
+  // transactions cannot both have inserted the same key first.
+  HistoryBuilder b(one(std::make_shared<SetSpec>()));
+  b.exec(1, 0, OpCode::kInsert, 5, 1).exec(2, 0, OpCode::kInsert, 5, 1);
+  b.commit_now(1).commit_now(2);
+  EXPECT_EQ(check_opacity(b.build()).verdict, Verdict::kNo);
+}
+
+// --- mixed objects -----------------------------------------------------------------
+
+TEST(MixedObjects, TornViewAcrossObjectTypesRejected) {
+  // One register (obj 0) and one queue (obj 1), updated together by T1.
+  // Live T2 sees the new register value but the OLD queue state: no
+  // committed prefix ever contained that combination.
+  ObjectModel m;
+  m.add(std::make_shared<RegisterSpec>(0));
+  m.add(std::make_shared<QueueSpec>());
+  HistoryBuilder b(m);
+  b.write(1, 0, 7).enq(1, 1, 10).commit_now(1);
+  b.read(2, 0, 7).deq(2, 1, kEmpty);  // new register, old queue
+  b.tryc(2).abort(2);
+  EXPECT_EQ(check_opacity(b.build()).verdict, Verdict::kNo);
+}
+
+TEST(MixedObjects, ConsistentCrossObjectViewAccepted) {
+  ObjectModel m;
+  m.add(std::make_shared<RegisterSpec>(0));
+  m.add(std::make_shared<QueueSpec>());
+  HistoryBuilder b(m);
+  b.write(1, 0, 7).enq(1, 1, 10).commit_now(1);
+  b.read(2, 0, 7).deq(2, 1, 10).commit_now(2);
+  EXPECT_EQ(check_opacity(b.build()).verdict, Verdict::kYes);
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,186 @@
+// Sequential specifications: semantics of every shipped object class, plus
+// the framework invariants (clone independence, canonical encodings) that
+// the opacity checker's memoization relies on.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/object_spec.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(RegisterSpec, ReadWriteSemantics) {
+  RegisterSpec spec(7);
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kRead, 0), 7);
+  EXPECT_EQ(s->apply(OpCode::kWrite, 42), kOk);
+  EXPECT_EQ(s->apply(OpCode::kRead, 0), 42);
+}
+
+TEST(RegisterSpec, Capabilities) {
+  RegisterSpec spec;
+  EXPECT_TRUE(spec.supports(OpCode::kRead));
+  EXPECT_TRUE(spec.supports(OpCode::kWrite));
+  EXPECT_FALSE(spec.supports(OpCode::kInc));
+  EXPECT_TRUE(spec.is_readonly(OpCode::kRead));
+  EXPECT_FALSE(spec.is_readonly(OpCode::kWrite));
+  EXPECT_EQ(spec.name(), "register");
+}
+
+TEST(CounterSpec, IncDecGet) {
+  CounterSpec spec(10);
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kInc, 0), kOk);
+  EXPECT_EQ(s->apply(OpCode::kInc, 0), kOk);
+  EXPECT_EQ(s->apply(OpCode::kDec, 0), kOk);
+  EXPECT_EQ(s->apply(OpCode::kGet, 0), 11);
+}
+
+TEST(CounterSpec, IncIsNotReadonly) {
+  CounterSpec spec;
+  EXPECT_FALSE(spec.is_readonly(OpCode::kInc));
+  EXPECT_TRUE(spec.is_readonly(OpCode::kGet));
+}
+
+TEST(FetchAddSpec, ReturnsOldValue) {
+  FetchAddSpec spec(5);
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kFetchAdd, 3), 5);
+  EXPECT_EQ(s->apply(OpCode::kFetchAdd, -2), 8);
+  EXPECT_EQ(s->apply(OpCode::kGet, 0), 6);
+}
+
+TEST(QueueSpec, FifoOrder) {
+  QueueSpec spec;
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kDeq, 0), kEmpty);
+  EXPECT_EQ(s->apply(OpCode::kEnq, 1), kOk);
+  EXPECT_EQ(s->apply(OpCode::kEnq, 2), kOk);
+  EXPECT_EQ(s->apply(OpCode::kDeq, 0), 1);
+  EXPECT_EQ(s->apply(OpCode::kDeq, 0), 2);
+  EXPECT_EQ(s->apply(OpCode::kDeq, 0), kEmpty);
+}
+
+TEST(StackSpec, LifoOrder) {
+  StackSpec spec;
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kPop, 0), kEmpty);
+  EXPECT_EQ(s->apply(OpCode::kPush, 1), kOk);
+  EXPECT_EQ(s->apply(OpCode::kPush, 2), kOk);
+  EXPECT_EQ(s->apply(OpCode::kPop, 0), 2);
+  EXPECT_EQ(s->apply(OpCode::kPop, 0), 1);
+}
+
+TEST(SetSpec, InsertEraseContains) {
+  SetSpec spec;
+  auto s = spec.initial();
+  EXPECT_EQ(s->apply(OpCode::kContains, 5), 0);
+  EXPECT_EQ(s->apply(OpCode::kInsert, 5), 1);
+  EXPECT_EQ(s->apply(OpCode::kInsert, 5), 0);  // already present
+  EXPECT_EQ(s->apply(OpCode::kContains, 5), 1);
+  EXPECT_EQ(s->apply(OpCode::kErase, 5), 1);
+  EXPECT_EQ(s->apply(OpCode::kErase, 5), 0);  // already absent
+}
+
+// --- framework invariants, parameterized over all specs ---------------------
+
+struct SpecCase {
+  const char* label;
+  std::shared_ptr<const ObjectSpec> spec;
+  OpCode mutate_op;
+  Value mutate_arg;
+};
+
+class SpecFramework : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(SpecFramework, CloneIsIndependent) {
+  const auto& p = GetParam();
+  auto a = p.spec->initial();
+  auto b = a->clone();
+  std::string ea, eb;
+  a->encode(ea);
+  b->encode(eb);
+  EXPECT_EQ(ea, eb);
+  (void)a->apply(p.mutate_op, p.mutate_arg);
+  ea.clear();
+  eb.clear();
+  a->encode(ea);
+  b->encode(eb);
+  EXPECT_NE(ea, eb) << p.label << ": clone must not alias the original";
+}
+
+TEST_P(SpecFramework, EncodingIsDeterministic) {
+  const auto& p = GetParam();
+  auto a = p.spec->initial();
+  auto b = p.spec->initial();
+  (void)a->apply(p.mutate_op, p.mutate_arg);
+  (void)b->apply(p.mutate_op, p.mutate_arg);
+  std::string ea, eb;
+  a->encode(ea);
+  b->encode(eb);
+  EXPECT_EQ(ea, eb) << p.label;
+}
+
+TEST_P(SpecFramework, MutateOpIsNotReadonly) {
+  const auto& p = GetParam();
+  EXPECT_FALSE(p.spec->is_readonly(p.mutate_op)) << p.label;
+  EXPECT_TRUE(p.spec->supports(p.mutate_op)) << p.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSpecs, SpecFramework,
+    ::testing::Values(
+        SpecCase{"register", std::make_shared<RegisterSpec>(0), OpCode::kWrite, 9},
+        SpecCase{"counter", std::make_shared<CounterSpec>(0), OpCode::kInc, 0},
+        SpecCase{"faa", std::make_shared<FetchAddSpec>(0), OpCode::kFetchAdd, 2},
+        SpecCase{"queue", std::make_shared<QueueSpec>(), OpCode::kEnq, 1},
+        SpecCase{"stack", std::make_shared<StackSpec>(), OpCode::kPush, 1},
+        SpecCase{"set", std::make_shared<SetSpec>(), OpCode::kInsert, 3}),
+    [](const auto& param_info) { return param_info.param.label; });
+
+// --- ObjectModel / SystemState ------------------------------------------------
+
+TEST(ObjectModel, RegistersFactory) {
+  const ObjectModel m = ObjectModel::registers(4, 7);
+  EXPECT_EQ(m.size(), 4u);
+  EXPECT_TRUE(m.contains(3));
+  EXPECT_FALSE(m.contains(4));
+  EXPECT_EQ(m.spec(0).name(), "register");
+}
+
+TEST(SystemState, AppliesAcrossObjects) {
+  ObjectModel m;
+  m.add(std::make_shared<RegisterSpec>(0));
+  m.add(std::make_shared<CounterSpec>(0));
+  SystemState s(m);
+  EXPECT_EQ(s.apply(0, OpCode::kWrite, 5), kOk);
+  EXPECT_EQ(s.apply(1, OpCode::kInc, 0), kOk);
+  EXPECT_EQ(s.apply(0, OpCode::kRead, 0), 5);
+  EXPECT_EQ(s.apply(1, OpCode::kGet, 0), 1);
+}
+
+TEST(SystemState, CopyIsDeep) {
+  const ObjectModel m = ObjectModel::registers(1, 0);
+  SystemState a(m);
+  SystemState b = a;
+  (void)a.apply(0, OpCode::kWrite, 42);
+  EXPECT_NE(a.encode(), b.encode());
+  SystemState c(m);
+  c = a;
+  EXPECT_EQ(c.encode(), a.encode());
+  (void)c.apply(0, OpCode::kWrite, 1);
+  EXPECT_NE(c.encode(), a.encode());
+}
+
+TEST(SystemState, EncodeDistinguishesStates) {
+  const ObjectModel m = ObjectModel::registers(2, 0);
+  SystemState a(m), b(m);
+  EXPECT_EQ(a.encode(), b.encode());
+  (void)a.apply(0, OpCode::kWrite, 1);
+  (void)b.apply(1, OpCode::kWrite, 1);
+  EXPECT_NE(a.encode(), b.encode());  // same value, different register
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,131 @@
+// 1-copy serializability (§3.3): MVSG construction, version-order search,
+// certificates, and the relationship to plain serializability.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/one_copy.hpp"
+#include "core/paper.hpp"
+#include "core/random_history.hpp"
+#include "core/serializability.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(OneCopy, SequentialHistoryHolds) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const auto r = check_one_copy_serializability(h);
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+}
+
+TEST(OneCopy, MultiVersionReadAccepted) {
+  // T3 reads the OLD value of x although T2 overwrote it: fine under
+  // 1-copy SR with version order placing T3's read before T2 — the
+  // signature freedom of multi-version systems.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .read(3, 0, 1)  // old version
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_one_copy_serializability(h).verdict, Verdict::kYes);
+}
+
+TEST(OneCopy, FractturedReadsRejected) {
+  // Committed T3 reads x from T1 and y from T2 where T2 also wrote x and
+  // T1 also wrote y: no serial one-copy order explains both.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 10)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .write(2, 1, 20)
+                        .commit_now(2)
+                        .read(3, 0, 1)
+                        .read(3, 1, 20)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_one_copy_serializability(h).verdict, Verdict::kNo);
+}
+
+TEST(OneCopy, ReadFromAbortedRejected) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .trya(1)
+                        .abort(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_one_copy_serializability(h).verdict, Verdict::kNo);
+}
+
+TEST(OneCopy, AbortedReaderIgnored) {
+  // Like serializability, 1SR says nothing about aborted transactions.
+  const History h = paper::fig1_h1();
+  EXPECT_EQ(check_one_copy_serializability(h).verdict, Verdict::kYes);
+}
+
+TEST(OneCopy, CertificateAcceptsWitness) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .read(3, 0, 1)
+                        .commit_now(3)
+                        .build();
+  const auto r = check_one_copy_serializability(h);
+  ASSERT_EQ(r.verdict, Verdict::kYes);
+  ASSERT_TRUE(r.order.has_value());
+  std::string why;
+  EXPECT_TRUE(verify_one_copy_certificate(h, *r.order, &why)) << why;
+}
+
+TEST(OneCopy, CertificateRejectsBadOrder) {
+  // Version order T2 before T1 puts T1's version after T2's; T3's read of
+  // version 1 then has an intervening newer version it skipped -> cycle.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .write(2, 0, 2)
+                        .commit_now(2)
+                        .read(3, 0, 2)
+                        .commit_now(3)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(verify_one_copy_certificate(h, {1, 2, 3}, &why)) << why;
+  EXPECT_FALSE(verify_one_copy_certificate(h, {2, 1, 3}, &why));
+}
+
+TEST(OneCopy, NonRegisterThrows) {
+  ObjectModel m;
+  m.add(std::make_shared<CounterSpec>());
+  const History h = HistoryBuilder(m).inc(1, 0).commit_now(1).build();
+  EXPECT_THROW((void)check_one_copy_serializability(h), std::invalid_argument);
+}
+
+TEST(OneCopy, SerializableImpliesOneCopy) {
+  // In our value-replay framework, plain (view) serializability of committed
+  // register transactions implies 1-copy serializability.
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 4;
+    p.num_objects = 2;
+    const History h = random_history(p);
+    if (check_serializability(h).verdict == Verdict::kYes) {
+      EXPECT_EQ(check_one_copy_serializability(h).verdict, Verdict::kYes)
+          << "seed " << seed << "\n" << h.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,298 @@
+// Online opacity monitors: the §5.2 prefix discipline made streaming.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/builder.hpp"
+#include "core/online.hpp"
+#include "core/opacity.hpp"
+#include "core/object_spec.hpp"
+#include "core/paper.hpp"
+#include "core/random_history.hpp"
+
+namespace optm::core {
+namespace {
+
+// Feed a full history into a monitor; return the violation (if any).
+template <typename Monitor>
+std::optional<OnlineViolation> run_monitor(Monitor& m, const History& h) {
+  for (const Event& e : h.events()) (void)m.feed(e);
+  return m.violation();
+}
+
+// --- definitional backend ---------------------------------------------------------
+
+TEST(OnlineDefinitional, AcceptsTheOpaquePaperHistoryH5) {
+  const History h5 = paper::fig2_h5();
+  OnlineDefinitionalMonitor m(h5.model());
+  EXPECT_FALSE(run_monitor(m, h5).has_value());
+  EXPECT_EQ(m.events_fed(), h5.size());
+}
+
+TEST(OnlineDefinitional, FlagsFigure1AtTheSecondRead) {
+  // H1 (Figure 1) is the paper's separating example: T2's second read makes
+  // the torn snapshot visible. The monitor pinpoints exactly that response.
+  const History h1 = paper::fig1_h1();
+  OnlineDefinitionalMonitor m(h1.model());
+  const auto v = run_monitor(m, h1);
+  ASSERT_TRUE(v.has_value());
+  const Event& e = h1[v->pos];
+  EXPECT_EQ(e.kind, EventKind::kResponse);
+  EXPECT_EQ(e.tx, 2u);
+  EXPECT_EQ(e.ret, 2);  // read2(y -> 2): the inconsistent value
+}
+
+TEST(OnlineDefinitional, ViolationIsSticky) {
+  const History h1 = paper::fig1_h1();
+  OnlineDefinitionalMonitor m(h1.model());
+  (void)run_monitor(m, h1);
+  ASSERT_TRUE(m.violation().has_value());
+  const std::size_t pos = m.violation()->pos;
+  EXPECT_FALSE(m.feed(ev::try_commit(42)));
+  EXPECT_EQ(m.violation()->pos, pos);  // first violation is kept
+  EXPECT_EQ(m.events_fed(), h1.size() + 1);  // but events keep being recorded
+}
+
+TEST(OnlineDefinitional, FlagsIllFormedStream) {
+  OnlineDefinitionalMonitor m(ObjectModel::registers(1));
+  EXPECT_TRUE(m.feed(ev::inv(1, 0, OpCode::kRead)));
+  // A second invocation without a response is not well-formed.
+  EXPECT_FALSE(m.feed(ev::inv(1, 0, OpCode::kRead)));
+  ASSERT_TRUE(m.violation().has_value());
+  EXPECT_NE(m.violation()->reason.find("well-formed"), std::string::npos);
+}
+
+TEST(OnlineDefinitional, PrefixSubtletyDirtyReadFromLaterCommitter) {
+  // The §5.2 prefix discipline: T10 commits having read live T1's write.
+  // The COMPLETE history is opaque (T1 commits in the end), but the online
+  // monitor — which judges every prefix as the run unfolds — condemns the
+  // read response itself.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .read(10, 0, 7)
+                        .commit_now(10)
+                        .commit_now(1)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);  // whole history: fine
+  OnlineDefinitionalMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(h[v->pos].tx, 10u);
+  EXPECT_EQ(h[v->pos].kind, EventKind::kResponse);
+}
+
+// --- certificate backend ----------------------------------------------------------
+
+TEST(OnlineCertificate, AcceptsCommittedSequentialRun) {
+  OnlineCertificateMonitor m(ObjectModel::registers(2));
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 5)
+                        .write(1, 1, 6)
+                        .commit_now(1)
+                        .read(2, 0, 5)
+                        .read(2, 1, 6)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(run_monitor(m, h).has_value());
+  EXPECT_EQ(m.commits_seen(), 1u);  // only T1 wrote
+}
+
+TEST(OnlineCertificate, RequiresRegisterModel) {
+  OnlineCertificateMonitor ok(ObjectModel::registers(1));
+  (void)ok;
+  // A counter object is rejected (§5.4 applies to registers).
+  ObjectModel counters;
+  counters.add(std::make_shared<CounterSpec>());
+  EXPECT_THROW(OnlineCertificateMonitor bad(counters), std::invalid_argument);
+}
+
+TEST(OnlineCertificate, FlagsTornSnapshotAtTheRead) {
+  // The §2 zombie, in WeakStm shape: T1 reads old x, T2 commits {x,y}, T1
+  // reads new y. Flagged at T1's second read response.
+  const History h = HistoryBuilder::registers(2)
+                        .read(1, 0, 0)
+                        .write(2, 0, 1)
+                        .write(2, 1, 2)
+                        .commit_now(2)
+                        .read(1, 1, 2)  // torn: old x with new y
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(h[v->pos].tx, 1u);
+  EXPECT_EQ(h[v->pos].ret, 2);
+  EXPECT_NE(v->reason.find("consistent snapshot"), std::string::npos);
+}
+
+TEST(OnlineCertificate, FlagsDirtyRead) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .read(2, 0, 7)  // T1 has not committed
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("non-committed"), std::string::npos);
+}
+
+TEST(OnlineCertificate, FlagsStaleReadAsRealTimeViolation) {
+  // T2 commits x:=1 BEFORE T1's first event; T1 then reads the initial 0.
+  // ≺_H forces T2 before T1, so the stale read is condemned — exactly the
+  // situation the lazy-snapshot fix in MvStm/SiStm prevents.
+  const History h = HistoryBuilder::registers(1)
+                        .write(2, 0, 1)
+                        .commit_now(2)
+                        .read(1, 0, 0)
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("real-time"), std::string::npos);
+}
+
+TEST(OnlineCertificate, AdmitsOldSnapshotWhenReaderWasBornBeforeWriter) {
+  // Multi-version freedom (H4-flavoured): T1's first read precedes T2's
+  // commit, so T1 may keep reading its old snapshot after T2 commits.
+  const History h = HistoryBuilder::registers(2)
+                        .read(1, 0, 0)  // T1 born before T2's commit
+                        .write(2, 0, 1)
+                        .write(2, 1, 2)
+                        .commit_now(2)
+                        .read(1, 1, 0)  // old y: consistent with old x
+                        .commit_now(1)  // read-only: commits
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  EXPECT_FALSE(run_monitor(m, h).has_value());
+}
+
+TEST(OnlineCertificate, FlagsWriteSkewAtTheSecondCommit) {
+  // SiStm's signature anomaly: both read {x,y}, write disjoint variables,
+  // both try to commit. The second commit is the certificate violation.
+  const History h = HistoryBuilder::registers(2)
+                        .write(9, 0, 1)
+                        .write(9, 1, 1)
+                        .commit_now(9)
+                        .read(1, 0, 1)
+                        .read(1, 1, 1)
+                        .read(2, 0, 1)
+                        .read(2, 1, 1)
+                        .write(1, 0, 100)  // T1 zeroes x (value-unique: 100)
+                        .write(2, 1, 200)  // T2 zeroes y
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(h[v->pos].kind, EventKind::kCommit);
+  EXPECT_EQ(h[v->pos].tx, 2u);
+  EXPECT_NE(v->reason.find("not current at commit"), std::string::npos);
+}
+
+TEST(OnlineCertificate, AbortedReaderOfStableSnapshotIsClean) {
+  const History h = HistoryBuilder::registers(2)
+                        .read(1, 0, 0)
+                        .read(1, 1, 0)
+                        .trya(1)
+                        .abort(1)
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  EXPECT_FALSE(run_monitor(m, h).has_value());
+}
+
+TEST(OnlineCertificate, LocalReadMustReturnOwnWrite) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .read(1, 0, 0)  // ignores its own write
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("local consistency"), std::string::npos);
+}
+
+TEST(OnlineCertificate, ValueUniqueWritesEnforced) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .commit_now(1)
+                        .write(2, 0, 5)  // same value, different writer
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_NE(v->reason.find("value-unique"), std::string::npos);
+}
+
+TEST(OnlineCertificate, ReadOfNeverInstalledOverwrittenValueFlagged) {
+  // T1 writes 5 then 6 to x before committing: only 6 is ever installed.
+  // T2's read of 5 observes a value that was never current.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .write(1, 0, 6)
+                        .commit_now(1)
+                        .read(2, 0, 5)
+                        .build();
+  OnlineCertificateMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  EXPECT_TRUE(v.has_value());
+}
+
+// --- cross-validation: certificate is SUFFICIENT for opacity ------------------------
+
+class OnlineCrossValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OnlineCrossValidation, CertificateCleanImpliesDefinitionallyOpaque) {
+  RandomHistoryParams params;
+  params.seed = GetParam();
+  params.num_txs = 6;
+  params.num_objects = 3;
+  params.value_model = ValueModel::kCoherent;
+  const History h = random_history(params);
+
+  OnlineCertificateMonitor cert(h.model());
+  const auto cert_violation = run_monitor(cert, h);
+  if (!cert_violation.has_value()) {
+    // Sufficiency: a certificate-clean stream is opaque at every prefix.
+    EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes) << h.str();
+    EXPECT_FALSE(first_non_opaque_prefix(h).has_value()) << h.str();
+  } else {
+    // One-sided: a certificate violation need not condemn the FULL history
+    // (the certificate is not a decision procedure), but whenever the
+    // definitional monitor also complains, the certificate must have fired
+    // at or before that point (it judges prefixes at least as harshly).
+    OnlineDefinitionalMonitor def(h.model());
+    const auto def_violation = run_monitor(def, h);
+    if (def_violation.has_value()) {
+      EXPECT_LE(cert_violation->pos, def_violation->pos) << h.str();
+    }
+  }
+}
+
+TEST_P(OnlineCrossValidation, DefinitionalMonitorAgreesWithPrefixChecker) {
+  RandomHistoryParams params;
+  params.seed = GetParam() + 1000;
+  params.num_txs = 5;
+  params.num_objects = 2;
+  params.value_model = ValueModel::kCoherent;
+  params.split_op_prob = 0.5;
+  const History h = random_history(params);
+
+  OnlineDefinitionalMonitor m(h.model());
+  const auto v = run_monitor(m, h);
+  const auto prefix = first_non_opaque_prefix(h);
+  if (prefix.has_value()) {
+    ASSERT_TRUE(v.has_value()) << h.str();
+    // first_non_opaque_prefix reports a LENGTH; the monitor the INDEX of
+    // the last event of that prefix.
+    EXPECT_EQ(v->pos, *prefix - 1) << h.str();
+  } else {
+    EXPECT_FALSE(v.has_value()) << h.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OnlineCrossValidation,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,295 @@
+// §5.4 graph characterization: OPG construction, well-formedness,
+// acyclicity, the polynomial certificate checker, and — most importantly —
+// machine-checking Theorem 2 by comparing the exhaustive graph search with
+// the definitional checker on both handcrafted and randomized histories.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/opacity.hpp"
+#include "core/opacity_graph.hpp"
+#include "core/paper.hpp"
+#include "core/random_history.hpp"
+
+namespace optm::core {
+namespace {
+
+// --- construction ---------------------------------------------------------------
+
+TEST(Opg, BuildSimpleReadsFrom) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const OpacityGraph g = build_opg(h, {1, 2}, {});
+  ASSERT_EQ(g.size(), 3u);  // T0 (synthetic) + T1 + T2
+  EXPECT_TRUE(g.has_synthetic_init);
+  // T1 -> T2 must carry both rt and rf.
+  std::size_t v1 = 0, v2 = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.vertex_tx[i] == 1) v1 = i;
+    if (g.vertex_tx[i] == 2) v2 = i;
+  }
+  EXPECT_TRUE(g.label[v1][v2] & kLrt);
+  EXPECT_TRUE(g.label[v1][v2] & kLrf);
+  EXPECT_TRUE(g.well_formed());
+  EXPECT_TRUE(g.acyclic());
+}
+
+TEST(Opg, ReversedOrderCreatesCycle) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  // ≪ = (T2, T1): T2 reads x (from T1), T1 writes x, T2 ≪ T1 gives an Lrw
+  // edge T2 -> T1, while Lrf gives T1 -> T2: a cycle.
+  const OpacityGraph g = build_opg(h, {2, 1}, {});
+  EXPECT_FALSE(g.acyclic());
+}
+
+TEST(Opg, ReadFromAbortedBreaksWellFormedness) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .trya(1)
+                        .abort(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const OpacityGraph g = build_opg(h, {1, 2}, {});
+  std::string why;
+  EXPECT_FALSE(g.well_formed(&why));
+  EXPECT_NE(why.find("Lrf"), std::string::npos);
+}
+
+TEST(Opg, CommitPendingInVIsVisible) {
+  const History h = paper::h3();  // T2 reads from commit-pending T1
+  const OpacityGraph with_v = build_opg(h, {1, 2}, {1});
+  EXPECT_TRUE(with_v.well_formed());
+  EXPECT_TRUE(with_v.acyclic());
+  const OpacityGraph without_v = build_opg(h, {1, 2}, {});
+  EXPECT_FALSE(without_v.well_formed());  // T1 invisible yet read from
+}
+
+TEST(Opg, RejectsNonCommitPendingInV) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .build();
+  EXPECT_THROW((void)build_opg(h, {1}, {1}), std::invalid_argument);
+}
+
+TEST(Opg, RejectsDuplicateWrites) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .commit_now(1)
+                        .write(2, 0, 7)  // same value, same register
+                        .commit_now(2)
+                        .build();
+  EXPECT_THROW((void)build_opg(h, {1, 2}, {}), std::invalid_argument);
+}
+
+TEST(Opg, RejectsNonRegisterHistories) {
+  ObjectModel m;
+  m.add(std::make_shared<CounterSpec>());
+  const History h = HistoryBuilder(m).inc(1, 0).commit_now(1).build();
+  EXPECT_THROW((void)build_opg(h, {1}, {}), std::invalid_argument);
+}
+
+TEST(Opg, MissingTransactionInOrderThrows) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_THROW((void)build_opg(h, {1}, {}), std::invalid_argument);
+}
+
+TEST(Opg, DotRenderingMentionsLabels) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const std::string dot = build_opg(h, {1, 2}, {}).dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("rf"), std::string::npos);
+}
+
+TEST(Opg, LocalOperationsDoNotProduceEdges) {
+  // T2's read of its own write is local: no rf edge from anyone.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 0, 2)
+                        .read(2, 0, 2)  // local
+                        .commit_now(2)
+                        .build();
+  const OpacityGraph g = build_opg(h, {1, 2}, {});
+  std::size_t v1 = 0, v2 = 0;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (g.vertex_tx[i] == 1) v1 = i;
+    if (g.vertex_tx[i] == 2) v2 = i;
+  }
+  EXPECT_FALSE(g.label[v1][v2] & kLrf);
+  EXPECT_TRUE(g.acyclic());
+}
+
+// --- graph search on the paper histories ----------------------------------------
+
+TEST(GraphSearch, H1NotOpaque) {
+  const GraphCheckResult r = check_opacity_via_graph(paper::fig1_h1());
+  EXPECT_EQ(r.verdict, Verdict::kNo) << r.reason;
+}
+
+TEST(GraphSearch, H4Opaque) {
+  const GraphCheckResult r = check_opacity_via_graph(paper::h4());
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+  // The witness V must contain T2: T3 read from it.
+  ASSERT_TRUE(r.v.has_value());
+  EXPECT_NE(std::find(r.v->begin(), r.v->end(), 2u), r.v->end());
+}
+
+TEST(GraphSearch, H5Opaque) {
+  const GraphCheckResult r = check_opacity_via_graph(paper::fig2_h5());
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+}
+
+TEST(GraphSearch, InconsistentHistoryRejectedByCondition1) {
+  const History h = HistoryBuilder::registers(1).read(1, 0, 42).build();
+  const GraphCheckResult r = check_opacity_via_graph(h);
+  EXPECT_EQ(r.verdict, Verdict::kNo);
+  EXPECT_NE(r.reason.find("consistent"), std::string::npos);
+}
+
+// --- Theorem 2: definitional <=> graph, randomized ---------------------------------
+
+class Theorem2 : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem2, CheckersAgreeOnCoherentHistories) {
+  RandomHistoryParams params;
+  params.seed = GetParam();
+  params.num_txs = 4;
+  params.num_objects = 2;
+  params.max_ops_per_tx = 3;
+  const History h = random_history(params);
+  ASSERT_TRUE(h.well_formed());
+
+  const OpacityResult definitional = check_opacity(h);
+  const GraphCheckResult graph = check_opacity_via_graph(h, 7);
+  ASSERT_NE(definitional.verdict, Verdict::kUnknown);
+  ASSERT_NE(graph.verdict, Verdict::kUnknown) << graph.reason;
+  EXPECT_EQ(definitional.verdict, graph.verdict)
+      << "Theorem 2 violated on seed " << GetParam() << "\n"
+      << h.str();
+}
+
+TEST_P(Theorem2, CheckersAgreeOnAdversarialHistories) {
+  RandomHistoryParams params;
+  params.seed = GetParam();
+  params.num_txs = 4;
+  params.num_objects = 2;
+  params.max_ops_per_tx = 3;
+  params.value_model = ValueModel::kAdversarial;
+  const History h = random_history(params);
+  ASSERT_TRUE(h.well_formed());
+
+  const OpacityResult definitional = check_opacity(h);
+  const GraphCheckResult graph = check_opacity_via_graph(h, 7);
+  ASSERT_NE(definitional.verdict, Verdict::kUnknown);
+  ASSERT_NE(graph.verdict, Verdict::kUnknown) << graph.reason;
+  EXPECT_EQ(definitional.verdict, graph.verdict)
+      << "Theorem 2 violated on seed " << GetParam() << "\n"
+      << h.str();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem2, ::testing::Range<std::uint64_t>(1, 81));
+
+// --- certificate checker --------------------------------------------------------------
+
+TEST(Certificate, AcceptsCommitOrderOfSequentialRun) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .write(2, 1, 2)
+                        .commit_now(2)
+                        .read(3, 1, 2)
+                        .commit_now(3)
+                        .build();
+  std::string why;
+  EXPECT_TRUE(verify_opacity_certificate(h, {1, 2, 3}, {}, &why)) << why;
+}
+
+TEST(Certificate, RejectsWrongOrder) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  std::string why;
+  EXPECT_FALSE(verify_opacity_certificate(h, {2, 1}, {}, &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(Certificate, RejectsInconsistentHistory) {
+  const History h = HistoryBuilder::registers(1).read(1, 0, 42).build();
+  std::string why;
+  EXPECT_FALSE(verify_opacity_certificate(h, {1}, {}, &why));
+}
+
+TEST(Certificate, DetectsInterveningWriter) {
+  // T3 reads the initial value after T1 committed a write: under order
+  // (T1, T3) the version T3 read has a visible writer ranked in between.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(3, 0, 0)
+                        .commit_now(3)
+                        .build();
+  std::string why;
+  EXPECT_FALSE(verify_opacity_certificate(h, {1, 3}, {}, &why));
+  // ... and no certificate exists at all (the history is not opaque):
+  EXPECT_FALSE(verify_opacity_certificate(h, {3, 1}, {}, &why));
+}
+
+TEST(Certificate, AcceptsH4WithVContainingT2) {
+  const History h = paper::h4();
+  std::string why;
+  EXPECT_TRUE(verify_opacity_certificate(h, {1, 2, 3}, {2}, &why)) << why;
+  EXPECT_FALSE(verify_opacity_certificate(h, {1, 2, 3}, {}, &why));
+}
+
+TEST(Certificate, SoundWheneverItAccepts) {
+  // Property: on random small histories, certificate acceptance (for the
+  // natural commit order) implies definitional opacity.
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomHistoryParams params;
+    params.seed = seed;
+    params.num_txs = 4;
+    params.num_objects = 2;
+    const History h = random_history(params);
+
+    // Candidate ≪: commit order, then remaining transactions by last event.
+    std::vector<TxId> order;
+    for (const Event& e : h.events())
+      if (e.kind == EventKind::kCommit) order.push_back(e.tx);
+    for (TxId tx : h.transactions())
+      if (!h.is_committed(tx)) order.push_back(tx);
+    std::vector<TxId> v;  // treat all commit-pending as aborted
+
+    if (verify_opacity_certificate(h, order, v)) {
+      EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes)
+          << "unsound certificate at seed " << seed << "\n"
+          << h.str();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optm::core

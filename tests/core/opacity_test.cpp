@@ -1,0 +1,335 @@
+// Definition 1 checker: systematic small cases covering every clause of the
+// definition — real-time preservation, the roles of aborted/live/commit-
+// pending transactions, arbitrary objects, and witness extraction.
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::core {
+namespace {
+
+// --- basics ------------------------------------------------------------------
+
+TEST(Opacity, EmptyHistoryIsOpaque) {
+  const History h(ObjectModel::registers(1));
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(Opacity, SingleCommittedTx) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(1, 0, 1)
+                        .commit_now(1)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(Opacity, SingleTxWrongSelfRead) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(1, 0, 2)
+                        .commit_now(1)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, ReadFromCommittedWriter) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- real-time order (requirement 1 of Definition 1) -----------------------------
+
+TEST(Opacity, StaleReadAfterWriterCommitted) {
+  // T1 commits x=1, then T2 *starts* and reads the old 0: the serialization
+  // T2 < T1 is legal but violates ≺_H — exactly §2's "preserving real-time
+  // order" requirement.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 0)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, SameHistoryWithoutRealTimeRequirement) {
+  // Dropping requirement (1) (options toggle) accepts it.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 0)
+                        .commit_now(2)
+                        .build();
+  OpacityOptions opt;
+  opt.require_real_time = false;
+  EXPECT_EQ(check_opacity(h, opt).verdict, Verdict::kYes);
+}
+
+TEST(Opacity, ConcurrentStaleReadIsFine) {
+  // If T2 started before T1 committed, T2 may serialize first.
+  const History h = HistoryBuilder::registers(1)
+                        .read(2, 0, 0)  // T2's first event before T1 completes
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- aborted transactions (requirement 2) ---------------------------------------
+
+TEST(Opacity, AbortedWritesInvisible) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .trya(1)
+                        .abort(1)
+                        .read(2, 0, 1)  // reads the aborted write
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, AbortedReaderMustSeeConsistentState) {
+  // Lost-update-style: aborted T2 reads a state that never existed.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .read(2, 1, 0)  // x from after T1, y from before
+                        .tryc(2)
+                        .abort(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, AbortedTxReadingOldStateConcurrently) {
+  const History h = HistoryBuilder::registers(2)
+                        .read(2, 0, 0)
+                        .write(1, 0, 1)
+                        .write(1, 1, 1)
+                        .commit_now(1)
+                        .read(2, 1, 0)  // consistent with "T2 before T1"
+                        .tryc(2)
+                        .abort(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- live transactions ------------------------------------------------------------
+
+TEST(Opacity, LiveTransactionTreatedAsAborted) {
+  // Live T2's writes must not be visible to others.
+  const History h = HistoryBuilder::registers(1)
+                        .write(2, 0, 7)  // T2 stays live
+                        .read(1, 0, 7)   // T1 observed a live tx's write
+                        .commit_now(1)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, LiveReaderJudgedLikeAborted) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .read(2, 1, 0)  // inconsistent; T2 still live
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, PendingInvocationIgnoredForLegality) {
+  History h = HistoryBuilder::registers(1).write(1, 0, 1).commit_now(1).build();
+  h.append(ev::inv(2, 0, OpCode::kRead));  // no response yet
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- commit-pending duality ---------------------------------------------------------
+
+TEST(Opacity, CommitPendingMayAppearCommitted) {
+  // T2 reads commit-pending T1's write: only the "T1 commits" completion works.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const auto r = check_opacity(h);
+  EXPECT_EQ(r.verdict, Verdict::kYes);
+}
+
+TEST(Opacity, CommitPendingMayAppearAborted) {
+  // T2 reads the OLD value under a commit-pending writer: only the "T1
+  // aborts" (or T2-before-T1) completion works.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .read(2, 0, 0)
+                        .commit_now(2)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(Opacity, CommitPendingCannotBeBoth) {
+  // T2 reads x=1 from commit-pending T1, T3 reads x=0 — but T3 started
+  // after T2 completed, so T3 cannot be serialized before T2. No single
+  // role for T1 satisfies both readers.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .read(3, 0, 0)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+// --- arbitrary objects ----------------------------------------------------------------
+
+TEST(Opacity, QueueHistoryOpaque) {
+  ObjectModel m;
+  m.add(std::make_shared<QueueSpec>());
+  const History h = HistoryBuilder(m)
+                        .enq(1, 0, 10)
+                        .commit_now(1)
+                        .enq(2, 0, 20)
+                        .deq(3, 0, 10)
+                        .commit_now(2)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(Opacity, QueueDoubleDequeueSameElement) {
+  ObjectModel m;
+  m.add(std::make_shared<QueueSpec>());
+  const History h = HistoryBuilder(m)
+                        .enq(1, 0, 10)
+                        .commit_now(1)
+                        .deq(2, 0, 10)
+                        .deq(3, 0, 10)  // the same element twice
+                        .commit_now(2)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, SetConcurrentInsertsCommute) {
+  ObjectModel m;
+  m.add(std::make_shared<SetSpec>());
+  const History h = HistoryBuilder(m)
+                        .insert(1, 0, 1, 1)
+                        .insert(2, 0, 2, 1)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .contains(3, 0, 1, 1)
+                        .contains(3, 0, 2, 1)
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- witnesses and misc API --------------------------------------------------------------
+
+TEST(Opacity, WitnessReconstructsLegalSequentialHistory) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .tryc(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  const auto r = check_opacity(h);
+  ASSERT_EQ(r.verdict, Verdict::kYes);
+  ASSERT_TRUE(r.witness.has_value());
+  const History s = witness_history(h, *r.witness);
+  EXPECT_TRUE(s.is_sequential());
+  EXPECT_TRUE(s.is_complete());
+  EXPECT_TRUE(s.preserves_real_time_order_of(h));
+}
+
+TEST(Opacity, BudgetExhaustionReportsUnknown) {
+  // A history large enough that a 1-state budget cannot decide it.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  OpacityOptions opt;
+  opt.max_states = 1;
+  EXPECT_EQ(check_opacity(h, opt).verdict, Verdict::kUnknown);
+}
+
+TEST(Opacity, PrefixCheckerFindsViolationPoint) {
+  // The violation appears exactly when T2's inconsistent read returns.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .read(2, 1, 0)
+                        .build();
+  const auto first_bad = first_non_opaque_prefix(h);
+  ASSERT_TRUE(first_bad.has_value());
+  EXPECT_EQ(*first_bad, h.size());  // the last event (the bad response)
+  // Every proper prefix before it is opaque.
+  const History h_ok = HistoryBuilder::registers(2)
+                           .write(1, 0, 1)
+                           .write(1, 1, 1)
+                           .commit_now(1)
+                           .read(2, 0, 1)
+                           .build();
+  EXPECT_FALSE(first_non_opaque_prefix(h_ok).has_value());
+}
+
+TEST(Opacity, MoreThan64TransactionsThrows) {
+  HistoryBuilder b = HistoryBuilder::registers(1);
+  for (TxId t = 1; t <= 65; ++t) b.read(t, 0, 0).commit_now(t);
+  EXPECT_THROW((void)check_opacity(b.build()), std::invalid_argument);
+}
+
+// --- write-skew-shaped interleaving (both orders must be explored) ------------------------
+
+TEST(Opacity, BlindWriteRace) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(2, 1, 2)
+                        .write(1, 1, 3)
+                        .write(2, 0, 4)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .read(3, 0, 4)
+                        .read(3, 1, 3)
+                        .commit_now(3)
+                        .build();
+  // Final state {x=4, y=3} corresponds to T1's y surviving and T2's x
+  // surviving — impossible under any serial order of T1, T2.
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(Opacity, BlindWriteRaceConsistentFinalState) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(2, 1, 2)
+                        .write(1, 1, 3)
+                        .write(2, 0, 4)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .read(3, 0, 4)
+                        .read(3, 1, 2)  // consistent with order T1, T2
+                        .commit_now(3)
+                        .build();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+}  // namespace
+}  // namespace optm::core

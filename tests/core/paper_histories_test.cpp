@@ -1,0 +1,309 @@
+// Machine-checks every claim the paper makes about its worked histories
+// (Figures 1-2, H1-H5, and the §2/§3 examples). This suite IS the paper's
+// "evaluation" in executable form: each EXPECT corresponds to a sentence in
+// the text.
+#include <gtest/gtest.h>
+
+#include "core/criteria.hpp"
+#include "core/legality.hpp"
+#include "core/opacity.hpp"
+#include "core/paper.hpp"
+#include "core/phenomena.hpp"
+#include "core/recoverability.hpp"
+#include "core/rigorous.hpp"
+#include "core/serializability.hpp"
+
+namespace optm::core {
+namespace {
+
+using paper::kX;
+using paper::kY;
+
+// --- Figure 1 / H1 ----------------------------------------------------------
+
+TEST(Fig1H1, IsWellFormedAndComplete) {
+  const History h = paper::fig1_h1();
+  std::string why;
+  EXPECT_TRUE(h.well_formed(&why)) << why;
+  EXPECT_TRUE(h.is_complete());
+}
+
+TEST(Fig1H1, StatusesMatchSection4) {
+  // "Transactions T1 and T3 are committed in H1, while transaction T2 is
+  //  forcefully aborted in H1."
+  const History h = paper::fig1_h1();
+  EXPECT_TRUE(h.is_committed(1));
+  EXPECT_TRUE(h.is_committed(3));
+  EXPECT_TRUE(h.is_aborted(2));
+  EXPECT_TRUE(h.is_forcefully_aborted(2));
+}
+
+TEST(Fig1H1, RealTimeOrderMatchesSection4) {
+  // "In H1, transactions T2 and T3 are concurrent, T1 ≺ T2, and T1 ≺ T3."
+  const History h = paper::fig1_h1();
+  EXPECT_TRUE(h.concurrent(2, 3));
+  EXPECT_TRUE(h.precedes(1, 2));
+  EXPECT_TRUE(h.precedes(1, 3));
+  EXPECT_FALSE(h.precedes(2, 3));
+  EXPECT_FALSE(h.precedes(3, 2));
+}
+
+TEST(Fig1H1, SatisfiesGlobalAtomicityWithRealTimeOrder) {
+  // Figure 1 caption: "A history that satisfies global atomicity (with
+  //  real-time ordering guarantees) ..."
+  const History h = paper::fig1_h1();
+  EXPECT_EQ(check_global_atomicity(h).verdict, Verdict::kYes);
+  EXPECT_EQ(check_strict_global_atomicity(h).verdict, Verdict::kYes);
+}
+
+TEST(Fig1H1, SatisfiesRecoverability) {
+  // "... and recoverability, ..."
+  const History h = paper::fig1_h1();
+  EXPECT_TRUE(check_recoverability(h).holds);
+  EXPECT_TRUE(check_strict_recoverability(h).holds)
+      << check_strict_recoverability(h).reason;
+}
+
+TEST(Fig1H1, IsNotOpaque) {
+  // "... but in which an aborted transaction (T2) accesses an inconsistent
+  //  state of the system."
+  const History h = paper::fig1_h1();
+  const OpacityResult r = check_opacity(h);
+  EXPECT_EQ(r.verdict, Verdict::kNo) << r.reason;
+}
+
+TEST(Fig1H1, T2SnapshotIsInconsistent) {
+  const auto snapshot = find_inconsistent_snapshot(paper::fig1_h1());
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->tx, 2u);
+}
+
+// --- H2 ----------------------------------------------------------------------
+
+TEST(H2, EquivalentToH1AndSequential) {
+  // "The following history H2 is one of the histories that are equivalent
+  //  to H1" and "history H2 introduced before is sequential".
+  const History h1 = paper::fig1_h1();
+  const History h2 = paper::h2();
+  EXPECT_TRUE(h1.equivalent(h2));
+  EXPECT_TRUE(h2.equivalent(h1));
+  EXPECT_TRUE(h2.is_sequential());
+  EXPECT_FALSE(h1.is_sequential());
+  // "Any history H for which T1 ≺ T2 and T1 ≺ T3 preserves the real time
+  //  order of H1."
+  EXPECT_TRUE(h2.preserves_real_time_order_of(h1));
+}
+
+// --- H3 and Complete(H3) ----------------------------------------------------
+
+TEST(H3, CompletionsMatchSection4) {
+  // "in each history in set Complete(H3): (1) transaction T1 is either
+  //  committed or aborted, and (2) transaction T2 is (forcefully) aborted."
+  const History h3 = paper::h3();
+  EXPECT_FALSE(h3.is_complete());
+  EXPECT_TRUE(h3.is_commit_pending(1));
+  EXPECT_EQ(h3.status(2), TxStatus::kLive);
+
+  const auto completions = h3.completions();
+  ASSERT_EQ(completions.size(), 2u);  // T1 committed or aborted
+  bool saw_committed = false;
+  bool saw_aborted = false;
+  for (const History& c : completions) {
+    std::string why;
+    EXPECT_TRUE(c.well_formed(&why)) << why;
+    EXPECT_TRUE(c.is_complete());
+    EXPECT_TRUE(c.is_aborted(2));
+    EXPECT_TRUE(c.is_forcefully_aborted(2));
+    saw_committed |= c.is_committed(1);
+    saw_aborted |= c.is_aborted(1);
+  }
+  EXPECT_TRUE(saw_committed);
+  EXPECT_TRUE(saw_aborted);
+}
+
+TEST(H3, IsOpaque) {
+  // T2 read T1's write; the completion committing T1 legalizes it.
+  const OpacityResult r = check_opacity(paper::h3());
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+  ASSERT_TRUE(r.witness.has_value());
+  // The witness must commit T1 (T2 read x=1 from it).
+  const auto& w = *r.witness;
+  for (std::size_t i = 0; i < w.order.size(); ++i) {
+    if (w.order[i] == 1) {
+      EXPECT_EQ(w.roles[i], Role::kCommitted);
+    }
+  }
+}
+
+// --- H4 (§5.2, commit-pending duality) ---------------------------------------
+
+TEST(H4, IsOpaque) {
+  // "Because every transaction is legal in S, history H4 is opaque."
+  const OpacityResult r = check_opacity(paper::h4());
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+}
+
+TEST(H4, T1MustNotReadNewY) {
+  // "if T1 read value 5 from y, then opacity would be violated, because T1
+  //  would observe an inconsistent state of the system (x = 0 and y = 5)."
+  History h(ObjectModel::registers(2));
+  h.append(ev::inv(1, kX, OpCode::kRead));
+  h.append(ev::ret(1, kX, OpCode::kRead, 0, 0));
+  h.append(ev::inv(2, kX, OpCode::kWrite, 5));
+  h.append(ev::ret(2, kX, OpCode::kWrite, 5, kOk));
+  h.append(ev::inv(2, kY, OpCode::kWrite, 5));
+  h.append(ev::ret(2, kY, OpCode::kWrite, 5, kOk));
+  h.append(ev::try_commit(2));
+  h.append(ev::inv(3, kY, OpCode::kRead));
+  h.append(ev::ret(3, kY, OpCode::kRead, 0, 5));
+  h.append(ev::inv(1, kY, OpCode::kRead));
+  h.append(ev::ret(1, kY, OpCode::kRead, 0, 5));  // the forbidden read
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+}
+
+TEST(H4, WitnessSerializesT1BeforeT2) {
+  // "transaction T1 appears to happen before T2 ... T3 after T2."
+  const OpacityResult r = check_opacity(paper::h4());
+  ASSERT_TRUE(r.witness.has_value());
+  const auto& order = r.witness->order;
+  const auto pos = [&order](TxId tx) {
+    return std::find(order.begin(), order.end(), tx) - order.begin();
+  };
+  EXPECT_LT(pos(1), pos(2));
+  EXPECT_LT(pos(2), pos(3));
+}
+
+// --- Figure 2 / H5 ------------------------------------------------------------
+
+TEST(Fig2H5, IsWellFormed) {
+  const History h = paper::fig2_h5();
+  std::string why;
+  EXPECT_TRUE(h.well_formed(&why)) << why;
+  EXPECT_TRUE(h.is_complete());
+}
+
+TEST(Fig2H5, RealTimeOrderMatchesSection53) {
+  // "Complete(H5) = {H5} and ≺H5 = {(T2, T3)}: there is no live transaction
+  //  in H5 and T1 is concurrent with T2 and T3."
+  const History h = paper::fig2_h5();
+  EXPECT_EQ(h.completions().size(), 1u);
+  EXPECT_TRUE(h.precedes(2, 3));
+  EXPECT_TRUE(h.concurrent(1, 2));
+  EXPECT_TRUE(h.concurrent(1, 3));
+}
+
+TEST(Fig2H5, IsOpaqueWithWitnessT2T1T3) {
+  // "Consider the sequential history S = H5|T2 · H5|T1 · H5|T3 ... history
+  //  H5 is opaque."
+  const History h = paper::fig2_h5();
+  const OpacityResult r = check_opacity(h);
+  EXPECT_EQ(r.verdict, Verdict::kYes) << r.reason;
+  ASSERT_TRUE(r.witness.has_value());
+  EXPECT_EQ(r.witness->order, (std::vector<TxId>{2, 1, 3}));
+}
+
+TEST(Fig2H5, PaperWitnessIsLegalSequentialHistory) {
+  // Reconstruct S = H5|T2 · H5|T1 · H5|T3 explicitly and check all three
+  // legality statements the paper asserts.
+  const History h = paper::fig2_h5();
+  const History s =
+      h.project_tx(2).concat(h.project_tx(1)).concat(h.project_tx(3));
+  EXPECT_TRUE(s.is_sequential());
+  EXPECT_TRUE(s.equivalent(h));
+  EXPECT_TRUE(s.preserves_real_time_order_of(h));
+  std::string why;
+  EXPECT_TRUE(all_transactions_legal(s, &why)) << why;
+}
+
+TEST(Fig2H5, T1CannotPrecedeT2NorFollowT3) {
+  // "a sequential history in which T1 precedes T2 is not legal. Similarly,
+  //  T3 cannot precede T1."
+  const History h = paper::fig2_h5();
+  const History t1_first =
+      h.project_tx(1).concat(h.project_tx(2)).concat(h.project_tx(3));
+  EXPECT_FALSE(all_transactions_legal(t1_first));
+  const History t3_before_t1 =
+      h.project_tx(2).concat(h.project_tx(3)).concat(h.project_tx(1));
+  EXPECT_FALSE(all_transactions_legal(t3_before_t1));
+}
+
+// --- §2 zombie -----------------------------------------------------------------
+
+TEST(Section2Zombie, NotOpaqueAndSnapshotDetected) {
+  const History h = paper::section2_zombie();
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kNo);
+  const auto snapshot = find_inconsistent_snapshot(h);
+  ASSERT_TRUE(snapshot.has_value());
+  EXPECT_EQ(snapshot->tx, 2u);
+  // The dangerous pair is exactly x = 4 (old) with y = 4 (new).
+  EXPECT_EQ(snapshot->value_a, 4);
+  EXPECT_EQ(snapshot->value_b, 4);
+}
+
+TEST(Section2Zombie, CommittedPartIsPerfectlySerializable) {
+  // The zombie is invisible to committed-only criteria — the reason §3's
+  // criteria all fail to capture the problem.
+  const History h = paper::section2_zombie();
+  EXPECT_EQ(check_strict_serializability(h).verdict, Verdict::kYes);
+}
+
+// --- §3.4 counter -----------------------------------------------------------------
+
+TEST(CounterIncrements, AllCommitAndOpaque) {
+  for (std::size_t k : {2u, 3u, 5u}) {
+    const History h = paper::counter_increments(k);
+    std::string why;
+    ASSERT_TRUE(h.well_formed(&why)) << why;
+    const OpacityResult r = check_opacity(h);
+    EXPECT_EQ(r.verdict, Verdict::kYes) << "k=" << k << ": " << r.reason;
+  }
+}
+
+TEST(CounterIncrements, StrictRecoverabilityForbidsThem) {
+  // §3.5: "recoverability does not allow them to proceed concurrently, for
+  //  each modifies the same shared object."
+  const History h = paper::recoverability_counterexample();
+  EXPECT_FALSE(check_strict_recoverability(h).holds);
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(RegisterIncrements, OnlyOneCanCommit) {
+  // §3.4: "among the transactions that read the same value from x, only one
+  //  can commit (otherwise serializability is violated)."
+  EXPECT_EQ(check_opacity(paper::register_increments_all_commit(2)).verdict,
+            Verdict::kNo);
+  EXPECT_EQ(check_opacity(paper::register_increments_all_commit(3)).verdict,
+            Verdict::kNo);
+  EXPECT_EQ(
+      check_serializability(paper::register_increments_all_commit(3)).verdict,
+      Verdict::kNo);
+  EXPECT_EQ(check_opacity(paper::register_increments_one_commits(3)).verdict,
+            Verdict::kYes);
+}
+
+// --- §3.6 blind writes --------------------------------------------------------------
+
+TEST(BlindWrites, OpaqueButNotRigorous) {
+  for (std::size_t k : {2u, 4u}) {
+    const History h = paper::blind_overlapping_writes(k);
+    EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes) << "k=" << k;
+    EXPECT_FALSE(check_rigorous(h).holds) << "k=" << k;
+  }
+}
+
+// --- the full criteria matrix on H1 -------------------------------------------------
+
+TEST(CriteriaMatrix, H1SeparatesOpacityFromEverythingElse) {
+  const CriteriaReport report = evaluate_criteria(paper::fig1_h1());
+  EXPECT_EQ(report.verdict(Criterion::kSerializability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kStrictSerializability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kGlobalAtomicity), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kRecoverability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kStrictRecoverability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kTxLinearizability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kOneCopySerializability), Verdict::kYes);
+  EXPECT_EQ(report.verdict(Criterion::kOpacity), Verdict::kNo);
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,147 @@
+// Phenomenon detectors: dirty reads and inconsistent snapshots (§1-§2).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/paper.hpp"
+#include "core/phenomena.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(DirtyRead, CleanHistoryHasNone) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(find_dirty_read(h).has_value());
+}
+
+TEST(DirtyRead, ReadFromLiveWriterDetected) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 1)  // T1 not even commit-pending
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  const auto d = find_dirty_read(h);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->reader, 2u);
+  EXPECT_EQ(d->writer, 1u);
+  EXPECT_EQ(d->obj, 0u);
+  EXPECT_FALSE(d->writer_commit_pending);
+}
+
+TEST(DirtyRead, SpeculativeReadFromCommitPendingFlagged) {
+  const History h = paper::h3();  // T2 reads from commit-pending T1
+  const auto d = find_dirty_read(h);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(d->writer_commit_pending);
+}
+
+TEST(DirtyRead, OwnWriteIsNotDirty) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 5)
+                        .read(1, 0, 5)
+                        .commit_now(1)
+                        .build();
+  EXPECT_FALSE(find_dirty_read(h).has_value());
+}
+
+TEST(DirtyRead, InitialValueIsNotDirty) {
+  const History h = HistoryBuilder::registers(1, 9).read(1, 0, 9).build();
+  EXPECT_FALSE(find_dirty_read(h).has_value());
+}
+
+TEST(Snapshot, ConsistentPairAccepted) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 2)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .read(2, 1, 2)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(find_inconsistent_snapshot(h).has_value());
+}
+
+TEST(Snapshot, TornPairDetected) {
+  const History h = HistoryBuilder::registers(2)
+                        .read(2, 0, 0)  // x before T1
+                        .write(1, 0, 1)
+                        .write(1, 1, 2)
+                        .commit_now(1)
+                        .read(2, 1, 2)  // y after T1
+                        .tryc(2)
+                        .abort(2)
+                        .build();
+  const auto s = find_inconsistent_snapshot(h);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->tx, 2u);
+  EXPECT_EQ(s->value_a, 0);
+  EXPECT_EQ(s->value_b, 2);
+}
+
+TEST(Snapshot, ZombieFromSection2) {
+  const auto s = find_inconsistent_snapshot(paper::section2_zombie());
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->tx, 2u);
+}
+
+TEST(Snapshot, SequenceOfCommitsStillConsistent) {
+  // Reading two values current at the SAME moment, even across multiple
+  // intermediate commits elsewhere, is fine.
+  const History h = HistoryBuilder::registers(3)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .write(2, 2, 9)  // unrelated register
+                        .commit_now(2)
+                        .read(3, 0, 1)
+                        .read(3, 1, 0)
+                        .read(3, 2, 9)
+                        .commit_now(3)
+                        .build();
+  EXPECT_FALSE(find_inconsistent_snapshot(h).has_value());
+}
+
+TEST(Snapshot, ReadFromNeverCommittedWriter) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .trya(1)
+                        .abort(1)
+                        .read(2, 0, 7)
+                        .commit_now(2)
+                        .build();
+  const auto s = find_inconsistent_snapshot(h);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NE(s->explanation.find("never committed"), std::string::npos);
+}
+
+TEST(Snapshot, CommitPendingWriterToleratedLikeH4) {
+  // H4 is opaque; its reads must not be flagged.
+  EXPECT_FALSE(find_inconsistent_snapshot(paper::h4()).has_value());
+}
+
+TEST(Snapshot, OwnWritesDoNotPolluteSnapshot) {
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 5)
+                        .read(1, 0, 5)  // local read
+                        .read(1, 1, 0)
+                        .commit_now(1)
+                        .build();
+  EXPECT_FALSE(find_inconsistent_snapshot(h).has_value());
+}
+
+TEST(Phenomena, ValueUniquenessEnforced) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 7)
+                        .commit_now(1)
+                        .write(2, 0, 7)
+                        .commit_now(2)
+                        .build();
+  EXPECT_THROW((void)find_dirty_read(h), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,141 @@
+// Random history generator: structural guarantees and cross-checker
+// properties over many seeds.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/opacity.hpp"
+#include "core/random_history.hpp"
+
+namespace optm::core {
+namespace {
+
+TEST(RandomHistory, DeterministicInSeed) {
+  RandomHistoryParams p;
+  p.seed = 123;
+  const History a = random_history(p);
+  const History b = random_history(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(RandomHistory, DifferentSeedsDiffer) {
+  RandomHistoryParams p;
+  p.seed = 1;
+  const History a = random_history(p);
+  p.seed = 2;
+  const History b = random_history(p);
+  EXPECT_FALSE(a.equivalent(b));
+}
+
+TEST(RandomHistory, AlwaysWellFormed) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 6;
+    p.num_objects = 4;
+    p.split_op_prob = 0.5;
+    const History h = random_history(p);
+    std::string why;
+    EXPECT_TRUE(h.well_formed(&why)) << "seed " << seed << ": " << why;
+  }
+}
+
+TEST(RandomHistory, WritesAreValueUnique) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 8;
+    const History h = random_history(p);
+    std::set<std::pair<ObjId, Value>> writes;
+    for (const Event& e : h.events()) {
+      if (e.kind == EventKind::kInvoke && e.op == OpCode::kWrite) {
+        EXPECT_TRUE(writes.insert({e.obj, e.arg}).second)
+            << "duplicate write at seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(RandomHistory, CoherentModeIsLocallyConsistent) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    const History h = random_history(p);
+    std::string why;
+    EXPECT_TRUE(h.locally_consistent(&why)) << "seed " << seed << ": " << why;
+    EXPECT_TRUE(h.consistent(&why)) << "seed " << seed << ": " << why;
+  }
+}
+
+TEST(RandomHistory, TerminationMixAppears) {
+  // Over many seeds all four terminal shapes should materialize.
+  bool committed = false, aborted = false, commit_pending = false, live = false;
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 6;
+    const History h = random_history(p);
+    for (TxId tx : h.transactions()) {
+      switch (h.status(tx)) {
+        case TxStatus::kCommitted: committed = true; break;
+        case TxStatus::kAborted: aborted = true; break;
+        case TxStatus::kCommitPending: commit_pending = true; break;
+        case TxStatus::kLive: live = true; break;
+      }
+    }
+  }
+  EXPECT_TRUE(committed);
+  EXPECT_TRUE(aborted);
+  EXPECT_TRUE(commit_pending);
+  EXPECT_TRUE(live);
+}
+
+TEST(RandomHistory, CoherentModeProducesBothVerdicts) {
+  // The coherent generator is an unvalidated invisible-read STM: it should
+  // produce opaque histories AND inconsistent-snapshot violations.
+  int opaque = 0, not_opaque = 0;
+  for (std::uint64_t seed = 1; seed <= 80; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 5;
+    p.num_objects = 2;
+    const auto r = check_opacity(random_history(p));
+    ASSERT_NE(r.verdict, Verdict::kUnknown);
+    (r.verdict == Verdict::kYes ? opaque : not_opaque)++;
+  }
+  EXPECT_GT(opaque, 5);
+  EXPECT_GT(not_opaque, 5);
+}
+
+TEST(RandomHistory, AdversarialModeMostlyNotOpaque) {
+  int not_opaque = 0;
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    RandomHistoryParams p;
+    p.seed = seed;
+    p.num_txs = 5;
+    p.num_objects = 2;
+    p.value_model = ValueModel::kAdversarial;
+    not_opaque += check_opacity(random_history(p)).verdict == Verdict::kNo;
+  }
+  EXPECT_GT(not_opaque, 20);
+}
+
+TEST(RandomHistory, RespectsOpBounds) {
+  RandomHistoryParams p;
+  p.seed = 9;
+  p.num_txs = 10;
+  p.min_ops_per_tx = 2;
+  p.max_ops_per_tx = 3;
+  const History h = random_history(p);
+  for (TxId tx : h.transactions()) {
+    std::size_t invocations = 0;
+    for (const Event& e : h.events())
+      invocations += e.tx == tx && e.kind == EventKind::kInvoke;
+    EXPECT_GE(invocations, 2u);
+    EXPECT_LE(invocations, 3u);
+  }
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,176 @@
+// Recoverability (§3.5) and rigorous scheduling (§3.6).
+#include <gtest/gtest.h>
+
+#include "core/builder.hpp"
+#include "core/opacity.hpp"
+#include "core/paper.hpp"
+#include "core/recoverability.hpp"
+#include "core/rigorous.hpp"
+
+namespace optm::core {
+namespace {
+
+// --- classical recoverability ------------------------------------------------
+
+TEST(Recoverability, CleanCommitOrderHolds) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(check_recoverability(h).holds);
+}
+
+TEST(Recoverability, CommittedReaderOfUncommittedWriter) {
+  // T2 reads T1's uncommitted write and commits first: unrecoverable.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .commit_now(1)
+                        .build();
+  const auto r = check_recoverability(h);
+  EXPECT_FALSE(r.holds);
+  EXPECT_FALSE(r.reason.empty());
+}
+
+TEST(Recoverability, CommittedReaderOfAbortedWriter) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 1)
+                        .trya(1)
+                        .abort(1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(check_recoverability(h).holds);
+}
+
+TEST(Recoverability, AbortedReaderUnconstrained) {
+  // Cascading abort resolved by aborting the reader: recoverable.
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 1)
+                        .trya(1)
+                        .abort(1)
+                        .trya(2)
+                        .abort(2)
+                        .build();
+  EXPECT_TRUE(check_recoverability(h).holds);
+}
+
+// --- strict recoverability ---------------------------------------------------
+
+TEST(StrictRecoverability, BlocksAccessDuringUpdate) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .read(2, 0, 0)  // touches x while T1 incomplete
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  const auto r = check_strict_recoverability(h);
+  EXPECT_FALSE(r.holds);
+  EXPECT_NE(r.reason.find("T2"), std::string::npos);
+}
+
+TEST(StrictRecoverability, AccessAfterCompletionIsFine) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(check_strict_recoverability(h).holds);
+}
+
+TEST(StrictRecoverability, ReaderDoesNotBlockWriters) {
+  // Strict recoverability constrains only UPDATES: a read followed by
+  // another transaction's write is permitted.
+  const History h = HistoryBuilder::registers(1)
+                        .read(1, 0, 0)
+                        .write(2, 0, 1)
+                        .commit_now(2)
+                        .commit_now(1)
+                        .build();
+  EXPECT_TRUE(check_strict_recoverability(h).holds);
+}
+
+TEST(StrictRecoverability, LiveUpdaterBlocksUntilEndOfHistory) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)  // T1 never completes
+                        .read(2, 0, 0)
+                        .commit_now(2)
+                        .build();
+  EXPECT_FALSE(check_strict_recoverability(h).holds);
+}
+
+TEST(StrictRecoverability, CounterIncrementsForbidden) {
+  // §3.5: "recoverability does not allow them to proceed concurrently, for
+  //  each modifies the same shared object. However, there is no reason why
+  //  a TM implementation could not execute them in parallel."
+  const History h = paper::counter_increments(3);
+  EXPECT_FALSE(check_strict_recoverability(h).holds);
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+// --- rigorousness ---------------------------------------------------------------
+
+TEST(Rigorous, SequentialHistoryIsRigorous) {
+  const History h = HistoryBuilder::registers(1)
+                        .write(1, 0, 1)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(check_rigorous(h).holds);
+}
+
+TEST(Rigorous, WriteAfterForeignReadForbidden) {
+  // The extra condition beyond strict recoverability.
+  const History h = HistoryBuilder::registers(1)
+                        .read(1, 0, 0)
+                        .write(2, 0, 1)  // overwrites what T1 read, T1 live
+                        .commit_now(2)
+                        .commit_now(1)
+                        .build();
+  EXPECT_FALSE(check_rigorous(h).holds);
+  EXPECT_TRUE(check_strict_recoverability(h).holds);  // the separation
+}
+
+TEST(Rigorous, BlindWritesExampleNotRigorousButOpaque) {
+  // §3.6's argument in executable form.
+  const History h = paper::blind_overlapping_writes(3);
+  EXPECT_FALSE(check_rigorous(h).holds);
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+TEST(Rigorous, ReadersMayShareFreely) {
+  const History h = HistoryBuilder::registers(1)
+                        .read(1, 0, 0)
+                        .read(2, 0, 0)
+                        .commit_now(1)
+                        .commit_now(2)
+                        .build();
+  EXPECT_TRUE(check_rigorous(h).holds);
+}
+
+TEST(Rigorous, RigorousHistoriesAreOpaqueInPractice) {
+  // Rigorousness (plus sane read values) implies no interleaved access to
+  // written data — our sequentially generated histories stay opaque.
+  const History h = HistoryBuilder::registers(2)
+                        .write(1, 0, 1)
+                        .write(1, 1, 2)
+                        .commit_now(1)
+                        .read(2, 0, 1)
+                        .write(2, 0, 3)
+                        .commit_now(2)
+                        .read(3, 0, 3)
+                        .read(3, 1, 2)
+                        .commit_now(3)
+                        .build();
+  EXPECT_TRUE(check_rigorous(h).holds);
+  EXPECT_EQ(check_opacity(h).verdict, Verdict::kYes);
+}
+
+}  // namespace
+}  // namespace optm::core

@@ -1,0 +1,98 @@
+// The §6.1 substrate: step accounting on instrumented base objects.
+#include <gtest/gtest.h>
+
+#include "sim/base_object.hpp"
+#include "sim/step_counter.hpp"
+#include "sim/thread_ctx.hpp"
+
+namespace optm::sim {
+namespace {
+
+TEST(StepCounts, ArithmeticAndTotals) {
+  StepCounts a{.loads = 3, .stores = 2, .rmws = 1};
+  EXPECT_EQ(a.total(), 6u);
+  EXPECT_EQ(a.shared_writes(), 3u);
+  StepCounts b{.loads = 1, .stores = 1, .rmws = 0};
+  const StepCounts d = a - b;
+  EXPECT_EQ(d.loads, 2u);
+  EXPECT_EQ(d.total(), 4u);
+  StepCounts c;
+  c += a;
+  c += b;
+  EXPECT_EQ(c.total(), 8u);
+}
+
+TEST(BaseWord, LoadIsCharged) {
+  ThreadCtx ctx(0);
+  BaseWord w(42);
+  EXPECT_EQ(w.load(ctx), 42u);
+  EXPECT_EQ(ctx.steps.loads, 1u);
+  EXPECT_EQ(ctx.steps.total(), 1u);
+}
+
+TEST(BaseWord, StoreIsCharged) {
+  ThreadCtx ctx(0);
+  BaseWord w;
+  w.store(ctx, 7);
+  EXPECT_EQ(ctx.steps.stores, 1u);
+  EXPECT_EQ(w.peek(), 7u);
+}
+
+TEST(BaseWord, CasIsChargedOnceRegardlessOfOutcome) {
+  ThreadCtx ctx(0);
+  BaseWord w(1);
+  std::uint64_t expected = 1;
+  EXPECT_TRUE(w.cas(ctx, expected, 2));
+  expected = 1;  // stale
+  EXPECT_FALSE(w.cas(ctx, expected, 3));
+  EXPECT_EQ(expected, 2u);  // updated to observed value
+  EXPECT_EQ(ctx.steps.rmws, 2u);
+}
+
+TEST(BaseWord, FetchOpsCharged) {
+  ThreadCtx ctx(0);
+  BaseWord w(0);
+  EXPECT_EQ(w.fetch_add(ctx, 5), 0u);
+  EXPECT_EQ(w.fetch_or(ctx, 0b1010), 5u);
+  EXPECT_EQ(w.fetch_and(ctx, 0b0010), 15u);
+  EXPECT_EQ(w.peek(), 2u);
+  EXPECT_EQ(ctx.steps.rmws, 3u);
+}
+
+TEST(BaseWord, PeekAndInitAreUninstrumented) {
+  ThreadCtx ctx(0);
+  BaseWord w;
+  w.init(9);
+  EXPECT_EQ(w.peek(), 9u);
+  EXPECT_EQ(ctx.steps.total(), 0u);
+}
+
+TEST(GlobalClock, MonotoneAndCharged) {
+  ThreadCtx ctx(0);
+  GlobalClock clock;
+  EXPECT_EQ(clock.read(ctx), 0u);
+  EXPECT_EQ(clock.advance(ctx), 1u);
+  EXPECT_EQ(clock.advance(ctx), 2u);
+  EXPECT_EQ(clock.read(ctx), 2u);
+  EXPECT_EQ(ctx.steps.loads, 2u);
+  EXPECT_EQ(ctx.steps.rmws, 2u);
+}
+
+TEST(ThreadCtx, IdentityAndStats) {
+  ThreadCtx ctx(5);
+  EXPECT_EQ(ctx.id(), 5u);
+  ctx.stats.commits = 3;
+  ctx.on_load();
+  ctx.on_store();
+  ctx.on_rmw();
+  EXPECT_EQ(ctx.steps.total(), 3u);
+}
+
+TEST(Padding, BaseWordsDoNotShareCacheLines) {
+  static_assert(sizeof(util::Padded<BaseWord>) >= util::kCacheLine);
+  static_assert(alignof(util::Padded<BaseWord>) == util::kCacheLine);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace optm::sim

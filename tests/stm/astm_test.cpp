@@ -1,0 +1,257 @@
+// AstmStm: acquisition modes, the adaptive policy, and the §6.2 claim that
+// ASTM sits with DSTM on the tight side of Theorem 3.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/opacity.hpp"
+#include "sim/thread_ctx.hpp"
+#include "stm/astm.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::stm {
+namespace {
+
+TEST(Astm, AdaptiveStartsLazy) {
+  AstmStm stm(8);
+  EXPECT_FALSE(stm.eager_mode(0));
+  EXPECT_EQ(stm.mode_switches(0), 0u);
+}
+
+TEST(Astm, ForcedPoliciesPinTheMode) {
+  AstmStm eager(8, nullptr, AcquirePolicy::kForceEager);
+  AstmStm lazy(8, nullptr, AcquirePolicy::kForceLazy);
+  EXPECT_TRUE(eager.eager_mode(0));
+  EXPECT_FALSE(lazy.eager_mode(0));
+}
+
+TEST(Astm, LazyWritesCostNoSharedSteps) {
+  // The defining property of lazy acquire: a write is process-local.
+  AstmStm stm(8, nullptr, AcquirePolicy::kForceLazy);
+  sim::ThreadCtx ctx(0);
+  stm.begin(ctx);
+  const std::uint64_t before = ctx.steps.total();
+  ASSERT_TRUE(stm.write(ctx, 3, 42));
+  EXPECT_EQ(ctx.steps.total(), before);
+  ASSERT_TRUE(stm.commit(ctx));
+}
+
+TEST(Astm, EagerWritesAcquireImmediately) {
+  AstmStm stm(8, nullptr, AcquirePolicy::kForceEager);
+  sim::ThreadCtx ctx(0);
+  stm.begin(ctx);
+  const std::uint64_t rmws_before = ctx.steps.rmws;
+  ASSERT_TRUE(stm.write(ctx, 3, 42));
+  EXPECT_GT(ctx.steps.rmws, rmws_before);  // the ownership CAS
+  ASSERT_TRUE(stm.commit(ctx));
+}
+
+TEST(Astm, EagerOwnershipBlocksRivalAtWriteTime) {
+  // With eager acquire and the default aggressive CM, the second writer
+  // steals ownership by aborting the first — conflict discovered at the
+  // OPERATION, not at commit.
+  AstmStm stm(8, nullptr, AcquirePolicy::kForceEager);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  ASSERT_TRUE(stm.write(p1, 0, 100));
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p2, 0, 200));  // aggressive CM aborts p1
+  EXPECT_FALSE(stm.commit(p1));        // p1 learns it lost
+  EXPECT_TRUE(stm.commit(p2));
+
+  sim::ThreadCtx p3(2);
+  stm.begin(p3);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p3, 0, v));
+  EXPECT_EQ(v, 200u);
+  ASSERT_TRUE(stm.commit(p3));
+}
+
+TEST(Astm, LazyRivalsBothBufferBothCommitBlindWrites) {
+  // Blind writes never conflict under lazy acquire until commit, and the
+  // commits here do not overlap: both transactions commit (§3.6's point
+  // that overlapping blind writers need not be serialized pessimistically).
+  AstmStm stm(8, nullptr, AcquirePolicy::kForceLazy);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p1, 0, 100));
+  ASSERT_TRUE(stm.write(p2, 0, 200));
+  EXPECT_TRUE(stm.commit(p1));
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(Astm, TwoLateAbortsFlipLazyToEager) {
+  AstmStm stm(8);  // adaptive, starts lazy
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  for (std::uint32_t round = 0; round < AstmStm::kLazyLossesToEager; ++round) {
+    EXPECT_FALSE(stm.eager_mode(0)) << "flipped too early, round " << round;
+    stm.begin(p1);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(stm.read(p1, 0, v));  // rs = {x}
+
+    stm.begin(p2);
+    ASSERT_TRUE(stm.write(p2, 0, 10 + round));
+    ASSERT_TRUE(stm.commit(p2));  // invalidates p1's read
+
+    ASSERT_TRUE(stm.write(p1, 1, 7));  // lazy: buffers, cannot fail here
+    EXPECT_FALSE(stm.commit(p1));      // commit-time (late) abort
+  }
+  EXPECT_TRUE(stm.eager_mode(0));
+  EXPECT_EQ(stm.mode_switches(0), 1u);
+}
+
+TEST(Astm, CleanEagerStreakFlipsBackToLazy) {
+  AstmStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  // Force the lazy -> eager flip (as in TwoLateAbortsFlipLazyToEager).
+  for (std::uint32_t round = 0; round < AstmStm::kLazyLossesToEager; ++round) {
+    stm.begin(p1);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(stm.read(p1, 0, v));
+    stm.begin(p2);
+    ASSERT_TRUE(stm.write(p2, 0, 10 + round));
+    ASSERT_TRUE(stm.commit(p2));
+    ASSERT_TRUE(stm.write(p1, 1, 7));
+    EXPECT_FALSE(stm.commit(p1));
+  }
+  ASSERT_TRUE(stm.eager_mode(0));
+
+  // A streak of uncontended eager commits flips process 0 back.
+  for (std::uint32_t i = 0; i < AstmStm::kEagerCleanToLazy; ++i) {
+    EXPECT_TRUE(stm.eager_mode(0));
+    stm.begin(p1);
+    ASSERT_TRUE(stm.write(p1, 2, i));
+    ASSERT_TRUE(stm.commit(p1));
+  }
+  EXPECT_FALSE(stm.eager_mode(0));
+  EXPECT_EQ(stm.mode_switches(0), 2u);
+}
+
+TEST(Astm, MidOperationAbortDoesNotCountAsLateAbort) {
+  // A read that fails incremental validation aborts AT the operation —
+  // early discovery, exactly what lazy mode is supposed to be good at.
+  AstmStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  for (int round = 0; round < 4; ++round) {
+    stm.begin(p1);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(stm.read(p1, 0, v));
+    stm.begin(p2);
+    ASSERT_TRUE(stm.write(p2, 0, 100u + static_cast<std::uint64_t>(round)));
+    ASSERT_TRUE(stm.commit(p2));
+    EXPECT_FALSE(stm.read(p1, 1, v));  // validation abort mid-operation
+  }
+  EXPECT_FALSE(stm.eager_mode(0));  // never flipped
+  EXPECT_EQ(stm.mode_switches(0), 0u);
+}
+
+TEST(Astm, ProgressiveWitnessProceedsInBothModes) {
+  // §6.2: T1 begins; T2 writes x and commits; T1's FIRST read of x must
+  // proceed (and return the latest value — single-version).
+  for (const auto policy :
+       {AcquirePolicy::kForceLazy, AcquirePolicy::kForceEager}) {
+    AstmStm stm(8, nullptr, policy);
+    sim::ThreadCtx p1(0);
+    sim::ThreadCtx p2(1);
+    stm.begin(p1);
+    stm.begin(p2);
+    ASSERT_TRUE(stm.write(p2, 0, 1));
+    ASSERT_TRUE(stm.commit(p2));
+    std::uint64_t v = 0;
+    EXPECT_TRUE(stm.read(p1, 0, v));
+    EXPECT_EQ(v, 1u);
+    EXPECT_TRUE(stm.commit(p1));
+  }
+}
+
+TEST(Astm, FinalReadGrowsLinearlyLikeDstm) {
+  // Theorem 3 tightness: ASTM pays Θ(m) on the adversarial final read in
+  // BOTH acquisition modes (the mode only moves write-conflict discovery).
+  for (const char* name : {"astm-lazy", "astm-eager"}) {
+    const auto small_stm = make_stm(name, 17);
+    const auto small = wl::lower_bound_probe(*small_stm, 16);
+    const auto large_stm = make_stm(name, 257);
+    const auto large = wl::lower_bound_probe(*large_stm, 256);
+    EXPECT_TRUE(small.read_succeeded) << name;
+    EXPECT_TRUE(large.read_succeeded) << name;
+    EXPECT_TRUE(large.reader_committed) << name;
+    EXPECT_GE(large.steps_final_read, 8 * small.steps_final_read) << name;
+    EXPECT_GE(large.validation_steps_final_read, 250u) << name;
+  }
+}
+
+TEST(Astm, PropertyFlagsMatchTheoremPremises) {
+  AstmStm stm(1);
+  const auto p = stm.properties();
+  EXPECT_TRUE(p.invisible_reads);
+  EXPECT_TRUE(p.single_version);
+  EXPECT_TRUE(p.progressive);
+  EXPECT_TRUE(p.opaque);
+}
+
+TEST(Astm, InvisibleReadsDoNoSharedWritesInEitherMode) {
+  for (const char* name : {"astm-lazy", "astm-eager"}) {
+    const auto stm = make_stm(name, 32);
+    sim::ThreadCtx ctx(0);
+    stm->begin(ctx);
+    const std::uint64_t writes_before = ctx.steps.shared_writes();
+    for (VarId v = 0; v < 32; ++v) {
+      std::uint64_t out = 0;
+      ASSERT_TRUE(stm->read(ctx, v, out));
+    }
+    EXPECT_EQ(ctx.steps.shared_writes(), writes_before) << name;
+    EXPECT_TRUE(stm->commit(ctx));
+  }
+}
+
+TEST(Astm, RecordedDeterministicInterleaveIsOpaque) {
+  for (const char* name : {"astm", "astm-eager", "astm-lazy"}) {
+    const auto stm = make_stm(name, 4);
+    Recorder recorder(4);
+    stm->set_recorder(&recorder);
+    sim::ThreadCtx p1(0);
+    sim::ThreadCtx p2(1);
+
+    stm->begin(p1);
+    std::uint64_t x = 0;
+    const bool r1 = stm->read(p1, 0, x);
+    stm->begin(p2);
+    ASSERT_TRUE(stm->write(p2, 0, 1));
+    ASSERT_TRUE(stm->write(p2, 1, 2));
+    ASSERT_TRUE(stm->commit(p2));
+    if (r1) {
+      std::uint64_t y = 0;
+      if (stm->read(p1, 1, y)) (void)stm->commit(p1);
+    }
+
+    const core::History h = recorder.history();
+    std::string why;
+    ASSERT_TRUE(h.well_formed(&why)) << name << ": " << why;
+    EXPECT_EQ(core::check_opacity(h).verdict, core::Verdict::kYes)
+        << name << " produced a non-opaque history:\n"
+        << h.str();
+  }
+}
+
+TEST(Astm, AdaptiveBankConservesMoney) {
+  const auto stm = make_stm("astm", 32);
+  wl::BankParams params;
+  params.threads = 4;
+  params.accounts = 32;
+  params.transfers_per_thread = 400;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total);
+}
+
+}  // namespace
+}  // namespace optm::stm

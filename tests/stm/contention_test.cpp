@@ -1,0 +1,79 @@
+// Contention-manager policies: decision logic and end-to-end integrity.
+#include <gtest/gtest.h>
+
+#include "stm/contention.hpp"
+#include "stm/factory.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::stm {
+namespace {
+
+TEST(Cm, AggressiveAlwaysKills) {
+  AggressiveCm cm;
+  EXPECT_EQ(cm.resolve({}, {}, 0), CmDecision::kAbortOther);
+  EXPECT_EQ(cm.resolve({}, {}, 100), CmDecision::kAbortOther);
+}
+
+TEST(Cm, PoliteWaitsThenKills) {
+  PoliteCm cm(3);
+  EXPECT_EQ(cm.resolve({}, {}, 0), CmDecision::kWait);
+  EXPECT_EQ(cm.resolve({}, {}, 2), CmDecision::kWait);
+  EXPECT_EQ(cm.resolve({}, {}, 3), CmDecision::kAbortOther);
+}
+
+TEST(Cm, TimidAlwaysYields) {
+  TimidCm cm;
+  EXPECT_EQ(cm.resolve({}, {}, 0), CmDecision::kAbortSelf);
+}
+
+TEST(Cm, KarmaFavorsMoreWork) {
+  KarmaCm cm;
+  CmTxView rich{.start_stamp = 1, .ops_executed = 100, .retries = 0};
+  CmTxView poor{.start_stamp = 2, .ops_executed = 1, .retries = 0};
+  EXPECT_EQ(cm.resolve(rich, poor, 0), CmDecision::kAbortOther);
+  EXPECT_EQ(cm.resolve(poor, rich, 0), CmDecision::kWait);
+  EXPECT_EQ(cm.resolve(poor, rich, 5), CmDecision::kAbortSelf);
+}
+
+TEST(Cm, GreedyFavorsOlder) {
+  GreedyCm cm;
+  CmTxView old_tx{.start_stamp = 1};
+  CmTxView young_tx{.start_stamp = 9};
+  EXPECT_EQ(cm.resolve(old_tx, young_tx, 0), CmDecision::kAbortOther);
+  EXPECT_EQ(cm.resolve(young_tx, old_tx, 0), CmDecision::kAbortSelf);
+}
+
+TEST(Cm, FactoryByName) {
+  EXPECT_EQ(make_contention_manager("aggressive")->name(), "aggressive");
+  EXPECT_EQ(make_contention_manager("polite")->name(), "polite");
+  EXPECT_EQ(make_contention_manager("timid")->name(), "timid");
+  EXPECT_EQ(make_contention_manager("karma")->name(), "karma");
+  EXPECT_EQ(make_contention_manager("greedy")->name(), "greedy");
+  EXPECT_THROW((void)make_contention_manager("nope"), std::invalid_argument);
+}
+
+TEST(Cm, StmFactoryParsesCmSuffix) {
+  EXPECT_NO_THROW((void)make_stm("dstm/greedy", 4));
+  EXPECT_NO_THROW((void)make_stm("visible/karma", 4));
+  EXPECT_THROW((void)make_stm("dstm/nope", 4), std::invalid_argument);
+  EXPECT_THROW((void)make_stm("nope", 4), std::invalid_argument);
+}
+
+class CmIntegrity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(CmIntegrity, BankConservesUnderEveryPolicy) {
+  const auto stm = make_stm(std::string("dstm/") + GetParam(), 16);
+  wl::BankParams params;
+  params.threads = 3;
+  params.accounts = 16;
+  params.transfers_per_thread = 400;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, CmIntegrity,
+                         ::testing::Values("aggressive", "polite", "karma",
+                                           "greedy"));
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,149 @@
+// Multi-version specifics: snapshot isolation of read-only transactions
+// (the H4 optimization), version-ring eviction, and first-committer-wins
+// validation for updates.
+#include <gtest/gtest.h>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/mv.hpp"
+
+namespace optm::stm {
+namespace {
+
+TEST(MvStm, H4ScenarioLongReaderCommits) {
+  // §5.2: "Multi-version TMs ... use such optimizations to allow long
+  // read-only transactions to commit despite concurrent updates."
+  // Faithful to H4's event order: T1's FIRST read precedes T2's commit
+  // (the snapshot is pinned at the first access, LSA-style — a snapshot
+  // predating the first event would violate the ≺_H-by-first-event rule).
+  // T1 reads the old x; T2 commits x:=5, y:=5; T3 reads the NEW y; T1
+  // then reads the OLD y and still commits.
+  MvStm stm(2, /*depth=*/4);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  sim::ThreadCtx p3(2);
+
+  stm.begin_read_only(p1);
+  std::uint64_t x1 = 99, y1 = 99;
+  ASSERT_TRUE(stm.read(p1, 0, x1));  // pins T1's snapshot (H4: read1(x,0))
+  EXPECT_EQ(x1, 0u);
+
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p2, 0, 5));
+  ASSERT_TRUE(stm.write(p2, 1, 5));
+  ASSERT_TRUE(stm.commit(p2));
+
+  stm.begin(p3);
+  std::uint64_t y3 = 0;
+  ASSERT_TRUE(stm.read(p3, 1, y3));
+  EXPECT_EQ(y3, 5u);  // T3's snapshot postdates T2
+  ASSERT_TRUE(stm.commit(p3));
+
+  ASSERT_TRUE(stm.read(p1, 1, y1));
+  EXPECT_EQ(y1, 0u);  // the old, CONSISTENT snapshot — after T3 saw new y
+  EXPECT_TRUE(stm.commit(p1));
+}
+
+TEST(MvStm, SnapshotSurvivesManyUpdatesWithinDepth) {
+  MvStm stm(1, /*depth=*/4);
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+
+  stm.begin_read_only(reader);
+  std::uint64_t v = 99;
+  ASSERT_TRUE(stm.read(reader, 0, v));  // pins the snapshot
+  EXPECT_EQ(v, 0u);
+  for (std::uint64_t i = 1; i <= 3; ++i) {  // 3 updates < depth
+    stm.begin(writer);
+    ASSERT_TRUE(stm.write(writer, 0, i * 10));
+    ASSERT_TRUE(stm.commit(writer));
+  }
+  v = 99;
+  ASSERT_TRUE(stm.read(reader, 0, v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(stm.commit(reader));
+}
+
+TEST(MvStm, EvictionAbortsOverrunReader) {
+  MvStm stm(1, /*depth=*/2);
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+
+  stm.begin_read_only(reader);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(reader, 0, v));  // pins the snapshot at version 0
+  for (std::uint64_t i = 1; i <= 5; ++i) {  // 5 updates > depth
+    stm.begin(writer);
+    ASSERT_TRUE(stm.write(writer, 0, i * 10));
+    ASSERT_TRUE(stm.commit(writer));
+  }
+  // A RE-read of the same variable finds the snapshot version evicted.
+  EXPECT_FALSE(stm.read(reader, 0, v));
+}
+
+TEST(MvStm, FirstCommitterWinsForUpdates) {
+  MvStm stm(1);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  stm.begin(p1);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p1, 0, v));
+
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p2, 0, 1));
+  ASSERT_TRUE(stm.commit(p2));
+
+  ASSERT_TRUE(stm.write(p1, 0, 2));
+  EXPECT_FALSE(stm.commit(p1));  // read version no longer newest
+}
+
+TEST(MvStm, DisjointUpdatesBothCommit) {
+  MvStm stm(2);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  stm.begin(p1);
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p1, 0, 1));
+  ASSERT_TRUE(stm.write(p2, 1, 2));
+  EXPECT_TRUE(stm.commit(p1));
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(MvStm, WriteInReadOnlyModeAborts) {
+  MvStm stm(1);
+  sim::ThreadCtx ctx(0);
+  stm.begin_read_only(ctx);
+  EXPECT_FALSE(stm.write(ctx, 0, 1));
+}
+
+TEST(MvStm, UpdateTransactionsUseFirstAccessSnapshot) {
+  // Even update transactions read from their (first-access) snapshot:
+  // their reads are consistent by construction (JVSTM-style).
+  MvStm stm(2);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  stm.begin(p1);
+  std::uint64_t x = 99, y = 99;
+  ASSERT_TRUE(stm.read(p1, 0, x));  // pins snapshot S
+  EXPECT_EQ(x, 0u);
+
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p2, 0, 1));
+  ASSERT_TRUE(stm.write(p2, 1, 2));
+  ASSERT_TRUE(stm.commit(p2));
+
+  ASSERT_TRUE(stm.read(p1, 1, y));
+  EXPECT_EQ(y, 0u);  // never the torn (0, 2) pair
+}
+
+TEST(MvStm, DepthAccessor) {
+  MvStm stm(1, 16);
+  EXPECT_EQ(stm.depth(), 16u);
+  MvStm stm0(1, 0);
+  EXPECT_EQ(stm0.depth(), 1u);  // clamped
+}
+
+}  // namespace
+}  // namespace optm::stm

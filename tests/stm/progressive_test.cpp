@@ -1,0 +1,160 @@
+// §6.2's progressiveness separation, as deterministic two-process
+// interleavings driven from one OS thread:
+//
+//   "TL2 is not progressive: it may forcefully abort a transaction Ti that
+//    conflicts with a concurrent transaction Tk, even if Ti invokes a
+//    conflicting operation after Tk commits."
+//
+// The witness: T1 begins; T2 writes x and commits; T1 then invokes its
+// FIRST read of x. There was never a moment at which T1 and a live
+// conflicting transaction both accessed x — a progressive TM must let T1
+// proceed. TL2 aborts it anyway (version > rv).
+#include <gtest/gtest.h>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+
+namespace optm::stm {
+namespace {
+
+struct Witness {
+  bool read_ok = false;
+  bool committed = false;
+  std::uint64_t value = 0;
+};
+
+/// T1 begins and reads y (pinning its snapshot mid-execution); T2 writes
+/// x=1 and commits; T1 then invokes its first read of x. Every runtime
+/// samples its snapshot at the FIRST access (lazy rv — a begin-time
+/// sample would predate the first event and break ≺_H), so the prior read
+/// of y is what makes T1 genuinely "already running" when the conflict
+/// materializes — exactly §6.2's scenario.
+Witness run_witness(Stm& stm) {
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  Witness w;
+
+  stm.begin(p1);
+  std::uint64_t y = 0;
+  EXPECT_TRUE(stm.read(p1, 1, y));  // pins T1's snapshot
+
+  stm.begin(p2);
+  EXPECT_TRUE(stm.write(p2, 0, 1));
+  EXPECT_TRUE(stm.commit(p2));
+
+  w.read_ok = stm.read(p1, 0, w.value);
+  w.committed = w.read_ok && stm.commit(p1);
+  return w;
+}
+
+TEST(Progressive, Tl2AbortsWithoutLiveConflict) {
+  const auto stm = make_stm("tl2", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_FALSE(w.read_ok);  // the non-progressive abort
+  EXPECT_FALSE(stm->properties().progressive);
+}
+
+TEST(Progressive, DstmProceeds) {
+  const auto stm = make_stm("dstm", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_TRUE(w.read_ok);
+  EXPECT_EQ(w.value, 1u);  // single-version: must return the latest value
+  EXPECT_TRUE(w.committed);
+  EXPECT_TRUE(stm->properties().progressive);
+}
+
+TEST(Progressive, VisibleReadProceeds) {
+  const auto stm = make_stm("visible", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_TRUE(w.read_ok);
+  EXPECT_EQ(w.value, 1u);
+  EXPECT_TRUE(w.committed);
+}
+
+TEST(Progressive, NorecProceeds) {
+  const auto stm = make_stm("norec", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_TRUE(w.read_ok);
+  EXPECT_EQ(w.value, 1u);
+  EXPECT_TRUE(w.committed);
+}
+
+TEST(Progressive, MvProceedsWithSnapshotValue) {
+  // Multi-version: T1's snapshot was pinned by its read of y BEFORE T2
+  // committed, so T1 reads the OLD x and still commits (read-only) — the
+  // freedom H4 grants. (Had T1's first access come after T2's commit, the
+  // lazy snapshot would return the new value, as ≺_H requires.)
+  const auto stm = make_stm("mv", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_TRUE(w.read_ok);
+  EXPECT_EQ(w.value, 0u);  // snapshot pinned before T2's commit
+  EXPECT_TRUE(w.committed);
+}
+
+TEST(Progressive, WeakProceeds) {
+  const auto stm = make_stm("weak", 8);
+  const Witness w = run_witness(*stm);
+  EXPECT_TRUE(w.read_ok);
+  EXPECT_TRUE(w.committed);
+}
+
+// --- genuine conflicts must still abort someone ---------------------------------
+
+TEST(Progressive, OverlappingConflictResolvedEverywhere) {
+  // T1 reads x; T2 writes x and commits; T1 then writes x and tries to
+  // commit. Committing both would violate opacity (T1 read the old value).
+  // Every opaque STM must abort T1 somewhere along the way.
+  for (const auto name : opaque_stm_names()) {
+    const auto stm = make_stm(name, 8);
+    sim::ThreadCtx p1(0);
+    sim::ThreadCtx p2(1);
+
+    stm->begin(p1);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(stm->read(p1, 0, v)) << name;
+    EXPECT_EQ(v, 0u) << name;
+
+    stm->begin(p2);
+    ASSERT_TRUE(stm->write(p2, 0, 7)) << name;
+    ASSERT_TRUE(stm->commit(p2)) << name;
+
+    const bool write_ok = stm->write(p1, 0, 8);
+    const bool committed = write_ok && stm->commit(p1);
+    EXPECT_FALSE(committed) << name << ": lost update admitted";
+  }
+}
+
+TEST(Progressive, WriterWriterConflictResolved) {
+  // Two live writers on the same variable: progressive STMs may abort one
+  // of them (they DO conflict). Whoever survives commits; the final value
+  // must be one of the two proposals, never a mix.
+  for (const auto name : all_stm_names()) {
+    const auto stm = make_stm(name, 4);
+    sim::ThreadCtx p1(0);
+    sim::ThreadCtx p2(1);
+
+    stm->begin(p1);
+    stm->begin(p2);
+    const bool w1 = stm->write(p1, 0, 100);
+    const bool w2 = stm->write(p2, 0, 200);
+    const bool c1 = w1 && stm->commit(p1);
+    const bool c2 = w2 && stm->commit(p2);
+    EXPECT_TRUE(c1 || c2) << name << ": both writers died";
+
+    sim::ThreadCtx p3(2);
+    stm->begin(p3);
+    std::uint64_t v = 0;
+    ASSERT_TRUE(stm->read(p3, 0, v)) << name;
+    ASSERT_TRUE(stm->commit(p3)) << name;
+    if (c1 && c2) {
+      EXPECT_TRUE(v == 100 || v == 200) << name;
+    } else if (c1) {
+      EXPECT_EQ(v, 100u) << name;
+    } else {
+      EXPECT_EQ(v, 200u) << name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,227 @@
+// SiStm: snapshot isolation as the paper's §1 example of trading opacity
+// for performance — consistent live snapshots (no §2 zombies, unlike
+// WeakStm), first-committer-wins writes, and the write-skew anomaly that
+// costs it serializability of the committed part.
+#include <gtest/gtest.h>
+
+#include "core/opacity.hpp"
+#include "core/phenomena.hpp"
+#include "core/serializability.hpp"
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "stm/sistm.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::stm {
+namespace {
+
+TEST(SiStm, SnapshotReadsIgnoreLaterCommits) {
+  SiStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  std::uint64_t v = 99;
+  ASSERT_TRUE(stm.read(p1, 1, v));  // pins the snapshot (first access)
+  stm.begin(p2);
+  ASSERT_TRUE(stm.write(p2, 0, 7));
+  ASSERT_TRUE(stm.commit(p2));
+  ASSERT_TRUE(stm.read(p1, 0, v));
+  EXPECT_EQ(v, 0u);  // the snapshot version, not p2's
+  EXPECT_TRUE(stm.commit(p1));  // read-only: always commits
+}
+
+TEST(SiStm, SnapshotIsStableAcrossManyConcurrentCommits) {
+  SiStm stm(4, /*depth=*/8);
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+  stm.begin(reader);
+  std::uint64_t first = 1;
+  ASSERT_TRUE(stm.read(reader, 0, first));
+  for (int i = 0; i < 5; ++i) {
+    stm.begin(writer);
+    ASSERT_TRUE(stm.write(writer, 0, 100 + static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(stm.write(writer, 1, 200 + static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(stm.commit(writer));
+  }
+  std::uint64_t again = 1, other = 1;
+  ASSERT_TRUE(stm.read(reader, 0, again));
+  ASSERT_TRUE(stm.read(reader, 1, other));
+  EXPECT_EQ(again, first);  // same snapshot, every time
+  EXPECT_EQ(other, 0u);
+  EXPECT_TRUE(stm.commit(reader));
+}
+
+TEST(SiStm, FirstCommitterWinsOnWriteWriteConflict) {
+  SiStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  stm.begin(p2);
+  // Writes pin the snapshots: both predate either commit.
+  ASSERT_TRUE(stm.write(p1, 0, 100));
+  ASSERT_TRUE(stm.write(p2, 0, 200));
+  EXPECT_TRUE(stm.commit(p1));   // first committer
+  EXPECT_FALSE(stm.commit(p2));  // rival committed past p2's snapshot
+
+  sim::ThreadCtx p3(2);
+  stm.begin(p3);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p3, 0, v));
+  EXPECT_EQ(v, 100u);
+  ASSERT_TRUE(stm.commit(p3));
+}
+
+TEST(SiStm, LostUpdatePrevented) {
+  // Both read x = 0 and write x + 1: overlapping write sets, so FCW kills
+  // the second — SI does NOT admit lost updates.
+  SiStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  stm.begin(p2);
+  std::uint64_t a = 0, b = 0;
+  ASSERT_TRUE(stm.read(p1, 0, a));
+  ASSERT_TRUE(stm.read(p2, 0, b));
+  ASSERT_TRUE(stm.write(p1, 0, a + 1));
+  ASSERT_TRUE(stm.write(p2, 0, b + 1));
+  EXPECT_TRUE(stm.commit(p1));
+  EXPECT_FALSE(stm.commit(p2));
+}
+
+TEST(SiStm, WriteSkewAdmitted) {
+  // The canonical anomaly: invariant "x + y >= 1", both transactions check
+  // it against the same snapshot and each zeroes a DIFFERENT variable.
+  // Disjoint write sets -> FCW passes both -> the invariant breaks.
+  SiStm stm(8);
+  Recorder recorder(8);
+  stm.set_recorder(&recorder);
+
+  sim::ThreadCtx p0(0);
+  stm.begin(p0);
+  ASSERT_TRUE(stm.write(p0, 0, 1));  // x = 1
+  ASSERT_TRUE(stm.write(p0, 1, 1));  // y = 1
+  ASSERT_TRUE(stm.commit(p0));
+
+  sim::ThreadCtx p1(1);
+  sim::ThreadCtx p2(2);
+  stm.begin(p1);
+  stm.begin(p2);
+  std::uint64_t x1 = 0, y1 = 0, x2 = 0, y2 = 0;
+  ASSERT_TRUE(stm.read(p1, 0, x1));
+  ASSERT_TRUE(stm.read(p1, 1, y1));
+  ASSERT_TRUE(stm.read(p2, 0, x2));
+  ASSERT_TRUE(stm.read(p2, 1, y2));
+  ASSERT_EQ(x1 + y1, 2u);
+  ASSERT_EQ(x2 + y2, 2u);
+  ASSERT_TRUE(stm.write(p1, 0, 0));  // p1: zero x (y keeps invariant alive)
+  ASSERT_TRUE(stm.write(p2, 1, 0));  // p2: zero y (x keeps invariant alive)
+  EXPECT_TRUE(stm.commit(p1));
+  EXPECT_TRUE(stm.commit(p2));  // BOTH commit: snapshot isolation
+
+  sim::ThreadCtx p3(3);
+  stm.begin(p3);
+  std::uint64_t x = 9, y = 9;
+  ASSERT_TRUE(stm.read(p3, 0, x));
+  ASSERT_TRUE(stm.read(p3, 1, y));
+  ASSERT_TRUE(stm.commit(p3));
+  EXPECT_EQ(x + y, 0u);  // invariant broken
+
+  // The formal account of what just happened:
+  const core::History h = recorder.history();
+  std::string why;
+  ASSERT_TRUE(h.well_formed(&why)) << why;
+  // (a) committed transactions are NOT serializable,
+  EXPECT_EQ(core::check_serializability(h).verdict, core::Verdict::kNo);
+  // (b) hence the history is not opaque,
+  EXPECT_EQ(core::check_opacity(h).verdict, core::Verdict::kNo);
+  // (c) yet NO transaction ever observed an inconsistent snapshot — the
+  //     §2 zombie hazards cannot arise (contrast WeakStm),
+  EXPECT_FALSE(core::find_inconsistent_snapshot(h).has_value());
+  // (d) and the detector names the skewed pair.
+  const auto skew = core::find_write_skew(h);
+  ASSERT_TRUE(skew.has_value());
+  EXPECT_TRUE((skew->tx_a == 2 && skew->tx_b == 3) ||
+              (skew->tx_a == 3 && skew->tx_b == 2))
+      << skew->explanation;
+}
+
+TEST(SiStm, ReadOnlyNeverAbortsUnderContention) {
+  SiStm stm(4, /*depth=*/64);
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+  for (int round = 0; round < 20; ++round) {
+    stm.begin(reader);
+    std::uint64_t x = 0;
+    ASSERT_TRUE(stm.read(reader, 0, x));
+    stm.begin(writer);
+    ASSERT_TRUE(stm.write(writer, 0, 1000 + static_cast<std::uint64_t>(round)));
+    ASSERT_TRUE(stm.commit(writer));
+    std::uint64_t y = 0;
+    ASSERT_TRUE(stm.read(reader, 1, y));
+    ASSERT_TRUE(stm.commit(reader));
+  }
+  EXPECT_EQ(reader.stats.aborts, 0u);
+}
+
+TEST(SiStm, EvictionFromBoundedRingAbortsOldReader) {
+  SiStm stm(4, /*depth=*/1);  // single retained version
+  sim::ThreadCtx reader(0);
+  sim::ThreadCtx writer(1);
+  stm.begin(reader);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(reader, 1, v));  // pins the snapshot
+  stm.begin(writer);
+  ASSERT_TRUE(stm.write(writer, 0, 42));
+  ASSERT_TRUE(stm.commit(writer));  // evicts the initial version of x0
+  EXPECT_FALSE(stm.read(reader, 0, v));  // snapshot version gone: abort
+}
+
+TEST(SiStm, RecordedMixHasNoInconsistentSnapshotsEver) {
+  // SI's defining strength on a real concurrent run: live transactions
+  // only ever see consistent states, even though opacity does not hold in
+  // general.
+  const auto stm = make_stm("sistm", 6);
+  Recorder recorder(6);
+  stm->set_recorder(&recorder);
+
+  wl::MixParams params;
+  params.threads = 4;
+  params.vars = 6;
+  params.txs_per_thread = 50;
+  params.write_ratio = 0.5;
+  params.seed = 11;
+  (void)wl::run_random_mix(*stm, params);
+
+  const core::History h = recorder.history();
+  std::string why;
+  ASSERT_TRUE(h.well_formed(&why)) << why;
+  const auto snapshot = core::find_inconsistent_snapshot(h);
+  EXPECT_FALSE(snapshot.has_value()) << snapshot->explanation;
+  const auto dirty = core::find_dirty_read(h);
+  EXPECT_FALSE(dirty.has_value());
+}
+
+TEST(SiStm, BankConservesMoney) {
+  // Transfers write BOTH accounts, so every conflicting pair overlaps on a
+  // write: FCW serializes them and conservation survives even under SI.
+  const auto stm = make_stm("sistm", 16);
+  wl::BankParams params;
+  params.threads = 4;
+  params.accounts = 16;
+  params.transfers_per_thread = 300;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total);
+}
+
+TEST(SiStm, PropertyFlagsDeclareTheTrade) {
+  SiStm stm(1);
+  const auto p = stm.properties();
+  EXPECT_TRUE(p.invisible_reads);
+  EXPECT_FALSE(p.single_version);
+  EXPECT_FALSE(p.progressive);  // FCW aborts against already-committed rivals
+  EXPECT_FALSE(p.opaque);       // write skew
+}
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,207 @@
+// Single-process semantics shared by every STM implementation, as a
+// parameterized suite: the same behavioural contract, all runtimes.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/tvar.hpp"
+
+namespace optm::stm {
+namespace {
+
+class StmContract : public ::testing::TestWithParam<std::string> {
+ protected:
+  [[nodiscard]] std::unique_ptr<Stm> make(std::size_t vars = 16) const {
+    return make_stm(GetParam(), vars);
+  }
+};
+
+TEST_P(StmContract, PropertiesDeclared) {
+  const auto stm = make();
+  const StmProperties p = stm->properties();
+  EXPECT_FALSE(p.name.empty());
+  EXPECT_EQ(stm->num_vars(), 16u);
+}
+
+TEST_P(StmContract, FreshVariablesReadZero) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  for (VarId v = 0; v < 16; ++v) {
+    std::uint64_t out = 99;
+    ASSERT_TRUE(stm->read(ctx, v, out));
+    EXPECT_EQ(out, 0u);
+  }
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, ReadYourOwnWrite) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  ASSERT_TRUE(stm->write(ctx, 3, 77));
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(ctx, 3, out));
+  EXPECT_EQ(out, 77u);
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, SecondWriteWins) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  ASSERT_TRUE(stm->write(ctx, 3, 1));
+  ASSERT_TRUE(stm->write(ctx, 3, 2));
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(ctx, 3, out));
+  EXPECT_EQ(out, 2u);
+  ASSERT_TRUE(stm->commit(ctx));
+  stm->begin(ctx);
+  ASSERT_TRUE(stm->read(ctx, 3, out));
+  EXPECT_EQ(out, 2u);
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, CommittedWritesPersist) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  ASSERT_TRUE(stm->write(ctx, 0, 11));
+  ASSERT_TRUE(stm->write(ctx, 1, 22));
+  ASSERT_TRUE(stm->commit(ctx));
+
+  stm->begin(ctx);
+  std::uint64_t a = 0, b = 0;
+  ASSERT_TRUE(stm->read(ctx, 0, a));
+  ASSERT_TRUE(stm->read(ctx, 1, b));
+  EXPECT_EQ(a, 11u);
+  EXPECT_EQ(b, 22u);
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, VoluntaryAbortDiscardsWrites) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  ASSERT_TRUE(stm->write(ctx, 0, 123));
+  stm->abort(ctx);
+
+  stm->begin(ctx);
+  std::uint64_t out = 99;
+  ASSERT_TRUE(stm->read(ctx, 0, out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, OperationsAfterAbortFail) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  stm->abort(ctx);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(stm->read(ctx, 0, out));
+  EXPECT_FALSE(stm->write(ctx, 0, 1));
+  EXPECT_FALSE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, SequentialTransactionsFromSameProcess) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    stm->begin(ctx);
+    std::uint64_t out = 0;
+    ASSERT_TRUE(stm->read(ctx, 5, out));
+    EXPECT_EQ(out, i - 1);
+    ASSERT_TRUE(stm->write(ctx, 5, i));
+    ASSERT_TRUE(stm->commit(ctx));
+  }
+  EXPECT_EQ(ctx.stats.commits, 20u);
+  EXPECT_EQ(ctx.stats.aborts, 0u);
+}
+
+TEST_P(StmContract, ReadOnlyTransactionCommits) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(ctx, 7, out));
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, AtomicallyRetriesAndSucceeds) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  const std::uint64_t attempts = atomically(*stm, ctx, [](TxHandle& tx) {
+    tx.write(2, tx.read(2) + 5);
+  });
+  EXPECT_EQ(attempts, 1u);
+  stm->begin(ctx);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(ctx, 2, out));
+  EXPECT_EQ(out, 5u);
+  EXPECT_TRUE(stm->commit(ctx));
+}
+
+TEST_P(StmContract, TxHandleRetryAborts) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  int entries = 0;
+  const std::uint64_t attempts = atomically(
+      *stm, ctx,
+      [&entries](TxHandle& tx) {
+        ++entries;
+        if (entries == 1) tx.retry();  // voluntary abort, then rerun
+        tx.write(0, 1);
+      },
+      /*max_attempts=*/5);
+  EXPECT_EQ(attempts, 2u);
+  EXPECT_EQ(entries, 2);
+}
+
+TEST_P(StmContract, StatsCountBeginsCommitsReads) {
+  const auto stm = make();
+  sim::ThreadCtx ctx(0);
+  stm->begin(ctx);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(ctx, 0, out));
+  ASSERT_TRUE(stm->write(ctx, 1, 9));
+  ASSERT_TRUE(stm->commit(ctx));
+  EXPECT_EQ(ctx.stats.begins, 1u);
+  EXPECT_EQ(ctx.stats.commits, 1u);
+  EXPECT_EQ(ctx.stats.reads, 1u);
+  EXPECT_EQ(ctx.stats.writes, 1u);
+}
+
+TEST_P(StmContract, DistinctProcessesSeeEachOthersCommits) {
+  const auto stm = make();
+  sim::ThreadCtx p0(0);
+  sim::ThreadCtx p1(1);
+  stm->begin(p0);
+  ASSERT_TRUE(stm->write(p0, 4, 44));
+  ASSERT_TRUE(stm->commit(p0));
+
+  stm->begin(p1);
+  std::uint64_t out = 0;
+  ASSERT_TRUE(stm->read(p1, 4, out));
+  EXPECT_EQ(out, 44u);
+  EXPECT_TRUE(stm->commit(p1));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStms, StmContract,
+                         ::testing::Values("tl2", "tiny", "dstm", "astm",
+                                           "astm-eager", "astm-lazy",
+                                           "visible", "mv", "norec", "weak",
+                                           "sistm", "glock", "twopl",
+                                           "twopl-nowait"),
+                         [](const auto& inf) {
+                           std::string n = inf.param;
+                           for (auto& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+}  // namespace
+}  // namespace optm::stm

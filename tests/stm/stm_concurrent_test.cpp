@@ -1,0 +1,102 @@
+// Multi-threaded integrity tests across all STM implementations: money
+// conservation, exact counter totals, and workload plumbing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "stm/factory.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::stm {
+namespace {
+
+class ConcurrentStm : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ConcurrentStm, BankConservesMoney) {
+  const auto stm = make_stm(GetParam(), 32);
+  wl::BankParams params;
+  params.threads = 4;
+  params.accounts = 32;
+  params.transfers_per_thread = 800;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total)
+      << GetParam() << " lost or created money";
+  EXPECT_GE(result.run.commits, 4u * 800u);  // every transfer eventually commits
+}
+
+TEST_P(ConcurrentStm, BankSingleThreadNoAborts) {
+  const auto stm = make_stm(GetParam(), 16);
+  wl::BankParams params;
+  params.threads = 1;
+  params.accounts = 16;
+  params.transfers_per_thread = 500;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total);
+  EXPECT_EQ(result.run.aborts, 0u) << GetParam();
+}
+
+TEST_P(ConcurrentStm, RegisterCounterExact) {
+  // Read-inc-write encoding: contended, but atomically() retries until
+  // committed, so the final value is exact.
+  const auto stm = make_stm(GetParam(), 4);
+  wl::CounterParams params;
+  params.threads = 4;
+  params.increments_per_thread = 300;
+  params.semantic = false;
+  const wl::CounterResult result = wl::run_counter(*stm, params);
+  EXPECT_EQ(result.final_value, 4 * 300) << GetParam();
+}
+
+TEST_P(ConcurrentStm, SemanticCounterExactAndAbortFree) {
+  // §3.4: the commutative counter never conflicts.
+  const auto stm = make_stm(GetParam(), 4);
+  wl::CounterParams params;
+  params.threads = 4;
+  params.increments_per_thread = 300;
+  params.semantic = true;
+  const wl::CounterResult result = wl::run_counter(*stm, params);
+  EXPECT_EQ(result.final_value, 4 * 300) << GetParam();
+  EXPECT_EQ(result.run.aborts, 0u)
+      << GetParam() << ": commutative increments must not conflict";
+}
+
+TEST_P(ConcurrentStm, RandomMixTerminates) {
+  const auto stm = make_stm(GetParam(), 8);
+  wl::MixParams params;
+  params.threads = 4;
+  params.vars = 8;
+  params.txs_per_thread = 250;
+  const wl::RunResult run = wl::run_random_mix(*stm, params);
+  EXPECT_GT(run.commits, 0u);
+  EXPECT_GT(run.reads, 0u);
+  EXPECT_GT(run.steps.total(), 0u);
+}
+
+TEST_P(ConcurrentStm, ReadMostlyScanTerminates) {
+  const auto stm = make_stm(GetParam(), 64);
+  wl::ReadMostlyParams params;
+  params.reader_threads = 3;
+  params.vars = 64;
+  params.scan_length = 16;
+  params.scans_per_thread = 150;
+  params.writer_txs = 50;
+  const wl::RunResult run = wl::run_read_mostly(*stm, params);
+  EXPECT_GE(run.commits, 3u * 150u + 50u);  // all scans + writer txs commit
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStms, ConcurrentStm,
+                         ::testing::Values("tl2", "tiny", "dstm", "astm", "astm-eager",
+                                           "astm-lazy", "visible", "mv",
+                                           "norec", "weak", "sistm", "glock",
+                                           "twopl", "dstm/karma",
+                                           "dstm/polite", "visible/greedy",
+                                           "astm/karma"),
+                         [](const auto& inf) {
+                           std::string name = inf.param;
+                           for (auto& c : name)
+                             if (c == '/' || c == '-') c = '_';
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,148 @@
+// TSortedList: transactional set over STM variables — unit semantics,
+// composed multi-operation transactions, and concurrent stress with the
+// structural invariant as oracle.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/tlist.hpp"
+#include "util/rng.hpp"
+
+namespace optm::stm {
+namespace {
+
+class TListTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static constexpr std::uint32_t kCapacity = 32;
+
+  void SetUp() override {
+    stm_ = make_stm(GetParam(), TSortedList::vars_needed(kCapacity));
+    list_ = std::make_unique<TSortedList>(0, kCapacity);
+    sim::ThreadCtx ctx(0);
+    (void)atomically(*stm_, ctx, [&](TxHandle& tx) { list_->init(tx); });
+  }
+
+  std::unique_ptr<Stm> stm_;
+  std::unique_ptr<TSortedList> list_;
+};
+
+TEST_P(TListTest, InsertContainsErase) {
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    EXPECT_TRUE(list_->insert(tx, 5));
+    EXPECT_TRUE(list_->insert(tx, 3));
+    EXPECT_TRUE(list_->insert(tx, 8));
+    EXPECT_FALSE(list_->insert(tx, 5));  // duplicate
+    EXPECT_TRUE(list_->contains(tx, 3));
+    EXPECT_FALSE(list_->contains(tx, 4));
+    EXPECT_TRUE(list_->erase(tx, 3));
+    EXPECT_FALSE(list_->erase(tx, 3));
+    EXPECT_FALSE(list_->contains(tx, 3));
+    EXPECT_EQ(list_->size(tx), 2u);
+    EXPECT_TRUE(list_->invariant_holds(tx));
+  });
+}
+
+TEST_P(TListTest, KeepsSortedOrderAndSum) {
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    for (std::int64_t v : {9, 1, 7, 3, 5}) EXPECT_TRUE(list_->insert(tx, v));
+    EXPECT_EQ(list_->sum(tx), 25);
+    EXPECT_TRUE(list_->invariant_holds(tx));
+  });
+}
+
+TEST_P(TListTest, NodeRecyclingAfterErase) {
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    // Fill to capacity, drain, refill: the pool must recycle.
+    for (std::uint32_t v = 0; v < kCapacity; ++v)
+      EXPECT_TRUE(list_->insert(tx, v));
+    EXPECT_THROW((void)list_->insert(tx, 1000), std::length_error);
+    for (std::uint32_t v = 0; v < kCapacity; ++v)
+      EXPECT_TRUE(list_->erase(tx, v));
+    EXPECT_EQ(list_->size(tx), 0u);
+    for (std::uint32_t v = 100; v < 100 + kCapacity; ++v)
+      EXPECT_TRUE(list_->insert(tx, v));
+    EXPECT_TRUE(list_->invariant_holds(tx));
+  });
+}
+
+TEST_P(TListTest, AbortedTransactionLeavesNoTrace) {
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) { list_->insert(tx, 1); });
+  int entries = 0;
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    if (++entries == 1) {
+      (void)list_->insert(tx, 2);
+      tx.retry();  // abort: the insert must be undone
+    }
+  });
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    EXPECT_TRUE(list_->contains(tx, 1));
+    EXPECT_FALSE(list_->contains(tx, 2));
+    EXPECT_TRUE(list_->invariant_holds(tx));
+  });
+}
+
+TEST_P(TListTest, ComposedOperationsAreAtomic) {
+  // Move an element between two "accounts" of the same list atomically:
+  // erase + insert in one transaction.
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) { list_->insert(tx, 10); });
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    EXPECT_TRUE(list_->erase(tx, 10));
+    EXPECT_TRUE(list_->insert(tx, 20));
+  });
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    EXPECT_FALSE(list_->contains(tx, 10));
+    EXPECT_TRUE(list_->contains(tx, 20));
+  });
+}
+
+TEST_P(TListTest, ConcurrentInsertEraseKeepsInvariant) {
+  constexpr std::uint32_t kThreads = 3;
+  constexpr std::uint64_t kOpsPerThread = 400;
+  std::vector<std::thread> threads;
+  for (std::uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sim::ThreadCtx ctx(t);
+      util::Xoshiro256 rng(util::stream_seed(13, t));
+      for (std::uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const std::int64_t value = rng.range(0, 15);
+        const bool insert = rng.chance(0.55);
+        (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+          if (insert) {
+            (void)list_->insert(tx, value);
+          } else {
+            (void)list_->erase(tx, value);
+          }
+        });
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  sim::ThreadCtx ctx(0);
+  (void)atomically(*stm_, ctx, [&](TxHandle& tx) {
+    EXPECT_TRUE(list_->invariant_holds(tx));
+    EXPECT_LE(list_->size(tx), 16u);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Stms, TListTest,
+                         ::testing::Values("tl2", "tiny", "dstm", "astm", "visible",
+                                           "mv", "norec", "glock", "twopl"),
+                         [](const auto& inf) { return inf.param; });
+
+TEST(TList, VarsNeeded) {
+  EXPECT_EQ(TSortedList::vars_needed(0), 2u);
+  EXPECT_EQ(TSortedList::vars_needed(10), 22u);
+}
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,304 @@
+// TwoPlStm: strict two-phase locking semantics, wait-die arbitration, and
+// the §3.6 relationship — every recorded 2PL history is RIGOROUS (hence
+// opaque), while the optimistic STMs routinely produce histories that are
+// opaque yet not rigorous.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "core/opacity.hpp"
+#include "core/opacity_graph.hpp"
+#include "core/rigorous.hpp"
+#include "sim/thread_ctx.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "stm/twopl.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::stm {
+namespace {
+
+TEST(TwoPl, YoungerWriterDiesAgainstReader) {
+  // p1 (older) read-locks x; p2 (younger) requests the write lock -> die.
+  TwoPlStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p1, 0, v));
+  stm.begin(p2);
+  EXPECT_FALSE(stm.write(p2, 0, 7));  // wait-die: younger requester dies
+  EXPECT_EQ(p2.stats.aborts, 1u);
+  ASSERT_TRUE(stm.write(p1, 1, 1));  // p1 is unaffected
+  EXPECT_TRUE(stm.commit(p1));
+}
+
+TEST(TwoPl, YoungerReaderDiesAgainstWriter) {
+  TwoPlStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  ASSERT_TRUE(stm.write(p1, 0, 5));
+  stm.begin(p2);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(stm.read(p2, 0, v));  // younger reader dies
+  EXPECT_TRUE(stm.commit(p1));
+
+  // After p1 releases, a fresh transaction reads the committed value.
+  stm.begin(p2);
+  ASSERT_TRUE(stm.read(p2, 0, v));
+  EXPECT_EQ(v, 5u);
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(TwoPl, NoWaitPolicyDiesEvenWhenOlder) {
+  // Under kNoWait the OLDER requester also dies instead of spinning —
+  // what makes the implementation drivable from one OS thread.
+  TwoPlStm stm(8, WaitPolicy::kNoWait);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p2);  // p2 begins FIRST: p2 older than p1
+  stm.begin(p1);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p1, 0, v));  // p1 (younger) read-locks x
+  EXPECT_FALSE(stm.write(p2, 0, 9));  // p2 older, would wait; no-wait: die
+  EXPECT_TRUE(stm.commit(p1));
+}
+
+TEST(TwoPl, ReadersShareTheLock) {
+  TwoPlStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  stm.begin(p2);
+  std::uint64_t a = 1, b = 2;
+  ASSERT_TRUE(stm.read(p1, 0, a));
+  ASSERT_TRUE(stm.read(p2, 0, b));  // concurrent shared locks coexist
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 0u);
+  EXPECT_TRUE(stm.commit(p1));
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(TwoPl, UpgradeOwnSharedLock) {
+  TwoPlStm stm(8);
+  sim::ThreadCtx ctx(0);
+  stm.begin(ctx);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(ctx, 0, v));
+  ASSERT_TRUE(stm.write(ctx, 0, v + 1));  // read -> write upgrade, same tx
+  ASSERT_TRUE(stm.read(ctx, 0, v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(stm.commit(ctx));
+
+  stm.begin(ctx);
+  ASSERT_TRUE(stm.read(ctx, 0, v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(stm.commit(ctx));
+}
+
+TEST(TwoPl, UpgradeDuelResolvedByWaitDie) {
+  // Both hold shared locks on x; the younger upgrader dies, the older one
+  // (under no-wait, which cannot spin) also dies — but never both commit
+  // conflicting writes.
+  TwoPlStm stm(8, WaitPolicy::kNoWait);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  stm.begin(p2);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm.read(p1, 0, v));
+  ASSERT_TRUE(stm.read(p2, 0, v));
+  const bool w1 = stm.write(p1, 0, 100);  // drain blocked by p2's bit: die
+  EXPECT_FALSE(w1);
+  const bool w2 = stm.write(p2, 0, 200);  // p1's locks were released: wins
+  EXPECT_TRUE(w2);
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(TwoPl, WritesInvisibleUntilCommit) {
+  // Buffered updates: a concurrent reader that sneaks in between abort and
+  // re-read sees the OLD value after the writer dies.
+  TwoPlStm stm(8);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  stm.begin(p1);
+  ASSERT_TRUE(stm.write(p1, 0, 77));
+  stm.abort(p1);  // voluntary abort: nothing was installed
+
+  stm.begin(p2);
+  std::uint64_t v = 99;
+  ASSERT_TRUE(stm.read(p2, 0, v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(stm.commit(p2));
+}
+
+TEST(TwoPl, CommitNeverFails) {
+  // Strict 2PL has no commit-time validation: every reachable commit
+  // succeeds. Drive 50 transactions with conflicts; every transaction that
+  // REACHED tryC commits.
+  TwoPlStm stm(4, WaitPolicy::kNoWait);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+  std::uint64_t reached = 0, committed = 0;
+  for (int i = 0; i < 50; ++i) {
+    stm.begin(p1);
+    stm.begin(p2);
+    std::uint64_t v = 0;
+    const bool r1 = stm.read(p1, static_cast<VarId>(i % 4), v);
+    const bool w2 = stm.write(p2, static_cast<VarId>(i % 4), 1);
+    if (r1) {
+      ++reached;
+      committed += stm.commit(p1) ? 1u : 0u;
+    }
+    if (w2) {
+      ++reached;
+      committed += stm.commit(p2) ? 1u : 0u;
+    }
+  }
+  EXPECT_GT(reached, 0u);
+  EXPECT_EQ(committed, reached);
+}
+
+TEST(TwoPl, VisibleReadsWriteSharedMemory) {
+  TwoPlStm stm(32);
+  sim::ThreadCtx ctx(0);
+  stm.begin(ctx);
+  for (VarId v = 0; v < 32; ++v) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(stm.read(ctx, v, out));
+  }
+  EXPECT_GE(ctx.steps.shared_writes(), 32u);  // one reader-bit RMW per read
+  EXPECT_TRUE(stm.commit(ctx));
+  const auto p = stm.properties();
+  EXPECT_FALSE(p.invisible_reads);
+  EXPECT_TRUE(p.progressive);
+  EXPECT_TRUE(p.opaque);
+}
+
+TEST(TwoPl, PerOperationCostConstantInK) {
+  // The visible-read escape from Theorem 3: the adversarial probe's final
+  // read costs O(1) regardless of the read-set size.
+  const auto small_stm = make_stm("twopl-nowait", 17);
+  const auto small = wl::lower_bound_probe(*small_stm, 16);
+  const auto large_stm = make_stm("twopl-nowait", 1025);
+  const auto large = wl::lower_bound_probe(*large_stm, 1024);
+  EXPECT_TRUE(small.read_succeeded);
+  EXPECT_TRUE(large.read_succeeded);
+  EXPECT_TRUE(large.reader_committed);
+  EXPECT_LE(large.steps_final_read, small.steps_final_read + 2);
+}
+
+TEST(TwoPl, WaitDiePreventsDeadlockUnderOpposedLockOrders) {
+  // The classic deadlock shape: two threads locking {x, y} in opposite
+  // orders. Wait-die must keep both making progress to completion.
+  TwoPlStm stm(2);
+  auto worker = [&stm](std::uint32_t id, VarId first, VarId second) {
+    sim::ThreadCtx ctx(id);
+    for (int i = 0; i < 300; ++i) {
+      (void)atomically(stm, ctx, [&](TxHandle& tx) {
+        tx.write(first, tx.read(first) + 1);
+        tx.write(second, tx.read(second) + 1);
+      });
+    }
+  };
+  std::thread t1(worker, 0, 0, 1);
+  std::thread t2(worker, 1, 1, 0);
+  t1.join();
+  t2.join();
+
+  sim::ThreadCtx audit(0);
+  std::uint64_t x = 0, y = 0;
+  (void)atomically(stm, audit, [&](TxHandle& tx) {
+    x = tx.read(0);
+    y = tx.read(1);
+  });
+  EXPECT_EQ(x, 600u);
+  EXPECT_EQ(y, 600u);
+}
+
+TEST(TwoPl, BankConservesMoneyUnderContention) {
+  const auto stm = make_stm("twopl", 16);
+  wl::BankParams params;
+  params.threads = 4;
+  params.accounts = 16;
+  params.transfers_per_thread = 300;
+  const wl::BankResult result = wl::run_bank(*stm, params);
+  EXPECT_EQ(result.final_total, result.expected_total);
+}
+
+// --- recorded histories: rigor and opacity ---------------------------------------
+
+TEST(TwoPl, RecordedDeterministicHistoryIsRigorousAndOpaque) {
+  const auto stm = make_stm("twopl-nowait", 4);
+  Recorder recorder(4);
+  stm->set_recorder(&recorder);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  stm->begin(p1);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm->read(p1, 0, v));
+  stm->begin(p2);
+  (void)stm->write(p2, 0, 1);  // dies (younger, reader holds x)
+  ASSERT_TRUE(stm->write(p1, 1, 2));
+  ASSERT_TRUE(stm->commit(p1));
+  stm->begin(p2);
+  ASSERT_TRUE(stm->write(p2, 0, 3));
+  ASSERT_TRUE(stm->commit(p2));
+
+  const core::History h = recorder.history();
+  std::string why;
+  ASSERT_TRUE(h.well_formed(&why)) << why;
+  EXPECT_TRUE(core::check_rigorous(h).holds);
+  EXPECT_EQ(core::check_opacity(h).verdict, core::Verdict::kYes);
+}
+
+TEST(TwoPl, ConcurrentMixIsRigorousAndCertificateOpaque) {
+  const auto stm = make_stm("twopl", 6);
+  Recorder recorder(6);
+  stm->set_recorder(&recorder);
+
+  wl::MixParams params;
+  params.threads = 3;
+  params.vars = 6;
+  params.txs_per_thread = 40;
+  params.ops_per_tx = 4;
+  params.seed = 21;
+  (void)wl::run_random_mix(*stm, params);
+
+  const core::History h = recorder.history();
+  std::string why;
+  ASSERT_TRUE(h.well_formed(&why)) << why;
+  const auto rig = core::check_rigorous(h);
+  EXPECT_TRUE(rig.holds) << rig.reason;
+  EXPECT_TRUE(core::verify_opacity_certificate(h, recorder.certificate_order(),
+                                               {}, &why))
+      << why;
+}
+
+TEST(TwoPl, OptimisticStmsAreNotRigorousWhereTwoPlIs) {
+  // The §3.6 separation, on live systems: invisible-read STMs let a writer
+  // commit between a reader's read and its completion — opaque, NOT
+  // rigorous. 2PL forbids the interleaving itself.
+  const auto stm = make_stm("dstm", 4);
+  Recorder recorder(4);
+  stm->set_recorder(&recorder);
+  sim::ThreadCtx p1(0);
+  sim::ThreadCtx p2(1);
+
+  stm->begin(p1);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(stm->read(p1, 0, v));  // invisible read of x
+  stm->begin(p2);
+  ASSERT_TRUE(stm->write(p2, 0, 1));  // writes x while p1 (a reader) lives
+  ASSERT_TRUE(stm->commit(p2));
+  (void)stm->commit(p1);  // read-only: commits
+
+  const core::History h = recorder.history();
+  EXPECT_EQ(core::check_opacity(h).verdict, core::Verdict::kYes);
+  EXPECT_FALSE(core::check_rigorous(h).holds);  // update overlapped a reader
+}
+
+}  // namespace
+}  // namespace optm::stm

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "util/bitset.hpp"
+#include "util/cli.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+#include "util/spin.hpp"
+#include "util/table.hpp"
+
+namespace optm::util {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.next() == b.next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceRoughlyCalibrated) {
+  Xoshiro256 rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.chance(0.25);
+  EXPECT_NEAR(hits, 2500, 200);
+}
+
+TEST(Rng, StreamSeedsIndependent) {
+  EXPECT_NE(stream_seed(1, 0), stream_seed(1, 1));
+  EXPECT_NE(stream_seed(1, 0), stream_seed(2, 0));
+}
+
+TEST(Bitset, SetTestReset) {
+  DynamicBitset b(130);
+  EXPECT_TRUE(b.none());
+  b.set(0);
+  b.set(64);
+  b.set(129);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(129));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 3u);
+  b.reset(64);
+  EXPECT_FALSE(b.test(64));
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(Bitset, EqualityAndHash) {
+  DynamicBitset a(70), b(70);
+  a.set(69);
+  b.set(69);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  b.set(1);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Bitset, AllAndClear) {
+  DynamicBitset b(3);
+  b.set(0);
+  b.set(1);
+  b.set(2);
+  EXPECT_TRUE(b.all());
+  b.clear();
+  EXPECT_TRUE(b.none());
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(hash_combine(0, 1), 2),
+            hash_combine(hash_combine(0, 2), 1));
+}
+
+TEST(SpinLock, MutualExclusion) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        std::lock_guard<SpinLock> guard(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(SpinLock, TryLock) {
+  SpinLock lock;
+  EXPECT_TRUE(lock.try_lock());
+  EXPECT_FALSE(lock.try_lock());
+  lock.unlock();
+  EXPECT_TRUE(lock.try_lock());
+  lock.unlock();
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"algo", "k", "steps"});
+  t.add_row({"dstm", "16", "17.5"});
+  t.add_row({"tl2", "1024", "3.0"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("algo"), std::string::npos);
+  EXPECT_NE(s.find("1024"), std::string::npos);
+  EXPECT_NE(s.find("+"), std::string::npos);
+  // Header and both rows present, plus 3 rules.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 6);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(std::uint64_t{42}), "42");
+}
+
+TEST(Cli, ParsesFlagsAndDefaults) {
+  Cli cli("prog", "test");
+  cli.flag("threads", "4", "thread count");
+  cli.flag("verbose", "false", "chatty");
+  const char* argv[] = {"prog", "--threads=8", "--verbose"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_EQ(cli.get_int("threads"), 8);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(Cli, RejectsUnknownFlag) {
+  Cli cli("prog", "test");
+  cli.flag("threads", "4", "thread count");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Backoff, PausesWithoutHanging) {
+  Backoff b(16);
+  for (int i = 0; i < 10; ++i) b.pause();
+  b.reset();
+  b.pause();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace optm::util

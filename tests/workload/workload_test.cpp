@@ -1,0 +1,146 @@
+// Workload harness plumbing.
+#include <gtest/gtest.h>
+
+#include "stm/factory.hpp"
+#include "workload/workloads.hpp"
+
+namespace optm::wl {
+namespace {
+
+TEST(RunResult, DerivedMetrics) {
+  RunResult r;
+  r.commits = 80;
+  r.aborts = 20;
+  r.reads = 10;
+  r.steps.loads = 50;
+  r.seconds = 2.0;
+  EXPECT_DOUBLE_EQ(r.commits_per_second(), 40.0);
+  EXPECT_DOUBLE_EQ(r.abort_ratio(), 0.2);
+  EXPECT_DOUBLE_EQ(r.steps_per_read(), 5.0);
+  RunResult zero;
+  EXPECT_DOUBLE_EQ(zero.commits_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.abort_ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.steps_per_read(), 0.0);
+}
+
+TEST(Bank, InitialTotalsRight) {
+  const auto stm = optm::stm::make_stm("tl2", 8);
+  BankParams params;
+  params.threads = 1;
+  params.accounts = 8;
+  params.transfers_per_thread = 0;
+  const BankResult result = run_bank(*stm, params);
+  EXPECT_EQ(result.expected_total, 8u * params.initial_balance);
+  EXPECT_EQ(result.final_total, result.expected_total);
+}
+
+TEST(Bank, DeterministicSeedSameCommitCount) {
+  BankParams params;
+  params.threads = 1;
+  params.accounts = 8;
+  params.transfers_per_thread = 100;
+  params.seed = 5;
+  const auto a = run_bank(*optm::stm::make_stm("tl2", 8), params);
+  const auto b = run_bank(*optm::stm::make_stm("tl2", 8), params);
+  EXPECT_EQ(a.run.commits, b.run.commits);
+  EXPECT_EQ(a.final_total, b.final_total);
+}
+
+TEST(Mix, CountsAddUp) {
+  MixParams params;
+  params.threads = 1;
+  params.txs_per_thread = 100;
+  const auto stm = optm::stm::make_stm("tl2", params.vars);
+  params.voluntary_abort_ratio = 0.3;
+  const RunResult run = run_random_mix(*stm, params);
+  // Single-threaded: no forced aborts; attempts = txs.
+  EXPECT_EQ(run.commits + run.aborts, 100u);
+  EXPECT_GT(run.aborts, 0u);  // the voluntary ones
+}
+
+TEST(ReadMostly, ReadsDominate) {
+  ReadMostlyParams params;
+  params.vars = 64;
+  params.reader_threads = 1;
+  params.scans_per_thread = 50;
+  params.writer_txs = 5;
+  const auto stm = optm::stm::make_stm("tl2", params.vars);
+  const RunResult run = run_read_mostly(*stm, params);
+  EXPECT_GT(run.reads, 10 * run.writes);
+}
+
+TEST(WriteSkew, SerializableStmsPreserveTheInvariant) {
+  // Every opaque STM (and even WeakStm, whose COMMITTED part is
+  // serializable) keeps x + y >= 1 in all rounds: at most one of the two
+  // fully-overlapped withdrawers commits.
+  for (const char* name : {"tl2", "tiny", "dstm", "astm", "astm-eager",
+                           "visible", "mv", "norec", "weak",
+                           "twopl-nowait"}) {
+    const auto stm = optm::stm::make_stm(name, 2);
+    WriteSkewParams params;
+    params.rounds = 60;
+    const WriteSkewResult result = run_write_skew(*stm, params);
+    EXPECT_GT(result.rounds_played, 0u) << name;
+    EXPECT_EQ(result.skew_rounds, 0u) << name << " admitted write skew";
+    EXPECT_EQ(result.both_committed_rounds, 0u) << name;
+  }
+}
+
+TEST(WriteSkew, SnapshotIsolationAdmitsSkewEveryRound) {
+  // Deterministic schedule: under SI BOTH withdrawers commit (disjoint
+  // write sets pass first-committer-wins) in every single round.
+  const auto stm = optm::stm::make_stm("sistm", 2);
+  WriteSkewParams params;
+  params.rounds = 60;
+  const WriteSkewResult result = run_write_skew(*stm, params);
+  EXPECT_EQ(result.rounds_played, 60u);
+  EXPECT_EQ(result.skew_rounds, result.rounds_played);
+  EXPECT_EQ(result.both_committed_rounds, result.rounds_played);
+}
+
+TEST(LongReader, SingleVersionInvisibleReadStmsAbortTheReader) {
+  // tiny aborts too: its first extension attempt finds var 0 overwritten.
+  for (const char* name : {"tl2", "tiny", "dstm", "astm", "norec", "visible"}) {
+    const auto stm = optm::stm::make_stm(name, 8);
+    const LongReaderProbe probe = long_reader_probe(*stm, 8, 4);
+    EXPECT_FALSE(probe.reads_succeeded && probe.reader_committed &&
+                 probe.snapshot_consistent && probe.writer_commits > 0)
+        << name << ": a single-version TM cannot serve the old snapshot";
+  }
+}
+
+TEST(LongReader, MultiVersionServesTheOldSnapshotAndCommits) {
+  for (const char* name : {"mv", "sistm"}) {
+    const auto stm = optm::stm::make_stm(name, 8);
+    const LongReaderProbe probe = long_reader_probe(*stm, 8, 4);
+    EXPECT_TRUE(probe.reads_succeeded) << name;
+    EXPECT_TRUE(probe.reader_committed) << name;
+    EXPECT_TRUE(probe.snapshot_consistent) << name;
+    EXPECT_EQ(probe.writer_commits, 4u) << name;
+  }
+}
+
+TEST(LongReader, TwoPlBlocksTheWritersInstead) {
+  // The pessimistic escape: the reader's shared locks make the writers
+  // die, so the reader commits a consistent snapshot with zero overlap.
+  const auto stm = optm::stm::make_stm("twopl-nowait", 8);
+  const LongReaderProbe probe = long_reader_probe(*stm, 8, 4);
+  EXPECT_TRUE(probe.reads_succeeded);
+  EXPECT_TRUE(probe.reader_committed);
+  EXPECT_TRUE(probe.snapshot_consistent);
+  EXPECT_EQ(probe.writer_commits, 0u);
+}
+
+TEST(LowerBoundProbeShape, ZeroReadSet) {
+  // m = 0: no prior reads; every STM handles the degenerate case. With
+  // lazy (first-access) snapshots even TL2 succeeds: its rv is sampled at
+  // the final read itself, after the writer's commit.
+  for (const auto name : optm::stm::all_stm_names()) {
+    const auto stm = optm::stm::make_stm(name, 2);
+    const LowerBoundProbe probe = lower_bound_probe(*stm, 0);
+    EXPECT_TRUE(probe.read_succeeded) << name;
+  }
+}
+
+}  // namespace
+}  // namespace optm::wl
