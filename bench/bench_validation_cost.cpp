@@ -11,6 +11,8 @@
 // commits — bench_lower_bound covers that); MV pays the ring scan.
 #include "bench_common.hpp"
 
+#include "stm/recorder.hpp"
+
 namespace optm::bench {
 namespace {
 
@@ -36,6 +38,37 @@ void BM_ScanTransaction(benchmark::State& state, const char* name) {
       static_cast<double>(total_steps) / static_cast<double>(k);
 }
 
+// Same scan with a recorder attached: the per-read price of verification
+// mode (stamping + the sampling window) on top of the Theorem 3 quantity.
+// The sharded engine's goal is that this overhead stays flat in k and per
+// event — compare time/op against the unrecorded BM_ScanTransaction rows.
+template <typename RecorderT>
+void BM_ScanTransactionRecorded(benchmark::State& state, const char* name) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto stm = stm::make_stm(name, k);
+    RecorderT recorder(k);
+    stm->set_recorder(&recorder);
+    sim::ThreadCtx ctx(0);
+    stm->begin(ctx);
+    for (std::size_t v = 0; v < k; ++v) {
+      std::uint64_t out = 0;
+      if (!stm->read(ctx, static_cast<stm::VarId>(v), out)) break;
+      benchmark::DoNotOptimize(out);
+    }
+    benchmark::DoNotOptimize(stm->commit(ctx));
+    benchmark::DoNotOptimize(recorder.num_events());
+  }
+  state.counters["events_per_tx"] = static_cast<double>(2 * k + 2);
+}
+
+void BM_ScanRecordedSharded(benchmark::State& state) {
+  BM_ScanTransactionRecorded<stm::Recorder>(state, "tl2");
+}
+void BM_ScanRecordedMutex(benchmark::State& state) {
+  BM_ScanTransactionRecorded<stm::MutexRecorder>(state, "tl2");
+}
+
 }  // namespace
 }  // namespace optm::bench
 
@@ -57,6 +90,16 @@ SCAN_BENCH(norec);
 SCAN_BENCH(weak);
 
 #undef SCAN_BENCH
+
+BENCHMARK(BM_ScanRecordedSharded)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Unit(benchmark::kMicrosecond);
+
+BENCHMARK(BM_ScanRecordedMutex)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace optm::bench
 

@@ -39,6 +39,12 @@ bool OnlineDefinitionalMonitor::feed(const Event& e) {
   return true;
 }
 
+bool OnlineDefinitionalMonitor::ingest(std::span<const Event> batch) {
+  bool ok = true;
+  for (const Event& e : batch) ok = feed(e);
+  return ok && !violation_.has_value();
+}
+
 // ---------------------------------------------------------------------------
 // OnlineCertificateMonitor
 // ---------------------------------------------------------------------------
@@ -65,15 +71,22 @@ bool OnlineCertificateMonitor::fail(const std::string& reason) {
   return false;
 }
 
+namespace {
+
+/// Failure tags are built lazily: the hot path must not allocate a string
+/// per event (batch ingestion feeds millions of them).
+[[nodiscard]] std::string tx_tag(TxId tx) { return "T" + std::to_string(tx); }
+
+}  // namespace
+
 bool OnlineCertificateMonitor::on_operation_response(const Event& e,
                                                      TxState& tx) {
-  const std::string tag = "T" + std::to_string(e.tx);
   if (e.op == OpCode::kWrite) {
     // Value-unique writes underpin reads-from resolution (§5.4).
     const auto key = std::make_pair(e.obj, e.arg);
     const auto [it, inserted] = versions_.emplace(key, VersionRec{e.tx, 0, 0});
     if (!inserted && it->second.writer != e.tx) {
-      return fail(tag + " rewrote value " + std::to_string(e.arg) + " of x" +
+      return fail(tx_tag(e.tx) + " rewrote value " + std::to_string(e.arg) + " of x" +
                   std::to_string(e.obj) + " (value-unique writes required)");
     }
     it->second.writer = e.tx;  // ranks assigned at commit
@@ -87,7 +100,7 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   const auto own = tx.writes.find(e.obj);
   if (own != tx.writes.end()) {
     if (own->second != e.ret) {
-      return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+      return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                   std::to_string(e.ret) + " despite its own write of " +
                   std::to_string(own->second) + " (local consistency)");
     }
@@ -96,18 +109,18 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
 
   const auto v = versions_.find({e.obj, e.ret});
   if (v == versions_.end()) {
-    return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+    return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) + ", a value never written");
   }
   const VersionRec& rec = v->second;
   if (rec.writer == e.tx) {
-    return fail(tag + " read back its own value without a prior write");
+    return fail(tx_tag(e.tx) + " read back its own value without a prior write");
   }
   if (rec.writer != kInitTx) {
     const auto w = txs_.find(rec.writer);
     if (w == txs_.end() || !w->second.committed) {
       // Possibly the H4 commit-pending case — conservative (see header).
-      return fail(tag + " read x" + std::to_string(e.obj) + "=" +
+      return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                   std::to_string(e.ret) + " from non-committed T" +
                   std::to_string(rec.writer));
     }
@@ -119,12 +132,12 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   if (rec.close_rank == kOpen) holders_[e.obj].push_back(e.tx);
 
   if (tx.lo >= tx.hi) {
-    return fail(tag + "'s reads form no consistent snapshot (window empty " +
+    return fail(tx_tag(e.tx) + "'s reads form no consistent snapshot (window empty " +
                 "after reading x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) + ")");
   }
   if (tx.hi <= tx.birth_rank) {
-    return fail(tag + " read the outdated x" + std::to_string(e.obj) + "=" +
+    return fail(tx_tag(e.tx) + " read the outdated x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) +
                 ", overwritten before the transaction's first event "
                 "(real-time order)");
@@ -133,18 +146,17 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
 }
 
 bool OnlineCertificateMonitor::on_commit(TxState& tx, TxId id) {
-  const std::string tag = "T" + std::to_string(id);
   // Serialization-point checks BEFORE installing this commit's writes.
   if (tx.has_write) {
     // Update transactions serialize at their commit rank: every read
     // version must still be open (SiStm's write skew dies here).
     if (tx.hi != kOpen) {
-      return fail(tag + " committed updates although a version it read was "
+      return fail(tx_tag(id) + " committed updates although a version it read was "
                         "overwritten (reads not current at commit)");
     }
   } else {
     if (tx.lo >= tx.hi || tx.hi <= tx.birth_rank) {
-      return fail(tag + " (read-only) committed with no serialization point "
+      return fail(tx_tag(id) + " (read-only) committed with no serialization point "
                         "compatible with real-time order");
     }
   }
@@ -179,7 +191,6 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
     ++pos_;
     return false;
   }
-  const std::string tag = "T" + std::to_string(e.tx);
   TxState& tx = txs_[e.tx];
   if (!tx.born) {
     tx.born = true;
@@ -190,9 +201,9 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
   switch (e.kind) {
     case EventKind::kInvoke:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tag + " invoked an operation while not idle (well-formedness)");
+        ok = fail(tx_tag(e.tx) + " invoked an operation while not idle (well-formedness)");
       } else if (!model_.contains(e.obj)) {
-        ok = fail(tag + " invoked an operation on unknown object x" +
+        ok = fail(tx_tag(e.tx) + " invoked an operation on unknown object x" +
                   std::to_string(e.obj));
       } else {
         tx.phase = Phase::kOpPending;
@@ -201,7 +212,7 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
       break;
     case EventKind::kResponse:
       if (tx.phase != Phase::kOpPending || !tx.pending.matches(e)) {
-        ok = fail(tag + " received a response with no matching invocation "
+        ok = fail(tx_tag(e.tx) + " received a response with no matching invocation "
                         "(well-formedness)");
       } else {
         tx.phase = Phase::kIdle;
@@ -210,14 +221,14 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
       break;
     case EventKind::kTryCommit:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tag + " issued tryC while not idle (well-formedness)");
+        ok = fail(tx_tag(e.tx) + " issued tryC while not idle (well-formedness)");
       } else {
         tx.phase = Phase::kCommitPending;
       }
       break;
     case EventKind::kCommit:
       if (tx.phase != Phase::kCommitPending) {
-        ok = fail(tag + " committed without tryC (well-formedness)");
+        ok = fail(tx_tag(e.tx) + " committed without tryC (well-formedness)");
       } else {
         tx.phase = Phase::kDone;
         ok = on_commit(tx, e.tx);
@@ -225,7 +236,7 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
       break;
     case EventKind::kTryAbort:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tag + " issued tryA while not idle (well-formedness)");
+        ok = fail(tx_tag(e.tx) + " issued tryA while not idle (well-formedness)");
       } else {
         tx.phase = Phase::kAbortPending;
       }
@@ -233,7 +244,7 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
     case EventKind::kAbort:
       // A answers tryA, tryC, or a pending operation invocation.
       if (tx.phase == Phase::kDone) {
-        ok = fail(tag + " aborted after completing (well-formedness)");
+        ok = fail(tx_tag(e.tx) + " aborted after completing (well-formedness)");
       } else {
         tx.phase = Phase::kDone;  // aborted: writes never install
       }
@@ -241,6 +252,19 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
   }
   ++pos_;
   return ok;
+}
+
+bool OnlineCertificateMonitor::ingest(std::span<const Event> batch) {
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (violation_.has_value()) {
+      // Sticky: the rest of the batch is recorded (events_fed) in one step
+      // instead of churning through feed() per event.
+      pos_ += batch.size() - i;
+      return false;
+    }
+    (void)feed(batch[i]);
+  }
+  return !violation_.has_value();
 }
 
 }  // namespace optm::core

@@ -52,12 +52,14 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/history.hpp"
 #include "core/opacity.hpp"
+#include "util/hash.hpp"
 
 namespace optm::core {
 
@@ -77,6 +79,10 @@ class OnlineDefinitionalMonitor {
   /// Feed the next event. Returns false once a violation has been found
   /// (sticky); further events are recorded but not re-checked.
   bool feed(const Event& e);
+
+  /// Batch ingestion: feed every event of `batch` in order. Returns the
+  /// conjunction of the feeds (false once a violation is latched).
+  bool ingest(std::span<const Event> batch);
 
   [[nodiscard]] bool ok() const noexcept { return !violation_.has_value(); }
   [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
@@ -101,6 +107,13 @@ class OnlineCertificateMonitor {
   /// Feed the next event. Returns false once a violation has been found
   /// (sticky).
   bool feed(const Event& e);
+
+  /// Batch ingestion — the feed for the sharded recorder's drain() and the
+  /// recorded-mode pipeline. Equivalent to feeding every event of `batch`
+  /// one at a time (the equivalence is tested), but amortizes the sticky
+  /// violation handling across the batch. Returns false once a violation
+  /// has been latched.
+  bool ingest(std::span<const Event> batch);
 
   [[nodiscard]] bool ok() const noexcept { return !violation_.has_value(); }
   [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
@@ -144,13 +157,23 @@ class OnlineCertificateMonitor {
   bool on_operation_response(const Event& e, TxState& tx);
   bool on_commit(TxState& tx, TxId id);
 
+  struct VersionKeyHash {
+    [[nodiscard]] std::size_t operator()(
+        const std::pair<ObjId, Value>& key) const noexcept {
+      return static_cast<std::size_t>(util::hash_combine(
+          key.first, static_cast<std::uint64_t>(key.second)));
+    }
+  };
+
   ObjectModel model_;
   std::size_t pos_{0};
   std::size_t rank_{0};  // committed transactions so far
   std::optional<OnlineViolation> violation_;
   std::unordered_map<TxId, TxState> txs_;
-  /// (register, value) -> version record; value-unique writes.
-  std::map<std::pair<ObjId, Value>, VersionRec> versions_;
+  /// (register, value) -> version record; value-unique writes. A hash map:
+  /// every read and write resolves against it, so it IS the hot path.
+  std::unordered_map<std::pair<ObjId, Value>, VersionRec, VersionKeyHash>
+      versions_;
   /// Register -> key of its current committed version in versions_.
   std::vector<std::pair<ObjId, Value>> current_;
   /// Register -> live transactions holding the current version in their

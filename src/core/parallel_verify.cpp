@@ -1,0 +1,516 @@
+#include "core/parallel_verify.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "core/object_spec.hpp"
+#include "util/pool.hpp"
+
+namespace optm::core {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr std::size_t kOpenRank = static_cast<std::size_t>(-1);
+
+[[nodiscard]] std::string tx_tag(TxId tx) { return "T" + std::to_string(tx); }
+
+/// §4 life-cycle, mirroring OnlineCertificateMonitor's state machine.
+enum class Phase : std::uint8_t {
+  kIdle,
+  kOpPending,
+  kCommitPending,
+  kAbortPending,
+  kDone,
+};
+
+struct TxMeta {
+  Phase phase{Phase::kIdle};
+  Event pending{};
+  bool born{false};
+  bool committed{false};
+  bool has_write{false};
+  std::size_t birth_rank{0};
+  std::size_t commit_pos{kNone};
+  std::size_t commit_rank{0};  // meaningful for committed update txs
+};
+
+struct Flag {
+  std::size_t pos;
+  std::string reason;
+  std::size_t shard;
+};
+
+/// Pass 0: well-formedness + the global rank order. Everything that
+/// couples registers together is computed here, sequentially and cheaply,
+/// so pass 1's shards never need to synchronize.
+///
+/// NOTE: this lifecycle machine (and ShardPass's register checks below)
+/// intentionally mirrors OnlineCertificateMonitor::feed condition-for-
+/// condition, including flag positions — the driver's contract is verdict
+/// and position equivalence with the streaming monitor, and the
+/// BatchEquivalence fuzz suite enforces it. Change the two together.
+struct Pass0 {
+  std::unordered_map<TxId, TxMeta> txs;
+  std::vector<Flag> flags;
+
+  void run(const History& h) {
+    std::size_t rank = 0;
+    const std::vector<Event>& events = h.events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      TxMeta& tx = txs[e.tx];
+      if (!tx.born) {
+        tx.born = true;
+        tx.birth_rank = rank;
+      }
+      switch (e.kind) {
+        case EventKind::kInvoke:
+          if (tx.phase != Phase::kIdle) {
+            flags.push_back({i, tx_tag(e.tx) +
+                                    " invoked an operation while not idle "
+                                    "(well-formedness)",
+                             kNoShard});
+          } else if (!h.model().contains(e.obj)) {
+            flags.push_back({i, tx_tag(e.tx) +
+                                    " invoked an operation on unknown object x" +
+                                    std::to_string(e.obj),
+                             kNoShard});
+          } else {
+            tx.phase = Phase::kOpPending;
+            tx.pending = e;
+          }
+          break;
+        case EventKind::kResponse:
+          if (tx.phase != Phase::kOpPending || !tx.pending.matches(e)) {
+            flags.push_back({i, tx_tag(e.tx) +
+                                    " received a response with no matching "
+                                    "invocation (well-formedness)",
+                             kNoShard});
+          } else {
+            tx.phase = Phase::kIdle;
+            if (e.op == OpCode::kWrite) tx.has_write = true;
+          }
+          break;
+        case EventKind::kTryCommit:
+          if (tx.phase != Phase::kIdle) {
+            flags.push_back(
+                {i, tx_tag(e.tx) + " issued tryC while not idle (well-formedness)",
+                 kNoShard});
+          } else {
+            tx.phase = Phase::kCommitPending;
+          }
+          break;
+        case EventKind::kCommit:
+          if (tx.phase != Phase::kCommitPending) {
+            flags.push_back(
+                {i, tx_tag(e.tx) + " committed without tryC (well-formedness)",
+                 kNoShard});
+          } else {
+            tx.phase = Phase::kDone;
+            tx.committed = true;
+            tx.commit_pos = i;
+            if (tx.has_write) tx.commit_rank = ++rank;
+          }
+          break;
+        case EventKind::kTryAbort:
+          if (tx.phase != Phase::kIdle) {
+            flags.push_back(
+                {i, tx_tag(e.tx) + " issued tryA while not idle (well-formedness)",
+                 kNoShard});
+          } else {
+            tx.phase = Phase::kAbortPending;
+          }
+          break;
+        case EventKind::kAbort:
+          if (tx.phase == Phase::kDone) {
+            flags.push_back(
+                {i, tx_tag(e.tx) + " aborted after completing (well-formedness)",
+                 kNoShard});
+          } else {
+            tx.phase = Phase::kDone;
+          }
+          break;
+      }
+    }
+  }
+};
+
+/// One non-local read, with its version's validity interval resolved to
+/// FINAL values after the shard scan; `close_pos` dates the close so the
+/// merge sweep can apply it with the streaming monitor's timing.
+struct ReadRec {
+  TxId tx;
+  std::size_t pos;
+  ObjId obj;
+  std::size_t shard;
+  std::size_t open_rank;
+  std::size_t close_rank;  // kOpenRank if never overwritten
+  std::size_t close_pos;   // kNone if never overwritten
+};
+
+/// Pass 1 worker: the register-local certificate for one shard.
+struct ShardPass {
+  const History* h;
+  const Pass0* pass0;
+  std::size_t shard;
+  std::size_t num_shards;
+
+  std::vector<Flag> flags;
+  std::vector<ReadRec> reads;
+
+  struct VersionRec {
+    TxId writer{kNoTx};
+    std::size_t open_rank{0};
+    std::size_t close_rank{kOpenRank};
+    std::size_t close_pos{kNone};
+    bool installed{false};
+  };
+
+  [[nodiscard]] bool mine(ObjId obj) const noexcept {
+    return h->model().contains(obj) && obj % num_shards == shard;
+  }
+
+  void run() {
+    std::map<std::pair<ObjId, Value>, VersionRec> versions;
+    std::unordered_map<ObjId, std::pair<ObjId, Value>> current;
+    std::unordered_map<TxId, std::map<ObjId, Value>> local_writes;
+    struct PendingRead {
+      TxId tx;
+      std::size_t pos;
+      ObjId obj;
+      std::pair<ObjId, Value> key;
+    };
+    std::vector<PendingRead> pending_reads;
+
+    for (ObjId r = 0; r < h->model().size(); ++r) {
+      if (!mine(r)) continue;
+      const auto* reg = dynamic_cast<const RegisterSpec*>(&h->model().spec(r));
+      const auto key = std::make_pair(r, reg->initial_value());
+      VersionRec init;
+      init.writer = kInitTx;
+      init.installed = true;
+      versions[key] = init;
+      current[r] = key;
+    }
+
+    const std::vector<Event>& events = h->events();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      const Event& e = events[i];
+      if (e.kind == EventKind::kCommit) {
+        const auto meta = pass0->txs.find(e.tx);
+        if (meta == pass0->txs.end() || !meta->second.committed ||
+            meta->second.commit_pos != i || !meta->second.has_write) {
+          continue;
+        }
+        const auto writes = local_writes.find(e.tx);
+        if (writes == local_writes.end()) continue;
+        const std::size_t rank = meta->second.commit_rank;
+        for (const auto& [obj, value] : writes->second) {
+          auto& prev_key = current[obj];
+          VersionRec& prev = versions[prev_key];
+          prev.close_rank = rank;
+          prev.close_pos = i;
+          const auto key = std::make_pair(obj, value);
+          VersionRec& rec = versions[key];
+          rec.writer = e.tx;
+          rec.open_rank = rank;
+          rec.close_rank = kOpenRank;
+          rec.close_pos = kNone;
+          rec.installed = true;
+          prev_key = key;
+        }
+        continue;
+      }
+      if (e.kind != EventKind::kResponse || !mine(e.obj)) continue;
+
+      if (e.op == OpCode::kWrite) {
+        const auto key = std::make_pair(e.obj, e.arg);
+        const auto [it, inserted] = versions.emplace(key, VersionRec{});
+        if (inserted) {
+          it->second.writer = e.tx;
+        } else if (it->second.writer != e.tx) {
+          flags.push_back({i, tx_tag(e.tx) + " rewrote value " +
+                                  std::to_string(e.arg) + " of x" +
+                                  std::to_string(e.obj) +
+                                  " (value-unique writes required)",
+                           shard});
+          it->second.writer = e.tx;
+        }
+        local_writes[e.tx][e.obj] = e.arg;
+        continue;
+      }
+      if (e.op != OpCode::kRead) continue;
+
+      // Local reads answer from the write buffer; they never touch windows.
+      const auto own_map = local_writes.find(e.tx);
+      if (own_map != local_writes.end()) {
+        const auto own = own_map->second.find(e.obj);
+        if (own != own_map->second.end()) {
+          if (own->second != e.ret) {
+            flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
+                                    "=" + std::to_string(e.ret) +
+                                    " despite its own write of " +
+                                    std::to_string(own->second) +
+                                    " (local consistency)",
+                             shard});
+          }
+          continue;
+        }
+      }
+
+      const auto v = versions.find({e.obj, e.ret});
+      if (v == versions.end()) {
+        flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
+                                "=" + std::to_string(e.ret) +
+                                ", a value never written",
+                         shard});
+        continue;
+      }
+      if (v->second.writer == e.tx) {
+        flags.push_back(
+            {i, tx_tag(e.tx) + " read back its own value without a prior write",
+             shard});
+        continue;
+      }
+      if (v->second.writer != kInitTx) {
+        const auto w = pass0->txs.find(v->second.writer);
+        const bool committed_before =
+            w != pass0->txs.end() && w->second.committed && w->second.commit_pos < i;
+        if (!committed_before) {
+          flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
+                                  "=" + std::to_string(e.ret) +
+                                  " from non-committed T" +
+                                  std::to_string(v->second.writer),
+                           shard});
+          continue;
+        }
+      }
+      pending_reads.push_back({e.tx, i, e.obj, v->first});
+    }
+
+    // Resolve each read's interval to the version chain's final state
+    // (versions only ever close once, so the final record plus close_pos
+    // reconstructs what was known at any position).
+    reads.reserve(pending_reads.size());
+    for (const PendingRead& pr : pending_reads) {
+      const VersionRec& rec = versions.at(pr.key);
+      if (!rec.installed) {
+        // The writer committed but superseded this value with a later write
+        // of its own, so the version never installed: the streaming monitor
+        // leaves its interval at the empty [0, 0). Present the same.
+        reads.push_back({pr.tx, pr.pos, pr.obj, shard, 0, 0, 0});
+      } else {
+        reads.push_back({pr.tx, pr.pos, pr.obj, shard, rec.open_rank,
+                         rec.close_rank, rec.close_pos});
+      }
+    }
+  }
+};
+
+/// Merge: replay each transaction's snapshot window over its reads from
+/// all shards, in position order, applying closes only once their closing
+/// C event precedes the current position — the streaming monitor's exact
+/// knowledge timing.
+void merge_windows(const Pass0& pass0, std::vector<ReadRec>& all_reads,
+                   std::vector<Flag>& flags) {
+  std::sort(all_reads.begin(), all_reads.end(),
+            [](const ReadRec& a, const ReadRec& b) {
+              if (a.tx != b.tx) return a.tx < b.tx;
+              return a.pos < b.pos;
+            });
+
+  std::size_t begin = 0;
+  while (begin < all_reads.size()) {
+    std::size_t end = begin;
+    while (end < all_reads.size() && all_reads[end].tx == all_reads[begin].tx) {
+      ++end;
+    }
+    const TxId id = all_reads[begin].tx;
+    const TxMeta& meta = pass0.txs.at(id);
+
+    std::size_t lo = 0;
+    std::size_t hi = kOpenRank;
+    std::size_t hi_shard = kNoShard;
+    using Close = std::pair<std::size_t, std::pair<std::size_t, std::size_t>>;
+    std::priority_queue<Close, std::vector<Close>, std::greater<Close>> closes;
+    const auto apply_closes_before = [&](std::size_t pos) {
+      while (!closes.empty() && closes.top().first < pos) {
+        if (closes.top().second.first < hi) {
+          hi = closes.top().second.first;
+          hi_shard = closes.top().second.second;
+        }
+        closes.pop();
+      }
+    };
+
+    bool flagged = false;
+    for (std::size_t i = begin; i < end && !flagged; ++i) {
+      const ReadRec& r = all_reads[i];
+      apply_closes_before(r.pos);
+      if (r.open_rank > lo) lo = r.open_rank;
+      if (r.close_pos != kNone) {
+        if (r.close_pos < r.pos) {
+          if (r.close_rank < hi) {
+            hi = r.close_rank;
+            hi_shard = r.shard;
+          }
+        } else {
+          closes.push({r.close_pos, {r.close_rank, r.shard}});
+        }
+      }
+      if (lo >= hi) {
+        flags.push_back({r.pos, tx_tag(id) +
+                                    "'s reads form no consistent snapshot "
+                                    "(window empty after reading x" +
+                                    std::to_string(r.obj) + ")",
+                         r.shard});
+        flagged = true;
+      } else if (hi <= meta.birth_rank) {
+        flags.push_back({r.pos, tx_tag(id) + " read the outdated x" +
+                                    std::to_string(r.obj) +
+                                    ", overwritten before the transaction's "
+                                    "first event (real-time order)",
+                         r.shard});
+        flagged = true;
+      }
+    }
+    if (!flagged && meta.committed && meta.commit_pos != kNone) {
+      apply_closes_before(meta.commit_pos);
+      if (meta.has_write) {
+        if (hi != kOpenRank) {
+          flags.push_back({meta.commit_pos,
+                           tx_tag(id) +
+                               " committed updates although a version it read "
+                               "was overwritten (reads not current at commit)",
+                           hi_shard});
+        }
+      } else if (lo >= hi || hi <= meta.birth_rank) {
+        flags.push_back({meta.commit_pos,
+                         tx_tag(id) +
+                             " (read-only) committed with no serialization "
+                             "point compatible with real-time order",
+                         hi_shard != kNoShard ? hi_shard : all_reads[begin].shard});
+      }
+    }
+    begin = end;
+  }
+}
+
+}  // namespace
+
+History project_registers(const History& h, const std::vector<ObjId>& registers) {
+  std::unordered_set<ObjId> regs(registers.begin(), registers.end());
+  std::unordered_set<TxId> touching;
+  for (const Event& e : h.events()) {
+    if ((e.kind == EventKind::kInvoke || e.kind == EventKind::kResponse) &&
+        regs.count(e.obj) != 0) {
+      touching.insert(e.tx);
+    }
+  }
+  History out(h.model());
+  for (const Event& e : h.events()) {
+    const bool op_event =
+        e.kind == EventKind::kInvoke || e.kind == EventKind::kResponse;
+    if (op_event ? regs.count(e.obj) != 0 : touching.count(e.tx) != 0) {
+      out.append(e);
+    }
+  }
+  return out;
+}
+
+ParallelVerifyResult verify_history_sharded(const History& h,
+                                            util::ThreadPool& pool,
+                                            const ShardVerifyOptions& options) {
+  for (ObjId r = 0; r < h.model().size(); ++r) {
+    if (dynamic_cast<const RegisterSpec*>(&h.model().spec(r)) == nullptr) {
+      throw std::invalid_argument(
+          "sharded verification: register histories only");
+    }
+  }
+
+  ParallelVerifyResult result;
+  result.events = h.size();
+  std::size_t shards = options.num_shards;
+  if (shards == 0) shards = std::min<std::size_t>(h.model().size(), pool.size());
+  if (shards == 0) shards = 1;
+  result.shards_used = shards;
+
+  Pass0 pass0;
+  pass0.run(h);
+
+  std::vector<ShardPass> passes;
+  passes.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    passes.push_back(ShardPass{&h, &pass0, s, shards, {}, {}});
+  }
+  pool.parallel_for(shards, [&](std::size_t s) { passes[s].run(); });
+
+  std::vector<Flag> flags = std::move(pass0.flags);
+  std::vector<ReadRec> all_reads;
+  for (ShardPass& p : passes) {
+    flags.insert(flags.end(), p.flags.begin(), p.flags.end());
+    all_reads.insert(all_reads.end(), p.reads.begin(), p.reads.end());
+  }
+  merge_windows(pass0, all_reads, flags);
+
+  std::sort(flags.begin(), flags.end(),
+            [](const Flag& a, const Flag& b) { return a.pos < b.pos; });
+
+  // Definitional fallback: adjudicate each flagged shard's sub-history.
+  std::unordered_map<std::size_t, std::pair<Verdict, std::string>> adjudicated;
+  if (options.definitional_fallback) {
+    for (const Flag& f : flags) {
+      if (f.shard == kNoShard || adjudicated.count(f.shard) != 0) continue;
+      std::vector<ObjId> regs;
+      for (ObjId r = 0; r < h.model().size(); ++r) {
+        if (r % shards == f.shard) regs.push_back(r);
+      }
+      const History sub = project_registers(h, regs);
+      if (sub.transactions().size() > options.fallback_max_txs) {
+        adjudicated[f.shard] = {Verdict::kUnknown,
+                                "sub-history too large for the definitional "
+                                "checker (" +
+                                    std::to_string(sub.transactions().size()) +
+                                    " transactions)"};
+        continue;
+      }
+      OpacityOptions opts;
+      opts.max_states = options.fallback_max_states;
+      const OpacityResult exact = check_opacity(sub, opts);
+      adjudicated[f.shard] = {exact.verdict, exact.reason};
+    }
+  }
+
+  result.flags.reserve(flags.size());
+  for (const Flag& f : flags) {
+    ShardFlag out;
+    out.pos = f.pos;
+    out.reason = f.reason;
+    out.shard = f.shard;
+    const auto a = adjudicated.find(f.shard);
+    if (a != adjudicated.end()) {
+      out.adjudication = a->second.first;
+      out.adjudication_reason = a->second.second;
+    }
+    result.flags.push_back(std::move(out));
+  }
+  result.certified = result.flags.empty();
+  if (!result.flags.empty()) {
+    result.violation =
+        OnlineViolation{result.flags.front().pos, result.flags.front().reason};
+  }
+  return result;
+}
+
+ParallelVerifyResult verify_history_sharded(const History& h,
+                                            const ShardVerifyOptions& options) {
+  util::ThreadPool pool(options.num_threads);
+  return verify_history_sharded(h, pool, options);
+}
+
+}  // namespace optm::core

@@ -1,0 +1,118 @@
+// Sharded parallel offline verification of recorded histories.
+//
+// The streaming certificate monitor (online.hpp) is inherently sequential:
+// one pass, one rank counter, one window per live transaction. For
+// RECORDED histories none of that needs to be sequential — the driver here
+// splits the §5.4 certificate into three phases:
+//
+//   pass 0 (sequential, O(n), cheap):  the register-free part — the §4
+//     well-formedness state machine per transaction, birth ranks, and the
+//     global commit-rank assignment (one rank per committed update
+//     transaction, in C-event order). Ranks are what couples registers
+//     together; precomputing them is what makes the shards independent.
+//
+//   pass 1 (parallel, one task per register shard):  each shard scans the
+//     event array and processes only the operations on its registers —
+//     value-unique writes, local consistency, reads-from resolution
+//     against the shard's committed version chain (open/close ranks come
+//     from pass 0's global rank order, so they are exactly the streaming
+//     monitor's ranks), and the per-read version intervals.
+//
+//   merge (sequential, O(reads log reads)):  per transaction, replay the
+//     snapshot-window intersection over its reads from ALL shards in
+//     position order, applying version closes only once their closing
+//     C event precedes the current position — byte-for-byte the knowledge
+//     the streaming monitor had at that moment. Emptiness, staleness and
+//     commit-currency checks fire at the same event positions as the
+//     monitor's.
+//
+// The driver's verdict (clean / first flagged position) is equivalent to
+// OnlineCertificateMonitor fed the same history event-by-event; the
+// equivalence is fuzz-tested. Like the monitor, it is a SUFFICIENT
+// certificate: a flag is not yet a proof of non-opacity. On request the
+// driver falls back to the exact definitional checker — but only on the
+// sub-history of the flagged shard (the projection onto that shard's
+// registers plus the lifecycle events of the transactions touching them),
+// so the exponential adjudication runs on a fraction of the history. A
+// fallback verdict refers to that sub-history: kYes means the flag was
+// conservative as far as shard-local phenomena go.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/online.hpp"
+#include "core/opacity.hpp"
+
+namespace optm::util {
+class ThreadPool;  // util/pool.hpp
+}
+
+namespace optm::core {
+
+struct ShardVerifyOptions {
+  /// Number of register shards; 0 picks min(#registers, pool size).
+  std::size_t num_shards = 0;
+  /// Worker threads for pass 1; 0 picks std::thread::hardware_concurrency.
+  /// Ignored by the overload taking an external pool.
+  std::size_t num_threads = 0;
+  /// Adjudicate flagged shards with the exact definitional checker.
+  bool definitional_fallback = false;
+  /// Skip the fallback when the flagged shard's sub-history has more
+  /// transactions than this (the definitional check is exponential).
+  std::size_t fallback_max_txs = 8;
+  /// DFS state budget handed to the definitional checker.
+  std::uint64_t fallback_max_states = 200'000;
+};
+
+inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
+
+/// One certificate flag. `shard` is the register shard the flag is
+/// attributable to (kNoShard for global well-formedness flags), and
+/// `adjudication` the definitional verdict of that shard's sub-history
+/// when the fallback ran (kUnknown otherwise).
+struct ShardFlag {
+  std::size_t pos{0};
+  std::string reason;
+  std::size_t shard{kNoShard};
+  Verdict adjudication{Verdict::kUnknown};
+  std::string adjudication_reason;
+};
+
+struct ParallelVerifyResult {
+  /// No flag anywhere: the history is certified opaque prefix-by-prefix
+  /// (Theorem 2 + the §5.2 discipline), exactly as a clean run of
+  /// OnlineCertificateMonitor would certify it.
+  bool certified{false};
+  /// Earliest flag, monitor-compatible (same position the streaming
+  /// monitor latches on).
+  std::optional<OnlineViolation> violation;
+  /// Every flag found, sorted by position. The streaming monitor stops at
+  /// the first; the offline driver keeps going, which is what lets the
+  /// fallback adjudicate each flagged shard independently.
+  std::vector<ShardFlag> flags;
+  std::size_t shards_used{0};
+  std::size_t events{0};
+};
+
+/// Verify `h` with a private thread pool (options.num_threads workers).
+/// Throws std::invalid_argument unless `h` is an all-register history
+/// (same precondition as OnlineCertificateMonitor).
+[[nodiscard]] ParallelVerifyResult verify_history_sharded(
+    const History& h, const ShardVerifyOptions& options = {});
+
+/// Same, reusing an externally owned pool (for repeated verification runs).
+[[nodiscard]] ParallelVerifyResult verify_history_sharded(
+    const History& h, util::ThreadPool& pool,
+    const ShardVerifyOptions& options = {});
+
+/// The projection used by the definitional fallback: all operation events
+/// on the given registers, plus the tryC/C/tryA/A events of every
+/// transaction with at least one such operation. Exposed for tests.
+[[nodiscard]] History project_registers(const History& h,
+                                        const std::vector<ObjId>& registers);
+
+}  // namespace optm::core

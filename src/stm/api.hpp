@@ -36,7 +36,7 @@ struct StmProperties {
   bool opaque = true;            // ensures opacity (WeakStm does not)
 };
 
-class Recorder;  // stm/recorder.hpp
+class RecorderBase;  // stm/recorder.hpp
 
 class Stm {
  public:
@@ -67,7 +67,7 @@ class Stm {
 
   /// Attach a history recorder (nullptr to detach). Not thread-safe;
   /// attach before spawning workers.
-  virtual void set_recorder(Recorder* recorder) noexcept = 0;
+  virtual void set_recorder(RecorderBase* recorder) noexcept = 0;
 };
 
 /// Thrown by the TxHandle façade when an operation returns false; caught by

@@ -118,7 +118,7 @@ bool AstmStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
 
   // Sample a stable (value, version) pair of the latest committed state —
   // the same seqlock discipline as DSTM (versions advance by 2 per commit,
@@ -225,7 +225,7 @@ bool AstmStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
 
   // Lazy mode: batch-acquire the write set now (eager mode already owns
   // everything; acquire() tolerates re-acquisition).

@@ -6,6 +6,7 @@
 // classical policies so the progressive STMs remain parameterizable.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string_view>
@@ -18,11 +19,15 @@ enum class CmDecision : std::uint8_t {
   kWait,        // back off and retry the acquisition
 };
 
-/// Everything a policy may consult about one side of a conflict.
+/// Everything a policy may consult about one side of a conflict. The
+/// fields are atomics because `resolve` reads the RIVAL's live view while
+/// the rival keeps executing: the values are advisory (a policy decision
+/// made on a slightly stale karma is still a valid decision), but the
+/// loads must not be data races.
 struct CmTxView {
-  std::uint64_t start_stamp = 0;  // begin() timestamp (monotonic)
-  std::uint64_t ops_executed = 0; // reads+writes so far ("karma")
-  std::uint32_t retries = 0;      // consecutive aborts of this attempt chain
+  std::atomic<std::uint64_t> start_stamp{0};  // begin() timestamp (monotonic)
+  std::atomic<std::uint64_t> ops_executed{0}; // reads+writes so far ("karma")
+  std::atomic<std::uint32_t> retries{0};      // consecutive aborts of this chain
 };
 
 class ContentionManager {

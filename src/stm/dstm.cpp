@@ -74,7 +74,7 @@ bool DstmStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
 
   // Sample a stable (value, version) pair of the latest committed state.
   // Versions advance by 2 per commit; an odd version marks a write-back in
@@ -176,7 +176,7 @@ bool DstmStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
 
   if (!validate(ctx, slot)) {
     status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));

@@ -27,7 +27,7 @@ bool GlobalLockStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   if (!slot.active) return false;
   ++ctx.stats.reads;
   rec_inv(ctx, var, core::OpCode::kRead, 0);
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   out = values_[var]->load(ctx);  // exclusive: reads are trivially valid
   rec_ret(ctx, var, core::OpCode::kRead, 0, out);
   return true;
@@ -39,7 +39,8 @@ bool GlobalLockStm::write(sim::ThreadCtx& ctx, VarId var, std::uint64_t value) {
   if (!slot.active) return false;
   ++ctx.stats.writes;
   rec_inv(ctx, var, core::OpCode::kWrite, value);
-  const RecWindow window = rec_window();
+  // In-place mutation of committed state: exclusive against samplers.
+  const RecWindow window = rec_commit_window();
   // Eager in-place update with an undo log (exclusive access anyway).
   if (slot.undo.find(var) == nullptr) {
     slot.undo.upsert(var, values_[var]->load(ctx));
@@ -53,7 +54,7 @@ bool GlobalLockStm::commit(sim::ThreadCtx& ctx) {
   Slot& slot = *slots_[ctx.id()];
   if (!slot.active) return false;
   rec_try_commit(ctx);
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
   rec_commit(ctx);  // commit point: still holding the global lock
   slot.active = false;
   ++ctx.stats.commits;
@@ -64,7 +65,8 @@ bool GlobalLockStm::commit(sim::ThreadCtx& ctx) {
 void GlobalLockStm::abort(sim::ThreadCtx& ctx) {
   Slot& slot = *slots_[ctx.id()];
   if (!slot.active) return;
-  const RecWindow window = rec_window();
+  // Rollback restores committed values in place: exclusive window.
+  const RecWindow window = rec_commit_window();
   // Roll back eager writes, then release.
   for (const WriteEntry& w : slot.undo.entries()) {
     values_[w.var]->store(ctx, w.value);

@@ -72,7 +72,7 @@ bool NorecStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
     return true;
   }
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   ensure_rv(ctx, slot);
   std::uint64_t val = values_[var]->load(ctx);
   // If the global clock moved since our snapshot, some transaction
@@ -104,16 +104,19 @@ bool NorecStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
-  ensure_rv(ctx, slot);
-
   if (slot.ws.empty()) {
     // Read-only: the read set is valid at snapshot rv; serialize there.
+    // Publishes nothing, so a sampling window is enough.
+    const RecWindow window = rec_sample_window();
+    ensure_rv(ctx, slot);
     slot.active = false;
     ++ctx.stats.commits;
     rec_commit(ctx, 2 * slot.rv + 1);
     return true;
   }
+
+  const RecWindow window = rec_commit_window();
+  ensure_rv(ctx, slot);
 
   // Acquire the global sequence lock at a snapshot our read set is valid
   // at; on interference revalidate and retry.

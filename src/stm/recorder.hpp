@@ -1,12 +1,12 @@
-// Concurrent history recorder: turns live STM executions into
+// Concurrent history recorders: turn live STM executions into
 // core::History values that the checkers can judge.
 //
-// Every hook appends its event under one mutex, so the recorded global
-// order is a legal linearization of the actual event order (each event is
-// recorded at the moment it semantically occurs: invocations before the
-// shared-memory work of the operation, responses after the value is fixed,
-// C at the commit point). Commit order is captured separately — it is the
-// total order ≪ the certificate checker (Theorem 2) verifies against.
+// Every recorded event is stamped with a ticket from one atomic global
+// sequence counter at the moment it semantically occurs (invocations before
+// the shared-memory work of the operation, responses after the value is
+// fixed, C at the commit point), so the stamp order is a legal linearization
+// of the actual event order. Commit order is captured separately — it is
+// the total order ≪ the certificate checker (Theorem 2) verifies against.
 //
 // Soundness of the certificate requires more than per-event atomicity: the
 // *value sampling* of a read must be atomic with the recording of its
@@ -14,56 +14,141 @@
 // otherwise a descheduled thread records its event after a conflicting
 // commit slipped in between, and the recorded ≪ is no longer a valid
 // serialization even though the execution was correct. Runtimes therefore
-// wrap those two short sections in window() when a recorder is attached
-// (RuntimeBase::RecWindow). Recording mode thus serializes the instants at
-// which operations take effect — it changes timing, never algorithm logic —
-// and is intended for verification runs; benchmarks run unrecorded.
+// wrap those two short sections in a window when a recorder is attached
+// (RuntimeBase::RecWindow). Two window kinds exist:
+//
+//   * kSample — value sampling of a read, or the C record of a read-only
+//     transaction (which publishes nothing). Sampling windows may overlap
+//     each other: two concurrent samples cannot invalidate each other's
+//     recorded order, only a conflicting commit can.
+//   * kCommit — the commit point of an update transaction (or any window
+//     that mutates committed register state, e.g. eager in-place writes
+//     and their rollback). Exclusive against every other window.
+//
+// This reader/writer discipline preserves the Theorem-2 argument — no
+// commit point can slip between a value sample and its record — while
+// letting read-heavy recorded runs scale with cores. Recording mode still
+// serializes commit points against sampling; it changes timing, never
+// algorithm logic, and is intended for verification runs; benchmarks run
+// unrecorded.
+//
+// Two implementations:
+//   * Recorder      — the sharded engine: per-lane (per-process) buffers,
+//     lock-free against each other, merged on demand by stamp order. The
+//     default; scales with recording threads.
+//   * MutexRecorder — the original single-mutex engine, kept as the
+//     baseline for benchmarking and as a differential-testing oracle.
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
 #include <mutex>
+#include <queue>
 #include <set>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "core/history.hpp"
+#include "sim/thread_ctx.hpp"
 #include "stm/api.hpp"
+#include "util/spin.hpp"
 
 namespace optm::stm {
 
-class Recorder {
- public:
-  explicit Recorder(std::size_t num_vars)
-      : model_(core::ObjectModel::registers(num_vars, 0)) {}
+namespace detail {
 
-  /// Critical section making a shared-memory action atomic with the
-  /// recording of its event. Recursive so the on_* hooks may be called
-  /// while a window is held.
-  [[nodiscard]] std::unique_lock<std::recursive_mutex> window() {
-    return std::unique_lock<std::recursive_mutex>(mu_);
+/// The certificate ≪: every recorded transaction ordered by its
+/// serialization point, the key (stamp, seq) where
+///   * committed:     (commit stamp, position of its C event) — for
+///     stamp-0 runtimes that is plain commit-record order;
+///   * non-committed: (abort stamp,  position of its LAST NON-LOCAL READ
+///     RESPONSE) — the last moment the runtime vouched for its whole
+///     read set (read responses re-validate in the stamp-0 runtimes;
+///     WRITE responses do not, so they must not advance the anchor). A
+///     transaction with no such reads anchors at its first event.
+/// A LOCAL read (preceded by the transaction's own write to the same
+/// register) is answered from the write buffer without validation, so
+/// it must not advance the anchor either. Unlike the naive "committed
+/// first, aborted appended" order, this respects the real-time order of
+/// ALL transactions, which Theorem 2's well-formedness check requires
+/// (an aborted transaction that completed before a later one began must
+/// precede it in ≪).
+[[nodiscard]] inline std::vector<core::TxId> certificate_order_of(
+    const std::vector<core::Event>& events,
+    const std::unordered_map<core::TxId, std::uint64_t>& stamps) {
+  struct Key {
+    std::uint64_t stamp = 0;
+    std::size_t seq = 0;
+    bool committed = false;
+    bool seen = false;
+  };
+  std::unordered_map<core::TxId, Key> keys;
+  std::set<std::pair<core::TxId, VarId>> wrote;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const core::Event& e = events[i];
+    Key& k = keys[e.tx];
+    if (!k.seen) {
+      k.seen = true;
+      k.seq = i;  // first-event fallback
+    }
+    if (e.kind == core::EventKind::kInvoke && e.op == core::OpCode::kWrite) {
+      wrote.insert({e.tx, static_cast<VarId>(e.obj)});
+    } else if (e.kind == core::EventKind::kResponse &&
+               e.op == core::OpCode::kRead && !k.committed &&
+               !wrote.count({e.tx, static_cast<VarId>(e.obj)})) {
+      k.seq = i;
+    } else if (e.kind == core::EventKind::kCommit) {
+      k.committed = true;
+      k.seq = i;
+    }
   }
+  for (auto& [tx, k] : keys) {
+    const auto s = stamps.find(tx);
+    if (s != stamps.end()) k.stamp = s->second;
+  }
+
+  std::vector<core::TxId> order;
+  order.reserve(keys.size());
+  for (const auto& [tx, k] : keys) order.push_back(tx);
+  std::sort(order.begin(), order.end(), [&](core::TxId a, core::TxId b) {
+    const Key& ka = keys.at(a);
+    const Key& kb = keys.at(b);
+    if (ka.stamp != kb.stamp) return ka.stamp < kb.stamp;
+    return ka.seq < kb.seq;
+  });
+  return order;
+}
+
+}  // namespace detail
+
+/// Abstract recorder interface the runtimes talk to. `lane` is the
+/// recording process's slot (ctx.id()), < sim::kMaxThreads; it selects the
+/// per-process buffer in the sharded engine and is ignored by the mutex
+/// engine.
+class RecorderBase {
+ public:
+  enum class WindowKind : std::uint8_t {
+    kSample,  // value sampling / read-only C — may share
+    kCommit,  // update commit point / in-place mutation — exclusive
+  };
+
+  virtual ~RecorderBase() = default;
 
   /// Allocate a fresh transaction id (starts at 1; 0 is the §5.4
   /// initializer).
-  core::TxId begin_tx() {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    return next_tx_++;
-  }
+  [[nodiscard]] virtual core::TxId begin_tx() = 0;
 
-  void on_inv(core::TxId tx, VarId var, core::OpCode op, core::Value arg) {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::inv(tx, var, op, arg));
-  }
-  void on_ret(core::TxId tx, VarId var, core::OpCode op, core::Value arg,
-              core::Value ret) {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::ret(tx, var, op, arg, ret));
-  }
-  void on_try_commit(core::TxId tx) {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::try_commit(tx));
-  }
+  virtual void on_inv(std::uint32_t lane, core::TxId tx, VarId var,
+                      core::OpCode op, core::Value arg) = 0;
+  virtual void on_ret(std::uint32_t lane, core::TxId tx, VarId var,
+                      core::OpCode op, core::Value arg, core::Value ret) = 0;
+  virtual void on_try_commit(std::uint32_t lane, core::TxId tx) = 0;
   /// `stamp` is the transaction's serialization stamp within the run. For
   /// runtimes that re-validate the whole read set at the commit point
   /// (DSTM, visible-read, 2PL) the commit record order IS the
@@ -73,98 +158,376 @@ class Recorder {
   /// before already-recorded commits; they pass composite stamps (2·wv for
   /// updates, 2·rv+1 for read-only) so certificate_order() can interleave
   /// them correctly.
-  void on_commit(core::TxId tx, std::uint64_t stamp = 0) {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::commit(tx));
-    stamp_[tx] = stamp;
-  }
-  void on_try_abort(core::TxId tx) {
-    const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::try_abort(tx));
-  }
+  virtual void on_commit(std::uint32_t lane, core::TxId tx,
+                         std::uint64_t stamp = 0) = 0;
+  virtual void on_try_abort(std::uint32_t lane, core::TxId tx) = 0;
   /// `stamp` is the serialization point of the ABORTED transaction — the
   /// moment its (validated) reads were simultaneously current. Clock-based
   /// runtimes pass 2·rv+1 (the snapshot they read from); record-order
   /// runtimes pass 0 and certificate_order() anchors the transaction at
   /// its last response (its last successful whole-read-set validation).
-  void on_abort(core::TxId tx, std::uint64_t stamp = 0) {
+  virtual void on_abort(std::uint32_t lane, core::TxId tx,
+                        std::uint64_t stamp = 0) = 0;
+
+  virtual void window_enter(WindowKind kind) = 0;
+  virtual void window_exit(WindowKind kind) = 0;
+
+  /// Snapshot of the recorded history. Exact in quiescence (no recording
+  /// hook concurrently in flight); during a run it returns the published
+  /// prefix-with-gaps and is intended for monitoring only.
+  [[nodiscard]] virtual core::History history() const = 0;
+  [[nodiscard]] virtual std::vector<core::TxId> certificate_order() const = 0;
+  [[nodiscard]] virtual std::size_t num_events() const = 0;
+
+  /// Critical section making a shared-memory action atomic with the
+  /// recording of its event (see file header for the kind discipline).
+  class [[nodiscard]] Window {
+   public:
+    Window() = default;
+    Window(RecorderBase* recorder, WindowKind kind)
+        : recorder_(recorder), kind_(kind) {
+      if (recorder_ != nullptr) recorder_->window_enter(kind_);
+    }
+    Window(Window&& other) noexcept
+        : recorder_(other.recorder_), kind_(other.kind_) {
+      other.recorder_ = nullptr;
+    }
+    Window(const Window&) = delete;
+    Window& operator=(const Window&) = delete;
+    Window& operator=(Window&&) = delete;
+    ~Window() {
+      if (recorder_ != nullptr) recorder_->window_exit(kind_);
+    }
+
+   private:
+    RecorderBase* recorder_ = nullptr;
+    WindowKind kind_ = WindowKind::kSample;
+  };
+};
+
+/// The sharded recording engine (the default `Recorder`).
+///
+/// Each lane is a single-writer chunked buffer: the owning process stamps
+/// the event from one atomic sequence counter, stores it into the current
+/// chunk, and publishes it with a release store of the lane's count — the
+/// hot path is one fetch_add and two plain stores, no lock. (The lane's
+/// spinlock guards only chunk-list growth, once per 4096 events, and
+/// reader snapshots.) A merge by stamp reconstructs the legal
+/// linearization. The stamps of published events are globally contiguous
+/// except for events still in flight on other lanes; drain() (the epoch
+/// merge) therefore consumes exactly the longest stamp-contiguous prefix,
+/// which is a complete, stable prefix of the linearization even while
+/// recording continues — the feed for live batch verification.
+class Recorder final : public RecorderBase {
+ public:
+  explicit Recorder(std::size_t num_vars)
+      : model_(core::ObjectModel::registers(num_vars, 0)) {
+    taken_.fill(0);
+  }
+
+  [[nodiscard]] core::TxId begin_tx() override {
+    return next_tx_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_inv(std::uint32_t lane, core::TxId tx, VarId var, core::OpCode op,
+              core::Value arg) override {
+    push(lane, core::ev::inv(tx, var, op, arg));
+  }
+  void on_ret(std::uint32_t lane, core::TxId tx, VarId var, core::OpCode op,
+              core::Value arg, core::Value ret) override {
+    push(lane, core::ev::ret(tx, var, op, arg, ret));
+  }
+  void on_try_commit(std::uint32_t lane, core::TxId tx) override {
+    push(lane, core::ev::try_commit(tx));
+  }
+  void on_commit(std::uint32_t lane, core::TxId tx,
+                 std::uint64_t stamp = 0) override {
+    push(lane, core::ev::commit(tx), tx, stamp);
+  }
+  void on_try_abort(std::uint32_t lane, core::TxId tx) override {
+    push(lane, core::ev::try_abort(tx));
+  }
+  void on_abort(std::uint32_t lane, core::TxId tx,
+                std::uint64_t stamp = 0) override {
+    push(lane, core::ev::abort(tx), tx, stamp);
+  }
+
+  void window_enter(WindowKind kind) override {
+    if (kind == WindowKind::kCommit) {
+      window_lock_.lock();
+    } else {
+      window_lock_.lock_shared();
+    }
+  }
+  void window_exit(WindowKind kind) override {
+    if (kind == WindowKind::kCommit) {
+      window_lock_.unlock();
+    } else {
+      window_lock_.unlock_shared();
+    }
+  }
+
+  [[nodiscard]] core::History history() const override {
+    std::vector<StampedEvent> all = collect();
+    core::History h(model_);
+    for (const StampedEvent& s : all) h.append(s.event);
+    return h;
+  }
+
+  [[nodiscard]] std::vector<core::TxId> certificate_order() const override {
+    std::vector<StampedEvent> all = collect();
+    std::vector<core::Event> events;
+    events.reserve(all.size());
+    for (const StampedEvent& s : all) events.push_back(s.event);
+    std::unordered_map<core::TxId, std::uint64_t> stamps;
+    for (const Lane& lane : lanes_) {
+      const std::lock_guard<util::SpinLock> guard(lane.mu);
+      for (const auto& [tx, stamp] : lane.stamps) stamps[tx] = stamp;
+    }
+    return detail::certificate_order_of(events, stamps);
+  }
+
+  [[nodiscard]] std::size_t num_events() const override {
+    std::size_t n = 0;
+    for (const Lane& lane : lanes_) {
+      n += lane.count.load(std::memory_order_acquire);
+    }
+    return n;
+  }
+
+  /// Total stamps handed out so far — an upper bound on what the next
+  /// drain() can return, readable without touching any lane. Lets a live
+  /// consumer poll cheaply and only pay for a drain once enough events
+  /// accumulated.
+  [[nodiscard]] std::uint64_t stamps_issued() const noexcept {
+    return seq_.load(std::memory_order_acquire);
+  }
+
+  /// Epoch merge: append to `out` every not-yet-drained event whose stamp
+  /// belongs to the contiguous completed prefix of the global sequence.
+  /// Safe to call concurrently with recording (from ONE draining thread);
+  /// events in flight past the first gap stay pending until a later drain.
+  /// A k-way merge over the per-lane runs (each lane is stamp-sorted by
+  /// construction), so the cost is O(new · log lanes) with sequential
+  /// access — no global sort. Returns the number of events appended.
+  std::size_t drain(std::vector<core::Event>& out) {
+    const std::lock_guard<std::mutex> guard(merge_mu_);
+    if (next_seq_ == seq_.load(std::memory_order_acquire)) return 0;
+    for (std::size_t l = 0; l < lanes_.size(); ++l) {
+      PendingRun& run = runs_[l];
+      const std::size_t before = run.buf.size();
+      copy_published(lanes_[l], taken_[l], run.buf);
+      taken_[l] += run.buf.size() - before;
+    }
+
+    using Head = std::pair<std::uint64_t, std::size_t>;  // (stamp, lane)
+    std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heads;
+    for (std::size_t l = 0; l < runs_.size(); ++l) {
+      if (runs_[l].cursor < runs_[l].buf.size()) {
+        heads.push({runs_[l].buf[runs_[l].cursor].seq, l});
+      }
+    }
+    std::size_t consumed = 0;
+    while (!heads.empty() && heads.top().first == next_seq_) {
+      const std::size_t l = heads.top().second;
+      heads.pop();
+      PendingRun& run = runs_[l];
+      out.push_back(run.buf[run.cursor].event);
+      ++run.cursor;
+      ++next_seq_;
+      ++consumed;
+      if (run.cursor < run.buf.size()) {
+        heads.push({run.buf[run.cursor].seq, l});
+      }
+    }
+    for (PendingRun& run : runs_) {
+      if (run.cursor == run.buf.size()) {
+        run.buf.clear();
+        run.cursor = 0;
+      }
+    }
+    return consumed;
+  }
+
+  [[nodiscard]] const core::ObjectModel& model() const noexcept {
+    return model_;
+  }
+
+ private:
+  struct StampedEvent {
+    std::uint64_t seq = 0;
+    core::Event event;
+  };
+
+  static constexpr std::size_t kChunkSize = 4096;  // events per lane chunk
+
+  /// Fixed-size chunk of deliberately UNINITIALIZED slots (zeroing 160KB
+  /// on first use would dwarf short recordings). The publication protocol
+  /// makes this safe: a slot is written before the lane's count covers it,
+  /// and readers never touch slots at or above the count they loaded.
+  struct Chunk {
+    struct Slot {
+      union {
+        StampedEvent value;  // trivially copyable; lifetime starts at store
+      };
+      Slot() noexcept {}  // NOLINT(modernize-use-equals-default): no init
+    };
+    std::array<Slot, kChunkSize> slots;
+  };
+  static_assert(std::is_trivially_copyable_v<StampedEvent>,
+                "the uninitialized-chunk protocol stores into raw union "
+                "slots; a non-trivial StampedEvent would need placement-new");
+
+  /// One per-process single-writer buffer. The owning process is the only
+  /// writer; it publishes each entry with a release store of `count`.
+  /// Readers load `count` (acquire) and may then read any entry below it —
+  /// chunks never move once allocated, so no lock is needed on the hot
+  /// path. The spinlock guards chunk-list growth (once per kChunkSize
+  /// events), reader snapshots of the chunk-pointer list, and the rare
+  /// completion-stamp appends. Padded so lanes do not false-share.
+  struct alignas(64) Lane {
+    mutable util::SpinLock mu;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::atomic<std::size_t> count{0};
+    std::vector<std::pair<core::TxId, std::uint64_t>> stamps;
+  };
+
+  void push(std::uint32_t lane_id, const core::Event& e) {
+    // A lane id out of range is a caller bug (the same id already indexes
+    // RuntimeBase::rec_tx_); wrapping it would merge two writers onto one
+    // single-writer lane and wedge drain() on a never-published stamp.
+    assert(lane_id < sim::kMaxThreads);
+    Lane& lane = lanes_[lane_id];
+    const std::size_t i = lane.count.load(std::memory_order_relaxed);
+    if (i == lane.chunks.size() * kChunkSize) {
+      const std::lock_guard<util::SpinLock> guard(lane.mu);
+      lane.chunks.push_back(std::make_unique<Chunk>());
+    }
+    // The stamp is drawn at the instant of recording (inside the caller's
+    // window, when one is held): its order is the semantic order.
+    lane.chunks[i / kChunkSize]->slots[i % kChunkSize].value = {
+        seq_.fetch_add(1, std::memory_order_acq_rel), e};
+    lane.count.store(i + 1, std::memory_order_release);
+  }
+  void push(std::uint32_t lane_id, const core::Event& e, core::TxId tx,
+            std::uint64_t stamp) {
+    push(lane_id, e);
+    Lane& lane = lanes_[lane_id];
+    const std::lock_guard<util::SpinLock> guard(lane.mu);
+    lane.stamps.emplace_back(tx, stamp);
+  }
+
+  /// Copy the published entries [from, lane.count) of one lane into `out`.
+  static void copy_published(const Lane& lane, std::size_t from,
+                             std::vector<StampedEvent>& out) {
+    const std::size_t n = lane.count.load(std::memory_order_acquire);
+    if (from >= n) return;
+    // Snapshot the chunk pointers under the lock (the writer may grow the
+    // list concurrently); the chunks themselves are stable.
+    std::vector<Chunk*> chunks;
+    {
+      const std::lock_guard<util::SpinLock> guard(lane.mu);
+      chunks.reserve(lane.chunks.size());
+      for (const auto& c : lane.chunks) chunks.push_back(c.get());
+    }
+    for (std::size_t i = from; i < n; ++i) {
+      out.push_back(chunks[i / kChunkSize]->slots[i % kChunkSize].value);
+    }
+  }
+
+  [[nodiscard]] std::vector<StampedEvent> collect() const {
+    std::vector<StampedEvent> all;
+    for (const Lane& lane : lanes_) {
+      copy_published(lane, 0, all);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const StampedEvent& a, const StampedEvent& b) {
+                return a.seq < b.seq;
+              });
+    return all;
+  }
+
+  core::ObjectModel model_;
+  std::array<Lane, sim::kMaxThreads> lanes_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<core::TxId> next_tx_{1};
+  util::SharedSpinLock window_lock_;
+
+  /// Per-lane fetched-but-not-yet-merged events (a sorted run each).
+  struct PendingRun {
+    std::vector<StampedEvent> buf;
+    std::size_t cursor = 0;
+  };
+
+  // Epoch-merge cursor state (drain side only).
+  std::mutex merge_mu_;
+  std::array<std::size_t, sim::kMaxThreads> taken_{};
+  std::array<PendingRun, sim::kMaxThreads> runs_;
+  std::uint64_t next_seq_ = 0;  // first stamp not yet drained
+};
+
+/// The original single-mutex engine: every hook appends under one recursive
+/// mutex, and both window kinds take that same mutex exclusively. Kept as
+/// the measured baseline for the sharded engine and as a differential-
+/// testing oracle (both engines must reconstruct the same linearization of
+/// a deterministic schedule).
+class MutexRecorder final : public RecorderBase {
+ public:
+  explicit MutexRecorder(std::size_t num_vars)
+      : model_(core::ObjectModel::registers(num_vars, 0)) {}
+
+  [[nodiscard]] core::TxId begin_tx() override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    return next_tx_++;
+  }
+
+  void on_inv(std::uint32_t /*lane*/, core::TxId tx, VarId var,
+              core::OpCode op, core::Value arg) override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::inv(tx, var, op, arg));
+  }
+  void on_ret(std::uint32_t /*lane*/, core::TxId tx, VarId var,
+              core::OpCode op, core::Value arg, core::Value ret) override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::ret(tx, var, op, arg, ret));
+  }
+  void on_try_commit(std::uint32_t /*lane*/, core::TxId tx) override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::try_commit(tx));
+  }
+  void on_commit(std::uint32_t /*lane*/, core::TxId tx,
+                 std::uint64_t stamp = 0) override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::commit(tx));
+    stamp_[tx] = stamp;
+  }
+  void on_try_abort(std::uint32_t /*lane*/, core::TxId tx) override {
+    const std::lock_guard<std::recursive_mutex> guard(mu_);
+    events_.push_back(core::ev::try_abort(tx));
+  }
+  void on_abort(std::uint32_t /*lane*/, core::TxId tx,
+                std::uint64_t stamp = 0) override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
     events_.push_back(core::ev::abort(tx));
     stamp_[tx] = stamp;
   }
 
-  /// Snapshot of the recorded history.
-  [[nodiscard]] core::History history() const {
+  void window_enter(WindowKind /*kind*/) override { mu_.lock(); }
+  void window_exit(WindowKind /*kind*/) override { mu_.unlock(); }
+
+  [[nodiscard]] core::History history() const override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
     core::History h(model_);
     for (const core::Event& e : events_) h.append(e);
     return h;
   }
 
-  /// The certificate ≪: every recorded transaction ordered by its
-  /// serialization point, the key (stamp, seq) where
-  ///   * committed:     (commit stamp, position of its C event) — for
-  ///     stamp-0 runtimes that is plain commit-record order;
-  ///   * non-committed: (abort stamp,  position of its LAST NON-LOCAL READ
-  ///     RESPONSE) — the last moment the runtime vouched for its whole
-  ///     read set (read responses re-validate in the stamp-0 runtimes;
-  ///     WRITE responses do not, so they must not advance the anchor). A
-  ///     transaction with no such reads anchors at its first event.
-  /// A LOCAL read (preceded by the transaction's own write to the same
-  /// register) is answered from the write buffer without validation, so
-  /// it must not advance the anchor either. Unlike the naive "committed
-  /// first, aborted appended" order, this respects the real-time order of
-  /// ALL transactions, which Theorem 2's well-formedness check requires
-  /// (an aborted transaction that completed before a later one began must
-  /// precede it in ≪).
-  [[nodiscard]] std::vector<core::TxId> certificate_order() const {
+  [[nodiscard]] std::vector<core::TxId> certificate_order() const override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
-
-    struct Key {
-      std::uint64_t stamp = 0;
-      std::size_t seq = 0;
-      bool committed = false;
-      bool seen = false;
-    };
-    std::unordered_map<core::TxId, Key> keys;
-    std::set<std::pair<core::TxId, VarId>> wrote;
-    for (std::size_t i = 0; i < events_.size(); ++i) {
-      const core::Event& e = events_[i];
-      Key& k = keys[e.tx];
-      if (!k.seen) {
-        k.seen = true;
-        k.seq = i;  // first-event fallback
-      }
-      if (e.kind == core::EventKind::kInvoke &&
-          e.op == core::OpCode::kWrite) {
-        wrote.insert({e.tx, static_cast<VarId>(e.obj)});
-      } else if (e.kind == core::EventKind::kResponse &&
-                 e.op == core::OpCode::kRead && !k.committed &&
-                 !wrote.count({e.tx, static_cast<VarId>(e.obj)})) {
-        k.seq = i;
-      } else if (e.kind == core::EventKind::kCommit) {
-        k.committed = true;
-        k.seq = i;
-      }
-    }
-    for (auto& [tx, k] : keys) {
-      const auto s = stamp_.find(tx);
-      if (s != stamp_.end()) k.stamp = s->second;
-    }
-
-    std::vector<core::TxId> order;
-    order.reserve(keys.size());
-    for (const auto& [tx, k] : keys) order.push_back(tx);
-    std::sort(order.begin(), order.end(), [&](core::TxId a, core::TxId b) {
-      const Key& ka = keys.at(a);
-      const Key& kb = keys.at(b);
-      if (ka.stamp != kb.stamp) return ka.stamp < kb.stamp;
-      return ka.seq < kb.seq;
-    });
-    return order;
+    return detail::certificate_order_of(events_, stamp_);
   }
 
-  [[nodiscard]] std::size_t num_events() const {
+  [[nodiscard]] std::size_t num_events() const override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
     return events_.size();
   }

@@ -71,7 +71,9 @@ class RuntimeBase : public Stm {
 
   [[nodiscard]] std::size_t num_vars() const noexcept override { return num_vars_; }
 
-  void set_recorder(Recorder* recorder) noexcept override { recorder_ = recorder; }
+  void set_recorder(RecorderBase* recorder) noexcept override {
+    recorder_ = recorder;
+  }
 
  protected:
   /// An out-of-range VarId is a caller bug; fail loudly instead of indexing
@@ -87,18 +89,19 @@ class RuntimeBase : public Stm {
 
   /// Scoped recorder window (see recorder.hpp): while held, the runtime's
   /// shared-memory action and its recorded event are atomic with respect to
-  /// every other recorded event. No-op when no recorder is attached.
-  class [[nodiscard]] RecWindow {
-   public:
-    explicit RecWindow(Recorder* recorder) {
-      if (recorder != nullptr) lock_ = recorder->window();
-    }
+  /// every recorded commit point. Sampling windows (value sampling of a
+  /// read, the C record of a read-only transaction) may overlap each other;
+  /// commit windows (update commit points, in-place mutation of committed
+  /// state) are exclusive against every window. No-op when no recorder is
+  /// attached.
+  using RecWindow = RecorderBase::Window;
 
-   private:
-    std::unique_lock<std::recursive_mutex> lock_;
-  };
-
-  [[nodiscard]] RecWindow rec_window() const { return RecWindow(recorder_); }
+  [[nodiscard]] RecWindow rec_sample_window() const {
+    return RecWindow(recorder_, RecorderBase::WindowKind::kSample);
+  }
+  [[nodiscard]] RecWindow rec_commit_window() const {
+    return RecWindow(recorder_, RecorderBase::WindowKind::kCommit);
+  }
 
   void rec_begin(sim::ThreadCtx& ctx) {
     if (recorder_ != nullptr) rec_tx_[ctx.id()] = recorder_->begin_tx();
@@ -106,44 +109,53 @@ class RuntimeBase : public Stm {
   void rec_inv(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
                std::uint64_t arg) {
     if (recorder_ != nullptr) {
-      recorder_->on_inv(rec_tx_[ctx.id()], var, op,
+      recorder_->on_inv(ctx.id(), rec_tx_[ctx.id()], var, op,
                         static_cast<core::Value>(arg));
     }
   }
   void rec_ret(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
                std::uint64_t arg, std::uint64_t ret) {
     if (recorder_ != nullptr) {
-      recorder_->on_ret(rec_tx_[ctx.id()], var, op, static_cast<core::Value>(arg),
+      recorder_->on_ret(ctx.id(), rec_tx_[ctx.id()], var, op,
+                        static_cast<core::Value>(arg),
                         static_cast<core::Value>(ret));
     }
   }
   // Abort hooks take the aborted transaction's serialization stamp (see
-  // Recorder::on_abort): clock-based runtimes pass 2·rv+1, record-order
+  // RecorderBase::on_abort): clock-based runtimes pass 2·rv+1, record-order
   // runtimes leave the default 0.
 
   /// A replaces the pending operation response (forceful abort mid-op).
   void rec_abort_mid_op(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
-    if (recorder_ != nullptr) recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+    if (recorder_ != nullptr) {
+      recorder_->on_abort(ctx.id(), rec_tx_[ctx.id()], stamp);
+    }
   }
   void rec_try_commit(sim::ThreadCtx& ctx) {
-    if (recorder_ != nullptr) recorder_->on_try_commit(rec_tx_[ctx.id()]);
+    if (recorder_ != nullptr) {
+      recorder_->on_try_commit(ctx.id(), rec_tx_[ctx.id()]);
+    }
   }
   void rec_commit(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
-    if (recorder_ != nullptr) recorder_->on_commit(rec_tx_[ctx.id()], stamp);
+    if (recorder_ != nullptr) {
+      recorder_->on_commit(ctx.id(), rec_tx_[ctx.id()], stamp);
+    }
   }
   /// A answering tryC (commit failed).
   void rec_abort_at_commit(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
-    if (recorder_ != nullptr) recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+    if (recorder_ != nullptr) {
+      recorder_->on_abort(ctx.id(), rec_tx_[ctx.id()], stamp);
+    }
   }
   void rec_voluntary_abort(sim::ThreadCtx& ctx, std::uint64_t stamp = 0) {
     if (recorder_ != nullptr) {
-      recorder_->on_try_abort(rec_tx_[ctx.id()]);
-      recorder_->on_abort(rec_tx_[ctx.id()], stamp);
+      recorder_->on_try_abort(ctx.id(), rec_tx_[ctx.id()]);
+      recorder_->on_abort(ctx.id(), rec_tx_[ctx.id()], stamp);
     }
   }
 
   std::size_t num_vars_;
-  Recorder* recorder_ = nullptr;
+  RecorderBase* recorder_ = nullptr;
 
  private:
   std::array<core::TxId, sim::kMaxThreads> rec_tx_{};

@@ -78,7 +78,7 @@ bool SiStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
     return true;
   }
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   ensure_snapshot(ctx, slot);
   std::uint64_t stamp = 0;
   std::uint64_t val = 0;
@@ -110,7 +110,7 @@ bool SiStm::commit(sim::ThreadCtx& ctx) {
   rec_try_commit(ctx);
 
   if (slot.ws.empty()) {
-    const RecWindow window = rec_window();
+    const RecWindow window = rec_sample_window();
     ensure_snapshot(ctx, slot);
     slot.active = false;
     ++ctx.stats.commits;
@@ -119,7 +119,7 @@ bool SiStm::commit(sim::ThreadCtx& ctx) {
     return true;
   }
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
   ensure_snapshot(ctx, slot);
 
   // Lock write-set seqlocks in VarId order.

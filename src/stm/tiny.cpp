@@ -74,7 +74,7 @@ bool TinyStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   ensure_rv(ctx, slot);
   const std::uint64_t v1 = meta.lock_ver.load(ctx);
   const std::uint64_t val = meta.value.load(ctx);
@@ -111,7 +111,9 @@ bool TinyStm::write(sim::ThreadCtx& ctx, VarId var, std::uint64_t value) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  // Encounter-time locking mutates the lock word only (no committed value
+  // is published), so sampling-grade atomicity suffices for the record.
+  const RecWindow window = rec_sample_window();
   ensure_rv(ctx, slot);
   std::uint64_t vl = meta.lock_ver.load(ctx);
   if (locked(vl)) return fail_op(ctx);  // suicide against the live holder
@@ -134,16 +136,19 @@ bool TinyStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
-  ensure_rv(ctx, slot);
-
   if (slot.ws.empty()) {
-    // Read-only: the read set is valid at rv; serialize there.
+    // Read-only: the read set is valid at rv; serialize there. Publishes
+    // nothing, so a sampling window is enough.
+    const RecWindow window = rec_sample_window();
+    ensure_rv(ctx, slot);
     slot.active = false;
     ++ctx.stats.commits;
     rec_commit(ctx, 2 * slot.rv + 1);
     return true;
   }
+
+  const RecWindow window = rec_commit_window();
+  ensure_rv(ctx, slot);
 
   const std::uint64_t wv = clock_.advance(ctx);
   // If a rival committed between rv and wv - 1, the read set must still be

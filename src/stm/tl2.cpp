@@ -41,7 +41,7 @@ bool Tl2Stm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();  // value sampling atomic with record
+  const RecWindow window = rec_sample_window();  // sampling atomic with record
   ensure_rv(ctx, slot);
   const std::uint64_t v1 = meta.lock_ver.load(ctx);
   const std::uint64_t val = meta.value.load(ctx);
@@ -78,15 +78,15 @@ bool Tl2Stm::commit(sim::ThreadCtx& ctx) {
   // shared-memory work. (The window keeps the C record atomic with the
   // quiescent state the reads certified; see the recorder's soundness note.)
   if (slot.ws.empty()) {
-    const RecWindow window = rec_window();
-  ensure_rv(ctx, slot);
+    const RecWindow window = rec_sample_window();
+    ensure_rv(ctx, slot);
     slot.active = false;
     ++ctx.stats.commits;
     rec_commit(ctx, 2 * slot.rv + 1);  // serialize at the snapshot time
     return true;
   }
 
-  const RecWindow window = rec_window();  // commit point atomic with record
+  const RecWindow window = rec_commit_window();  // commit point atomic with record
 
   auto fail = [&](std::size_t locked_upto, auto& order) {
     for (std::size_t i = 0; i < locked_upto; ++i) {

@@ -150,7 +150,7 @@ bool TwoPlStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
     if (!lock_read(ctx, slot, var)) return fail_op(ctx);
   }
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   out = vars_[var]->value.load(ctx);  // stable: shared lock held
   rec_ret(ctx, var, core::OpCode::kRead, 0, out);
   return true;
@@ -179,7 +179,7 @@ bool TwoPlStm::commit(sim::ThreadCtx& ctx) {
   // Strict 2PL commits cannot fail: every touched variable is locked, so
   // no validation exists to fail. Install the buffered writes and release.
   {
-    const RecWindow window = rec_window();
+    const RecWindow window = rec_commit_window();
     for (const WriteEntry& e : slot.ws.entries()) {
       vars_[e.var]->value.store(ctx, e.value);
     }

@@ -69,7 +69,9 @@ bool VisibleReadStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  // The visible-read announcement (reader-bit RMW) commutes with rival
+  // samples, so sampling windows may overlap it safely.
+  const RecWindow window = rec_sample_window();
 
   // Announce FIRST (flag), then examine the owner (check): every writer
   // either sees our bit at its kill-scan or is seen by us here.
@@ -186,7 +188,7 @@ bool VisibleReadStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
 
   // Commit point: the status CAS. No read-set validation needed — writers
   // abort visible readers eagerly, so still-Active means reads are intact.

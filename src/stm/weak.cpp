@@ -31,7 +31,7 @@ bool WeakStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
 
   VarMeta& meta = *vars_[var];
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_sample_window();
   // Stable (value, version) sample — and then NOTHING: no rv check, no
   // read-set validation. The transaction may now hold a torn snapshot.
   util::Backoff backoff;
@@ -65,7 +65,7 @@ bool WeakStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_window();
+  const RecWindow window = rec_commit_window();
 
   auto finish_abort = [&] {
     slot.active = false;

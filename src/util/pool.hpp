@@ -1,0 +1,129 @@
+// A small fixed-size thread pool for the parallel verification drivers.
+//
+// Deliberately minimal: a mutex/condvar task queue feeding N workers, plus
+// a blocking parallel_for that partitions an index space across the pool.
+// Verification work items are coarse (one shard = one full pass over the
+// event array), so queue overhead is irrelevant; what matters is that the
+// pool is created once and reused across shards, and that parallel_for
+// also runs items on the calling thread — a pool of size 1 (or a
+// single-core box) degrades to plain sequential execution instead of
+// deadlocking or oversubscribing.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace optm::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` picks std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0) {
+    if (threads == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      threads = hw > 0 ? hw : 1;
+    }
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  void submit(std::function<void()> task) {
+    {
+      const std::lock_guard<std::mutex> guard(mu_);
+      queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Run fn(i) for every i in [0, n), distributed over the pool; blocks
+  /// until all items completed. The calling thread participates (it steals
+  /// items too), so no deadlock is possible even with a busy pool.
+  /// Exceptions thrown by fn terminate (the verification drivers report
+  /// failures by value, never by throwing across threads).
+  template <typename Fn>
+  void parallel_for(std::size_t n, Fn&& fn) {
+    if (n == 0) return;
+    struct Batch {
+      std::mutex mu;
+      std::condition_variable done_cv;
+      std::size_t next = 0;
+      std::size_t done = 0;
+      std::size_t total = 0;
+    };
+    auto batch = std::make_shared<Batch>();
+    batch->total = n;
+
+    auto run_one = [batch, &fn]() -> bool {
+      std::size_t i = 0;
+      {
+        const std::lock_guard<std::mutex> guard(batch->mu);
+        if (batch->next >= batch->total) return false;
+        i = batch->next++;
+      }
+      fn(i);
+      {
+        const std::lock_guard<std::mutex> guard(batch->mu);
+        ++batch->done;
+      }
+      batch->done_cv.notify_all();
+      return true;
+    };
+
+    // One queue entry per worker at most; each entry drains greedily.
+    const std::size_t helpers = std::min(n > 1 ? n - 1 : 0, size());
+    for (std::size_t w = 0; w < helpers; ++w) {
+      submit([run_one] {
+        while (run_one()) {
+        }
+      });
+    }
+    while (run_one()) {
+    }
+    std::unique_lock<std::mutex> lock(batch->mu);
+    batch->done_cv.wait(lock, [&] { return batch->done == batch->total; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping_ and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace optm::util

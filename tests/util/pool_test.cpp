@@ -1,0 +1,45 @@
+// The verification thread pool: parallel_for must cover the index space
+// exactly once, work with any pool size (including 1 on single-core CI),
+// and survive reuse across batches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/pool.hpp"
+
+namespace optm::util {
+namespace {
+
+TEST(ThreadPool, ParallelForCoversEveryIndexOnce) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+    ThreadPool pool(workers);
+    std::vector<std::atomic<int>> hits(257);
+    pool.parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatchesAndEmptyBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(0, [&](std::size_t) { ++total; });
+  EXPECT_EQ(total.load(), 0);
+  for (int round = 0; round < 10; ++round) {
+    pool.parallel_for(17, [&](std::size_t) { ++total; });
+  }
+  EXPECT_EQ(total.load(), 170);
+}
+
+TEST(ThreadPool, MoreItemsThanWorkers) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for(1000, [&](std::size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 1000u * 999u / 2);
+}
+
+}  // namespace
+}  // namespace optm::util
