@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astm_test.dir/tests/stm/astm_test.cpp.o"
+  "CMakeFiles/astm_test.dir/tests/stm/astm_test.cpp.o.d"
+  "astm_test"
+  "astm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

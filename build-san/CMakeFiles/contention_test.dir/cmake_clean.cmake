@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contention_test.dir/tests/stm/contention_test.cpp.o"
+  "CMakeFiles/contention_test.dir/tests/stm/contention_test.cpp.o.d"
+  "contention_test"
+  "contention_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/criteria_lattice_test.dir/tests/core/criteria_lattice_test.cpp.o"
+  "CMakeFiles/criteria_lattice_test.dir/tests/core/criteria_lattice_test.cpp.o.d"
+  "criteria_lattice_test"
+  "criteria_lattice_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/criteria_lattice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

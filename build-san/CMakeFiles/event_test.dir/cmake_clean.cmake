@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_test.dir/tests/core/event_test.cpp.o"
+  "CMakeFiles/event_test.dir/tests/core/event_test.cpp.o.d"
+  "event_test"
+  "event_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

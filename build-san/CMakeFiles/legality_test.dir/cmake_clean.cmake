@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legality_test.dir/tests/core/legality_test.cpp.o"
+  "CMakeFiles/legality_test.dir/tests/core/legality_test.cpp.o.d"
+  "legality_test"
+  "legality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_test.dir/tests/stm/lower_bound_test.cpp.o"
+  "CMakeFiles/lower_bound_test.dir/tests/stm/lower_bound_test.cpp.o.d"
+  "lower_bound_test"
+  "lower_bound_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

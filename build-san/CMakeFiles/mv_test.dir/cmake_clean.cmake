@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mv_test.dir/tests/stm/mv_test.cpp.o"
+  "CMakeFiles/mv_test.dir/tests/stm/mv_test.cpp.o.d"
+  "mv_test"
+  "mv_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mv_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

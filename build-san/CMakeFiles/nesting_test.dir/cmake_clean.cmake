@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nesting_test.dir/tests/core/nesting_test.cpp.o"
+  "CMakeFiles/nesting_test.dir/tests/core/nesting_test.cpp.o.d"
+  "nesting_test"
+  "nesting_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nesting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_opacity_test.dir/tests/core/object_opacity_test.cpp.o"
+  "CMakeFiles/object_opacity_test.dir/tests/core/object_opacity_test.cpp.o.d"
+  "object_opacity_test"
+  "object_opacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_opacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

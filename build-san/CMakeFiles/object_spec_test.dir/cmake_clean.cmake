@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/object_spec_test.dir/tests/core/object_spec_test.cpp.o"
+  "CMakeFiles/object_spec_test.dir/tests/core/object_spec_test.cpp.o.d"
+  "object_spec_test"
+  "object_spec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/object_spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/one_copy_test.dir/tests/core/one_copy_test.cpp.o"
+  "CMakeFiles/one_copy_test.dir/tests/core/one_copy_test.cpp.o.d"
+  "one_copy_test"
+  "one_copy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/one_copy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_batch_test.dir/tests/core/online_batch_test.cpp.o"
+  "CMakeFiles/online_batch_test.dir/tests/core/online_batch_test.cpp.o.d"
+  "online_batch_test"
+  "online_batch_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_batch_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opacity_graph_test.dir/tests/core/opacity_graph_test.cpp.o"
+  "CMakeFiles/opacity_graph_test.dir/tests/core/opacity_graph_test.cpp.o.d"
+  "opacity_graph_test"
+  "opacity_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opacity_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/opacity_test.dir/tests/core/opacity_test.cpp.o"
+  "CMakeFiles/opacity_test.dir/tests/core/opacity_test.cpp.o.d"
+  "opacity_test"
+  "opacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/opacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

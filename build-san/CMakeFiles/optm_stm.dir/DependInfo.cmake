@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stm/astm.cpp" "CMakeFiles/optm_stm.dir/src/stm/astm.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/astm.cpp.o.d"
+  "/root/repo/src/stm/contention.cpp" "CMakeFiles/optm_stm.dir/src/stm/contention.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/contention.cpp.o.d"
+  "/root/repo/src/stm/dstm.cpp" "CMakeFiles/optm_stm.dir/src/stm/dstm.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/dstm.cpp.o.d"
+  "/root/repo/src/stm/factory.cpp" "CMakeFiles/optm_stm.dir/src/stm/factory.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/factory.cpp.o.d"
+  "/root/repo/src/stm/glock.cpp" "CMakeFiles/optm_stm.dir/src/stm/glock.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/glock.cpp.o.d"
+  "/root/repo/src/stm/mv.cpp" "CMakeFiles/optm_stm.dir/src/stm/mv.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/mv.cpp.o.d"
+  "/root/repo/src/stm/norec.cpp" "CMakeFiles/optm_stm.dir/src/stm/norec.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/norec.cpp.o.d"
+  "/root/repo/src/stm/sistm.cpp" "CMakeFiles/optm_stm.dir/src/stm/sistm.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/sistm.cpp.o.d"
+  "/root/repo/src/stm/tiny.cpp" "CMakeFiles/optm_stm.dir/src/stm/tiny.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/tiny.cpp.o.d"
+  "/root/repo/src/stm/tl2.cpp" "CMakeFiles/optm_stm.dir/src/stm/tl2.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/tl2.cpp.o.d"
+  "/root/repo/src/stm/twopl.cpp" "CMakeFiles/optm_stm.dir/src/stm/twopl.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/twopl.cpp.o.d"
+  "/root/repo/src/stm/visible.cpp" "CMakeFiles/optm_stm.dir/src/stm/visible.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/visible.cpp.o.d"
+  "/root/repo/src/stm/weak.cpp" "CMakeFiles/optm_stm.dir/src/stm/weak.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/stm/weak.cpp.o.d"
+  "/root/repo/src/workload/workloads.cpp" "CMakeFiles/optm_stm.dir/src/workload/workloads.cpp.o" "gcc" "CMakeFiles/optm_stm.dir/src/workload/workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-san/CMakeFiles/optm_core.dir/DependInfo.cmake"
+  "/root/repo/build-san/CMakeFiles/optm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optm_stm.dir/src/stm/astm.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/astm.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/contention.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/contention.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/dstm.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/dstm.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/factory.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/factory.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/glock.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/glock.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/mv.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/mv.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/norec.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/norec.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/sistm.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/sistm.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/tiny.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/tiny.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/tl2.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/tl2.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/twopl.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/twopl.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/visible.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/visible.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/stm/weak.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/stm/weak.cpp.o.d"
+  "CMakeFiles/optm_stm.dir/src/workload/workloads.cpp.o"
+  "CMakeFiles/optm_stm.dir/src/workload/workloads.cpp.o.d"
+  "liboptm_stm.a"
+  "liboptm_stm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optm_stm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optm_util.dir/src/util/cli.cpp.o"
+  "CMakeFiles/optm_util.dir/src/util/cli.cpp.o.d"
+  "CMakeFiles/optm_util.dir/src/util/table.cpp.o"
+  "CMakeFiles/optm_util.dir/src/util/table.cpp.o.d"
+  "liboptm_util.a"
+  "liboptm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

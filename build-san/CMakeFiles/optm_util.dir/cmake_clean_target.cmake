@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liboptm_util.a"
+)

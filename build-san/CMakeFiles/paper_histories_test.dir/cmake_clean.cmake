@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_histories_test.dir/tests/core/paper_histories_test.cpp.o"
+  "CMakeFiles/paper_histories_test.dir/tests/core/paper_histories_test.cpp.o.d"
+  "paper_histories_test"
+  "paper_histories_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_histories_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

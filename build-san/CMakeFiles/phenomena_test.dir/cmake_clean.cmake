@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phenomena_test.dir/tests/core/phenomena_test.cpp.o"
+  "CMakeFiles/phenomena_test.dir/tests/core/phenomena_test.cpp.o.d"
+  "phenomena_test"
+  "phenomena_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phenomena_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

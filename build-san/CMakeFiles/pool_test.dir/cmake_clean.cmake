@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_test.dir/tests/util/pool_test.cpp.o"
+  "CMakeFiles/pool_test.dir/tests/util/pool_test.cpp.o.d"
+  "pool_test"
+  "pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progress_test.dir/tests/core/progress_test.cpp.o"
+  "CMakeFiles/progress_test.dir/tests/core/progress_test.cpp.o.d"
+  "progress_test"
+  "progress_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progress_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/progressive_test.dir/tests/stm/progressive_test.cpp.o"
+  "CMakeFiles/progressive_test.dir/tests/stm/progressive_test.cpp.o.d"
+  "progressive_test"
+  "progressive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/progressive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/random_history_test.dir/tests/core/random_history_test.cpp.o"
+  "CMakeFiles/random_history_test.dir/tests/core/random_history_test.cpp.o.d"
+  "random_history_test"
+  "random_history_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/random_history_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recorded_opacity_test.dir/tests/stm/recorded_opacity_test.cpp.o"
+  "CMakeFiles/recorded_opacity_test.dir/tests/stm/recorded_opacity_test.cpp.o.d"
+  "recorded_opacity_test"
+  "recorded_opacity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recorded_opacity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

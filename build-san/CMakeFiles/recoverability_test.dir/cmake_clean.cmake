@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recoverability_test.dir/tests/core/recoverability_test.cpp.o"
+  "CMakeFiles/recoverability_test.dir/tests/core/recoverability_test.cpp.o.d"
+  "recoverability_test"
+  "recoverability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recoverability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_fuzz_test.dir/tests/stm/schedule_fuzz_test.cpp.o"
+  "CMakeFiles/schedule_fuzz_test.dir/tests/stm/schedule_fuzz_test.cpp.o.d"
+  "schedule_fuzz_test"
+  "schedule_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

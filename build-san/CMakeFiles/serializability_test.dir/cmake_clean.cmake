@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serializability_test.dir/tests/core/serializability_test.cpp.o"
+  "CMakeFiles/serializability_test.dir/tests/core/serializability_test.cpp.o.d"
+  "serializability_test"
+  "serializability_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serializability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

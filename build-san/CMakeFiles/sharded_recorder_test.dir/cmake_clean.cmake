@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_recorder_test.dir/tests/stm/sharded_recorder_test.cpp.o"
+  "CMakeFiles/sharded_recorder_test.dir/tests/stm/sharded_recorder_test.cpp.o.d"
+  "sharded_recorder_test"
+  "sharded_recorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_recorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

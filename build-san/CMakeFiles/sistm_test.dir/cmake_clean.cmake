@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sistm_test.dir/tests/stm/sistm_test.cpp.o"
+  "CMakeFiles/sistm_test.dir/tests/stm/sistm_test.cpp.o.d"
+  "sistm_test"
+  "sistm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sistm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_common_test.dir/tests/stm/stm_common_test.cpp.o"
+  "CMakeFiles/stm_common_test.dir/tests/stm/stm_common_test.cpp.o.d"
+  "stm_common_test"
+  "stm_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stm_concurrent_test.dir/tests/stm/stm_concurrent_test.cpp.o"
+  "CMakeFiles/stm_concurrent_test.dir/tests/stm/stm_concurrent_test.cpp.o.d"
+  "stm_concurrent_test"
+  "stm_concurrent_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stm_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

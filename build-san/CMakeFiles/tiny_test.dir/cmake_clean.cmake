@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tiny_test.dir/tests/stm/tiny_test.cpp.o"
+  "CMakeFiles/tiny_test.dir/tests/stm/tiny_test.cpp.o.d"
+  "tiny_test"
+  "tiny_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tiny_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

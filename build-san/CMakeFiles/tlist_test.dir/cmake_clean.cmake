@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlist_test.dir/tests/stm/tlist_test.cpp.o"
+  "CMakeFiles/tlist_test.dir/tests/stm/tlist_test.cpp.o.d"
+  "tlist_test"
+  "tlist_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tvar_test.dir/tests/stm/tvar_test.cpp.o"
+  "CMakeFiles/tvar_test.dir/tests/stm/tvar_test.cpp.o.d"
+  "tvar_test"
+  "tvar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tvar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

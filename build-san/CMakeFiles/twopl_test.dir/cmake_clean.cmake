@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/twopl_test.dir/tests/stm/twopl_test.cpp.o"
+  "CMakeFiles/twopl_test.dir/tests/stm/twopl_test.cpp.o.d"
+  "twopl_test"
+  "twopl_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twopl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/criteria.cpp" "CMakeFiles/optm_core.dir/src/core/criteria.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/criteria.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "CMakeFiles/optm_core.dir/src/core/event.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/event.cpp.o.d"
+  "/root/repo/src/core/history.cpp" "CMakeFiles/optm_core.dir/src/core/history.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/history.cpp.o.d"
+  "/root/repo/src/core/legality.cpp" "CMakeFiles/optm_core.dir/src/core/legality.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/legality.cpp.o.d"
+  "/root/repo/src/core/nesting.cpp" "CMakeFiles/optm_core.dir/src/core/nesting.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/nesting.cpp.o.d"
+  "/root/repo/src/core/object_spec.cpp" "CMakeFiles/optm_core.dir/src/core/object_spec.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/object_spec.cpp.o.d"
+  "/root/repo/src/core/one_copy.cpp" "CMakeFiles/optm_core.dir/src/core/one_copy.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/one_copy.cpp.o.d"
+  "/root/repo/src/core/online.cpp" "CMakeFiles/optm_core.dir/src/core/online.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/online.cpp.o.d"
+  "/root/repo/src/core/opacity.cpp" "CMakeFiles/optm_core.dir/src/core/opacity.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/opacity.cpp.o.d"
+  "/root/repo/src/core/opacity_graph.cpp" "CMakeFiles/optm_core.dir/src/core/opacity_graph.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/opacity_graph.cpp.o.d"
+  "/root/repo/src/core/paper.cpp" "CMakeFiles/optm_core.dir/src/core/paper.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/paper.cpp.o.d"
+  "/root/repo/src/core/parallel_verify.cpp" "CMakeFiles/optm_core.dir/src/core/parallel_verify.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/parallel_verify.cpp.o.d"
+  "/root/repo/src/core/phenomena.cpp" "CMakeFiles/optm_core.dir/src/core/phenomena.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/phenomena.cpp.o.d"
+  "/root/repo/src/core/progress.cpp" "CMakeFiles/optm_core.dir/src/core/progress.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/progress.cpp.o.d"
+  "/root/repo/src/core/random_history.cpp" "CMakeFiles/optm_core.dir/src/core/random_history.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/random_history.cpp.o.d"
+  "/root/repo/src/core/recoverability.cpp" "CMakeFiles/optm_core.dir/src/core/recoverability.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/recoverability.cpp.o.d"
+  "/root/repo/src/core/rigorous.cpp" "CMakeFiles/optm_core.dir/src/core/rigorous.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/rigorous.cpp.o.d"
+  "/root/repo/src/core/serializability.cpp" "CMakeFiles/optm_core.dir/src/core/serializability.cpp.o" "gcc" "CMakeFiles/optm_core.dir/src/core/serializability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/CMakeFiles/optm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

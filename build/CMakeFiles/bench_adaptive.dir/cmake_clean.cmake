@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_adaptive.dir/bench/bench_adaptive.cpp.o"
+  "CMakeFiles/bench_adaptive.dir/bench/bench_adaptive.cpp.o.d"
+  "bench_adaptive"
+  "bench_adaptive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_adaptive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

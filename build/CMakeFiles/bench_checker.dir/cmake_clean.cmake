@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checker.dir/bench/bench_checker.cpp.o"
+  "CMakeFiles/bench_checker.dir/bench/bench_checker.cpp.o.d"
+  "bench_checker"
+  "bench_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_commit_cost.dir/bench/bench_commit_cost.cpp.o"
+  "CMakeFiles/bench_commit_cost.dir/bench/bench_commit_cost.cpp.o.d"
+  "bench_commit_cost"
+  "bench_commit_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_commit_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_contention_managers.dir/bench/bench_contention_managers.cpp.o"
+  "CMakeFiles/bench_contention_managers.dir/bench/bench_contention_managers.cpp.o.d"
+  "bench_contention_managers"
+  "bench_contention_managers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_contention_managers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

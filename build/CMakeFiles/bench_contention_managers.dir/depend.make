@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_contention_managers.
+# This may be replaced when dependencies are built.

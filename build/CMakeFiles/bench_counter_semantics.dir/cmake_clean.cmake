@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_counter_semantics.dir/bench/bench_counter_semantics.cpp.o"
+  "CMakeFiles/bench_counter_semantics.dir/bench/bench_counter_semantics.cpp.o.d"
+  "bench_counter_semantics"
+  "bench_counter_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counter_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

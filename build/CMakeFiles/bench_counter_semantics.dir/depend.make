@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_counter_semantics.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lower_bound.dir/bench/bench_lower_bound.cpp.o"
+  "CMakeFiles/bench_lower_bound.dir/bench/bench_lower_bound.cpp.o.d"
+  "bench_lower_bound"
+  "bench_lower_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lower_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiversion_readers.dir/bench/bench_multiversion_readers.cpp.o"
+  "CMakeFiles/bench_multiversion_readers.dir/bench/bench_multiversion_readers.cpp.o.d"
+  "bench_multiversion_readers"
+  "bench_multiversion_readers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiversion_readers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

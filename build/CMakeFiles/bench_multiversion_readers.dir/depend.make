@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_multiversion_readers.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_checker.dir/bench/bench_online_checker.cpp.o"
+  "CMakeFiles/bench_online_checker.dir/bench/bench_online_checker.cpp.o.d"
+  "bench_online_checker"
+  "bench_online_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

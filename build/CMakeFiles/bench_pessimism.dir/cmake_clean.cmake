@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pessimism.dir/bench/bench_pessimism.cpp.o"
+  "CMakeFiles/bench_pessimism.dir/bench/bench_pessimism.cpp.o.d"
+  "bench_pessimism"
+  "bench_pessimism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pessimism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

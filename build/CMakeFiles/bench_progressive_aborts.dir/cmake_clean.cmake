@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_progressive_aborts.dir/bench/bench_progressive_aborts.cpp.o"
+  "CMakeFiles/bench_progressive_aborts.dir/bench/bench_progressive_aborts.cpp.o.d"
+  "bench_progressive_aborts"
+  "bench_progressive_aborts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_progressive_aborts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

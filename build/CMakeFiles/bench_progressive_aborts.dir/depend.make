@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_progressive_aborts.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_si_anomalies.dir/bench/bench_si_anomalies.cpp.o"
+  "CMakeFiles/bench_si_anomalies.dir/bench/bench_si_anomalies.cpp.o.d"
+  "bench_si_anomalies"
+  "bench_si_anomalies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_si_anomalies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_si_anomalies.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_validation_cost.dir/bench/bench_validation_cost.cpp.o"
+  "CMakeFiles/bench_validation_cost.dir/bench/bench_validation_cost.cpp.o.d"
+  "bench_validation_cost"
+  "bench_validation_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_validation_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_validation_cost.
+# This may be replaced when dependencies are built.

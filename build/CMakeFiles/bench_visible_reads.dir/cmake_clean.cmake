@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_visible_reads.dir/bench/bench_visible_reads.cpp.o"
+  "CMakeFiles/bench_visible_reads.dir/bench/bench_visible_reads.cpp.o.d"
+  "bench_visible_reads"
+  "bench_visible_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_visible_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_zombie_rate.dir/bench/bench_zombie_rate.cpp.o"
+  "CMakeFiles/bench_zombie_rate.dir/bench/bench_zombie_rate.cpp.o.d"
+  "bench_zombie_rate"
+  "bench_zombie_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_zombie_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_zombie_rate.
+# This may be replaced when dependencies are built.

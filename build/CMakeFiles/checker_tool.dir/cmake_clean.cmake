@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checker_tool.dir/examples/checker_tool.cpp.o"
+  "CMakeFiles/checker_tool.dir/examples/checker_tool.cpp.o.d"
+  "checker_tool"
+  "checker_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checker_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

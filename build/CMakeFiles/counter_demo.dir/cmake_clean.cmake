@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_demo.dir/examples/counter_demo.cpp.o"
+  "CMakeFiles/counter_demo.dir/examples/counter_demo.cpp.o.d"
+  "counter_demo"
+  "counter_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lower_bound_demo.dir/examples/lower_bound_demo.cpp.o"
+  "CMakeFiles/lower_bound_demo.dir/examples/lower_bound_demo.cpp.o.d"
+  "lower_bound_demo"
+  "lower_bound_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lower_bound_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

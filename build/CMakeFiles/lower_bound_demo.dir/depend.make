@@ -1,0 +1,2 @@
+# Empty dependencies file for lower_bound_demo.
+# This may be replaced when dependencies are built.

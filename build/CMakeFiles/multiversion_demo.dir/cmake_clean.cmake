@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiversion_demo.dir/examples/multiversion_demo.cpp.o"
+  "CMakeFiles/multiversion_demo.dir/examples/multiversion_demo.cpp.o.d"
+  "multiversion_demo"
+  "multiversion_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiversion_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

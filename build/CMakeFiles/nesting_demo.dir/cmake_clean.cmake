@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nesting_demo.dir/examples/nesting_demo.cpp.o"
+  "CMakeFiles/nesting_demo.dir/examples/nesting_demo.cpp.o.d"
+  "nesting_demo"
+  "nesting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nesting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

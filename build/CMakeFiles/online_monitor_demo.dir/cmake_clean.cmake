@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_monitor_demo.dir/examples/online_monitor_demo.cpp.o"
+  "CMakeFiles/online_monitor_demo.dir/examples/online_monitor_demo.cpp.o.d"
+  "online_monitor_demo"
+  "online_monitor_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_monitor_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_anomaly_demo.dir/examples/si_anomaly_demo.cpp.o"
+  "CMakeFiles/si_anomaly_demo.dir/examples/si_anomaly_demo.cpp.o.d"
+  "si_anomaly_demo"
+  "si_anomaly_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_anomaly_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for si_anomaly_demo.
+# This may be replaced when dependencies are built.

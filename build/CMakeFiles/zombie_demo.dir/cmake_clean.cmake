@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zombie_demo.dir/examples/zombie_demo.cpp.o"
+  "CMakeFiles/zombie_demo.dir/examples/zombie_demo.cpp.o.d"
+  "zombie_demo"
+  "zombie_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zombie_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
