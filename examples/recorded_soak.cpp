@@ -1,0 +1,136 @@
+// Recorded-mode soak: the full pipeline — multi-threaded mix recording
+// into the sharded recorder, a verifier thread draining stamp-contiguous
+// batches into the streaming certificate monitor, and the sharded offline
+// driver re-verifying the complete history — at soak scale (>= 1M events),
+// reporting events/sec for each stage. CI runs this nightly and uploads
+// the numbers next to the bench-smoke timing artifacts, so recorded-mode
+// throughput regressions show up in the artifact history.
+//
+//   build/recorded_soak --stm=tl2 --events=1200000 --threads=4
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/online.hpp"
+#include "core/parallel_verify.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "util/cli.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+[[nodiscard]] double events_per_sec(std::size_t events, Clock::time_point t0,
+                                    Clock::time_point t1) {
+  const double secs =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
+  return secs > 0 ? static_cast<double>(events) / secs : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  optm::util::Cli cli("recorded_soak",
+                      "recorded-mode soak: sharded recorder -> live monitor -> "
+                      "sharded offline driver");
+  cli.flag("stm", "tl2", "STM runtime to drive");
+  cli.flag("events", "1200000", "target number of recorded events (>= 1M soak)");
+  cli.flag("threads", "4", "recording threads");
+  cli.flag("vars", "64", "shared registers");
+  cli.flag("ops-per-tx", "4", "operations per transaction");
+  cli.flag("shards", "4", "register shards for the offline driver");
+  cli.flag("policy", "commit-order",
+           "version-order policy for the offline driver "
+           "(commit-order | snapshot-rank)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  const std::size_t target_events =
+      static_cast<std::size_t>(cli.get_int("events"));
+  const std::uint32_t threads = static_cast<std::uint32_t>(cli.get_int("threads"));
+  const std::uint32_t vars = static_cast<std::uint32_t>(cli.get_int("vars"));
+  const std::uint32_t ops = static_cast<std::uint32_t>(cli.get_int("ops-per-tx"));
+
+  const auto stm = optm::stm::make_stm(cli.get("stm"), vars);
+  optm::stm::Recorder recorder(vars);
+  stm->set_recorder(&recorder);
+
+  // ~2 events per op (inv+ret) plus lifecycle events per transaction;
+  // sized low (aborted transactions record fewer events) so the run clears
+  // the target rather than undershooting it.
+  const std::uint64_t events_per_tx = 2ull * ops;
+  optm::wl::MixParams mix;
+  mix.threads = threads;
+  mix.vars = vars;
+  mix.ops_per_tx = ops;
+  mix.seed = 20260730;
+  mix.txs_per_thread =
+      target_events / (static_cast<std::uint64_t>(threads) * events_per_tx) + 1;
+
+  // Record + live-verify: drain stamp-contiguous batches into the
+  // streaming certificate monitor while the mix runs.
+  optm::core::OnlineCertificateMonitor monitor(recorder.model());
+  std::atomic<bool> done{false};
+  std::size_t batches = 0;
+  const auto record_t0 = Clock::now();
+  std::thread verifier([&] {
+    std::vector<optm::core::Event> batch;
+    for (;;) {
+      const bool finished = done.load(std::memory_order_acquire);
+      batch.clear();
+      if (recorder.drain(batch) > 0) {
+        ++batches;
+        (void)monitor.ingest(batch);
+      } else if (finished) {
+        return;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+  });
+  (void)optm::wl::run_random_mix(*stm, mix);
+  done.store(true, std::memory_order_release);
+  verifier.join();
+  const auto record_t1 = Clock::now();
+
+  const std::size_t recorded = recorder.num_events();
+  std::printf("soak.stm=%s\n", cli.get("stm").c_str());
+  std::printf("soak.recorded_events=%zu\n", recorded);
+  std::printf("soak.live_pipeline_events_per_sec=%.0f\n",
+              events_per_sec(recorded, record_t0, record_t1));
+  std::printf("soak.live_batches=%zu\n", batches);
+  std::printf("soak.live_monitor=%s\n", monitor.ok() ? "clean" : "VIOLATION");
+  if (!monitor.ok()) {
+    std::printf("soak.live_monitor_reason=%s\n",
+                monitor.violation()->reason.c_str());
+    return 1;
+  }
+
+  // Offline: the sharded parallel driver over the complete history.
+  const optm::core::History h = recorder.history();
+  optm::core::ShardVerifyOptions options;
+  options.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
+  options.policy = cli.get("policy") == "snapshot-rank"
+                       ? optm::core::VersionOrderPolicy::kSnapshotRank
+                       : optm::core::VersionOrderPolicy::kCommitOrder;
+  const auto offline_t0 = Clock::now();
+  const auto offline = optm::core::verify_history_sharded(h, options);
+  const auto offline_t1 = Clock::now();
+  std::printf("soak.offline_policy=%s\n", to_string(options.policy));
+  std::printf("soak.offline_shards=%zu\n", offline.shards_used);
+  std::printf("soak.offline_events_per_sec=%.0f\n",
+              events_per_sec(offline.events, offline_t0, offline_t1));
+  std::printf("soak.offline=%s\n", offline.certified ? "certified" : "FLAGGED");
+  if (!offline.certified) {
+    std::printf("soak.offline_reason=%s\n", offline.violation->reason.c_str());
+    return 1;
+  }
+  if (recorded < target_events) {
+    std::printf("soak.warning=recorded fewer events than the %zu target\n",
+                target_events);
+  }
+  return 0;
+}

@@ -39,6 +39,13 @@ struct Event {
   OpCode op{OpCode::kRead};
   Value arg{0};          // operation argument (kInvoke; copied onto kResponse)
   Value ret{0};          // return value (kResponse only)
+  /// Serialization stamp carried by C/A events of stamp-aware runtimes
+  /// (2·wv for committed updates, 2·snapshot+1 for transactions that
+  /// serialize at their snapshot — see RecorderBase::on_commit). 0 means
+  /// "unstamped": the version order is the commit (record) order. The
+  /// SnapshotRank version-order policy (core/version_order.hpp) reads this
+  /// instead of re-inferring snapshot ranks from the event stream.
+  std::uint64_t stamp{0};
 
   [[nodiscard]] constexpr bool is_invocation() const noexcept {
     return kind == EventKind::kInvoke || kind == EventKind::kTryCommit ||
@@ -72,23 +79,23 @@ struct Event {
 namespace ev {
 
 [[nodiscard]] constexpr Event inv(TxId tx, ObjId obj, OpCode op, Value arg = 0) noexcept {
-  return Event{EventKind::kInvoke, tx, obj, op, arg, 0};
+  return Event{EventKind::kInvoke, tx, obj, op, arg, 0, 0};
 }
 [[nodiscard]] constexpr Event ret(TxId tx, ObjId obj, OpCode op, Value arg,
                                   Value val) noexcept {
-  return Event{EventKind::kResponse, tx, obj, op, arg, val};
+  return Event{EventKind::kResponse, tx, obj, op, arg, val, 0};
 }
 [[nodiscard]] constexpr Event try_commit(TxId tx) noexcept {
-  return Event{EventKind::kTryCommit, tx, kNoObj, OpCode::kRead, 0, 0};
+  return Event{EventKind::kTryCommit, tx, kNoObj, OpCode::kRead, 0, 0, 0};
 }
-[[nodiscard]] constexpr Event commit(TxId tx) noexcept {
-  return Event{EventKind::kCommit, tx, kNoObj, OpCode::kRead, 0, 0};
+[[nodiscard]] constexpr Event commit(TxId tx, std::uint64_t stamp = 0) noexcept {
+  return Event{EventKind::kCommit, tx, kNoObj, OpCode::kRead, 0, 0, stamp};
 }
 [[nodiscard]] constexpr Event try_abort(TxId tx) noexcept {
-  return Event{EventKind::kTryAbort, tx, kNoObj, OpCode::kRead, 0, 0};
+  return Event{EventKind::kTryAbort, tx, kNoObj, OpCode::kRead, 0, 0, 0};
 }
-[[nodiscard]] constexpr Event abort(TxId tx) noexcept {
-  return Event{EventKind::kAbort, tx, kNoObj, OpCode::kRead, 0, 0};
+[[nodiscard]] constexpr Event abort(TxId tx, std::uint64_t stamp = 0) noexcept {
+  return Event{EventKind::kAbort, tx, kNoObj, OpCode::kRead, 0, 0, stamp};
 }
 
 }  // namespace ev

@@ -20,7 +20,8 @@ bool OnlineDefinitionalMonitor::feed(const Event& e) {
 
   std::string why;
   if (!h_.well_formed(&why)) {
-    violation_ = OnlineViolation{h_.size() - 1, "not well-formed: " + why};
+    violation_ = OnlineViolation{h_.size() - 1, "not well-formed: " + why,
+                                 CertFlagKind::kNotWellFormed};
     return false;
   }
   // Invocations cannot break an opaque prefix: they add no return values
@@ -31,9 +32,12 @@ bool OnlineDefinitionalMonitor::feed(const Event& e) {
   const OpacityResult result = check_opacity(h_, options_);
   if (result.verdict != Verdict::kYes) {
     violation_ = OnlineViolation{
-        h_.size() - 1, result.verdict == Verdict::kNo
-                           ? "prefix not opaque: " + result.reason
-                           : "search budget exhausted: " + result.reason};
+        h_.size() - 1,
+        result.verdict == Verdict::kNo
+            ? "prefix not opaque: " + result.reason
+            : "search budget exhausted: " + result.reason,
+        result.verdict == Verdict::kNo ? CertFlagKind::kNotOpaque
+                                       : CertFlagKind::kBudgetExhausted};
     return false;
   }
   return true;
@@ -49,8 +53,9 @@ bool OnlineDefinitionalMonitor::ingest(std::span<const Event> batch) {
 // OnlineCertificateMonitor
 // ---------------------------------------------------------------------------
 
-OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model)
-    : model_(std::move(model)) {
+OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model,
+                                                   VersionOrderPolicy policy)
+    : model_(std::move(model)), policy_(policy), resolver_(policy) {
   current_.resize(model_.size());
   holders_.resize(model_.size());
   for (ObjId r = 0; r < model_.size(); ++r) {
@@ -66,8 +71,15 @@ OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model)
   }
 }
 
-bool OnlineCertificateMonitor::fail(const std::string& reason) {
-  violation_ = OnlineViolation{pos_, reason};
+bool OnlineCertificateMonitor::fail(CertFlagKind kind,
+                                    const std::string& reason) {
+  if (policy_ == VersionOrderPolicy::kBlindWriteSmart && !search_mode_ &&
+      reorder_repairable(kind)) {
+    // The flag is a statement about the commit order only; §3.6 permits
+    // other version orders. Search them before condemning the prefix.
+    if (try_retro_order()) return true;
+  }
+  violation_ = OnlineViolation{pos_, reason, kind};
   return false;
 }
 
@@ -79,6 +91,34 @@ namespace {
 
 }  // namespace
 
+bool OnlineCertificateMonitor::try_retro_order() {
+  History h(model_);
+  for (const Event& e : retained_) h.append(e);
+  const SmartReorderResult found = smart_reorder_search(h, cur_tx_);
+  if (!found.certified) return false;
+  // A §3.6 reordering certifies the prefix exactly: the retro-ordered
+  // version re-opened the window the commit order had closed. The
+  // incremental rank state is stale from here on — keep streaming by
+  // replaying prefixes through the bounded search. This event's prefix is
+  // already verified; feed() must not run the search a second time.
+  search_mode_ = true;
+  prefix_verified_ = true;
+  return true;
+}
+
+bool OnlineCertificateMonitor::search_verify() {
+  History h(model_);
+  for (const Event& e : retained_) h.append(e);
+  const SmartReorderResult found = smart_reorder_search(h, cur_tx_);
+  if (found.certified) return true;
+  violation_ = OnlineViolation{
+      pos_,
+      "no bounded smart reordering certifies the prefix (" +
+          std::to_string(found.candidates_tried) + " candidate orders tried)",
+      CertFlagKind::kSmartReorderFailed};
+  return false;
+}
+
 bool OnlineCertificateMonitor::on_operation_response(const Event& e,
                                                      TxState& tx) {
   if (e.op == OpCode::kWrite) {
@@ -86,7 +126,8 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
     const auto key = std::make_pair(e.obj, e.arg);
     const auto [it, inserted] = versions_.emplace(key, VersionRec{e.tx, 0, 0});
     if (!inserted && it->second.writer != e.tx) {
-      return fail(tx_tag(e.tx) + " rewrote value " + std::to_string(e.arg) + " of x" +
+      return fail(CertFlagKind::kValueNotUnique,
+                  tx_tag(e.tx) + " rewrote value " + std::to_string(e.arg) + " of x" +
                   std::to_string(e.obj) + " (value-unique writes required)");
     }
     it->second.writer = e.tx;  // ranks assigned at commit
@@ -100,7 +141,8 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   const auto own = tx.writes.find(e.obj);
   if (own != tx.writes.end()) {
     if (own->second != e.ret) {
-      return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+      return fail(CertFlagKind::kLocalInconsistency,
+                  tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                   std::to_string(e.ret) + " despite its own write of " +
                   std::to_string(own->second) + " (local consistency)");
     }
@@ -109,18 +151,21 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
 
   const auto v = versions_.find({e.obj, e.ret});
   if (v == versions_.end()) {
-    return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+    return fail(CertFlagKind::kUnwrittenValue,
+                tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) + ", a value never written");
   }
   const VersionRec& rec = v->second;
   if (rec.writer == e.tx) {
-    return fail(tx_tag(e.tx) + " read back its own value without a prior write");
+    return fail(CertFlagKind::kSelfRead,
+                tx_tag(e.tx) + " read back its own value without a prior write");
   }
   if (rec.writer != kInitTx) {
     const auto w = txs_.find(rec.writer);
     if (w == txs_.end() || !w->second.committed) {
       // Possibly the H4 commit-pending case — conservative (see header).
-      return fail(tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+      return fail(CertFlagKind::kReadFromNonCommitted,
+                  tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                   std::to_string(e.ret) + " from non-committed T" +
                   std::to_string(rec.writer));
     }
@@ -132,12 +177,14 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   if (rec.close_rank == kOpen) holders_[e.obj].push_back(e.tx);
 
   if (tx.lo >= tx.hi) {
-    return fail(tx_tag(e.tx) + "'s reads form no consistent snapshot (window empty " +
+    return fail(CertFlagKind::kSnapshotEmpty,
+                tx_tag(e.tx) + "'s reads form no consistent snapshot (window empty " +
                 "after reading x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) + ")");
   }
   if (tx.hi <= tx.birth_rank) {
-    return fail(tx_tag(e.tx) + " read the outdated x" + std::to_string(e.obj) + "=" +
+    return fail(CertFlagKind::kStaleRead,
+                tx_tag(e.tx) + " read the outdated x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) +
                 ", overwritten before the transaction's first event "
                 "(real-time order)");
@@ -145,18 +192,46 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   return true;
 }
 
-bool OnlineCertificateMonitor::on_commit(TxState& tx, TxId id) {
+bool OnlineCertificateMonitor::on_commit(const Event& c, TxState& tx, TxId id) {
   // Serialization-point checks BEFORE installing this commit's writes.
+  std::size_t rank = 0;
   if (tx.has_write) {
-    // Update transactions serialize at their commit rank: every read
-    // version must still be open (SiStm's write skew dies here).
-    if (tx.hi != kOpen) {
-      return fail(tx_tag(id) + " committed updates although a version it read was "
-                        "overwritten (reads not current at commit)");
+    if (policy_ == VersionOrderPolicy::kSnapshotRank) {
+      // The transaction serializes at its stamped rank, which must lie in
+      // its snapshot window and above its birth floor — the generalized
+      // form of "reads current at commit" (under kCommitOrder the rank is
+      // the new top rank, so the two coincide).
+      rank = resolver_.update_commit_rank(c);
+      if (rank < tx.lo || rank >= tx.hi || rank <= tx.birth_rank) {
+        return fail(CertFlagKind::kNotCurrentAtCommit,
+                    tx_tag(id) + " committed updates at rank " +
+                        std::to_string(rank) +
+                        " outside its snapshot window (version order)");
+      }
+    } else {
+      // Update transactions serialize at their commit rank: every read
+      // version must still be open (SiStm's write skew dies here).
+      if (tx.hi != kOpen) {
+        return fail(CertFlagKind::kNotCurrentAtCommit,
+                    tx_tag(id) + " committed updates although a version it read was "
+                          "overwritten (reads not current at commit)");
+      }
+      rank = resolver_.update_commit_rank(c);
     }
   } else {
-    if (tx.lo >= tx.hi || tx.hi <= tx.birth_rank) {
-      return fail(tx_tag(id) + " (read-only) committed with no serialization point "
+    const std::optional<std::size_t> point = resolver_.read_only_point(c);
+    if (point.has_value()) {
+      // The runtime pinned the serialization point (an MV snapshot): it
+      // must lie in the window and above the birth floor.
+      if (*point < tx.lo || *point >= tx.hi || *point <= tx.birth_rank) {
+        return fail(CertFlagKind::kNoReadOnlyPoint,
+                    tx_tag(id) + " (read-only) committed at snapshot point " +
+                        std::to_string(*point) +
+                        " outside its snapshot window");
+      }
+    } else if (tx.lo >= tx.hi || tx.hi <= tx.birth_rank) {
+      return fail(CertFlagKind::kNoReadOnlyPoint,
+                  tx_tag(id) + " (read-only) committed with no serialization point "
                         "compatible with real-time order");
     }
   }
@@ -166,20 +241,20 @@ bool OnlineCertificateMonitor::on_commit(TxState& tx, TxId id) {
 
   // Install: one rank for the whole commit; each written register's
   // previous version closes here.
-  ++rank_;
+  ++commits_;
   for (const auto& [obj, value] : tx.writes) {
     auto& prev_key = current_[obj];
-    versions_[prev_key].close_rank = rank_;
+    versions_[prev_key].close_rank = rank;
     for (const TxId holder : holders_[obj]) {
       auto h = txs_.find(holder);
-      if (h != txs_.end() && rank_ < h->second.hi) h->second.hi = rank_;
+      if (h != txs_.end() && rank < h->second.hi) h->second.hi = rank;
     }
     holders_[obj].clear();
 
     const auto key = std::make_pair(obj, value);
     VersionRec& rec = versions_[key];
     rec.writer = id;
-    rec.open_rank = rank_;
+    rec.open_rank = rank;
     rec.close_rank = kOpen;
     prev_key = key;
   }
@@ -191,19 +266,23 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
     ++pos_;
     return false;
   }
+  if (policy_ == VersionOrderPolicy::kBlindWriteSmart) retained_.push_back(e);
+  cur_tx_ = e.tx;
   TxState& tx = txs_[e.tx];
   if (!tx.born) {
     tx.born = true;
-    tx.birth_rank = rank_;
+    tx.birth_rank = resolver_.floor();
   }
 
   bool ok = true;
   switch (e.kind) {
     case EventKind::kInvoke:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tx_tag(e.tx) + " invoked an operation while not idle (well-formedness)");
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " invoked an operation while not idle (well-formedness)");
       } else if (!model_.contains(e.obj)) {
-        ok = fail(tx_tag(e.tx) + " invoked an operation on unknown object x" +
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " invoked an operation on unknown object x" +
                   std::to_string(e.obj));
       } else {
         tx.phase = Phase::kOpPending;
@@ -212,31 +291,46 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
       break;
     case EventKind::kResponse:
       if (tx.phase != Phase::kOpPending || !tx.pending.matches(e)) {
-        ok = fail(tx_tag(e.tx) + " received a response with no matching invocation "
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " received a response with no matching invocation "
                         "(well-formedness)");
       } else {
         tx.phase = Phase::kIdle;
-        ok = on_operation_response(e, tx);
+        if (search_mode_) {
+          // The exact search replaces the register checks, but has_write
+          // keeps feeding commits_seen().
+          if (e.op == OpCode::kWrite) tx.has_write = true;
+        } else {
+          ok = on_operation_response(e, tx);
+        }
       }
       break;
     case EventKind::kTryCommit:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tx_tag(e.tx) + " issued tryC while not idle (well-formedness)");
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " issued tryC while not idle (well-formedness)");
       } else {
         tx.phase = Phase::kCommitPending;
       }
       break;
     case EventKind::kCommit:
       if (tx.phase != Phase::kCommitPending) {
-        ok = fail(tx_tag(e.tx) + " committed without tryC (well-formedness)");
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " committed without tryC (well-formedness)");
       } else {
         tx.phase = Phase::kDone;
-        ok = on_commit(tx, e.tx);
+        if (search_mode_) {
+          tx.committed = true;
+          if (tx.has_write) ++commits_;
+        } else {
+          ok = on_commit(e, tx, e.tx);
+        }
       }
       break;
     case EventKind::kTryAbort:
       if (tx.phase != Phase::kIdle) {
-        ok = fail(tx_tag(e.tx) + " issued tryA while not idle (well-formedness)");
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " issued tryA while not idle (well-formedness)");
       } else {
         tx.phase = Phase::kAbortPending;
       }
@@ -244,12 +338,21 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
     case EventKind::kAbort:
       // A answers tryA, tryC, or a pending operation invocation.
       if (tx.phase == Phase::kDone) {
-        ok = fail(tx_tag(e.tx) + " aborted after completing (well-formedness)");
+        ok = fail(CertFlagKind::kNotWellFormed,
+                  tx_tag(e.tx) + " aborted after completing (well-formedness)");
       } else {
         tx.phase = Phase::kDone;  // aborted: writes never install
       }
       break;
   }
+  // Search mode delegates the certificate to the exact bounded search on
+  // every response-class prefix (invocations cannot break opacity); the
+  // prefix that triggered a successful retro-order was verified by the
+  // repair itself.
+  if (ok && search_mode_ && e.is_response() && !prefix_verified_) {
+    ok = search_verify();
+  }
+  prefix_verified_ = false;
   ++pos_;
   return ok;
 }

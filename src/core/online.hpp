@@ -16,33 +16,55 @@
 //    and cross-validation of the certificate backend.
 //
 //  * OnlineCertificateMonitor — polynomial (amortized O(1) per event), for
-//    register histories with value-unique writes whose committed version
-//    order is the commit order (true of every STM in this repository; the
-//    §3.6 "smart" blind-write orderings are the exception). It is a
-//    SUFFICIENT certificate, not a decision procedure: a clean run is
-//    certified opaque-prefix-by-prefix; a flagged event is a certificate
-//    violation that the definitional backend can then adjudicate. Reads
-//    from commit-pending writers (legal under opacity via the set V — the
-//    H4 optimization) are flagged conservatively; none of our runtimes
+//    register histories with value-unique writes. It is a SUFFICIENT
+//    certificate, not a decision procedure: a clean run is certified
+//    opaque-prefix-by-prefix; a flagged event is a certificate violation
+//    (carrying a structured CertFlagKind) that the definitional backend
+//    can then adjudicate. Reads from commit-pending writers (legal under
+//    opacity via the set V — the H4 optimization) are flagged
+//    conservatively with kReadFromNonCommitted; none of our runtimes
 //    produce them, because the recorder window makes commit points atomic
 //    with their C events.
 //
+// The committed VERSION ORDER the certificate checks against is no longer
+// hard-wired to the commit (C-record) order: the monitor takes a
+// core::VersionOrderPolicy (see version_order.hpp) that decides how ranks
+// are assigned:
+//
+//  * kCommitOrder (default) — PR 1's behavior byte for byte: the version
+//    order is the commit order, update transactions serialize at their
+//    commit rank. Correct for every single-version STM in this repository.
+//  * kBlindWriteSmart — commit-order ranks until a window-based flag would
+//    fire; then the §3.6 "smart" reorderings are searched (bounded, each
+//    candidate verified exactly with the Theorem-2 certificate) and, on
+//    success, the monitor retro-orders the offending version — re-opening
+//    the windows the commit order had closed — and keeps streaming in
+//    search mode. Checker-scale (it retains and replays the prefix).
+//  * kSnapshotRank — ranks live in the runtimes' stamp space (Event::stamp:
+//    2·wv on update commits, 2·snapshot+1 on snapshot-serialized commits).
+//    Read-only transactions serialize at their snapshot point, which may
+//    lie arbitrarily before their C event, and update commits' C records
+//    may drift past each other (a window-free recorder) — the MV histories
+//    the commit-order policy falsely flags.
+//
 // The certificate backend maintains, per live transaction, the interval of
-// committed-prefix positions ("ranks") at which ALL its non-local reads
-// were simultaneously current — the same snapshot-window idea as
+// serialization ranks ("the snapshot window") at which ALL its non-local
+// reads were simultaneously current — the same snapshot-window idea as
 // find_inconsistent_snapshot, but incremental:
 //
-//   * every committed write opens a version at the committing rank and
-//     closes the previous version of that register;
+//   * every committed write opens a version at the resolver-assigned rank
+//     and closes the previous version of that register;
 //   * a read intersects the transaction's window with the version's
 //     [open, close) interval; an empty window is an inconsistent snapshot;
-//   * a window that closes at or before the transaction's "birth rank"
-//     (commits completed before its first event) cannot be serialized
+//   * a window that closes at or before the transaction's "birth floor"
+//     (the resolver's floor at its first event) cannot be serialized
 //     without violating the real-time order ≺_H — the stale-read case;
-//   * at commit, an UPDATE transaction must additionally have a
-//     still-open window (its reads current at its commit point — the
-//     commit-order serialization); a read-only transaction only needs a
-//     nonempty window extending past its birth rank.
+//   * at commit, an UPDATE transaction must additionally serialize inside
+//     its window at its resolver rank (under kCommitOrder that rank is the
+//     new top rank, so this degenerates to "reads still current at
+//     commit"); a read-only transaction needs its pinned snapshot point
+//     inside the window when the policy derives one, or merely a nonempty
+//     window extending past its birth floor when it does not.
 //
 // SiStm's write skew is caught at the second skewed commit: the rival's
 // commit closed a version the committer read, so the window no longer
@@ -59,6 +81,7 @@
 
 #include "core/history.hpp"
 #include "core/opacity.hpp"
+#include "core/version_order.hpp"
 #include "util/hash.hpp"
 
 namespace optm::core {
@@ -68,6 +91,8 @@ struct OnlineViolation {
   /// h[0..pos] inclusive is the shortest bad one this monitor saw.
   std::size_t pos{0};
   std::string reason;
+  /// Structured classification — what adjudication dispatches on.
+  CertFlagKind kind{CertFlagKind::kNone};
 };
 
 /// Exact streaming monitor: Definition 1 on every response-ended prefix.
@@ -102,7 +127,9 @@ class OnlineDefinitionalMonitor {
 /// std::invalid_argument otherwise.
 class OnlineCertificateMonitor {
  public:
-  explicit OnlineCertificateMonitor(ObjectModel model);
+  explicit OnlineCertificateMonitor(
+      ObjectModel model,
+      VersionOrderPolicy policy = VersionOrderPolicy::kCommitOrder);
 
   /// Feed the next event. Returns false once a violation has been found
   /// (sticky).
@@ -119,9 +146,13 @@ class OnlineCertificateMonitor {
   [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept {
     return violation_;
   }
+  [[nodiscard]] VersionOrderPolicy policy() const noexcept { return policy_; }
   [[nodiscard]] std::size_t events_fed() const noexcept { return pos_; }
-  /// Committed transactions seen so far (the rank space of the windows).
-  [[nodiscard]] std::size_t commits_seen() const noexcept { return rank_; }
+  /// Committed update transactions seen so far.
+  [[nodiscard]] std::size_t commits_seen() const noexcept { return commits_; }
+  /// kBlindWriteSmart only: true once a §3.6 retro-ordering was needed (and
+  /// found) — the monitor is replaying prefixes in search mode from then on.
+  [[nodiscard]] bool retro_ordered() const noexcept { return search_mode_; }
 
  private:
   static constexpr std::size_t kOpen = static_cast<std::size_t>(-1);
@@ -153,9 +184,14 @@ class OnlineCertificateMonitor {
     std::size_t close_rank{kOpen};
   };
 
-  bool fail(const std::string& reason);
+  bool fail(CertFlagKind kind, const std::string& reason);
   bool on_operation_response(const Event& e, TxState& tx);
-  bool on_commit(TxState& tx, TxId id);
+  bool on_commit(const Event& c, TxState& tx, TxId id);
+  /// kBlindWriteSmart: called at a would-be repairable flag; tries the §3.6
+  /// search on the retained prefix and, on success, switches to search mode.
+  bool try_retro_order();
+  /// Search mode: exact bounded re-verification of the retained prefix.
+  bool search_verify();
 
   struct VersionKeyHash {
     [[nodiscard]] std::size_t operator()(
@@ -166,8 +202,18 @@ class OnlineCertificateMonitor {
   };
 
   ObjectModel model_;
+  VersionOrderPolicy policy_;
+  VersionOrderResolver resolver_;
   std::size_t pos_{0};
-  std::size_t rank_{0};  // committed transactions so far
+  std::size_t commits_{0};  // committed update transactions so far
+  TxId cur_tx_{kNoTx};      // transaction of the event being fed
+  bool search_mode_{false};
+  /// Set when a successful retro-order already verified the current
+  /// event's prefix (feed() then skips the redundant search).
+  bool prefix_verified_{false};
+  /// The fed prefix, retained only under kBlindWriteSmart (the reorder
+  /// search and search-mode re-verification replay it).
+  std::vector<Event> retained_;
   std::optional<OnlineViolation> violation_;
   std::unordered_map<TxId, TxState> txs_;
   /// (register, value) -> version record; value-unique writes. A hash map:

@@ -36,37 +36,44 @@ struct TxMeta {
   bool has_write{false};
   std::size_t birth_rank{0};
   std::size_t commit_pos{kNone};
-  std::size_t commit_rank{0};  // meaningful for committed update txs
+  std::size_t commit_rank{0};   // meaningful for committed update txs
+  std::size_t ro_point{kNone};  // pinned read-only serialization point
 };
 
 struct Flag {
   std::size_t pos;
   std::string reason;
+  CertFlagKind kind;
+  TxId tx;
   std::size_t shard;
 };
 
-/// Pass 0: well-formedness + the global rank order. Everything that
-/// couples registers together is computed here, sequentially and cheaply,
-/// so pass 1's shards never need to synchronize.
+/// Pass 0: well-formedness + the serialization-rank assignment. Everything
+/// that couples registers together is computed here, sequentially and
+/// cheaply — the VersionOrderResolver hands out ranks (commit-order or
+/// stamp-space, per the policy) — so pass 1's shards never need to
+/// synchronize.
 ///
 /// NOTE: this lifecycle machine (and ShardPass's register checks below)
 /// intentionally mirrors OnlineCertificateMonitor::feed condition-for-
 /// condition, including flag positions — the driver's contract is verdict
-/// and position equivalence with the streaming monitor, and the
-/// BatchEquivalence fuzz suite enforces it. Change the two together.
+/// and position equivalence with the streaming monitor under kCommitOrder
+/// and kSnapshotRank (kBlindWriteSmart may flag at different positions;
+/// see the header), and the BatchEquivalence + MvSnapshotFuzz suites
+/// enforce it. Change the two together.
 struct Pass0 {
   std::unordered_map<TxId, TxMeta> txs;
   std::vector<Flag> flags;
 
-  void run(const History& h) {
-    std::size_t rank = 0;
+  void run(const History& h, VersionOrderPolicy policy) {
+    VersionOrderResolver resolver(policy);
     const std::vector<Event>& events = h.events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
       TxMeta& tx = txs[e.tx];
       if (!tx.born) {
         tx.born = true;
-        tx.birth_rank = rank;
+        tx.birth_rank = resolver.floor();
       }
       switch (e.kind) {
         case EventKind::kInvoke:
@@ -74,12 +81,12 @@ struct Pass0 {
             flags.push_back({i, tx_tag(e.tx) +
                                     " invoked an operation while not idle "
                                     "(well-formedness)",
-                             kNoShard});
+                             CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else if (!h.model().contains(e.obj)) {
             flags.push_back({i, tx_tag(e.tx) +
                                     " invoked an operation on unknown object x" +
                                     std::to_string(e.obj),
-                             kNoShard});
+                             CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kOpPending;
             tx.pending = e;
@@ -90,7 +97,7 @@ struct Pass0 {
             flags.push_back({i, tx_tag(e.tx) +
                                     " received a response with no matching "
                                     "invocation (well-formedness)",
-                             kNoShard});
+                             CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kIdle;
             if (e.op == OpCode::kWrite) tx.has_write = true;
@@ -100,7 +107,7 @@ struct Pass0 {
           if (tx.phase != Phase::kIdle) {
             flags.push_back(
                 {i, tx_tag(e.tx) + " issued tryC while not idle (well-formedness)",
-                 kNoShard});
+                 CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kCommitPending;
           }
@@ -109,19 +116,23 @@ struct Pass0 {
           if (tx.phase != Phase::kCommitPending) {
             flags.push_back(
                 {i, tx_tag(e.tx) + " committed without tryC (well-formedness)",
-                 kNoShard});
+                 CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kDone;
             tx.committed = true;
             tx.commit_pos = i;
-            if (tx.has_write) tx.commit_rank = ++rank;
+            if (tx.has_write) {
+              tx.commit_rank = resolver.update_commit_rank(e);
+            } else if (const auto point = resolver.read_only_point(e)) {
+              tx.ro_point = *point;
+            }
           }
           break;
         case EventKind::kTryAbort:
           if (tx.phase != Phase::kIdle) {
             flags.push_back(
                 {i, tx_tag(e.tx) + " issued tryA while not idle (well-formedness)",
-                 kNoShard});
+                 CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kAbortPending;
           }
@@ -130,7 +141,7 @@ struct Pass0 {
           if (tx.phase == Phase::kDone) {
             flags.push_back(
                 {i, tx_tag(e.tx) + " aborted after completing (well-formedness)",
-                 kNoShard});
+                 CertFlagKind::kNotWellFormed, e.tx, kNoShard});
           } else {
             tx.phase = Phase::kDone;
           }
@@ -238,7 +249,7 @@ struct ShardPass {
                                   std::to_string(e.arg) + " of x" +
                                   std::to_string(e.obj) +
                                   " (value-unique writes required)",
-                           shard});
+                           CertFlagKind::kValueNotUnique, e.tx, shard});
           it->second.writer = e.tx;
         }
         local_writes[e.tx][e.obj] = e.arg;
@@ -257,7 +268,7 @@ struct ShardPass {
                                     " despite its own write of " +
                                     std::to_string(own->second) +
                                     " (local consistency)",
-                             shard});
+                             CertFlagKind::kLocalInconsistency, e.tx, shard});
           }
           continue;
         }
@@ -268,13 +279,13 @@ struct ShardPass {
         flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
                                 "=" + std::to_string(e.ret) +
                                 ", a value never written",
-                         shard});
+                         CertFlagKind::kUnwrittenValue, e.tx, shard});
         continue;
       }
       if (v->second.writer == e.tx) {
         flags.push_back(
             {i, tx_tag(e.tx) + " read back its own value without a prior write",
-             shard});
+             CertFlagKind::kSelfRead, e.tx, shard});
         continue;
       }
       if (v->second.writer != kInitTx) {
@@ -286,7 +297,7 @@ struct ShardPass {
                                   "=" + std::to_string(e.ret) +
                                   " from non-committed T" +
                                   std::to_string(v->second.writer),
-                           shard});
+                           CertFlagKind::kReadFromNonCommitted, e.tx, shard});
           continue;
         }
       }
@@ -316,8 +327,9 @@ struct ShardPass {
 /// all shards, in position order, applying closes only once their closing
 /// C event precedes the current position — the streaming monitor's exact
 /// knowledge timing.
-void merge_windows(const Pass0& pass0, std::vector<ReadRec>& all_reads,
-                   std::vector<Flag>& flags) {
+void merge_windows(const Pass0& pass0, VersionOrderPolicy policy,
+                   std::vector<ReadRec>& all_reads, std::vector<Flag>& flags) {
+  const bool snapshot_rank = policy == VersionOrderPolicy::kSnapshotRank;
   std::sort(all_reads.begin(), all_reads.end(),
             [](const ReadRec& a, const ReadRec& b) {
               if (a.tx != b.tx) return a.tx < b.tx;
@@ -368,36 +380,89 @@ void merge_windows(const Pass0& pass0, std::vector<ReadRec>& all_reads,
                                     "'s reads form no consistent snapshot "
                                     "(window empty after reading x" +
                                     std::to_string(r.obj) + ")",
-                         r.shard});
+                         CertFlagKind::kSnapshotEmpty, id, r.shard});
         flagged = true;
       } else if (hi <= meta.birth_rank) {
         flags.push_back({r.pos, tx_tag(id) + " read the outdated x" +
                                     std::to_string(r.obj) +
                                     ", overwritten before the transaction's "
                                     "first event (real-time order)",
-                         r.shard});
+                         CertFlagKind::kStaleRead, id, r.shard});
         flagged = true;
       }
     }
     if (!flagged && meta.committed && meta.commit_pos != kNone) {
       apply_closes_before(meta.commit_pos);
       if (meta.has_write) {
-        if (hi != kOpenRank) {
+        if (snapshot_rank) {
+          const std::size_t rank = meta.commit_rank;
+          if (rank < lo || rank >= hi || rank <= meta.birth_rank) {
+            flags.push_back({meta.commit_pos,
+                             tx_tag(id) + " committed updates at rank " +
+                                 std::to_string(rank) +
+                                 " outside its snapshot window (version order)",
+                             CertFlagKind::kNotCurrentAtCommit, id,
+                             hi_shard != kNoShard ? hi_shard
+                                                  : all_reads[begin].shard});
+          }
+        } else if (hi != kOpenRank) {
           flags.push_back({meta.commit_pos,
                            tx_tag(id) +
                                " committed updates although a version it read "
                                "was overwritten (reads not current at commit)",
-                           hi_shard});
+                           CertFlagKind::kNotCurrentAtCommit, id, hi_shard});
+        }
+      } else if (meta.ro_point != kNone) {
+        const std::size_t point = meta.ro_point;
+        if (point < lo || point >= hi || point <= meta.birth_rank) {
+          flags.push_back({meta.commit_pos,
+                           tx_tag(id) + " (read-only) committed at snapshot point " +
+                               std::to_string(point) +
+                               " outside its snapshot window",
+                           CertFlagKind::kNoReadOnlyPoint, id,
+                           hi_shard != kNoShard ? hi_shard
+                                                : all_reads[begin].shard});
         }
       } else if (lo >= hi || hi <= meta.birth_rank) {
         flags.push_back({meta.commit_pos,
                          tx_tag(id) +
                              " (read-only) committed with no serialization "
                              "point compatible with real-time order",
+                         CertFlagKind::kNoReadOnlyPoint, id,
                          hi_shard != kNoShard ? hi_shard : all_reads[begin].shard});
       }
     }
     begin = end;
+  }
+}
+
+/// Committed transactions with NO non-local reads never enter
+/// merge_windows (it iterates read groups), but under kSnapshotRank their
+/// serialization points still face the birth-floor check — the monitor
+/// fires it at the C event: a pinned read-only point at or below the
+/// floor, or a blind update whose stamped rank is at or below the floor,
+/// violates the real-time order.
+void check_readless_points(const Pass0& pass0, std::vector<Flag>& flags,
+                           const std::vector<ReadRec>& all_reads) {
+  std::unordered_set<TxId> with_reads;
+  for (const ReadRec& r : all_reads) with_reads.insert(r.tx);
+  for (const auto& [id, meta] : pass0.txs) {
+    if (!meta.committed || with_reads.count(id) != 0) continue;
+    if (meta.has_write) {
+      if (meta.commit_rank <= meta.birth_rank) {
+        flags.push_back({meta.commit_pos,
+                         tx_tag(id) + " committed updates at rank " +
+                             std::to_string(meta.commit_rank) +
+                             " outside its snapshot window (version order)",
+                         CertFlagKind::kNotCurrentAtCommit, id, kNoShard});
+      }
+    } else if (meta.ro_point != kNone && meta.ro_point <= meta.birth_rank) {
+      flags.push_back({meta.commit_pos,
+                       tx_tag(id) + " (read-only) committed at snapshot point " +
+                           std::to_string(meta.ro_point) +
+                           " outside its snapshot window",
+                       CertFlagKind::kNoReadOnlyPoint, id, kNoShard});
+    }
   }
 }
 
@@ -441,7 +506,7 @@ ParallelVerifyResult verify_history_sharded(const History& h,
   result.shards_used = shards;
 
   Pass0 pass0;
-  pass0.run(h);
+  pass0.run(h, options.policy);
 
   std::vector<ShardPass> passes;
   passes.reserve(shards);
@@ -456,16 +521,44 @@ ParallelVerifyResult verify_history_sharded(const History& h,
     flags.insert(flags.end(), p.flags.begin(), p.flags.end());
     all_reads.insert(all_reads.end(), p.reads.begin(), p.reads.end());
   }
-  merge_windows(pass0, all_reads, flags);
+  merge_windows(pass0, options.policy, all_reads, flags);
+  if (options.policy == VersionOrderPolicy::kSnapshotRank) {
+    check_readless_points(pass0, flags, all_reads);
+  }
 
   std::sort(flags.begin(), flags.end(),
             [](const Flag& a, const Flag& b) { return a.pos < b.pos; });
 
+  // §3.6 repair: when every flag is a statement about the commit order
+  // (reorder_repairable), a bounded search over the smart reorderings may
+  // certify the history outright.
+  if (options.policy == VersionOrderPolicy::kBlindWriteSmart &&
+      !flags.empty() &&
+      std::all_of(flags.begin(), flags.end(),
+                  [](const Flag& f) { return reorder_repairable(f.kind); })) {
+    const SmartReorderResult found = smart_reorder_search(h, flags.front().tx);
+    if (found.certified) {
+      result.smart_order = found.order;
+      result.certified = true;
+      return result;
+    }
+  }
+
   // Definitional fallback: adjudicate each flagged shard's sub-history.
+  // Flags whose kind already proves non-opacity (a §5.4 consistency
+  // violation) are adjudicated kNo without the exponential search — the
+  // structured kind is what lets us dispatch here without string matching.
   std::unordered_map<std::size_t, std::pair<Verdict, std::string>> adjudicated;
   if (options.definitional_fallback) {
     for (const Flag& f : flags) {
       if (f.shard == kNoShard || adjudicated.count(f.shard) != 0) continue;
+      if (proves_non_opaque(f.kind)) {
+        adjudicated[f.shard] = {
+            Verdict::kNo, std::string("flag kind ") + to_string(f.kind) +
+                              " violates consistency (Theorem 2 makes it "
+                              "necessary; no search needed)"};
+        continue;
+      }
       std::vector<ObjId> regs;
       for (ObjId r = 0; r < h.model().size(); ++r) {
         if (r % shards == f.shard) regs.push_back(r);
@@ -491,6 +584,8 @@ ParallelVerifyResult verify_history_sharded(const History& h,
     ShardFlag out;
     out.pos = f.pos;
     out.reason = f.reason;
+    out.kind = f.kind;
+    out.tx = f.tx;
     out.shard = f.shard;
     const auto a = adjudicated.find(f.shard);
     if (a != adjudicated.end()) {
@@ -501,8 +596,9 @@ ParallelVerifyResult verify_history_sharded(const History& h,
   }
   result.certified = result.flags.empty();
   if (!result.flags.empty()) {
-    result.violation =
-        OnlineViolation{result.flags.front().pos, result.flags.front().reason};
+    result.violation = OnlineViolation{result.flags.front().pos,
+                                       result.flags.front().reason,
+                                       result.flags.front().kind};
   }
   return result;
 }

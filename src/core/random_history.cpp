@@ -150,4 +150,208 @@ History random_history(const RandomHistoryParams& params) {
   return h;
 }
 
+// ---------------------------------------------------------------------------
+// random_mv_history: window-free-recorded MV executions
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One simulated MV process (MvStm's per-slot state), driven by the
+/// deterministic scheduler below.
+struct MvProc {
+  enum class State : std::uint8_t {
+    kIdle,        // between transactions
+    kRunning,     // transaction active, operations left
+    kCommitting,  // commit point taken, C record still in flight
+  };
+  State state = State::kIdle;
+  TxId tx = kNoTx;
+  bool read_only = false;
+  bool snapped = false;
+  std::uint64_t snapshot = 0;  // begin-time (first-op) snapshot bound
+  std::size_t ops_left = 0;
+  std::map<ObjId, std::uint64_t> reads;  // var -> stamp read (update txs)
+  std::map<ObjId, Value> writes;
+};
+
+/// An update commit whose serialization point (stamp) is taken but whose
+/// C record has not been flushed yet — the vars it wrote stay locked, the
+/// versions invisible, exactly as MvStm's seqlocks would have it.
+struct PendingCommit {
+  std::size_t due_step = 0;
+  TxId tx = kNoTx;
+  std::uint64_t stamp = 0;  // wv
+  std::map<ObjId, Value> writes;
+};
+
+}  // namespace
+
+History random_mv_history(const MvHistoryParams& params) {
+  util::Xoshiro256 rng(params.seed);
+  History h(ObjectModel::registers(params.num_objects, 0));
+
+  struct Version {
+    std::uint64_t stamp;
+    Value value;
+  };
+  // Visible committed chains (newest last); stamp 0 is the initial version.
+  std::vector<std::vector<Version>> chains(params.num_objects, {{0, 0}});
+  std::vector<TxId> locked_by(params.num_objects, kNoTx);
+  std::vector<PendingCommit> pending;
+  std::vector<MvProc> procs(std::max<std::size_t>(params.num_procs, 1));
+
+  std::uint64_t clock = 0;  // commit stamps (wv)
+  Value next_value = 1;     // value-unique writes
+  TxId next_tx = 1;
+  std::size_t started = 0;
+
+  const auto flush = [&](const PendingCommit& pc) {
+    h.append(ev::commit(pc.tx, 2 * pc.stamp));
+    for (const auto& [obj, value] : pc.writes) {
+      chains[obj].push_back({pc.stamp, value});
+      locked_by[obj] = kNoTx;
+    }
+    for (MvProc& p : procs) {
+      if (p.state == MvProc::State::kCommitting && p.tx == pc.tx) {
+        p.state = MvProc::State::kIdle;
+      }
+    }
+  };
+
+  const auto newest_visible = [&](ObjId obj,
+                                  std::uint64_t bound) -> const Version& {
+    const std::vector<Version>& chain = chains[obj];
+    for (std::size_t i = chain.size(); i-- > 0;) {
+      if (chain[i].stamp <= bound) return chain[i];
+    }
+    return chain.front();  // stamp 0 is always <= bound
+  };
+
+  const auto all_done = [&] {
+    if (started < params.num_txs) return false;
+    for (const MvProc& p : procs) {
+      if (p.state != MvProc::State::kIdle) return false;
+    }
+    return pending.empty();
+  };
+
+  for (std::size_t step = 0; !all_done(); ++step) {
+    // Flush every C record that has come due (in due order — the drift
+    // between due steps is what reorders the record stream).
+    for (std::size_t i = 0; i < pending.size();) {
+      if (pending[i].due_step <= step) {
+        flush(pending[i]);
+        pending.erase(pending.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    MvProc& p = procs[rng.below(procs.size())];
+    if (p.state == MvProc::State::kCommitting) continue;  // blocked on flush
+
+    if (p.state == MvProc::State::kIdle) {
+      if (started >= params.num_txs) continue;
+      ++started;
+      p.state = MvProc::State::kRunning;
+      p.tx = next_tx++;
+      p.read_only = rng.chance(params.read_only_prob);
+      p.snapped = false;
+      p.snapshot = 0;
+      p.ops_left = static_cast<std::size_t>(
+          rng.range(static_cast<std::int64_t>(params.min_ops_per_tx),
+                    static_cast<std::int64_t>(params.max_ops_per_tx)));
+      p.reads.clear();
+      p.writes.clear();
+      continue;
+    }
+
+    if (p.ops_left > 0) {
+      const ObjId obj = static_cast<ObjId>(rng.below(params.num_objects));
+      if (!p.read_only && rng.chance(params.write_prob)) {
+        const Value v = next_value++;
+        h.append(ev::inv(p.tx, obj, OpCode::kWrite, v));
+        if (!p.snapped) {  // writes pin the snapshot too (first access)
+          p.snapshot = clock;
+          p.snapped = true;
+        }
+        p.writes[obj] = v;
+        h.append(ev::ret(p.tx, obj, OpCode::kWrite, v, kOk));
+        --p.ops_left;
+        continue;
+      }
+      // Snapshot read. A locked var means a rival holds its commit point —
+      // MvStm's seqlock would spin, so the process just retries later.
+      const auto own = p.writes.find(obj);
+      if (own == p.writes.end() && locked_by[obj] != kNoTx) continue;
+      h.append(ev::inv(p.tx, obj, OpCode::kRead));
+      if (!p.snapped) {
+        p.snapshot = clock;
+        p.snapped = true;
+      }
+      Value ret;
+      if (own != p.writes.end()) {
+        ret = own->second;  // local read
+      } else {
+        const Version& v = newest_visible(obj, p.snapshot);
+        ret = v.value;
+        p.reads.emplace(obj, v.stamp);
+      }
+      h.append(ev::ret(p.tx, obj, OpCode::kRead, 0, ret));
+      --p.ops_left;
+      continue;
+    }
+
+    // Terminate. Snapshot transactions (read-only or with an empty write
+    // set) serialize at their snapshot; updates take the commit point.
+    if (!p.snapped) {
+      p.snapshot = clock;
+      p.snapped = true;
+    }
+    if (p.writes.empty()) {
+      h.append(ev::try_commit(p.tx));
+      h.append(ev::commit(p.tx, 2 * p.snapshot + 1));
+      p.state = MvProc::State::kIdle;
+      continue;
+    }
+    // First-committer-wins validation: every read var unlocked and still
+    // newest at the snapshot bound.
+    bool valid = true;
+    for (const auto& [obj, stamp] : p.reads) {
+      if ((locked_by[obj] != kNoTx && locked_by[obj] != p.tx) ||
+          chains[obj].back().stamp > p.snapshot) {
+        valid = false;
+        break;
+      }
+    }
+    // The write locks themselves: a locked write var means a rival commit
+    // is in flight — wait for it (retry this step later).
+    bool wait = false;
+    for (const auto& [obj, value] : p.writes) {
+      if (locked_by[obj] != kNoTx && locked_by[obj] != p.tx) wait = true;
+    }
+    if (wait && valid) continue;
+    h.append(ev::try_commit(p.tx));
+    if (!valid) {
+      h.append(ev::abort(p.tx, 2 * p.snapshot + 1));
+      p.state = MvProc::State::kIdle;
+      continue;
+    }
+    const std::uint64_t wv = ++clock;  // the commit point
+    for (const auto& [obj, value] : p.writes) locked_by[obj] = p.tx;
+    PendingCommit pc{step, p.tx, wv, p.writes};
+    if (rng.chance(params.record_delay_prob)) {
+      pc.due_step = step + 1 +
+                    rng.below(std::max<std::size_t>(
+                        params.max_record_delay_steps, 1));
+      pending.push_back(pc);
+      p.state = MvProc::State::kCommitting;
+    } else {
+      flush(pc);
+      p.state = MvProc::State::kIdle;
+    }
+  }
+  return h;
+}
+
 }  // namespace optm::core

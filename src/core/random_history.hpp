@@ -42,4 +42,39 @@ struct RandomHistoryParams {
 /// `params` (including the seed).
 [[nodiscard]] History random_history(const RandomHistoryParams& params);
 
+/// Parameters for random_mv_history: a faithful simulation of a
+/// multi-version STM (MvStm's algorithm — begin-time snapshots, snapshot
+/// reads, first-committer-wins validation) recorded WITHOUT the recorder's
+/// exclusive commit window: a commit's clock advance (its serialization
+/// point) and its C record are no longer atomic, so C records drift past
+/// each other and past reads, and the RECORD order of commits diverges
+/// from the stamp (version) order. Every generated history is opaque by
+/// construction — serialize committed updates by stamp and snapshot
+/// transactions at their snapshot — but the commit-order certificate
+/// falsely flags the drifted ones; the SnapshotRank policy certifies them
+/// from the stamps the C/A events carry.
+struct MvHistoryParams {
+  std::uint64_t seed = 1;
+  std::size_t num_txs = 10;
+  std::size_t num_objects = 4;
+  std::size_t num_procs = 3;
+  std::size_t min_ops_per_tx = 1;
+  std::size_t max_ops_per_tx = 4;
+  /// Probability a transaction is declared read-only (snapshot reads, no
+  /// validation — the H4 escape route).
+  double read_only_prob = 0.45;
+  /// Per op of an update transaction: write vs read.
+  double write_prob = 0.5;
+  /// Probability an update commit's C record drifts past later scheduler
+  /// steps (the window-free recorder). 0 degenerates to commit order.
+  double record_delay_prob = 0.5;
+  /// Maximum drift, in scheduler steps.
+  std::size_t max_record_delay_steps = 6;
+};
+
+/// Generate a well-formed, opaque-by-construction MV register history with
+/// stamped C/A events (Event::stamp: 2·wv updates, 2·snapshot+1 snapshot
+/// transactions). Deterministic in `params`.
+[[nodiscard]] History random_mv_history(const MvHistoryParams& params);
+
 }  // namespace optm::core

@@ -1,0 +1,131 @@
+#include "core/version_order.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "core/opacity_graph.hpp"
+
+namespace optm::core {
+
+const char* to_string(CertFlagKind k) noexcept {
+  switch (k) {
+    case CertFlagKind::kNone: return "none";
+    case CertFlagKind::kNotWellFormed: return "not-well-formed";
+    case CertFlagKind::kValueNotUnique: return "value-not-unique";
+    case CertFlagKind::kLocalInconsistency: return "local-inconsistency";
+    case CertFlagKind::kUnwrittenValue: return "unwritten-value";
+    case CertFlagKind::kSelfRead: return "self-read";
+    case CertFlagKind::kReadFromNonCommitted: return "read-from-non-committed";
+    case CertFlagKind::kSnapshotEmpty: return "snapshot-empty";
+    case CertFlagKind::kStaleRead: return "stale-read";
+    case CertFlagKind::kNotCurrentAtCommit: return "not-current-at-commit";
+    case CertFlagKind::kNoReadOnlyPoint: return "no-read-only-point";
+    case CertFlagKind::kSmartReorderFailed: return "smart-reorder-failed";
+    case CertFlagKind::kNotOpaque: return "not-opaque";
+    case CertFlagKind::kBudgetExhausted: return "budget-exhausted";
+  }
+  return "?";
+}
+
+std::vector<TxId> anchor_order(const History& h) {
+  struct Anchor {
+    std::size_t pos = 0;
+    bool committed = false;
+    bool seen = false;
+  };
+  std::unordered_map<TxId, Anchor> anchors;
+  std::set<std::pair<TxId, ObjId>> wrote;
+  const std::vector<Event>& events = h.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Event& e = events[i];
+    Anchor& a = anchors[e.tx];
+    if (!a.seen) {
+      a.seen = true;
+      a.pos = i;  // first-event fallback
+    }
+    if (e.kind == EventKind::kInvoke && e.op == OpCode::kWrite) {
+      wrote.insert({e.tx, e.obj});
+    } else if (e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+               !a.committed && wrote.count({e.tx, e.obj}) == 0) {
+      a.pos = i;  // last non-local read response
+    } else if (e.kind == EventKind::kCommit) {
+      a.committed = true;
+      a.pos = i;
+    }
+  }
+  std::vector<TxId> order;
+  order.reserve(anchors.size());
+  for (const auto& [tx, a] : anchors) order.push_back(tx);
+  std::sort(order.begin(), order.end(), [&](TxId a, TxId b) {
+    return anchors.at(a).pos < anchors.at(b).pos;
+  });
+  return order;
+}
+
+namespace {
+
+[[nodiscard]] bool verify_candidate(const History& h,
+                                    const std::vector<TxId>& order) {
+  try {
+    return verify_opacity_certificate(h, order, {}, nullptr);
+  } catch (const std::invalid_argument&) {
+    // Not a value-unique register history — nothing to reorder.
+    return false;
+  }
+}
+
+}  // namespace
+
+SmartReorderResult smart_reorder_search(const History& h,
+                                        std::optional<TxId> prioritize,
+                                        std::size_t max_moves) {
+  SmartReorderResult result;
+  std::vector<TxId> base = anchor_order(h);
+
+  ++result.candidates_tried;
+  if (verify_candidate(h, base)) {
+    result.certified = true;
+    result.order = std::move(base);
+    return result;
+  }
+
+  // The movers: the last max_moves committers (§3.6 reorders only commits),
+  // the prioritized transaction first when given.
+  std::vector<TxId> movers;
+  if (prioritize.has_value()) movers.push_back(*prioritize);
+  std::vector<std::pair<std::size_t, TxId>> committers;  // (C pos, tx)
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    if (h[i].kind == EventKind::kCommit) committers.push_back({i, h[i].tx});
+  }
+  for (auto it = committers.rbegin();
+       it != committers.rend() && movers.size() < max_moves + 1; ++it) {
+    if (std::find(movers.begin(), movers.end(), it->second) == movers.end()) {
+      movers.push_back(it->second);
+    }
+  }
+
+  for (const TxId mover : movers) {
+    const auto at = std::find(base.begin(), base.end(), mover);
+    if (at == base.end()) continue;
+    const std::size_t from = static_cast<std::size_t>(at - base.begin());
+    for (std::size_t k = 1; k <= max_moves && k <= from; ++k) {
+      std::vector<TxId> candidate = base;
+      // Serialize `mover` k positions earlier than its anchor.
+      std::rotate(candidate.begin() + static_cast<std::ptrdiff_t>(from - k),
+                  candidate.begin() + static_cast<std::ptrdiff_t>(from),
+                  candidate.begin() + static_cast<std::ptrdiff_t>(from + 1));
+      ++result.candidates_tried;
+      if (verify_candidate(h, candidate)) {
+        result.certified = true;
+        result.order = std::move(candidate);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace optm::core

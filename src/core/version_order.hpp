@@ -1,0 +1,210 @@
+// Pluggable version-order resolution (the serialization-rank layer).
+//
+// The §5.4 certificate machinery needs, for every committed update
+// transaction, a serialization RANK, and for every committed write an
+// (open, close) rank interval — the version's validity window. PR 1 baked
+// in one resolution: rank = position in commit (C-record) order. That is
+// correct for every single-version STM in this repository, but it is a
+// POLICY, not a law:
+//
+//   * §3.6's "smart" TMs order blind writes differently from the commit
+//     order (a later committer may serialize earlier when nobody observed
+//     the difference);
+//   * multi-version runtimes serialize read-only transactions at their
+//     snapshot, which may lie arbitrarily far before their C event (the
+//     H4 / footnote-2 escape route), and — once the recorder stops
+//     serializing commit points against its record stream — even update
+//     commits' C records can drift past each other, so the RECORD order
+//     and the VERSION order genuinely diverge.
+//
+// This header turns the rank assignment into a policy object consumed by
+// both certificate engines (the streaming OnlineCertificateMonitor and the
+// sharded offline driver verify_history_sharded):
+//
+//   * kCommitOrder   — PR 1's behavior, byte for byte: ranks 1, 2, 3, …
+//     in C-record order; update commits must be current at their rank.
+//   * kBlindWriteSmart — commit-order ranks until a window-based flag
+//     would fire, then a bounded search over the §3.6 reorderings
+//     (moving recent committers past each other), each candidate verified
+//     EXACTLY with verify_opacity_certificate, so a certified verdict is
+//     still sound. Checker-scale (the search replays the prefix).
+//   * kSnapshotRank  — ranks live in the runtime's stamp space: an update
+//     commit serializes at the stamp its C event carries (2·wv), a
+//     read-only commit at its snapshot point (2·snapshot+1), and version
+//     intervals are stamp intervals. This certifies MV histories whose
+//     C records arrive out of stamp order — exactly the histories the
+//     commit-order policy falsely flags.
+//
+// All three remain SUFFICIENT certificates: a flag is a certificate
+// violation, not yet a proof of non-opacity, and carries a structured
+// CertFlagKind so downstream adjudication (the definitional fallback, the
+// smart-reorder search) can dispatch on it without string matching.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+enum class VersionOrderPolicy : std::uint8_t {
+  kCommitOrder,     // committed version order == commit (record) order
+  kBlindWriteSmart, // + bounded §3.6 reordering search on window flags
+  kSnapshotRank,    // stamp-space ranks (MV snapshot serialization)
+};
+
+[[nodiscard]] constexpr const char* to_string(VersionOrderPolicy p) noexcept {
+  switch (p) {
+    case VersionOrderPolicy::kCommitOrder: return "commit-order";
+    case VersionOrderPolicy::kBlindWriteSmart: return "blind-write-smart";
+    case VersionOrderPolicy::kSnapshotRank: return "snapshot-rank";
+  }
+  return "?";
+}
+
+/// Structured classification of a certificate flag. Every fail site of the
+/// certificate engines tags its flag with one of these so adjudication
+/// (definitional fallback, smart-reorder repair) dispatches on the enum
+/// instead of matching reason strings.
+enum class CertFlagKind : std::uint8_t {
+  kNone = 0,
+  kNotWellFormed,         // §4 life-cycle violation
+  kValueNotUnique,        // two writers produced the same (register, value)
+  kLocalInconsistency,    // local read disagrees with own buffered write
+  kUnwrittenValue,        // read a value no transaction ever wrote
+  kSelfRead,              // read own value before writing it
+  kReadFromNonCommitted,  // reads-from a non-committed (possibly
+                          // commit-pending — the H4 case) writer
+  kSnapshotEmpty,         // snapshot window became empty
+  kStaleRead,             // window closed before the transaction began
+  kNotCurrentAtCommit,    // update commit outside its snapshot window
+  kNoReadOnlyPoint,       // read-only commit with no serialization point
+  kSmartReorderFailed,    // no bounded §3.6 reordering certifies the prefix
+  kNotOpaque,             // definitional: prefix proven non-opaque
+  kBudgetExhausted,       // definitional: search budget exhausted
+};
+
+[[nodiscard]] const char* to_string(CertFlagKind k) noexcept;
+
+/// Window-based flags are statements about ONE candidate version order and
+/// may evaporate under another — these are the kinds the BlindWriteSmart
+/// policy may try to repair by retro-ordering versions. Well-formedness and
+/// value-resolution flags are order-independent and never repairable.
+[[nodiscard]] constexpr bool reorder_repairable(CertFlagKind k) noexcept {
+  switch (k) {
+    case CertFlagKind::kSnapshotEmpty:
+    case CertFlagKind::kStaleRead:
+    case CertFlagKind::kNotCurrentAtCommit:
+    case CertFlagKind::kNoReadOnlyPoint:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Flag kinds that by themselves prove the history non-opaque (they break
+/// §5.4 consistency, which Theorem 2 makes necessary) — the definitional
+/// fallback can adjudicate these kNo without running the exponential
+/// search.
+[[nodiscard]] constexpr bool proves_non_opaque(CertFlagKind k) noexcept {
+  switch (k) {
+    case CertFlagKind::kLocalInconsistency:
+    case CertFlagKind::kUnwrittenValue:
+    case CertFlagKind::kSelfRead:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Rank value meaning "still open" / "no rank".
+inline constexpr std::size_t kOpenVersionRank = static_cast<std::size_t>(-1);
+
+/// Streaming serialization-rank assignment — the one shared mechanism under
+/// the monitor and the sharded driver's pass 0. Feed it every committed
+/// C event in record order; it answers three questions:
+///
+///   * update_commit_rank(c): the rank at which the update transaction
+///     behind C event `c` serializes (and at which its writes open /
+///     predecessors close);
+///   * read_only_point(c): the pinned serialization point of a read-only
+///     commit, when the policy derives one (kSnapshotRank with an odd
+///     stamp — the runtime's 2·snapshot+1 convention); nullopt means the
+///     engines fall back to the window rule (any rank in the snapshot
+///     window past the birth floor);
+///   * floor(): the birth floor — every version closed at a rank <= floor()
+///     was closed by a commit whose C event has already been fed, so a
+///     transaction born now must serialize strictly above it.
+class VersionOrderResolver {
+ public:
+  explicit VersionOrderResolver(
+      VersionOrderPolicy policy = VersionOrderPolicy::kCommitOrder) noexcept
+      : policy_(policy) {}
+
+  [[nodiscard]] VersionOrderPolicy policy() const noexcept { return policy_; }
+
+  [[nodiscard]] std::size_t update_commit_rank(const Event& c) noexcept {
+    if (policy_ == VersionOrderPolicy::kSnapshotRank) {
+      // Stamp space. Unstamped C events (hand-built or legacy histories)
+      // synthesize a rank just above everything seen, which reproduces
+      // commit-order behavior on stamp-free histories.
+      const std::size_t rank =
+          c.stamp != 0 ? static_cast<std::size_t>(c.stamp) : floor_ + 1;
+      if (rank > floor_) floor_ = rank;
+      return rank;
+    }
+    ++next_;
+    floor_ = next_;
+    return next_;
+  }
+
+  [[nodiscard]] std::optional<std::size_t> read_only_point(
+      const Event& c) const noexcept {
+    if (policy_ == VersionOrderPolicy::kSnapshotRank && (c.stamp & 1) != 0) {
+      return static_cast<std::size_t>(c.stamp);
+    }
+    return std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t floor() const noexcept { return floor_; }
+
+ private:
+  VersionOrderPolicy policy_;
+  std::size_t next_ = 0;   // commit-order counter
+  std::size_t floor_ = 0;  // max update rank assigned so far
+};
+
+// ---------------------------------------------------------------------------
+// §3.6 smart-reorder search (the BlindWriteSmart policy's engine)
+// ---------------------------------------------------------------------------
+
+struct SmartReorderResult {
+  /// A candidate version order was found and verified EXACTLY (Theorem 2
+  /// certificate over the whole history) — the history is opaque.
+  bool certified = false;
+  /// The certified total order ≪ over all transactions (iff certified).
+  std::vector<TxId> order;
+  /// Candidate orders examined (certified or not).
+  std::size_t candidates_tried = 0;
+};
+
+/// The recorder's anchor order: committed transactions at their C position,
+/// others at their last non-local read response (their last whole-read-set
+/// validation), falling back to their first event — the same rule as
+/// stm::detail::certificate_order_of with no stamps. Exposed for tests.
+[[nodiscard]] std::vector<TxId> anchor_order(const History& h);
+
+/// Bounded search over the §3.6 reorderings of `h`'s anchor order: for each
+/// of the last `max_moves` committers (trying `prioritize` first, if given),
+/// try serializing it up to `max_moves` positions earlier; every candidate
+/// is verified with verify_opacity_certificate, so `certified` is sound.
+/// Intended for checker-scale prefixes — each candidate costs
+/// O(|h| log |h|).
+[[nodiscard]] SmartReorderResult smart_reorder_search(
+    const History& h, std::optional<TxId> prioritize = std::nullopt,
+    std::size_t max_moves = 8);
+
+}  // namespace optm::core

@@ -119,13 +119,16 @@ bool MvStm::commit(sim::ThreadCtx& ctx) {
   rec_try_commit(ctx);
 
   if (slot.ws.empty()) {
-    const RecWindow window = rec_sample_window();
     ensure_snapshot(ctx, slot);
     slot.active = false;
     ++ctx.stats.commits;
     // All reads came from the begin-time snapshot: serialize there. This is
     // the H4 optimization — read-only transactions commit regardless of
-    // concurrent updates.
+    // concurrent updates. The C event carries the snapshot rank
+    // (2·snapshot+1), so the record POSITION of C is immaterial to the
+    // version order and no sampling window is taken: read-only commits no
+    // longer touch the shared window lock, and the SnapshotRank
+    // version-order policy reads the stamp straight off the event.
     rec_commit(ctx, 2 * slot.snapshot + 1);
     return true;
   }

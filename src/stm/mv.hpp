@@ -16,6 +16,12 @@
 //
 // Per-operation cost: O(ring depth) — independent of k, as the footnote
 // demands; not O(1), which bench/bench_lower_bound makes visible.
+//
+// Recording: commits stamp their serialization point onto the C event
+// (2·wv for updates, 2·snapshot+1 for read-only transactions), which is
+// what the core::VersionOrderResolver's SnapshotRank policy certifies
+// against — read-only transactions serialize at their snapshot rank, not
+// at their C record position, so their C record takes no sampling window.
 #pragma once
 
 #include <vector>

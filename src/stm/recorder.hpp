@@ -242,14 +242,17 @@ class Recorder final : public RecorderBase {
   }
   void on_commit(std::uint32_t lane, core::TxId tx,
                  std::uint64_t stamp = 0) override {
-    push(lane, core::ev::commit(tx), tx, stamp);
+    // The stamp rides on the C event itself (Event::stamp) so offline
+    // consumers (the SnapshotRank version-order policy) see it without the
+    // side table; the side table stays for certificate_order().
+    push(lane, core::ev::commit(tx, stamp), tx, stamp);
   }
   void on_try_abort(std::uint32_t lane, core::TxId tx) override {
     push(lane, core::ev::try_abort(tx));
   }
   void on_abort(std::uint32_t lane, core::TxId tx,
                 std::uint64_t stamp = 0) override {
-    push(lane, core::ev::abort(tx), tx, stamp);
+    push(lane, core::ev::abort(tx, stamp), tx, stamp);
   }
 
   void window_enter(WindowKind kind) override {
@@ -498,7 +501,7 @@ class MutexRecorder final : public RecorderBase {
   void on_commit(std::uint32_t /*lane*/, core::TxId tx,
                  std::uint64_t stamp = 0) override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::commit(tx));
+    events_.push_back(core::ev::commit(tx, stamp));
     stamp_[tx] = stamp;
   }
   void on_try_abort(std::uint32_t /*lane*/, core::TxId tx) override {
@@ -508,7 +511,7 @@ class MutexRecorder final : public RecorderBase {
   void on_abort(std::uint32_t /*lane*/, core::TxId tx,
                 std::uint64_t stamp = 0) override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::abort(tx));
+    events_.push_back(core::ev::abort(tx, stamp));
     stamp_[tx] = stamp;
   }
 

@@ -16,9 +16,11 @@
 
 #include "core/online.hpp"
 #include "core/opacity_graph.hpp"
+#include "core/parallel_verify.hpp"
 #include "core/phenomena.hpp"
 #include "sim/thread_ctx.hpp"
 #include "stm/factory.hpp"
+#include "stm/mv.hpp"
 #include "stm/recorder.hpp"
 #include "util/rng.hpp"
 
@@ -126,6 +128,115 @@ INSTANTIATE_TEST_SUITE_P(
       for (auto& c : n)
         if (c == '-') c = '_';
       return n + "_seed" + std::to_string(std::get<1>(inf.param));
+    });
+
+// ---------------------------------------------------------------------------
+// MV snapshot-rank fuzz: MvStm at ring depths 2–8 with declared read-only
+// transactions in the mix. The recorded histories stamp serialization
+// points onto their C/A events (2·wv updates, 2·snapshot+1 snapshot
+// transactions); the streaming monitor and the sharded driver must agree —
+// and certify — under the SnapshotRank version-order policy, and the
+// deterministic op-granularity schedules stay commit-order-certifiable
+// too (the divergence histories live in core's random_mv_history fuzz,
+// which simulates the window-free recorder this scheduler cannot express).
+// ---------------------------------------------------------------------------
+
+class MvSnapshotScheduleFuzz
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::uint64_t>> {
+};
+
+TEST_P(MvSnapshotScheduleFuzz, MonitorAndShardedDriverAgreeUnderSnapshotRank) {
+  const auto& [depth, seed] = GetParam();
+  MvStm stm(kVars, depth);
+  Recorder recorder(kVars);
+  stm.set_recorder(&recorder);
+
+  util::Xoshiro256 rng(seed);
+  Proc procs[kProcs];
+  bool read_only[kProcs] = {};
+  for (std::uint32_t i = 0; i < kProcs; ++i) {
+    procs[i].ctx = std::make_unique<sim::ThreadCtx>(i);
+    procs[i].next_unique = (static_cast<std::uint64_t>(i) + 1) << 32;
+  }
+
+  for (std::uint64_t step = 0; step < kTotalSteps; ++step) {
+    const std::uint32_t pi = static_cast<std::uint32_t>(rng.below(kProcs));
+    Proc& p = procs[pi];
+    if (!p.active) {
+      if (rng.below(100) < 40) {
+        stm.begin_read_only(*p.ctx);
+        read_only[pi] = true;
+      } else {
+        stm.begin(*p.ctx);
+        read_only[pi] = false;
+      }
+      p.active = true;
+      p.ops_in_tx = 0;
+      continue;
+    }
+    const std::uint64_t dice = rng.below(100);
+    if (p.ops_in_tx >= 6 || dice < 20) {
+      if (dice < 4) {
+        stm.abort(*p.ctx);
+      } else {
+        (void)stm.commit(*p.ctx);
+      }
+      p.active = false;
+    } else if (read_only[pi] || dice < 60) {
+      std::uint64_t out = 0;
+      if (!stm.read(*p.ctx, static_cast<VarId>(rng.below(kVars)), out)) {
+        p.active = false;
+      }
+      ++p.ops_in_tx;
+    } else {
+      if (!stm.write(*p.ctx, static_cast<VarId>(rng.below(kVars)),
+                     ++p.next_unique)) {
+        p.active = false;
+      }
+      ++p.ops_in_tx;
+    }
+  }
+  for (Proc& p : procs) {
+    if (p.active) (void)stm.commit(*p.ctx);
+  }
+
+  const core::History h = recorder.history();
+  std::string why;
+  ASSERT_TRUE(h.well_formed(&why)) << why;
+
+  // SnapshotRank: streaming monitor and sharded driver certify and agree.
+  core::OnlineCertificateMonitor snap(h.model(),
+                                      core::VersionOrderPolicy::kSnapshotRank);
+  for (const core::Event& e : h.events()) (void)snap.feed(e);
+  EXPECT_TRUE(snap.ok()) << "depth " << depth << " seed " << seed << " at "
+                         << snap.violation()->pos << ": "
+                         << snap.violation()->reason;
+  core::ShardVerifyOptions options;
+  options.policy = core::VersionOrderPolicy::kSnapshotRank;
+  options.num_shards = 2;
+  options.num_threads = 2;
+  const core::ParallelVerifyResult driver =
+      core::verify_history_sharded(h, options);
+  EXPECT_EQ(driver.certified, snap.ok())
+      << "depth " << depth << " seed " << seed
+      << (driver.violation ? "\ndriver: " + driver.violation->reason : "");
+
+  // Deterministic op-granularity schedules keep C records in stamp order,
+  // so the commit-order monitor must stay clean on them as well.
+  core::OnlineCertificateMonitor commit_order(h.model());
+  for (const core::Event& e : h.events()) (void)commit_order.feed(e);
+  EXPECT_TRUE(commit_order.ok())
+      << "depth " << depth << " seed " << seed << ": "
+      << commit_order.violation()->reason;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Depths, MvSnapshotScheduleFuzz,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 8),
+                       ::testing::Range<std::uint64_t>(1, 7)),
+    [](const auto& inf) {
+      return "depth" + std::to_string(std::get<0>(inf.param)) + "_seed" +
+             std::to_string(std::get<1>(inf.param));
     });
 
 }  // namespace
