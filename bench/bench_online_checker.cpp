@@ -84,8 +84,10 @@ void BM_DefinitionalMonitor(benchmark::State& state) {
 /// Run the same mix with `Threads` workers and the given recorder engine;
 /// report recorded events/second. The per-thread transaction count is held
 /// constant, so the threads axis scales offered load with parallelism.
+/// `window_free` drops the recorder windows entirely (stamped recording);
+/// the delta against the windowed run is the price of the window lock.
 template <typename RecorderT>
-void BM_RecordedMix(benchmark::State& state, const char* /*label*/) {
+void BM_RecordedMix(benchmark::State& state, bool window_free = false) {
   const auto threads = static_cast<std::uint32_t>(state.range(0));
   wl::MixParams params;
   params.threads = threads;
@@ -98,6 +100,7 @@ void BM_RecordedMix(benchmark::State& state, const char* /*label*/) {
   std::uint64_t events = 0;
   for (auto _ : state) {
     const auto stm = stm::make_stm("tl2", params.vars);
+    (void)stm->set_window_free(window_free);
     RecorderT recorder(params.vars);
     stm->set_recorder(&recorder);
     (void)wl::run_random_mix(*stm, params);
@@ -183,12 +186,16 @@ void BM_LiveVerifiedMixMutex(benchmark::State& state) {
   });
 }
 
-void BM_LiveVerifiedMixSharded(benchmark::State& state) {
-  live_verified_mix(state, [](stm::Stm& stm, const wl::MixParams& params,
-                              std::uint64_t& events) {
+/// The sharded drain/ingest pipeline; `policy` lets the window-free
+/// variant feed the kStampedRead monitor (windowed feeds the default).
+void live_verified_sharded(benchmark::State& state, bool window_free,
+                           core::VersionOrderPolicy policy) {
+  live_verified_mix(state, [&](stm::Stm& stm, const wl::MixParams& params,
+                               std::uint64_t& events) {
+    (void)stm.set_window_free(window_free);
     stm::Recorder recorder(params.vars);
     stm.set_recorder(&recorder);
-    core::OnlineCertificateMonitor monitor(recorder.model());
+    core::OnlineCertificateMonitor monitor(recorder.model(), policy);
     std::atomic<bool> done{false};
     std::thread verifier([&] {
       std::vector<core::Event> batch;
@@ -284,10 +291,21 @@ BENCHMARK(BM_DefinitionalMonitor)
     ->Unit(benchmark::kMillisecond);
 
 void BM_RecordedMixMutex(benchmark::State& state) {
-  BM_RecordedMix<optm::stm::MutexRecorder>(state, "mutex");
+  BM_RecordedMix<optm::stm::MutexRecorder>(state);
 }
 void BM_RecordedMixSharded(benchmark::State& state) {
-  BM_RecordedMix<optm::stm::Recorder>(state, "sharded");
+  BM_RecordedMix<optm::stm::Recorder>(state);
+}
+void BM_RecordedMixTl2WindowFree(benchmark::State& state) {
+  BM_RecordedMix<optm::stm::Recorder>(state, /*window_free=*/true);
+}
+void BM_LiveVerifiedMixSharded(benchmark::State& state) {
+  live_verified_sharded(state, /*window_free=*/false,
+                        core::VersionOrderPolicy::kCommitOrder);
+}
+void BM_LiveVerifiedMixTl2WindowFree(benchmark::State& state) {
+  live_verified_sharded(state, /*window_free=*/true,
+                        core::VersionOrderPolicy::kStampedRead);
 }
 
 BENCHMARK(BM_RecordedMixMutex)
@@ -302,6 +320,12 @@ BENCHMARK(BM_RecordedMixSharded)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+BENCHMARK(BM_RecordedMixTl2WindowFree)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 BENCHMARK(BM_LiveVerifiedMixMutex)
     ->RangeMultiplier(2)
     ->Range(2, 8)
@@ -309,6 +333,12 @@ BENCHMARK(BM_LiveVerifiedMixMutex)
     ->UseRealTime();
 
 BENCHMARK(BM_LiveVerifiedMixSharded)
+    ->RangeMultiplier(2)
+    ->Range(2, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_LiveVerifiedMixTl2WindowFree)
     ->RangeMultiplier(2)
     ->Range(2, 8)
     ->Unit(benchmark::kMillisecond)

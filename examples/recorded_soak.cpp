@@ -44,9 +44,24 @@ int main(int argc, char** argv) {
   cli.flag("ops-per-tx", "4", "operations per transaction");
   cli.flag("shards", "4", "register shards for the offline driver");
   cli.flag("policy", "commit-order",
-           "version-order policy for the offline driver "
-           "(commit-order | snapshot-rank)");
+           "version-order policy for the live monitor and the offline "
+           "driver (commit-order | snapshot-rank | stamped-read)");
+  cli.flag("window-free", "0",
+           "drop the recorder windows and trust the runtime's stamps "
+           "(stamping runtimes only; pair with --policy=stamped-read)");
   if (!cli.parse(argc, argv)) return 1;
+
+  optm::core::VersionOrderPolicy policy =
+      optm::core::VersionOrderPolicy::kCommitOrder;
+  if (cli.get("policy") == "snapshot-rank") {
+    policy = optm::core::VersionOrderPolicy::kSnapshotRank;
+  } else if (cli.get("policy") == "stamped-read") {
+    policy = optm::core::VersionOrderPolicy::kStampedRead;
+  } else if (cli.get("policy") != "commit-order") {
+    std::fprintf(stderr, "unknown --policy=%s\n%s", cli.get("policy").c_str(),
+                 cli.usage().c_str());
+    return 1;
+  }
 
   const std::size_t target_events =
       static_cast<std::size_t>(cli.get_int("events"));
@@ -55,6 +70,13 @@ int main(int argc, char** argv) {
   const std::uint32_t ops = static_cast<std::uint32_t>(cli.get_int("ops-per-tx"));
 
   const auto stm = optm::stm::make_stm(cli.get("stm"), vars);
+  if (cli.get_bool("window-free") && !stm->set_window_free(true)) {
+    std::fprintf(stderr,
+                 "--window-free=1: %s does not stamp its reads and stays "
+                 "windowed (use tl2, tiny or norec)\n",
+                 cli.get("stm").c_str());
+    return 1;
+  }
   optm::stm::Recorder recorder(vars);
   stm->set_recorder(&recorder);
 
@@ -72,7 +94,7 @@ int main(int argc, char** argv) {
 
   // Record + live-verify: drain stamp-contiguous batches into the
   // streaming certificate monitor while the mix runs.
-  optm::core::OnlineCertificateMonitor monitor(recorder.model());
+  optm::core::OnlineCertificateMonitor monitor(recorder.model(), policy);
   std::atomic<bool> done{false};
   std::size_t batches = 0;
   const auto record_t0 = Clock::now();
@@ -98,6 +120,11 @@ int main(int argc, char** argv) {
 
   const std::size_t recorded = recorder.num_events();
   std::printf("soak.stm=%s\n", cli.get("stm").c_str());
+  // Self-describing artifacts: which window mode and resolver policy this
+  // run used, so soak_*.txt files are comparable across CI runs.
+  std::printf("soak.window_mode=%s\n",
+              stm->window_free() ? "window-free" : "windowed");
+  std::printf("soak.policy=%s\n", to_string(policy));
   std::printf("soak.recorded_events=%zu\n", recorded);
   std::printf("soak.live_pipeline_events_per_sec=%.0f\n",
               events_per_sec(recorded, record_t0, record_t1));
@@ -113,9 +140,7 @@ int main(int argc, char** argv) {
   const optm::core::History h = recorder.history();
   optm::core::ShardVerifyOptions options;
   options.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
-  options.policy = cli.get("policy") == "snapshot-rank"
-                       ? optm::core::VersionOrderPolicy::kSnapshotRank
-                       : optm::core::VersionOrderPolicy::kCommitOrder;
+  options.policy = policy;
   const auto offline_t0 = Clock::now();
   const auto offline = optm::core::verify_history_sharded(h, options);
   const auto offline_t1 = Clock::now();

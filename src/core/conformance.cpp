@@ -1,0 +1,128 @@
+#include "core/conformance.hpp"
+
+#include <utility>
+
+#include "core/parallel_verify.hpp"
+#include "util/pool.hpp"
+
+namespace optm::core {
+namespace {
+
+[[nodiscard]] EngineVerdict monitor_verdict(const History& h,
+                                            VersionOrderPolicy policy) {
+  OnlineCertificateMonitor m(h.model(), policy);
+  for (const Event& e : h.events()) (void)m.feed(e);
+  EngineVerdict v;
+  v.certified = m.ok();
+  if (!v.certified) {
+    v.pos = m.violation()->pos;
+    v.reason = m.violation()->reason;
+    v.kind = m.violation()->kind;
+  }
+  return v;
+}
+
+[[nodiscard]] EngineVerdict driver_verdict(const History& h,
+                                           util::ThreadPool& pool,
+                                           VersionOrderPolicy policy,
+                                           std::size_t shards) {
+  ShardVerifyOptions options;
+  options.policy = policy;
+  options.num_shards = shards;
+  const ParallelVerifyResult result = verify_history_sharded(h, pool, options);
+  EngineVerdict v;
+  v.certified = result.certified;
+  if (!v.certified && result.violation.has_value()) {
+    v.pos = result.violation->pos;
+    v.reason = result.violation->reason;
+    v.kind = result.violation->kind;
+  }
+  return v;
+}
+
+[[nodiscard]] std::string describe(const EngineVerdict& v) {
+  if (v.certified) return "certified";
+  return "flagged at " + std::to_string(v.pos) + " (" + v.reason + ")";
+}
+
+}  // namespace
+
+ConformanceReport check_conformance(const History& h,
+                                    const ConformanceOptions& options) {
+  ConformanceReport report;
+  util::ThreadPool pool(2);
+
+  const auto diverge = [&report](std::string what) {
+    if (report.ok) {
+      report.ok = false;
+      report.divergence = std::move(what);
+    }
+  };
+
+  for (const VersionOrderPolicy policy : options.policies) {
+    PolicyConformance pc;
+    pc.policy = policy;
+    pc.monitor = monitor_verdict(h, policy);
+
+    bool first = true;
+    for (const std::size_t shards : options.shard_counts) {
+      const EngineVerdict d = driver_verdict(h, pool, policy, shards);
+      if (first) {
+        pc.driver = d;
+        first = false;
+      } else if (d.certified != pc.driver.certified ||
+                 (!d.certified && d.pos != pc.driver.pos)) {
+        diverge(std::string("driver disagrees with itself across shard "
+                            "counts under ") +
+                to_string(policy) + ": " + describe(pc.driver) + " vs " +
+                describe(d) + " at " + std::to_string(shards) + " shards");
+      }
+      // Monitor/driver equivalence: verdict always; position except under
+      // kBlindWriteSmart (the engines search different prefixes).
+      if (d.certified != pc.monitor.certified ||
+          (policy != VersionOrderPolicy::kBlindWriteSmart && !d.certified &&
+           d.pos != pc.monitor.pos)) {
+        diverge(std::string("monitor/driver divergence under ") +
+                to_string(policy) + " (" + std::to_string(shards) +
+                " shards): monitor " + describe(pc.monitor) + ", driver " +
+                describe(d));
+      }
+    }
+    report.policies.push_back(std::move(pc));
+  }
+
+  std::string why;
+  if (options.exact_max_txs > 0 &&
+      h.transactions().size() <= options.exact_max_txs &&
+      h.well_formed(&why)) {  // check_opacity's precondition
+    OpacityOptions opts;
+    opts.max_states = options.exact_max_states;
+    const OpacityResult exact = check_opacity(h, opts);
+    report.exact = exact.verdict;
+    report.exact_reason = exact.reason;
+
+    for (const PolicyConformance& pc : report.policies) {
+      if (pc.monitor.certified && exact.verdict == Verdict::kNo) {
+        // A certified non-opaque history would be a Theorem-2 soundness
+        // bug — the one divergence that must never happen.
+        diverge(std::string("SOUNDNESS: ") + to_string(pc.policy) +
+                " certified a history the exact checker proves non-opaque (" +
+                exact.reason + ")");
+      }
+      if (!pc.monitor.certified && exact.verdict == Verdict::kYes &&
+          pc.monitor.kind == CertFlagKind::kNotWellFormed) {
+        // Well-formedness is decided, not certified: the exact checker
+        // front-ends the same §4 state machine, so a well-formedness flag
+        // on an exactly-opaque history means the engines disagree on §4.
+        diverge(std::string("well-formedness flag under ") +
+                to_string(pc.policy) +
+                " on a history the exact checker accepts: " +
+                pc.monitor.reason);
+      }
+    }
+  }
+
+  return report;
+}
+
+}  // namespace optm::core

@@ -32,6 +32,12 @@ enum class EventKind : std::uint8_t {
   return "?";
 }
 
+/// Sentinel for Event::ver on stamped reads whose runtime validates by
+/// VALUE rather than by a named version (NOrec): the snapshot claim
+/// (Event::stamp) stands, but the version identity is left to value
+/// resolution.
+inline constexpr std::uint64_t kNoReadVersion = ~std::uint64_t{0};
+
 struct Event {
   EventKind kind{EventKind::kInvoke};
   TxId tx{kNoTx};
@@ -39,13 +45,24 @@ struct Event {
   OpCode op{OpCode::kRead};
   Value arg{0};          // operation argument (kInvoke; copied onto kResponse)
   Value ret{0};          // return value (kResponse only)
-  /// Serialization stamp carried by C/A events of stamp-aware runtimes
-  /// (2·wv for committed updates, 2·snapshot+1 for transactions that
-  /// serialize at their snapshot — see RecorderBase::on_commit). 0 means
-  /// "unstamped": the version order is the commit (record) order. The
-  /// SnapshotRank version-order policy (core/version_order.hpp) reads this
-  /// instead of re-inferring snapshot ranks from the event stream.
+  /// Serialization stamp of stamp-aware runtimes, in the runtime's stamp
+  /// space (2·version for points at a committed version, 2·snapshot+1 for
+  /// points at a snapshot). Carried by
+  ///   * C/A events: 2·wv for committed updates, 2·snapshot+1 for
+  ///     transactions that serialize at their snapshot (see
+  ///     RecorderBase::on_commit);
+  ///   * non-local READ responses of window-free-capable runtimes:
+  ///     2·rv+1, the snapshot the read was validated against (the `rv`
+  ///     half of the read-stamp pair; `ver` below is the other half).
+  /// 0 means "unstamped": the version order is the commit (record) order.
+  /// The stamp-space version-order policies (core/version_order.hpp) read
+  /// this instead of re-inferring ranks from the event stream.
   std::uint64_t stamp{0};
+  /// The `version` half of a stamped read's (rv, version) pair: the
+  /// runtime version of the value read (its writer's wv; stamp-space open
+  /// rank 2·ver), or kNoReadVersion when the runtime validates by value
+  /// (NOrec). Only meaningful on a kResponse read with stamp != 0.
+  std::uint64_t ver{0};
 
   [[nodiscard]] constexpr bool is_invocation() const noexcept {
     return kind == EventKind::kInvoke || kind == EventKind::kTryCommit ||
@@ -82,8 +99,9 @@ namespace ev {
   return Event{EventKind::kInvoke, tx, obj, op, arg, 0, 0};
 }
 [[nodiscard]] constexpr Event ret(TxId tx, ObjId obj, OpCode op, Value arg,
-                                  Value val) noexcept {
-  return Event{EventKind::kResponse, tx, obj, op, arg, val, 0};
+                                  Value val, std::uint64_t stamp = 0,
+                                  std::uint64_t ver = 0) noexcept {
+  return Event{EventKind::kResponse, tx, obj, op, arg, val, stamp, ver};
 }
 [[nodiscard]] constexpr Event try_commit(TxId tx) noexcept {
   return Event{EventKind::kTryCommit, tx, kNoObj, OpCode::kRead, 0, 0, 0};

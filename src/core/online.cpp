@@ -138,6 +138,9 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
 
   // Read response. Local reads must return the transaction's own latest
   // write and do not touch the window.
+  const bool stamped =
+      policy_ == VersionOrderPolicy::kStampedRead && e.stamp != 0;
+  if (stamped && e.stamp > tx.max_read_stamp) tx.max_read_stamp = e.stamp;
   const auto own = tx.writes.find(e.obj);
   if (own != tx.writes.end()) {
     if (own->second != e.ret) {
@@ -171,6 +174,31 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
     }
   }
 
+  if (stamped) {
+    // The read claims it observed version `ver` while snapshot 2·rv+1 was
+    // current; both halves must agree with the value-resolved version
+    // chain (the Theorem-2-on-stamps cross-check, see the header).
+    // The magnitude guard keeps `2 * ver` from wrapping: a genuine version
+    // claim always satisfies open == 2·ver without overflow, so a wrapping
+    // ver is by definition a lie.
+    if (e.ver != kNoReadVersion &&
+        (e.ver > (~std::uint64_t{0} >> 1) ||
+         rec.open_rank != 2 * static_cast<std::size_t>(e.ver))) {
+      return fail(CertFlagKind::kReadStampMismatch,
+                  tx_tag(e.tx) + " stamped its read of x" + std::to_string(e.obj) +
+                  "=" + std::to_string(e.ret) + " with version " +
+                  std::to_string(e.ver) + " but the value belongs to the version "
+                  "opened at rank " + std::to_string(rec.open_rank));
+    }
+    if (rec.open_rank > static_cast<std::size_t>(e.stamp)) {
+      return fail(CertFlagKind::kReadStampMismatch,
+                  tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+                  std::to_string(e.ret) + " from a version opened at rank " +
+                  std::to_string(rec.open_rank) + ", after its snapshot stamp " +
+                  std::to_string(e.stamp));
+    }
+  }
+
   // Intersect the snapshot window with the version's validity interval.
   if (rec.open_rank > tx.lo) tx.lo = rec.open_rank;
   if (rec.close_rank < tx.hi) tx.hi = rec.close_rank;
@@ -194,9 +222,18 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
 
 bool OnlineCertificateMonitor::on_commit(const Event& c, TxState& tx, TxId id) {
   // Serialization-point checks BEFORE installing this commit's writes.
+  if (policy_ == VersionOrderPolicy::kStampedRead && c.stamp != 0 &&
+      c.stamp < tx.max_read_stamp) {
+    // Snapshots only ever slide forward; a commit stamp below a read
+    // snapshot contradicts the runtime's own discipline.
+    return fail(CertFlagKind::kReadStampMismatch,
+                tx_tag(id) + " committed at stamp " + std::to_string(c.stamp) +
+                " below its latest read snapshot " +
+                std::to_string(tx.max_read_stamp));
+  }
   std::size_t rank = 0;
   if (tx.has_write) {
-    if (policy_ == VersionOrderPolicy::kSnapshotRank) {
+    if (stamp_space(policy_)) {
       // The transaction serializes at its stamped rank, which must lie in
       // its snapshot window and above its birth floor — the generalized
       // form of "reads current at commit" (under kCommitOrder the rank is

@@ -46,6 +46,52 @@
 //    lie arbitrarily before their C event, and update commits' C records
 //    may drift past each other (a window-free recorder) — the MV histories
 //    the commit-order policy falsely flags.
+//  * kStampedRead — kSnapshotRank plus validation of the per-read
+//    (rv, version) stamp pair that window-free TL2-style recording puts on
+//    non-local read responses (Event::stamp = 2·rv+1, Event::ver = the
+//    version read). The policy for histories recorded with NO sampling
+//    window at all.
+//
+// WINDOW-FREE SOUNDNESS (Theorem 2 on stamps). With the recorder's shared
+// sampling window gone, a read's value sampling and the recording of its
+// response are no longer atomic: the response record can drift past the C
+// record of a commit that overwrote the version read, and C records of
+// concurrent commits can drift past each other. The certificate survives
+// because every claim it needs moved off record POSITIONS onto the stamps
+// the runtime emits:
+//
+//   * reads-from is never inverted: a TL2-style committer records C
+//     (drawing its global recorder stamp) BEFORE writing back, and a
+//     reader samples the committed value only AFTER write-back, so the
+//     writer's C precedes every dependent read response in the drained
+//     stream — version records exist and are committed by the time a read
+//     resolves against them (kReadFromNonCommitted cannot fire falsely);
+//   * read validity is a stamp interval: a read stamped (rv, version)
+//     claims its version was current at snapshot rv — version <= rv by the
+//     runtime's O(1) validation, and the NEXT version of that register
+//     carries wv' > rv because a writer locks the register before
+//     advancing the clock (a reader that samples an unlocked old version
+//     did so before the overwriter locked, hence before it advanced). So
+//     2·rv+1 lies in the version's stamp interval [2·version, 2·wv')
+//     regardless of where the records landed;
+//   * the serialization checks are per-transaction stamp checks: an update
+//     commit (2·wv) and a pinned read-only point (2·rv+1) must lie inside
+//     the transaction's stamp-space snapshot window and above its birth
+//     floor. The floor stays sound window-free: any C event recorded
+//     before a transaction's first event drew its commit stamp before that
+//     first event was recorded, hence before the transaction sampled its
+//     snapshot — its rank is below every serialization point the
+//     transaction can claim.
+//
+// The recorded ≺_H (completion before first event, in RECORD order) is a
+// subset of the real-time order of the record pushes, so a stamp
+// serialization that respects the birth floors respects ≺_H — exactly the
+// obligation Theorem 2's well-formedness side imposes. What the stamps do
+// NOT prove by themselves is that the runtime told the truth; kStampedRead
+// therefore cross-checks every claim it can (version identity, snapshot
+// monotonicity) and the conformance harness (core/conformance.hpp)
+// differentially tests window-free recordings against windowed recordings
+// of identical schedules and against the exact definitional checker.
 //
 // The certificate backend maintains, per live transaction, the interval of
 // serialization ranks ("the snapshot window") at which ALL its non-local
@@ -173,6 +219,9 @@ class OnlineCertificateMonitor {
     std::size_t birth_rank{0};
     std::size_t lo{0};          // window: max over reads of version open rank
     std::size_t hi{kOpen};      // min over reads of version close rank
+    /// Largest read-stamp (2·rv+1) among the transaction's stamped reads —
+    /// kStampedRead checks the commit stamp against it.
+    std::uint64_t max_read_stamp{0};
     bool has_write{false};      // an executed write exists
     Event pending{};            // the outstanding invocation (kOpPending)
     std::map<ObjId, Value> writes;  // executed writes, latest value per obj

@@ -38,6 +38,7 @@ struct TxMeta {
   std::size_t commit_pos{kNone};
   std::size_t commit_rank{0};   // meaningful for committed update txs
   std::size_t ro_point{kNone};  // pinned read-only serialization point
+  std::uint64_t max_read_stamp{0};  // kStampedRead: largest read snapshot
 };
 
 struct Flag {
@@ -57,8 +58,8 @@ struct Flag {
 /// NOTE: this lifecycle machine (and ShardPass's register checks below)
 /// intentionally mirrors OnlineCertificateMonitor::feed condition-for-
 /// condition, including flag positions — the driver's contract is verdict
-/// and position equivalence with the streaming monitor under kCommitOrder
-/// and kSnapshotRank (kBlindWriteSmart may flag at different positions;
+/// and position equivalence with the streaming monitor under kCommitOrder,
+/// kSnapshotRank and kStampedRead (kBlindWriteSmart may flag at different positions;
 /// see the header), and the BatchEquivalence + MvSnapshotFuzz suites
 /// enforce it. Change the two together.
 struct Pass0 {
@@ -101,6 +102,10 @@ struct Pass0 {
           } else {
             tx.phase = Phase::kIdle;
             if (e.op == OpCode::kWrite) tx.has_write = true;
+            if (policy == VersionOrderPolicy::kStampedRead &&
+                e.op == OpCode::kRead && e.stamp > tx.max_read_stamp) {
+              tx.max_read_stamp = e.stamp;
+            }
           }
           break;
         case EventKind::kTryCommit:
@@ -121,6 +126,15 @@ struct Pass0 {
             tx.phase = Phase::kDone;
             tx.committed = true;
             tx.commit_pos = i;
+            if (policy == VersionOrderPolicy::kStampedRead && e.stamp != 0 &&
+                e.stamp < tx.max_read_stamp) {
+              flags.push_back({i, tx_tag(e.tx) + " committed at stamp " +
+                                      std::to_string(e.stamp) +
+                                      " below its latest read snapshot " +
+                                      std::to_string(tx.max_read_stamp),
+                               CertFlagKind::kReadStampMismatch, e.tx,
+                               kNoShard});
+            }
             if (tx.has_write) {
               tx.commit_rank = resolver.update_commit_rank(e);
             } else if (const auto point = resolver.read_only_point(e)) {
@@ -170,6 +184,7 @@ struct ShardPass {
   const Pass0* pass0;
   std::size_t shard;
   std::size_t num_shards;
+  VersionOrderPolicy policy;
 
   std::vector<Flag> flags;
   std::vector<ReadRec> reads;
@@ -195,6 +210,8 @@ struct ShardPass {
       std::size_t pos;
       ObjId obj;
       std::pair<ObjId, Value> key;
+      std::uint64_t stamp;  // 2·rv+1 when the read is stamped, else 0
+      std::uint64_t ver;    // version half of the read-stamp pair
     };
     std::vector<PendingRead> pending_reads;
 
@@ -301,7 +318,11 @@ struct ShardPass {
           continue;
         }
       }
-      pending_reads.push_back({e.tx, i, e.obj, v->first});
+      pending_reads.push_back({e.tx, i, e.obj, v->first,
+                               policy == VersionOrderPolicy::kStampedRead
+                                   ? e.stamp
+                                   : 0,
+                               e.ver});
     }
 
     // Resolve each read's interval to the version chain's final state
@@ -310,6 +331,39 @@ struct ShardPass {
     reads.reserve(pending_reads.size());
     for (const PendingRead& pr : pending_reads) {
       const VersionRec& rec = versions.at(pr.key);
+      // kStampedRead: the read's (rv, version) pair must agree with the
+      // value-resolved version chain — the same two checks, with the same
+      // flag positions, as the streaming monitor's stamped-read path. (A
+      // never-installed version presents the monitor's empty [0, 0)
+      // interval, so its open rank is 0 here too.)
+      if (pr.stamp != 0) {
+        const std::size_t open = rec.installed ? rec.open_rank : 0;
+        // Same magnitude guard as the monitor: 2·ver must not wrap.
+        if (pr.ver != kNoReadVersion &&
+            (pr.ver > (~std::uint64_t{0} >> 1) ||
+             open != 2 * static_cast<std::size_t>(pr.ver))) {
+          flags.push_back(
+              {pr.pos, tx_tag(pr.tx) + " stamped its read of x" +
+                           std::to_string(pr.obj) + "=" +
+                           std::to_string(pr.key.second) + " with version " +
+                           std::to_string(pr.ver) +
+                           " but the value belongs to the version opened at "
+                           "rank " + std::to_string(open),
+               CertFlagKind::kReadStampMismatch, pr.tx, shard});
+          continue;
+        }
+        if (open > static_cast<std::size_t>(pr.stamp)) {
+          flags.push_back(
+              {pr.pos, tx_tag(pr.tx) + " read x" + std::to_string(pr.obj) +
+                           "=" + std::to_string(pr.key.second) +
+                           " from a version opened at rank " +
+                           std::to_string(open) +
+                           ", after its snapshot stamp " +
+                           std::to_string(pr.stamp),
+               CertFlagKind::kReadStampMismatch, pr.tx, shard});
+          continue;
+        }
+      }
       if (!rec.installed) {
         // The writer committed but superseded this value with a later write
         // of its own, so the version never installed: the streaming monitor
@@ -329,7 +383,7 @@ struct ShardPass {
 /// knowledge timing.
 void merge_windows(const Pass0& pass0, VersionOrderPolicy policy,
                    std::vector<ReadRec>& all_reads, std::vector<Flag>& flags) {
-  const bool snapshot_rank = policy == VersionOrderPolicy::kSnapshotRank;
+  const bool snapshot_rank = stamp_space(policy);
   std::sort(all_reads.begin(), all_reads.end(),
             [](const ReadRec& a, const ReadRec& b) {
               if (a.tx != b.tx) return a.tx < b.tx;
@@ -511,7 +565,7 @@ ParallelVerifyResult verify_history_sharded(const History& h,
   std::vector<ShardPass> passes;
   passes.reserve(shards);
   for (std::size_t s = 0; s < shards; ++s) {
-    passes.push_back(ShardPass{&h, &pass0, s, shards, {}, {}});
+    passes.push_back(ShardPass{&h, &pass0, s, shards, options.policy, {}, {}});
   }
   pool.parallel_for(shards, [&](std::size_t s) { passes[s].run(); });
 
@@ -522,7 +576,7 @@ ParallelVerifyResult verify_history_sharded(const History& h,
     all_reads.insert(all_reads.end(), p.reads.begin(), p.reads.end());
   }
   merge_windows(pass0, options.policy, all_reads, flags);
-  if (options.policy == VersionOrderPolicy::kSnapshotRank) {
+  if (stamp_space(options.policy)) {
     check_readless_points(pass0, flags, all_reads);
   }
 

@@ -40,10 +40,13 @@
 // bounded §3.6 reordering search; a certified reorder clears the flags
 // (result.smart_order carries the witness order).
 //
-// Under kCommitOrder and kSnapshotRank the driver's verdict (clean /
-// first flagged position) is equivalent to OnlineCertificateMonitor with
-// the same policy fed the same history event-by-event; the equivalence is
-// fuzz-tested. kBlindWriteSmart is sound on both sides (a certified
+// Under kCommitOrder, kSnapshotRank and kStampedRead the driver's verdict
+// (clean / first flagged position) is equivalent to
+// OnlineCertificateMonitor with the same policy fed the same history
+// event-by-event; the equivalence is fuzz-tested (kStampedRead adds the
+// per-read (rv, version) stamp cross-checks of window-free recordings —
+// the shard pass validates each stamped read against its shard's version
+// chain, pass 0 checks commit-stamp/read-snapshot monotonicity). kBlindWriteSmart is sound on both sides (a certified
 // verdict always rests on an exactly verified order) but the two engines
 // search different prefixes — the monitor repairs at the first repairable
 // flag and re-verifies each later prefix, the driver repairs once over the

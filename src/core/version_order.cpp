@@ -23,6 +23,7 @@ const char* to_string(CertFlagKind k) noexcept {
     case CertFlagKind::kStaleRead: return "stale-read";
     case CertFlagKind::kNotCurrentAtCommit: return "not-current-at-commit";
     case CertFlagKind::kNoReadOnlyPoint: return "no-read-only-point";
+    case CertFlagKind::kReadStampMismatch: return "read-stamp-mismatch";
     case CertFlagKind::kSmartReorderFailed: return "smart-reorder-failed";
     case CertFlagKind::kNotOpaque: return "not-opaque";
     case CertFlagKind::kBudgetExhausted: return "budget-exhausted";

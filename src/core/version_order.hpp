@@ -34,8 +34,19 @@
 //     intervals are stamp intervals. This certifies MV histories whose
 //     C records arrive out of stamp order — exactly the histories the
 //     commit-order policy falsely flags.
+//   * kStampedRead   — kSnapshotRank plus per-read stamp validation: when
+//     a read response carries its (rv, version) pair (Event::stamp =
+//     2·rv+1, Event::ver — window-free TL2-style recording, see
+//     stm/recorder.hpp), the engines additionally check that the value
+//     read resolves to the version the read NAMES (open rank == 2·ver),
+//     that the version was not created after the claimed snapshot
+//     (open rank <= 2·rv+1), and at commit that the transaction's
+//     serialization stamp does not precede any of its read snapshots.
+//     This is the policy under which a recorder needs NO sampling window:
+//     the Theorem-2 argument lives entirely on the stamps the runtime
+//     emits (see online.hpp for the soundness argument).
 //
-// All three remain SUFFICIENT certificates: a flag is a certificate
+// All four remain SUFFICIENT certificates: a flag is a certificate
 // violation, not yet a proof of non-opacity, and carries a structured
 // CertFlagKind so downstream adjudication (the definitional fallback, the
 // smart-reorder search) can dispatch on it without string matching.
@@ -54,6 +65,7 @@ enum class VersionOrderPolicy : std::uint8_t {
   kCommitOrder,     // committed version order == commit (record) order
   kBlindWriteSmart, // + bounded §3.6 reordering search on window flags
   kSnapshotRank,    // stamp-space ranks (MV snapshot serialization)
+  kStampedRead,     // + per-read (rv, version) stamp validation
 };
 
 [[nodiscard]] constexpr const char* to_string(VersionOrderPolicy p) noexcept {
@@ -61,8 +73,16 @@ enum class VersionOrderPolicy : std::uint8_t {
     case VersionOrderPolicy::kCommitOrder: return "commit-order";
     case VersionOrderPolicy::kBlindWriteSmart: return "blind-write-smart";
     case VersionOrderPolicy::kSnapshotRank: return "snapshot-rank";
+    case VersionOrderPolicy::kStampedRead: return "stamped-read";
   }
   return "?";
+}
+
+/// Policies whose serialization ranks live in the runtimes' stamp space
+/// (Event::stamp) rather than in C-record order.
+[[nodiscard]] constexpr bool stamp_space(VersionOrderPolicy p) noexcept {
+  return p == VersionOrderPolicy::kSnapshotRank ||
+         p == VersionOrderPolicy::kStampedRead;
 }
 
 /// Structured classification of a certificate flag. Every fail site of the
@@ -82,6 +102,9 @@ enum class CertFlagKind : std::uint8_t {
   kStaleRead,             // window closed before the transaction began
   kNotCurrentAtCommit,    // update commit outside its snapshot window
   kNoReadOnlyPoint,       // read-only commit with no serialization point
+  kReadStampMismatch,     // a read's (rv, version) stamp contradicts the
+                          // value-resolved version chain, or a commit
+                          // stamp precedes one of its read snapshots
   kSmartReorderFailed,    // no bounded §3.6 reordering certifies the prefix
   kNotOpaque,             // definitional: prefix proven non-opaque
   kBudgetExhausted,       // definitional: search budget exhausted
@@ -131,8 +154,8 @@ inline constexpr std::size_t kOpenVersionRank = static_cast<std::size_t>(-1);
 ///     behind C event `c` serializes (and at which its writes open /
 ///     predecessors close);
 ///   * read_only_point(c): the pinned serialization point of a read-only
-///     commit, when the policy derives one (kSnapshotRank with an odd
-///     stamp — the runtime's 2·snapshot+1 convention); nullopt means the
+///     commit, when the policy derives one (a stamp-space policy with an
+///     odd stamp — the runtime's 2·snapshot+1 convention); nullopt means the
 ///     engines fall back to the window rule (any rank in the snapshot
 ///     window past the birth floor);
 ///   * floor(): the birth floor — every version closed at a rank <= floor()
@@ -147,7 +170,7 @@ class VersionOrderResolver {
   [[nodiscard]] VersionOrderPolicy policy() const noexcept { return policy_; }
 
   [[nodiscard]] std::size_t update_commit_rank(const Event& c) noexcept {
-    if (policy_ == VersionOrderPolicy::kSnapshotRank) {
+    if (stamp_space(policy_)) {
       // Stamp space. Unstamped C events (hand-built or legacy histories)
       // synthesize a rank just above everything seen, which reproduces
       // commit-order behavior on stamp-free histories.
@@ -163,7 +186,7 @@ class VersionOrderResolver {
 
   [[nodiscard]] std::optional<std::size_t> read_only_point(
       const Event& c) const noexcept {
-    if (policy_ == VersionOrderPolicy::kSnapshotRank && (c.stamp & 1) != 0) {
+    if (stamp_space(policy_) && (c.stamp & 1) != 0) {
       return static_cast<std::size_t>(c.stamp);
     }
     return std::nullopt;

@@ -68,6 +68,19 @@ class Stm {
   /// Attach a history recorder (nullptr to detach). Not thread-safe;
   /// attach before spawning workers.
   virtual void set_recorder(RecorderBase* recorder) noexcept = 0;
+
+  /// Request window-free recording: the runtime stops taking the
+  /// recorder's sampling/commit windows and instead stamps every non-local
+  /// read with its (rv, version) pair, so a stamp-space certificate policy
+  /// (core::VersionOrderPolicy::kStampedRead) can verify the recording
+  /// without any shared window lock. Only honored by runtimes whose reads
+  /// are O(1)-validated against a snapshot they can name (tl2, tiny,
+  /// norec); others stay windowed. Returns whether the requested mode is
+  /// now active. Not thread-safe; set before spawning workers.
+  virtual bool set_window_free(bool on) noexcept { return !on; }
+
+  /// Is window-free recording currently active?
+  [[nodiscard]] virtual bool window_free() const noexcept { return false; }
 };
 
 /// Thrown by the TxHandle façade when an operation returns false; caught by

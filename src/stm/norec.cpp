@@ -5,7 +5,12 @@
 namespace optm::stm {
 
 NorecStm::NorecStm(std::size_t num_vars)
-    : RuntimeBase(num_vars), values_(num_vars) {}
+    : RuntimeBase(num_vars), values_(num_vars) {
+  // Reads are value-validated against a named seqlock snapshot rv and
+  // stamped with it (the version half is kNoReadVersion — NOrec tracks
+  // values, not versions), so the recorder windows are droppable.
+  window_free_supported_ = true;
+}
 
 std::uint64_t NorecStm::wait_even(sim::ThreadCtx& ctx) {
   util::Backoff backoff;
@@ -84,7 +89,11 @@ bool NorecStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
   slot.rs.push_back({var, val});
   out = val;
-  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+  // Snapshot-only stamp: the value was current at seqlock snapshot rv (the
+  // while loop above just proved it); the version identity is resolved by
+  // value on the checker side.
+  rec_ret(ctx, var, core::OpCode::kRead, 0, out, 2 * slot.rv + 1,
+          core::kNoReadVersion);
   return true;
 }
 

@@ -32,6 +32,23 @@
 // algorithm logic, and is intended for verification runs; benchmarks run
 // unrecorded.
 //
+// WINDOW-FREE (stamped) recording drops even that discipline: runtimes
+// whose reads are O(1)-validated against a snapshot they can name (tl2,
+// tiny, norec — Stm::set_window_free) take NO window at all and instead
+// stamp every non-local read response with its (rv, version) pair
+// (Event::stamp = 2·rv+1, Event::ver). The recorder's job shrinks to
+// assigning each push a globally ordered stamp; the Theorem-2 argument
+// moves onto the stamps the runtime emits, checked by the kStampedRead
+// version-order policy (core/version_order.hpp; the soundness argument is
+// in core/online.hpp). Records may then drift — a read response can land
+// after the C of a commit that overwrote the version it read, and C
+// records of concurrent commits can land out of wv order — but reads-from
+// is never inverted (a committer records C before write-back; a reader
+// samples only after write-back), which is all the stamp checks need.
+// Both engines below carry the read stamps through history()/drain()
+// untouched; the cross-runtime conformance suite differentially tests
+// window-free against windowed recordings of identical schedules.
+//
 // Two implementations:
 //   * Recorder      — the sharded engine: per-lane (per-process) buffers,
 //     lock-free against each other, merged on demand by stamp order. The
@@ -146,8 +163,11 @@ class RecorderBase {
 
   virtual void on_inv(std::uint32_t lane, core::TxId tx, VarId var,
                       core::OpCode op, core::Value arg) = 0;
+  /// `stamp`/`ver` are a stamped read's (2·rv+1, version) pair — see
+  /// Event::stamp and Event::ver; 0/0 means unstamped.
   virtual void on_ret(std::uint32_t lane, core::TxId tx, VarId var,
-                      core::OpCode op, core::Value arg, core::Value ret) = 0;
+                      core::OpCode op, core::Value arg, core::Value ret,
+                      std::uint64_t stamp = 0, std::uint64_t ver = 0) = 0;
   virtual void on_try_commit(std::uint32_t lane, core::TxId tx) = 0;
   /// `stamp` is the transaction's serialization stamp within the run. For
   /// runtimes that re-validate the whole read set at the commit point
@@ -234,8 +254,9 @@ class Recorder final : public RecorderBase {
     push(lane, core::ev::inv(tx, var, op, arg));
   }
   void on_ret(std::uint32_t lane, core::TxId tx, VarId var, core::OpCode op,
-              core::Value arg, core::Value ret) override {
-    push(lane, core::ev::ret(tx, var, op, arg, ret));
+              core::Value arg, core::Value ret, std::uint64_t stamp = 0,
+              std::uint64_t ver = 0) override {
+    push(lane, core::ev::ret(tx, var, op, arg, ret, stamp, ver));
   }
   void on_try_commit(std::uint32_t lane, core::TxId tx) override {
     push(lane, core::ev::try_commit(tx));
@@ -490,9 +511,10 @@ class MutexRecorder final : public RecorderBase {
     events_.push_back(core::ev::inv(tx, var, op, arg));
   }
   void on_ret(std::uint32_t /*lane*/, core::TxId tx, VarId var,
-              core::OpCode op, core::Value arg, core::Value ret) override {
+              core::OpCode op, core::Value arg, core::Value ret,
+              std::uint64_t stamp = 0, std::uint64_t ver = 0) override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
-    events_.push_back(core::ev::ret(tx, var, op, arg, ret));
+    events_.push_back(core::ev::ret(tx, var, op, arg, ret, stamp, ver));
   }
   void on_try_commit(std::uint32_t /*lane*/, core::TxId tx) override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);

@@ -75,6 +75,14 @@ class RuntimeBase : public Stm {
     recorder_ = recorder;
   }
 
+  bool set_window_free(bool on) noexcept override {
+    window_free_ = on && window_free_supported_;
+    return window_free_ == on;
+  }
+  [[nodiscard]] bool window_free() const noexcept override {
+    return window_free_;
+  }
+
  protected:
   /// An out-of-range VarId is a caller bug; fail loudly instead of indexing
   /// past the metadata vector (a silently corrupted lock word spins forever,
@@ -93,14 +101,18 @@ class RuntimeBase : public Stm {
   /// read, the C record of a read-only transaction) may overlap each other;
   /// commit windows (update commit points, in-place mutation of committed
   /// state) are exclusive against every window. No-op when no recorder is
-  /// attached.
+  /// attached — and in window-free mode, where the stamps the runtime
+  /// emits replace the window discipline entirely (the commit "window"
+  /// shrinks to the recording instant of the C event itself).
   using RecWindow = RecorderBase::Window;
 
   [[nodiscard]] RecWindow rec_sample_window() const {
-    return RecWindow(recorder_, RecorderBase::WindowKind::kSample);
+    return RecWindow(window_free_ ? nullptr : recorder_,
+                     RecorderBase::WindowKind::kSample);
   }
   [[nodiscard]] RecWindow rec_commit_window() const {
-    return RecWindow(recorder_, RecorderBase::WindowKind::kCommit);
+    return RecWindow(window_free_ ? nullptr : recorder_,
+                     RecorderBase::WindowKind::kCommit);
   }
 
   void rec_begin(sim::ThreadCtx& ctx) {
@@ -113,12 +125,16 @@ class RuntimeBase : public Stm {
                         static_cast<core::Value>(arg));
     }
   }
+  /// `stamp`/`ver` are the read-stamp pair (2·rv+1, version read) of a
+  /// stamping runtime's non-local read; 0/0 records an unstamped response
+  /// (local reads, writes, non-stamping runtimes). See Event::stamp/ver.
   void rec_ret(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
-               std::uint64_t arg, std::uint64_t ret) {
+               std::uint64_t arg, std::uint64_t ret, std::uint64_t stamp = 0,
+               std::uint64_t ver = 0) {
     if (recorder_ != nullptr) {
       recorder_->on_ret(ctx.id(), rec_tx_[ctx.id()], var, op,
                         static_cast<core::Value>(arg),
-                        static_cast<core::Value>(ret));
+                        static_cast<core::Value>(ret), stamp, ver);
     }
   }
   // Abort hooks take the aborted transaction's serialization stamp (see
@@ -156,8 +172,12 @@ class RuntimeBase : public Stm {
 
   std::size_t num_vars_;
   RecorderBase* recorder_ = nullptr;
+  /// Set (in the constructor) by runtimes that stamp every non-local read
+  /// with its (rv, version) pair — the precondition for dropping windows.
+  bool window_free_supported_ = false;
 
  private:
+  bool window_free_ = false;
   std::array<core::TxId, sim::kMaxThreads> rec_tx_{};
 };
 

@@ -4,7 +4,11 @@
 
 namespace optm::stm {
 
-TinyStm::TinyStm(std::size_t num_vars) : RuntimeBase(num_vars), vars_(num_vars) {}
+TinyStm::TinyStm(std::size_t num_vars) : RuntimeBase(num_vars), vars_(num_vars) {
+  // Reads validate (or extend) against a named snapshot rv and are stamped
+  // with their (rv, version) pair, so the recorder windows are droppable.
+  window_free_supported_ = true;
+}
 
 void TinyStm::begin(sim::ThreadCtx& ctx) {
   Slot& slot = *slots_[ctx.id()];
@@ -76,23 +80,33 @@ bool TinyStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   VarMeta& meta = *vars_[var];
   const RecWindow window = rec_sample_window();
   ensure_rv(ctx, slot);
-  const std::uint64_t v1 = meta.lock_ver.load(ctx);
-  const std::uint64_t val = meta.value.load(ctx);
-  const std::uint64_t v2 = meta.lock_ver.load(ctx);
-  if (v1 != v2 || locked(v1)) {
-    return fail_op(ctx);  // rival holds the lock: suicide (live conflict)
+  for (;;) {
+    const std::uint64_t v1 = meta.lock_ver.load(ctx);
+    const std::uint64_t val = meta.value.load(ctx);
+    const std::uint64_t v2 = meta.lock_ver.load(ctx);
+    if (v1 != v2 || locked(v1)) {
+      return fail_op(ctx);  // rival holds the lock: suicide (live conflict)
+    }
+    if (version_of(v1) > slot.rv) {
+      // TL2 would abort here. Extension: if nothing read so far was
+      // overwritten, the snapshot slides forward and the read proceeds —
+      // Θ(|read set|) steps, the Theorem 3 price of staying progressive.
+      if (!extend(ctx, slot, clock_.read(ctx))) return fail_op(ctx);
+      // Re-sample: a rival may have overwritten this variable between the
+      // sample above and extend()'s clock read, making (v1, val) stale
+      // against the slid snapshot. (The windowed recorder's sampling
+      // window used to exclude that interleaving; window-free, the
+      // re-sample is what keeps the read — and its stamp — truthful.)
+      continue;
+    }
+    slot.rs.push_back({var, version_of(v1)});
+    out = val;
+    // Stamp with the (possibly just-extended) snapshot: version_of(v1) <=
+    // slot.rv holds for the value just re-sampled.
+    rec_ret(ctx, var, core::OpCode::kRead, 0, out, 2 * slot.rv + 1,
+            version_of(v1));
+    return true;
   }
-  if (version_of(v1) > slot.rv) {
-    // TL2 would abort here. Extension: if nothing read so far was
-    // overwritten, the snapshot slides forward and the read proceeds —
-    // Θ(|read set|) steps, the Theorem 3 price of staying progressive.
-    if (!extend(ctx, slot, clock_.read(ctx))) return fail_op(ctx);
-    if (version_of(v1) > slot.rv) return fail_op(ctx);  // raced past target
-  }
-  slot.rs.push_back({var, version_of(v1)});
-  out = val;
-  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
-  return true;
 }
 
 bool TinyStm::write(sim::ThreadCtx& ctx, VarId var, std::uint64_t value) {

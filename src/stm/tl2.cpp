@@ -6,7 +6,11 @@
 
 namespace optm::stm {
 
-Tl2Stm::Tl2Stm(std::size_t num_vars) : RuntimeBase(num_vars), vars_(num_vars) {}
+Tl2Stm::Tl2Stm(std::size_t num_vars) : RuntimeBase(num_vars), vars_(num_vars) {
+  // Every non-local read is O(1)-validated against rv and stamped with its
+  // (rv, version) pair below, so the recorder windows are droppable.
+  window_free_supported_ = true;
+}
 
 void Tl2Stm::begin(sim::ThreadCtx& ctx) {
   Slot& slot = *slots_[ctx.id()];
@@ -53,7 +57,11 @@ bool Tl2Stm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   }
   slot.rs.push_back({var, version_of(v1)});
   out = val;
-  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+  // The read-stamp pair: the version read was current at snapshot rv
+  // (version_of(v1) <= rv just validated) — all a stamp-space certificate
+  // needs, with or without the sampling window.
+  rec_ret(ctx, var, core::OpCode::kRead, 0, out, 2 * slot.rv + 1,
+          version_of(v1));
   return true;
 }
 
