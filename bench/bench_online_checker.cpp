@@ -86,8 +86,10 @@ void BM_DefinitionalMonitor(benchmark::State& state) {
 /// constant, so the threads axis scales offered load with parallelism.
 /// `window_free` drops the recorder windows entirely (stamped recording);
 /// the delta against the windowed run is the price of the window lock.
+/// `stm_name` picks the stamp source (tl2's clock vs dstm's orec story).
 template <typename RecorderT>
-void BM_RecordedMix(benchmark::State& state, bool window_free = false) {
+void BM_RecordedMix(benchmark::State& state, bool window_free = false,
+                    const char* stm_name = "tl2") {
   const auto threads = static_cast<std::uint32_t>(state.range(0));
   wl::MixParams params;
   params.threads = threads;
@@ -99,7 +101,7 @@ void BM_RecordedMix(benchmark::State& state, bool window_free = false) {
 
   std::uint64_t events = 0;
   for (auto _ : state) {
-    const auto stm = stm::make_stm("tl2", params.vars);
+    const auto stm = stm::make_stm(stm_name, params.vars);
     (void)stm->set_window_free(window_free);
     RecorderT recorder(params.vars);
     stm->set_recorder(&recorder);
@@ -299,6 +301,12 @@ void BM_RecordedMixSharded(benchmark::State& state) {
 void BM_RecordedMixTl2WindowFree(benchmark::State& state) {
   BM_RecordedMix<optm::stm::Recorder>(state, /*window_free=*/true);
 }
+void BM_RecordedMixDstmWindowFree(benchmark::State& state) {
+  // The orec stamp source: per-read whole-read-set validation draws the
+  // snapshot, commits ticket through kCommitting. The delta against
+  // BM_RecordedMixTl2WindowFree is the Θ(k) validation, not the recorder.
+  BM_RecordedMix<optm::stm::Recorder>(state, /*window_free=*/true, "dstm");
+}
 void BM_LiveVerifiedMixSharded(benchmark::State& state) {
   live_verified_sharded(state, /*window_free=*/false,
                         core::VersionOrderPolicy::kCommitOrder);
@@ -321,6 +329,12 @@ BENCHMARK(BM_RecordedMixSharded)
     ->UseRealTime();
 
 BENCHMARK(BM_RecordedMixTl2WindowFree)
+    ->RangeMultiplier(2)
+    ->Range(1, 8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+BENCHMARK(BM_RecordedMixDstmWindowFree)
     ->RangeMultiplier(2)
     ->Range(1, 8)
     ->Unit(benchmark::kMillisecond)

@@ -73,7 +73,7 @@ int main(int argc, char** argv) {
   if (cli.get_bool("window-free") && !stm->set_window_free(true)) {
     std::fprintf(stderr,
                  "--window-free=1: %s does not stamp its reads and stays "
-                 "windowed (use tl2, tiny or norec)\n",
+                 "windowed (use tl2, tiny, norec, dstm, astm or mv)\n",
                  cli.get("stm").c_str());
     return 1;
   }

@@ -177,13 +177,10 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   if (stamped) {
     // The read claims it observed version `ver` while snapshot 2·rv+1 was
     // current; both halves must agree with the value-resolved version
-    // chain (the Theorem-2-on-stamps cross-check, see the header).
-    // The magnitude guard keeps `2 * ver` from wrapping: a genuine version
-    // claim always satisfies open == 2·ver without overflow, so a wrapping
-    // ver is by definition a lie.
+    // chain (the Theorem-2-on-stamps cross-check, see the header; the
+    // shared helper also guards 2·ver against the wrap attack).
     if (e.ver != kNoReadVersion &&
-        (e.ver > (~std::uint64_t{0} >> 1) ||
-         rec.open_rank != 2 * static_cast<std::size_t>(e.ver))) {
+        !read_stamp_names_version(e.ver, rec.open_rank)) {
       return fail(CertFlagKind::kReadStampMismatch,
                   tx_tag(e.tx) + " stamped its read of x" + std::to_string(e.obj) +
                   "=" + std::to_string(e.ret) + " with version " +

@@ -83,6 +83,43 @@
 //     snapshot — its rank is below every serialization point the
 //     transaction can claim.
 //
+// OREC-SOURCED STAMPS (dstm/astm). The ownership-record runtimes have no
+// per-read O(1) clock validation, but the same three claims hold with the
+// orec machinery as the stamp authority (the full story is in
+// stm/dstm.hpp):
+//
+//   * a committer CASes its status word to kCommitting BEFORE drawing its
+//     clock ticket wv, and every owned orec points at that word — so the
+//     intent to commit is visible through the data before the ticket
+//     exists, exactly the role TL2's write locks play;
+//   * a validation draws its snapshot rv BEFORE examining any read-set
+//     entry and waits out kCommitting/kCommitted owners (bounded, then a
+//     conservative abort — two committers each reading a variable the
+//     other owns would deadlock an unbounded wait); an entry that passes
+//     therefore has every future overwriter entering kCommitting — and
+//     drawing its ticket — after the rv read, so all passing entries are
+//     simultaneously current at stamp 2·rv+1. Reads are stamped
+//     (2·rv+1, version/2), where the version word a reader sampled is the
+//     writer's 2·wv ticket (write-backs store the ticket);
+//   * reads-from is never inverted for the same reason as in TL2: C is
+//     recorded after the kCommitted store and before write-back, and a
+//     reader resolves a value only after write-back published it.
+//
+//   STOLEN ORECS cannot fake any of this: ownership can be stolen only
+//   from a status word reading kAborted (or a stale epoch), never from
+//   kCommitting/kCommitted — so a steal implies the victim aborted, its C
+//   is never recorded, and its buffered writes never reach a version
+//   word. The stamps on the victim's recorded reads keep naming the last
+//   COMMITTED version, which is still the truth, and the victim's A event
+//   installs nothing — so a committed read can never resolve against a
+//   stolen (never-written-back) version, and reads-from cannot invert.
+//
+// MvStm's update commits join by the mirrored ordering: the committer
+// locks its write set, draws 2·wv, THEN validates (lock → ticket →
+// validate), so an overwriter of anything it read tickets strictly later;
+// its reads are stamped (2·snapshot+1, ring stamp), truthful by the
+// snapshot-read construction (see stm/mv.hpp).
+//
 // The recorded ≺_H (completion before first event, in RECORD order) is a
 // subset of the real-time order of the record pushes, so a stamp
 // serialization that respects the birth floors respects ≺_H — exactly the

@@ -338,10 +338,9 @@ struct ShardPass {
       // interval, so its open rank is 0 here too.)
       if (pr.stamp != 0) {
         const std::size_t open = rec.installed ? rec.open_rank : 0;
-        // Same magnitude guard as the monitor: 2·ver must not wrap.
+        // The shared helper carries the monitor's wrap guard too.
         if (pr.ver != kNoReadVersion &&
-            (pr.ver > (~std::uint64_t{0} >> 1) ||
-             open != 2 * static_cast<std::size_t>(pr.ver))) {
+            !read_stamp_names_version(pr.ver, open)) {
           flags.push_back(
               {pr.pos, tx_tag(pr.tx) + " stamped its read of x" +
                            std::to_string(pr.obj) + "=" +

@@ -36,15 +36,21 @@
 //     commit-order policy falsely flags.
 //   * kStampedRead   — kSnapshotRank plus per-read stamp validation: when
 //     a read response carries its (rv, version) pair (Event::stamp =
-//     2·rv+1, Event::ver — window-free TL2-style recording, see
-//     stm/recorder.hpp), the engines additionally check that the value
-//     read resolves to the version the read NAMES (open rank == 2·ver),
-//     that the version was not created after the claimed snapshot
-//     (open rank <= 2·rv+1), and at commit that the transaction's
-//     serialization stamp does not precede any of its read snapshots.
-//     This is the policy under which a recorder needs NO sampling window:
-//     the Theorem-2 argument lives entirely on the stamps the runtime
-//     emits (see online.hpp for the soundness argument).
+//     2·rv+1, Event::ver — window-free recording, see stm/recorder.hpp),
+//     the engines additionally check that the value read resolves to the
+//     version the read NAMES (open rank == 2·ver, via
+//     read_stamp_names_version below), that the version was not created
+//     after the claimed snapshot (open rank <= 2·rv+1), and at commit
+//     that the transaction's serialization stamp does not precede any of
+//     its read snapshots. The stamps may come from a clock runtime (TL2
+//     family: rv is the global clock, ver the lock word's version) or
+//     from an orec runtime (dstm/astm: rv is a validation snapshot drawn
+//     before the whole-read-set check, ver is half the CAS-acquired
+//     orec's version word — itself the writer's 2·wv ticket); the three
+//     checks are source-agnostic. This is the policy under which a
+//     recorder needs NO sampling window: the Theorem-2 argument lives
+//     entirely on the stamps the runtime emits (see online.hpp for the
+//     soundness argument, including why stolen orecs cannot fake it).
 //
 // All four remain SUFFICIENT certificates: a flag is a certificate
 // violation, not yet a proof of non-opacity, and carries a structured
@@ -79,10 +85,28 @@ enum class VersionOrderPolicy : std::uint8_t {
 }
 
 /// Policies whose serialization ranks live in the runtimes' stamp space
-/// (Event::stamp) rather than in C-record order.
+/// (Event::stamp) rather than in C-record order. Both runtime stamp
+/// sources land in the same space: clock runtimes (tl2/tiny/mv) stamp C
+/// with 2·wv straight off the global clock, and the orec runtimes
+/// (dstm/astm) ticket their commits through a CAS-published kCommitting
+/// state and store the 2·wv ticket as the orec version word — either way
+/// Event::ver on a stamped read names the wv whose C opened the version.
 [[nodiscard]] constexpr bool stamp_space(VersionOrderPolicy p) noexcept {
   return p == VersionOrderPolicy::kSnapshotRank ||
          p == VersionOrderPolicy::kStampedRead;
+}
+
+/// The kStampedRead version-identity cross-check, shared by both
+/// certificate engines: does the version id a read names (Event::ver)
+/// match the stamp-space rank its value-resolved version opened at? The
+/// magnitude guard keeps `2 * ver` from wrapping: a genuine version claim
+/// always satisfies open == 2·ver without overflow, so a wrapping ver —
+/// the ver = 2^63 + true_ver replay attack — is by definition a lie,
+/// whatever open rank the wrapped product would alias to.
+[[nodiscard]] constexpr bool read_stamp_names_version(
+    std::uint64_t ver, std::size_t open_rank) noexcept {
+  return ver <= (~std::uint64_t{0} >> 1) &&
+         open_rank == 2 * static_cast<std::size_t>(ver);
 }
 
 /// Structured classification of a certificate flag. Every fail site of the

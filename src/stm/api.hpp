@@ -73,10 +73,13 @@ class Stm {
   /// recorder's sampling/commit windows and instead stamps every non-local
   /// read with its (rv, version) pair, so a stamp-space certificate policy
   /// (core::VersionOrderPolicy::kStampedRead) can verify the recording
-  /// without any shared window lock. Only honored by runtimes whose reads
-  /// are O(1)-validated against a snapshot they can name (tl2, tiny,
-  /// norec); others stay windowed. Returns whether the requested mode is
-  /// now active. Not thread-safe; set before spawning workers.
+  /// without any shared window lock. Honored by the clock runtimes (tl2,
+  /// tiny, norec — reads O(1)-validated against a snapshot they can name),
+  /// the orec runtimes (dstm, astm — validation snapshots published
+  /// through the CAS-acquired ownership records, see stm/dstm.hpp), and
+  /// mv (snapshot reads; update commits ticket before validating); the
+  /// others stay windowed. Returns whether the requested mode is now
+  /// active. Not thread-safe; set before spawning workers.
   virtual bool set_window_free(bool on) noexcept { return !on; }
 
   /// Is window-free recording currently active?

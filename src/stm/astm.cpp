@@ -13,6 +13,10 @@ AstmStm::AstmStm(std::size_t num_vars, std::unique_ptr<ContentionManager> cm,
   if (policy_ == AcquirePolicy::kForceEager) {
     for (auto& m : mode_) m->eager = true;
   }
+  // Reads are stamped with their (validation snapshot, orec version) pair
+  // and commits ticket through kCommitting (the orec-stamp story,
+  // dstm.hpp) — the preconditions for dropping the recorder windows.
+  window_free_supported_ = true;
 }
 
 void AstmStm::begin(sim::ThreadCtx& ctx) {
@@ -20,6 +24,8 @@ void AstmStm::begin(sim::ThreadCtx& ctx) {
   slot.active = true;
   slot.eager = mode_[ctx.id()]->eager;
   ++slot.epoch;
+  slot.rv = 0;
+  slot.rv_sampled = false;
   slot.rs.clear();
   slot.pending.clear();
   slot.owned.clear();
@@ -32,22 +38,63 @@ void AstmStm::begin(sim::ThreadCtx& ctx) {
   rec_begin(ctx);
 }
 
-bool AstmStm::validate(sim::ThreadCtx& ctx, Slot& slot) {
+bool AstmStm::validate(sim::ThreadCtx& ctx, Slot& slot, State expected) {
   const std::uint64_t before = ctx.steps.total();
+  // Snapshot first, entries after: every overwriter of an entry that
+  // passes below enters kCommitting — and so draws its ticket — after the
+  // entry's check, hence after this read (the orec-stamp story).
+  const std::uint64_t rv = clock_.read(ctx);
+  const std::uint64_t me = owner_word(ctx.id(), slot.epoch);
   bool ok = true;
   for (const ReadEntry& r : slot.rs) {
-    if (vars_[r.var]->version.load(ctx) != r.version) {
+    VarMeta& meta = *vars_[r.var];
+    // Wait out rival owners past the stamp authority (kCommitting) or
+    // commit point (kCommitted, write-back in flight): commit bumps the
+    // version and fails the equality check, abort leaves it untouched.
+    // Bounded, then conservatively fail — two kCommitting transactions
+    // can each read a variable the other owns, and an unbounded wait
+    // would deadlock that cycle (see DstmStm::validate).
+    util::Backoff backoff;
+    bool blocked = false;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+      const std::uint64_t own = meta.owner.load(ctx);
+      if (own == 0 || own == me) break;
+      const std::uint32_t s = static_cast<std::uint32_t>((own >> 32) - 1);
+      const std::uint64_t e = own & 0xffffffffULL;
+      const std::uint64_t st = status_[s]->load(ctx);
+      if (epoch_of(st) != e ||
+          (state_of(st) != kCommitting && state_of(st) != kCommitted)) {
+        break;
+      }
+      if (attempt >= 64) {
+        blocked = true;
+        break;
+      }
+      backoff.pause();
+    }
+    if (blocked || meta.version.load(ctx) != r.version) {
       ok = false;
       break;
     }
   }
   // Ownership is revocable: once any variable is acquired, a rival may have
-  // aborted us through our status word.
+  // aborted us through our status word (only while it read kActive).
   if (ok && !slot.owned.empty()) {
-    ok = status_[ctx.id()]->load(ctx) == status_word(slot.epoch, kActive);
+    ok = status_[ctx.id()]->load(ctx) == status_word(slot.epoch, expected);
+  }
+  if (ok) {
+    slot.rv = rv;
+    slot.rv_sampled = true;
   }
   ctx.stats.validation_steps += ctx.steps.total() - before;
   return ok;
+}
+
+std::uint64_t AstmStm::abort_stamp(sim::ThreadCtx& ctx, Slot& slot) {
+  // Last successful validation, or the abort instant when none ever
+  // succeeded (no read claims to honor) — see DstmStm::abort_stamp.
+  if (!slot.rv_sampled) slot.rv = clock_.read(ctx);
+  return 2 * slot.rv + 1;
 }
 
 void AstmStm::release_owned(sim::ThreadCtx& ctx, Slot& slot) {
@@ -99,7 +146,7 @@ bool AstmStm::fail_op(sim::ThreadCtx& ctx) {
   ++slot.cm_retries;
   ++ctx.stats.aborts;
   adapt(ctx.id(), slot, /*committed=*/false, /*late_abort=*/false);
-  rec_abort_mid_op(ctx);
+  rec_abort_mid_op(ctx, abort_stamp(ctx, slot));
   return false;
 }
 
@@ -152,7 +199,10 @@ bool AstmStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   if (!validate(ctx, slot)) return fail_op(ctx);
 
   out = val;
-  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+  // The orec-version read-stamp pair (see dstm.hpp): the sampled version
+  // word is the writer's 2·wv ticket, just proven current at the
+  // validation snapshot.
+  rec_ret(ctx, var, core::OpCode::kRead, 0, out, 2 * slot.rv + 1, ver / 2);
   return true;
 }
 
@@ -175,8 +225,9 @@ bool AstmStm::acquire(sim::ThreadCtx& ctx, Slot& slot, VarId var) {
       if (meta.owner.cas(ctx, own, me)) break;
       continue;
     }
-    if (state_of(st) == kCommitted) {
-      backoff.pause();  // write-back in flight; will release shortly
+    if (state_of(st) == kCommitted || state_of(st) == kCommitting) {
+      // Past the stamp authority: not killable, resolves shortly.
+      backoff.pause();
       continue;
     }
     // Live conflict: ask the contention manager.
@@ -227,54 +278,66 @@ bool AstmStm::commit(sim::ThreadCtx& ctx) {
 
   const RecWindow window = rec_commit_window();
 
-  // Lazy mode: batch-acquire the write set now (eager mode already owns
-  // everything; acquire() tolerates re-acquisition).
-  if (!slot.eager) {
-    for (const WriteEntry& e : slot.pending.entries()) {
-      if (!acquire(ctx, slot, e.var)) {
-        status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));
-        release_owned(ctx, slot);
-        slot.active = false;
-        ++slot.cm_retries;
-        ++ctx.stats.aborts;
-        adapt(ctx.id(), slot, /*committed=*/false, /*late_abort=*/true);
-        rec_abort_at_commit(ctx);
-        return false;
-      }
-    }
-  }
-
-  if (!validate(ctx, slot)) {
+  auto fail = [&]() {
     status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));
     release_owned(ctx, slot);
     slot.active = false;
     ++slot.cm_retries;
     ++ctx.stats.aborts;
     adapt(ctx.id(), slot, /*committed=*/false, /*late_abort=*/true);
-    rec_abort_at_commit(ctx);
+    rec_abort_at_commit(ctx, abort_stamp(ctx, slot));
     return false;
+  };
+
+  // Lazy mode: batch-acquire the write set now (eager mode already owns
+  // everything; acquire() tolerates re-acquisition). Acquisition runs
+  // while still kActive — rivals duel and may kill us throughout, exactly
+  // as they can against an eager acquirer.
+  if (!slot.eager) {
+    for (const WriteEntry& e : slot.pending.entries()) {
+      if (!acquire(ctx, slot, e.var)) return fail();
+    }
   }
 
-  // Commit point: the status-word CAS (revocable until this instant).
-  std::uint64_t expect = status_word(slot.epoch, kActive);
-  if (!status_[ctx.id()]->cas(ctx, expect, status_word(slot.epoch, kCommitted))) {
-    release_owned(ctx, slot);
+  if (slot.pending.empty()) {
+    // Read-only: the commit-time validation is the serialization point.
+    if (!validate(ctx, slot)) return fail();
+    std::uint64_t expect = status_word(slot.epoch, kActive);
+    if (!status_[ctx.id()]->cas(ctx, expect,
+                                status_word(slot.epoch, kCommitted))) {
+      return fail();
+    }
     slot.active = false;
-    ++slot.cm_retries;
-    ++ctx.stats.aborts;
-    adapt(ctx.id(), slot, /*committed=*/false, /*late_abort=*/true);
-    rec_abort_at_commit(ctx);
-    return false;
+    slot.cm_retries = 0;
+    ++ctx.stats.commits;
+    adapt(ctx.id(), slot, /*committed=*/true, /*late_abort=*/false);
+    rec_commit(ctx, 2 * slot.rv + 1);  // serialize at the snapshot
+    return true;
   }
-  rec_commit(ctx);
 
-  // Write back and release ownership (odd version while in flight).
+  // Stamp authority (the orec-stamp story, dstm.hpp): kCommitting is
+  // published through every owned orec before the ticket is drawn, and
+  // rivals can no longer abort us past this CAS.
+  std::uint64_t expect = status_word(slot.epoch, kActive);
+  if (!status_[ctx.id()]->cas(ctx, expect,
+                              status_word(slot.epoch, kCommitting))) {
+    return fail();
+  }
+  const std::uint64_t wv = clock_.advance(ctx);
+  if (!validate(ctx, slot, kCommitting)) return fail();
+
+  // Commit point: only we can touch the status word past kCommitting.
+  status_[ctx.id()]->store(ctx, status_word(slot.epoch, kCommitted));
+  rec_commit(ctx, 2 * wv);
+
+  // Write back and release ownership (odd version while in flight); the
+  // final version word is the global ticket 2·wv.
   for (const OwnedEntry& e : slot.owned) {
     VarMeta& meta = *vars_[e.var];
     const WriteEntry* w = slot.pending.find(e.var);
     meta.version.store(ctx, e.acq_version + 1);
     meta.value.store(ctx, w->value);
-    meta.version.store(ctx, e.acq_version + 2);
+    meta.version.store(ctx, 2 * wv);
     meta.owner.store(ctx, 0);
   }
   slot.owned.clear();
@@ -293,7 +356,7 @@ void AstmStm::abort(sim::ThreadCtx& ctx) {
   slot.active = false;
   ++ctx.stats.aborts;
   adapt(ctx.id(), slot, /*committed=*/false, /*late_abort=*/false);
-  rec_voluntary_abort(ctx);
+  rec_voluntary_abort(ctx, abort_stamp(ctx, slot));
 }
 
 }  // namespace optm::stm

@@ -22,6 +22,18 @@
 // duels switches to eager acquire (fail fast, hold longer); a process
 // whose eager transactions keep committing without ever meeting a rival
 // switches back to lazy (stop paying acquisition pessimism up front).
+//
+// Recording follows DSTM's orec-stamp story verbatim (see dstm.hpp): a
+// global commit clock tickets update commits through the kCommitting
+// status state (entered by CAS after the whole write set is acquired, so
+// the intent is visible through every owned orec before the ticket
+// exists), write-backs store 2·wv as the version word, and validation
+// draws its snapshot before examining any entry while waiting out
+// kCommitting/kCommitted owners. Reads are stamped (2·rv+1, version/2),
+// which is what lets both acquisition modes record window-free. Lazy
+// acquisition changes only WHEN orecs are claimed — claiming still
+// happens while kActive (rivals can duel and kill us throughout), so the
+// stamp argument is unchanged.
 #pragma once
 
 #include <atomic>
@@ -86,8 +98,16 @@ class AstmStm final : public RuntimeBase {
   // Transaction identity and variable metadata follow the DSTM layout:
   // revocable ownership via a per-process status word (epoch << 2 | state),
   // per-variable owner word ((slot + 1) << 32 | epoch), and a seqlock-style
-  // version (odd while a write-back is in flight).
-  enum State : std::uint64_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+  // version (odd while a write-back is in flight) whose stable value is
+  // the writer's 2·wv commit ticket. kCommitting is the stamp authority
+  // (dstm.hpp): neither killable nor stealable, resolves in a bounded
+  // number of the owner's own steps.
+  enum State : std::uint64_t {
+    kActive = 0,
+    kCommitted = 1,
+    kAborted = 2,
+    kCommitting = 3,
+  };
 
   [[nodiscard]] static constexpr std::uint64_t status_word(std::uint64_t epoch,
                                                            State s) noexcept {
@@ -119,6 +139,11 @@ class AstmStm final : public RuntimeBase {
     bool active = false;
     bool eager = false;  // acquisition mode of the CURRENT transaction
     std::uint64_t epoch = 0;
+    /// Clock snapshot of the last SUCCESSFUL validation (the stamp half
+    /// of reads recorded by it; serialization point of read-only commits
+    /// and aborts).
+    std::uint64_t rv = 0;
+    bool rv_sampled = false;  // any validation succeeded this transaction
     std::vector<ReadEntry> rs;
     WriteSet pending;               // buffered values (both modes)
     std::vector<OwnedEntry> owned;  // acquired ownership records
@@ -135,8 +160,17 @@ class AstmStm final : public RuntimeBase {
     std::uint64_t switches = 0;
   };
 
-  /// Θ(|read set|) incremental validation — the Theorem 3 cost.
-  [[nodiscard]] bool validate(sim::ThreadCtx& ctx, Slot& slot);
+  /// Θ(|read set|) incremental validation — the Theorem 3 cost. Draws the
+  /// validation snapshot (slot.rv on success) before touching any entry
+  /// and waits out kCommitting/kCommitted owners (the orec-stamp story,
+  /// dstm.hpp). `expected` is the state our own status word must hold
+  /// when we own variables (kCommitting at commit time).
+  [[nodiscard]] bool validate(sim::ThreadCtx& ctx, Slot& slot,
+                              State expected = kActive);
+
+  /// Serialization stamp (2·rv+1) for an abort record: the last
+  /// successful validation, or the abort instant when none succeeded.
+  [[nodiscard]] std::uint64_t abort_stamp(sim::ThreadCtx& ctx, Slot& slot);
 
   /// CAS-acquire `var`'s ownership record, duelling live owners through the
   /// contention manager. Returns false if the CM ruled kAbortSelf.
@@ -157,6 +191,8 @@ class AstmStm final : public RuntimeBase {
   std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
   std::array<util::Padded<Mode>, sim::kMaxThreads> mode_;
   std::unique_ptr<ContentionManager> cm_;
+  /// The commit-ticket clock (the orec-stamp story, dstm.hpp).
+  sim::GlobalClock clock_;
   AcquirePolicy policy_;
   std::atomic<std::uint64_t> start_stamps_{0};  // CM metadata (advisory only)
 };

@@ -16,6 +16,36 @@
 //
 // Conflict resolution between writers is delegated to a pluggable
 // contention manager (contention.hpp).
+//
+// RECORDING (the orec-stamp story). DSTM has no global version clock of
+// its own, but window-free recording (stm/recorder.hpp) needs every read
+// justified by a stamp interval. The runtime therefore publishes its
+// serialization points through the machinery it already has — the
+// revocable ownership records:
+//
+//   * a global commit clock hands each update commit a ticket wv; the
+//     write-back stores 2·wv as every written variable's version word, so
+//     the word a reader samples IS the open rank of the version it read
+//     (Event::ver = word / 2);
+//   * the ticket is drawn only after the committer CASes its status word
+//     to kCommitting — the stamp authority. The status word is exactly
+//     what every owned orec points at, so the intent to commit is visible
+//     through the data before the ticket exists, and rivals can no longer
+//     kill the transaction (their abort CAS expects kActive);
+//   * validation draws its snapshot rv from the clock BEFORE examining
+//     any read-set entry and waits out owners that are kCommitting or
+//     kCommitted (write-back in flight). An entry that passes was
+//     therefore current at rv, and any future overwriter enters
+//     kCommitting — and draws its ticket — after the check, so its ticket
+//     exceeds rv. Reads are stamped (2·rv+1, version/2); read-only and
+//     aborted transactions serialize at their last successful
+//     validation's 2·rv+1.
+//
+// A STOLEN orec cannot poison this: stealing requires the victim's status
+// to read kAborted (or a stale epoch), so the victim's C is never
+// recorded and its buffered writes never reach a version word — the
+// stamps a reader may have copied from the victim's era keep naming the
+// last committed version, which is still the truth.
 #pragma once
 
 #include <atomic>
@@ -54,9 +84,18 @@ class DstmStm final : public RuntimeBase {
   // Transaction identity: (slot, epoch). The per-slot status word encodes
   // (epoch << 2) | state; the per-variable owner word encodes
   // ((slot + 1) << 32) | (epoch & 0xffffffff). A stale owner word (epoch
-  // mismatch or state != Active) denotes a finished transaction whose
+  // mismatch or state == Aborted) denotes a finished transaction whose
   // ownership may be reclaimed; its buffered write never reached `value`.
-  enum State : std::uint64_t { kActive = 0, kCommitted = 1, kAborted = 2 };
+  // kCommitting is the stamp authority (see the header): entered by CAS
+  // before the commit ticket is drawn, it is neither killable (rival
+  // aborts CAS from kActive) nor stealable, and resolves to kCommitted or
+  // kAborted in a bounded number of the owner's own steps.
+  enum State : std::uint64_t {
+    kActive = 0,
+    kCommitted = 1,
+    kAborted = 2,
+    kCommitting = 3,
+  };
 
   [[nodiscard]] static constexpr std::uint64_t status_word(std::uint64_t epoch,
                                                            State s) noexcept {
@@ -88,6 +127,11 @@ class DstmStm final : public RuntimeBase {
   struct Slot {
     bool active = false;
     std::uint64_t epoch = 0;
+    /// Clock snapshot of the last SUCCESSFUL whole-read-set validation —
+    /// the stamp half (2·rv+1) of every read recorded by it, and the
+    /// serialization point of read-only commits and aborts.
+    std::uint64_t rv = 0;
+    bool rv_sampled = false;  // any validation succeeded this transaction
     std::vector<ReadEntry> rs;
     std::vector<OwnedEntry> ws;
     CmTxView cm_view;
@@ -100,8 +144,18 @@ class DstmStm final : public RuntimeBase {
     return nullptr;
   }
 
-  /// Θ(|read set|) incremental validation — the Theorem 3 cost.
-  [[nodiscard]] bool validate(sim::ThreadCtx& ctx, Slot& slot);
+  /// Θ(|read set|) incremental validation — the Theorem 3 cost. Draws the
+  /// validation snapshot (slot.rv on success) before touching any entry
+  /// and waits out kCommitting/kCommitted owners, so a pass certifies the
+  /// whole read set current at stamp 2·rv+1 (see the header). `expected`
+  /// is the state our own status word must still hold when we own
+  /// variables (kCommitting during the commit-time validation).
+  [[nodiscard]] bool validate(sim::ThreadCtx& ctx, Slot& slot,
+                              State expected = kActive);
+
+  /// Serialization stamp (2·rv+1) for an abort record: the last
+  /// successful validation, or the abort instant when none succeeded.
+  [[nodiscard]] std::uint64_t abort_stamp(sim::ThreadCtx& ctx, Slot& slot);
 
   /// Release all still-held ownership records (no write-back).
   void release_owned(sim::ThreadCtx& ctx, Slot& slot);
@@ -112,6 +166,8 @@ class DstmStm final : public RuntimeBase {
   std::array<util::Padded<sim::BaseWord>, sim::kMaxThreads> status_;
   std::array<util::Padded<Slot>, sim::kMaxThreads> slots_;
   std::unique_ptr<ContentionManager> cm_;
+  /// The commit-ticket clock (the orec-stamp story, see the header).
+  sim::GlobalClock clock_;
   std::atomic<std::uint64_t> start_stamps_{0};  // CM metadata (advisory only)
 };
 

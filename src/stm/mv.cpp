@@ -13,6 +13,12 @@ MvStm::MvStm(std::size_t num_vars, std::size_t depth)
     padded->ring = std::vector<Version>(depth_);
     padded->seqlock.init(2);
   }
+  // Reads are snapshot-consistent by construction and stamped with their
+  // (2·snapshot+1, version stamp) pair; update commits ticket after
+  // locking, before validating (see mv.hpp) — the preconditions for
+  // dropping the recorder windows alongside the already-window-free
+  // read-only commit path.
+  window_free_supported_ = true;
 }
 
 void MvStm::begin(sim::ThreadCtx& ctx) {
@@ -96,7 +102,11 @@ bool MvStm::read(sim::ThreadCtx& ctx, VarId var, std::uint64_t& out) {
   if (!read_version(ctx, var, slot.snapshot, stamp, val)) return fail_op(ctx);
   if (!slot.read_only) slot.rs.push_back({var, stamp});
   out = val;
-  rec_ret(ctx, var, core::OpCode::kRead, 0, out);
+  // The read-stamp pair: `stamp` is the version's writer ticket (its
+  // stamp-space open rank is 2·stamp) and the read just proved it the
+  // newest version at snapshot 2·snapshot+1 — all a stamp-space
+  // certificate needs, with or without the sampling window.
+  rec_ret(ctx, var, core::OpCode::kRead, 0, out, 2 * slot.snapshot + 1, stamp);
   return true;
 }
 
@@ -167,6 +177,15 @@ bool MvStm::commit(sim::ThreadCtx& ctx) {
     }
   }
 
+  // Ticket BEFORE validation (TL2's lock → ticket → validate): a rival
+  // overwriting anything we read must lock that variable before drawing
+  // ITS ticket, and our validation below sees the variable unlocked — so
+  // the rival's ticket is drawn after our ticket, and the version we read
+  // closes strictly above our serialization rank 2·wv. That ordering is
+  // what keeps the stamps truthful once the commit window is gone; a
+  // ticket wasted on a failed validation leaves a harmless clock gap.
+  const std::uint64_t wv = clock_.advance(ctx);
+
   // Validate: nothing read may have a version newer than our snapshot —
   // otherwise serializing our writes at wv would reorder a conflicting
   // committed update (first committer wins).
@@ -190,7 +209,6 @@ bool MvStm::commit(sim::ThreadCtx& ctx) {
     ctx.stats.validation_steps += ctx.steps.total() - before;
   }
 
-  const std::uint64_t wv = clock_.advance(ctx);
   rec_commit(ctx, 2 * wv);  // commit point: validated while holding locks
 
   // Install the new versions and release (seqlock advances to a fresh even

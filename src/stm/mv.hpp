@@ -22,6 +22,17 @@
 // what the core::VersionOrderResolver's SnapshotRank policy certifies
 // against — read-only transactions serialize at their snapshot rank, not
 // at their C record position, so their C record takes no sampling window.
+// Every non-local read is additionally stamped (2·snapshot+1, version
+// stamp): the ring slot's stamp is the writer's wv ticket, and the read
+// returned the newest version no newer than the snapshot, so the claim
+// "version `st` was current at 2·snapshot+1" holds by construction — a
+// version with stamp in (st, snapshot] would have been drawn before the
+// snapshot was, behind a seqlock the read waits out. Update commits draw
+// their ticket AFTER locking the write set and BEFORE validating
+// (TL2-style lock → ticket → validate), so an overwriter of anything an
+// update read tickets strictly later; with that, the whole runtime
+// records window-free (Stm::set_window_free) under the kStampedRead
+// policy, update commits included.
 #pragma once
 
 #include <vector>

@@ -32,22 +32,43 @@
 // algorithm logic, and is intended for verification runs; benchmarks run
 // unrecorded.
 //
-// WINDOW-FREE (stamped) recording drops even that discipline: runtimes
-// whose reads are O(1)-validated against a snapshot they can name (tl2,
-// tiny, norec — Stm::set_window_free) take NO window at all and instead
-// stamp every non-local read response with its (rv, version) pair
-// (Event::stamp = 2·rv+1, Event::ver). The recorder's job shrinks to
-// assigning each push a globally ordered stamp; the Theorem-2 argument
-// moves onto the stamps the runtime emits, checked by the kStampedRead
-// version-order policy (core/version_order.hpp; the soundness argument is
-// in core/online.hpp). Records may then drift — a read response can land
-// after the C of a commit that overwrote the version it read, and C
-// records of concurrent commits can land out of wv order — but reads-from
-// is never inverted (a committer records C before write-back; a reader
-// samples only after write-back), which is all the stamp checks need.
-// Both engines below carry the read stamps through history()/drain()
-// untouched; the cross-runtime conformance suite differentially tests
-// window-free against windowed recordings of identical schedules.
+// WINDOW-FREE (stamped) recording drops even that discipline: a runtime
+// that can justify every non-local read by a stamp interval
+// (Stm::set_window_free) takes NO window at all and instead stamps the
+// read response with its (rv, version) pair (Event::stamp = 2·rv+1,
+// Event::ver). Two stamp sources exist, landing in one stamp space:
+//
+//   * CLOCK runtimes (tl2, tiny, norec): rv is the global version clock
+//     the read was O(1)-validated against, ver the lock word's version
+//     (kNoReadVersion for NOrec's value validation). MvStm is the
+//     multi-version variant: rv is the begin-time snapshot, ver the ring
+//     slot's writer ticket, and update commits draw their 2·wv ticket
+//     after locking and before validating so the commit window can go
+//     too.
+//   * OREC runtimes (dstm, astm): no per-read clock check exists, so the
+//     CAS-acquired ownership record is the stamp authority instead — a
+//     committer publishes kCommitting through its status word (which
+//     every owned orec points at) BEFORE drawing its clock ticket, and
+//     write-backs store the 2·wv ticket as the orec version word; a
+//     validation draws rv before examining any entry and waits out
+//     kCommitting/kCommitted owners, making each passing read-set
+//     simultaneously current at 2·rv+1. Reads stamp (2·rv+1, word/2).
+//     Stolen orecs cannot poison the stamps: stealing requires the
+//     victim's status to read kAborted, so the victim's C never records
+//     and its buffered writes never become a version — see online.hpp.
+//
+// The recorder's job shrinks to assigning each push a globally ordered
+// stamp; the Theorem-2 argument moves onto the stamps the runtime emits,
+// checked by the kStampedRead version-order policy
+// (core/version_order.hpp; the soundness argument is in core/online.hpp).
+// Records may then drift — a read response can land after the C of a
+// commit that overwrote the version it read, and C records of concurrent
+// commits can land out of wv order — but reads-from is never inverted (a
+// committer records C before write-back; a reader samples only after
+// write-back), which is all the stamp checks need. Both engines below
+// carry the read stamps through history()/drain() untouched; the
+// cross-runtime conformance suite differentially tests window-free
+// against windowed recordings of identical schedules.
 //
 // Two implementations:
 //   * Recorder      — the sharded engine: per-lane (per-process) buffers,

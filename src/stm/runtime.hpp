@@ -173,7 +173,8 @@ class RuntimeBase : public Stm {
   std::size_t num_vars_;
   RecorderBase* recorder_ = nullptr;
   /// Set (in the constructor) by runtimes that stamp every non-local read
-  /// with its (rv, version) pair — the precondition for dropping windows.
+  /// with its (rv, version) pair — clock-validated (tl2/tiny/norec/mv) or
+  /// orec-published (dstm/astm) — the precondition for dropping windows.
   bool window_free_supported_ = false;
 
  private:

@@ -168,6 +168,54 @@ TEST(ConformanceFuzz, WindowFreeTl2MatchesWindowedOnDeterministicSchedules) {
   RecordProperty("stamped_reads", static_cast<int>(stamped_reads));
 }
 
+// The acceptance bar of the orec-stamp work, mirroring the tl2 test above:
+// windowed and window-free recordings of identical deterministic schedules
+// must be BYTE-EQUAL for the ownership-record runtimes (dstm, astm — reads
+// stamped with their validation snapshot and CAS-acquired orec version)
+// and for mv (update commits now ticket before validating), and every
+// engine must agree on them under every policy. The write-heavy parameter
+// set drives real contention-manager kills and orec steals through the
+// deterministic interleaving, so the abort paths record too.
+TEST(ConformanceFuzz, WindowFreeOrecAndMvMatchWindowedOnDeterministicSchedules) {
+  ConformanceOptions options;
+  options.policies = {
+      VersionOrderPolicy::kCommitOrder, VersionOrderPolicy::kBlindWriteSmart,
+      VersionOrderPolicy::kSnapshotRank, VersionOrderPolicy::kStampedRead};
+  for (const char* name : {"dstm", "astm", "mv"}) {
+    std::size_t stamped_reads = 0;
+    for (std::uint64_t seed = 1; seed <= kScheduleSeeds; ++seed) {
+      ScheduleParams p = schedule_params(seed);
+      p.write_prob = 0.6;  // orec duels and steals need write-write conflict
+      const History windowed = record_schedule(name, p, /*window_free=*/false);
+      const History window_free = record_schedule(name, p, /*window_free=*/true);
+
+      ASSERT_EQ(windowed.size(), window_free.size()) << name << " seed " << seed;
+      for (std::size_t i = 0; i < windowed.size(); ++i) {
+        ASSERT_EQ(windowed[i], window_free[i])
+            << name << " seed " << seed << " event " << i << ": "
+            << to_string(windowed[i]) << " vs " << to_string(window_free[i]);
+        if (windowed[i].kind == EventKind::kResponse &&
+            windowed[i].op == OpCode::kRead && windowed[i].stamp != 0) {
+          ++stamped_reads;
+        }
+      }
+
+      const ConformanceReport report = check_conformance(window_free, options);
+      ASSERT_TRUE(report.ok) << name << " seed " << seed << ": "
+                             << report.divergence << "\n" << window_free.str();
+      for (const PolicyConformance& pc : report.policies) {
+        EXPECT_TRUE(pc.monitor.certified)
+            << name << " seed " << seed << " " << to_string(pc.policy) << ": "
+            << pc.monitor.reason << "\n" << window_free.str();
+      }
+      ASSERT_EQ(report.exact, Verdict::kYes)
+          << name << " seed " << seed << ": " << report.exact_reason;
+    }
+    // Each runtime's fuzz set must actually exercise its stamp source.
+    EXPECT_GE(stamped_reads, kScheduleSeeds) << name;
+  }
+}
+
 // The same deterministic schedules replayed window-free on the other
 // stamping runtimes: tiny (snapshot extension moves rv mid-transaction)
 // and norec (value validation — version half of the pair absent).
@@ -220,20 +268,31 @@ TEST(ConformanceFuzz, EveryRuntimeConformsOnDeterministicSchedules) {
   }
 }
 
-// Only the stamping runtimes may go window-free; the others must refuse
-// (and stay windowed) rather than silently record unsound histories.
-TEST(ConformanceFuzz, OnlyStampingRuntimesHonorWindowFree) {
-  for (const char* name : {"tl2", "tiny", "norec"}) {
-    const auto stm = stm::make_stm(name, 4);
-    EXPECT_TRUE(stm->set_window_free(true)) << name;
-    EXPECT_TRUE(stm->window_free()) << name;
-    EXPECT_TRUE(stm->set_window_free(false)) << name;
-    EXPECT_FALSE(stm->window_free()) << name;
-  }
-  for (const char* name : {"dstm", "astm", "visible", "mv", "weak"}) {
-    const auto stm = stm::make_stm(name, 4);
-    EXPECT_FALSE(stm->set_window_free(true)) << name;
-    EXPECT_FALSE(stm->window_free()) << name;
+// The window-free capability matrix, one row per factory runtime: exactly
+// the six stamping runtimes — clock-validated (tl2, tiny, norec), orec
+// (dstm, astm) and multi-version (mv) — honor set_window_free(true); the
+// other five must refuse AND stay windowed rather than silently record
+// unsound histories.
+TEST(ConformanceFuzz, WindowFreeCapabilityMatrix) {
+  struct Row {
+    const char* name;
+    bool window_free_capable;
+  };
+  static constexpr Row kMatrix[] = {
+      {"tl2", true},      {"tiny", true},  {"norec", true},
+      {"dstm", true},     {"astm", true},  {"mv", true},
+      {"visible", false}, {"weak", false}, {"sistm", false},
+      {"glock", false},   {"twopl", false},
+  };
+  for (const Row& row : kMatrix) {
+    const auto stm = stm::make_stm(row.name, 4);
+    EXPECT_EQ(stm->set_window_free(true), row.window_free_capable) << row.name;
+    EXPECT_EQ(stm->window_free(), row.window_free_capable)
+        << row.name << (row.window_free_capable ? " refused window-free mode"
+                                                : " went window-free unsoundly");
+    // Switching back off always succeeds and always lands windowed.
+    EXPECT_TRUE(stm->set_window_free(false)) << row.name;
+    EXPECT_FALSE(stm->window_free()) << row.name;
   }
 }
 
@@ -337,6 +396,110 @@ TEST(ConformanceFuzz, CorruptedWindowFreeRecordingsFlagEquivalently) {
   EXPECT_GE(ret_corrupted, 25u);
 }
 
+// The orec-side corruption sweep, on window-free dstm recordings: a lying
+// orec version word, a replayed stale snapshot stamp (the shape a stolen
+// orec's leftover stamp would take), and the 2·ver wrap attack. Each
+// corruption leaves the history opaque — the lie is in the stamps — so
+// exactly kStampedRead must flag it, every engine agreeing, and the exact
+// checker must still answer kYes.
+TEST(ConformanceFuzz, CorruptedOrecStampsFlagUnderStampedReadOnly) {
+  ConformanceOptions options;
+  options.policies = {VersionOrderPolicy::kCommitOrder,
+                      VersionOrderPolicy::kSnapshotRank,
+                      VersionOrderPolicy::kStampedRead};
+  std::size_t lying_ver = 0;
+  std::size_t replayed_stamp = 0;
+  std::size_t wrapped_ver = 0;
+  const auto check_caught = [&](const History& bad, std::uint64_t seed,
+                                const char* what) {
+    const ConformanceReport report = check_conformance(bad, options);
+    ASSERT_TRUE(report.ok)
+        << what << " seed " << seed << ": " << report.divergence << "\n"
+        << bad.str();
+    EXPECT_TRUE(report.certified(VersionOrderPolicy::kCommitOrder))
+        << what << " seed " << seed;
+    EXPECT_TRUE(report.certified(VersionOrderPolicy::kSnapshotRank))
+        << what << " seed " << seed;
+    EXPECT_FALSE(report.certified(VersionOrderPolicy::kStampedRead))
+        << what << " seed " << seed << " went unnoticed\n" << bad.str();
+    EXPECT_EQ(report.exact, Verdict::kYes) << what << " seed " << seed;
+  };
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    ScheduleParams p = schedule_params(seed);
+    p.write_prob = 0.6;
+    const History h = record_schedule("dstm", p, /*window_free=*/true);
+
+    // (a) Lying orec version: the value still resolves, only the
+    // version-identity cross-check can object.
+    {
+      History bad(h.model());
+      bool done = false;
+      for (const Event& e : h.events()) {
+        Event copy = e;
+        if (!done && e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+            e.stamp != 0 && e.ver != kNoReadVersion) {
+          copy.ver = e.ver + 7;
+          done = true;
+        }
+        bad.append(copy);
+      }
+      if (done) {
+        ++lying_ver;
+        check_caught(bad, seed, "lying orec ver");
+      }
+    }
+
+    // (b) Stolen-orec stamp replay: a read claims a snapshot predating the
+    // version it resolves to (stamp 1 = "before any commit"), the shape a
+    // stamp copied from before the orec was rewritten would take. Needs a
+    // read of a non-initial version (ver > 0), so the open rank 2·ver
+    // exceeds the replayed snapshot.
+    {
+      History bad(h.model());
+      bool done = false;
+      for (const Event& e : h.events()) {
+        Event copy = e;
+        if (!done && e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+            e.stamp != 0 && e.ver != kNoReadVersion && e.ver > 0) {
+          copy.stamp = 1;
+          done = true;
+        }
+        bad.append(copy);
+      }
+      if (done) {
+        ++replayed_stamp;
+        check_caught(bad, seed, "replayed stamp");
+      }
+    }
+
+    // (c) The 2·ver wrap attack, from the orec stamp source: ver = 2^63 +
+    // true_ver would alias back to the true open rank without the shared
+    // magnitude guard (core::read_stamp_names_version).
+    {
+      History bad(h.model());
+      bool done = false;
+      for (const Event& e : h.events()) {
+        Event copy = e;
+        if (!done && e.kind == EventKind::kResponse && e.op == OpCode::kRead &&
+            e.stamp != 0 && e.ver != kNoReadVersion) {
+          copy.ver = e.ver + (std::uint64_t{1} << 63);
+          done = true;
+        }
+        bad.append(copy);
+      }
+      if (done) {
+        ++wrapped_ver;
+        check_caught(bad, seed, "wrapped ver");
+      }
+    }
+  }
+  // The write-heavy schedules must surface enough stamped reads (and
+  // non-initial versions) for each corruption shape to be exercised.
+  EXPECT_GE(lying_ver, 25u);
+  EXPECT_GE(replayed_stamp, 15u);
+  EXPECT_GE(wrapped_ver, 25u);
+}
+
 // The drift shapes window-free recording actually produces, hand-built so
 // they are exercised deterministically even on a single-core runner:
 // T_a (wv=2) and T_b (wv=3) commit disjoint registers with their C records
@@ -392,9 +555,10 @@ TEST(ConformanceFuzz, DriftedTl2RecordsCertifyOnStampsNotPositions) {
 // Real threads, real drift: without windows a read response can land after
 // the C that overwrote its version, and C records can land out of wv
 // order. The stamped policies must certify anyway (this is the TSan
-// surface for the dropped window lock, too).
+// surface for the dropped window lock, too — including the orec runtimes'
+// kCommitting hand-off and MvStm's lock → ticket → validate commit).
 TEST(ConformanceFuzz, ConcurrentWindowFreeRunsCertifyUnderStampedPolicies) {
-  for (const char* name : {"tl2", "tiny", "norec"}) {
+  for (const char* name : {"tl2", "tiny", "norec", "dstm", "astm", "mv"}) {
     for (const bool window_free : {false, true}) {
       const auto stm = stm::make_stm(name, 8);
       ASSERT_TRUE(stm->set_window_free(window_free)) << name;

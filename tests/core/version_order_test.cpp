@@ -253,5 +253,26 @@ TEST(AnchorOrder, MatchesRecorderAnchors) {
   EXPECT_EQ(order[1], 2u);
 }
 
+// Regression for the shared version-identity helper (it used to be
+// duplicated, guard included, in both certificate engines): genuine
+// claims match, mismatches fail, and the 2·ver wrap attack — where
+// ver = 2^63 + true_ver multiplies back to the true open rank modulo
+// 2^64 — is rejected by the magnitude guard, not by luck of the product.
+TEST(StampedRead, SharedVersionIdentityHelperGuardsTheWrap) {
+  EXPECT_TRUE(read_stamp_names_version(0, 0));     // the initializer
+  EXPECT_TRUE(read_stamp_names_version(21, 42));
+  EXPECT_FALSE(read_stamp_names_version(21, 44));  // names the wrong version
+  EXPECT_FALSE(read_stamp_names_version(22, 42));
+
+  const std::uint64_t wrap = (std::uint64_t{1} << 63) + 21;
+  ASSERT_EQ(2 * wrap, 42u);  // the attack really aliases without the guard
+  EXPECT_FALSE(read_stamp_names_version(wrap, 42));
+  // The guard's boundary: the largest non-wrapping ver still validates.
+  const std::uint64_t max_ver = ~std::uint64_t{0} >> 1;
+  EXPECT_TRUE(read_stamp_names_version(
+      max_ver, static_cast<std::size_t>(2 * max_ver)));
+  EXPECT_FALSE(read_stamp_names_version(max_ver + 1, 0));
+}
+
 }  // namespace
 }  // namespace optm::core

@@ -145,7 +145,8 @@ TEST_P(WindowFreeRecorderFuzz, MutexAndShardedAgreeIncludingStamps) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Stms, WindowFreeRecorderFuzz,
-                         ::testing::Values("tl2", "tiny", "norec"));
+                         ::testing::Values("tl2", "tiny", "norec", "dstm",
+                                           "astm", "mv"));
 
 class ShardedRecorderConcurrent : public ::testing::TestWithParam<std::string> {};
 
