@@ -190,6 +190,9 @@ void BM_LiveVerifiedMixMutex(benchmark::State& state) {
 
 /// The sharded drain/ingest pipeline; `policy` lets the window-free
 /// variant feed the kStampedRead monitor (windowed feeds the default).
+/// The consumer is the production shape: reusable EventBatch, pre-sized
+/// monitor, and the self-pacing AdaptiveDrainPacer instead of the old
+/// fixed poll interval.
 void live_verified_sharded(benchmark::State& state, bool window_free,
                            core::VersionOrderPolicy policy) {
   live_verified_mix(state, [&](stm::Stm& stm, const wl::MixParams& params,
@@ -198,17 +201,22 @@ void live_verified_sharded(benchmark::State& state, bool window_free,
     stm::Recorder recorder(params.vars);
     stm.set_recorder(&recorder);
     core::OnlineCertificateMonitor monitor(recorder.model(), policy);
+    monitor.reserve(params.threads * params.txs_per_thread + 16,
+                    params.txs_per_thread * params.threads *
+                            params.ops_per_tx / 2 +
+                        params.vars + 16);
     std::atomic<bool> done{false};
     std::thread verifier([&] {
-      std::vector<core::Event> batch;
-      std::uint64_t drained = 0;
+      stm::EventBatch batch;
+      stm::AdaptiveDrainPacer pacer;
       for (;;) {
         const bool finished = done.load(std::memory_order_acquire);
-        if (finished || recorder.stamps_issued() - drained >= kPollInterval) {
+        if (finished || pacer.should_drain(recorder.stamps_issued(),
+                                           recorder.approx_pending())) {
           batch.clear();
           if (recorder.drain(batch) > 0) {
-            drained += batch.size();
-            (void)monitor.ingest(batch);
+            pacer.on_drain();
+            (void)monitor.ingest(batch.span());
             continue;
           }
           if (finished) return;
@@ -368,6 +376,145 @@ BENCHMARK(BM_ParallelOfflineVerify)
     ->Range(1, 8)
     ->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --json=FILE: the machine-readable perf artifact (BENCH_5.json schema)
+// ---------------------------------------------------------------------------
+//
+// CI's bench-smoke job archives this next to the google-benchmark JSON so
+// the repository accumulates an events/sec trajectory per
+// runtime x policy x window mode instead of free-form console logs.
+
+namespace {
+
+/// Static metadata keyed by benchmark-name prefix (longest match wins).
+/// "record-only" marks pure recording benches (no monitor in the loop).
+struct BenchMeta {
+  const char* prefix;
+  const char* runtime;
+  const char* policy;
+  const char* window_mode;
+};
+constexpr BenchMeta kBenchMeta[] = {
+    {"BM_CertificateMonitor", "tl2", "commit-order", "windowed"},
+    {"BM_DefinitionalMonitor", "tl2", "definitional", "windowed"},
+    {"BM_BatchCertificateMonitor", "tl2", "commit-order", "windowed"},
+    {"BM_ParallelOfflineVerify", "tl2", "commit-order", "windowed"},
+    {"BM_RecordedMixMutex", "tl2", "record-only", "windowed"},
+    {"BM_RecordedMixSharded", "tl2", "record-only", "windowed"},
+    {"BM_RecordedMixTl2WindowFree", "tl2", "record-only", "window-free"},
+    {"BM_RecordedMixDstmWindowFree", "dstm", "record-only", "window-free"},
+    {"BM_LiveVerifiedMixMutex", "tl2", "commit-order", "windowed"},
+    {"BM_LiveVerifiedMixSharded", "tl2", "commit-order", "windowed"},
+    {"BM_LiveVerifiedMixTl2WindowFree", "tl2", "stamped-read", "window-free"},
+};
+
+[[nodiscard]] const BenchMeta* meta_of(const std::string& name) {
+  const BenchMeta* best = nullptr;
+  std::size_t best_len = 0;
+  for (const BenchMeta& m : kBenchMeta) {
+    const std::size_t len = std::char_traits<char>::length(m.prefix);
+    if (name.compare(0, len, m.prefix) == 0 && len > best_len) {
+      best = &m;
+      best_len = len;
+    }
+  }
+  return best;
+}
+
+struct CapturedRun {
+  std::string name;
+  double events = 0;
+  double events_per_sec = 0;
+  double real_time_sec = 0;
+  std::int64_t iterations = 0;
+};
+
+/// Console output as usual, plus a side capture of every run for --json.
+class JsonCaptureReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      // Runs that errored/skipped never set their counters — keying on the
+      // events counter also keeps this portable across google-benchmark
+      // versions (Run::error_occurred became Run::skipped in 1.8).
+      const auto ev = run.counters.find("events");
+      if (ev == run.counters.end()) continue;
+      CapturedRun c;
+      c.name = run.benchmark_name();
+      c.iterations = run.iterations;
+      c.real_time_sec =
+          run.iterations > 0 ? run.real_accumulated_time / run.iterations : 0;
+      c.events = ev->second.value;
+      if (c.real_time_sec > 0) c.events_per_sec = c.events / c.real_time_sec;
+      captured_.push_back(std::move(c));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<CapturedRun>& captured() const noexcept {
+    return captured_;
+  }
+
+ private:
+  std::vector<CapturedRun> captured_;
+};
+
+[[nodiscard]] bool write_bench_json(const std::string& path,
+                                    const std::vector<CapturedRun>& runs) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f,
+               "{\n"
+               "  \"schema\": \"optm-bench-v1\",\n"
+               "  \"tool\": \"bench_online_checker\",\n"
+               "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const CapturedRun& r = runs[i];
+    const BenchMeta* m = meta_of(r.name);
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"runtime\": \"%s\", \"policy\": \"%s\", "
+        "\"window_mode\": \"%s\", \"events\": %.0f, "
+        "\"events_per_sec\": %.0f, \"real_time_sec\": %.9f, "
+        "\"iterations\": %lld}%s\n",
+        r.name.c_str(), m != nullptr ? m->runtime : "?",
+        m != nullptr ? m->policy : "?", m != nullptr ? m->window_mode : "?",
+        r.events, r.events_per_sec, r.real_time_sec,
+        static_cast<long long>(r.iterations), i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
 }  // namespace optm::bench
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Strip our --json=FILE flag before google-benchmark sees (and rejects)
+  // it.
+  std::string json_path;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  optm::bench::JsonCaptureReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  if (!json_path.empty() &&
+      !optm::bench::write_bench_json(json_path, reporter.captured())) {
+    std::fprintf(stderr, "cannot write --json=%s\n", json_path.c_str());
+    return 1;
+  }
+  return 0;
+}

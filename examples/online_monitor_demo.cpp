@@ -98,18 +98,25 @@ int main(int argc, char** argv) {
   std::atomic<bool> done{false};
   std::size_t batches = 0;
   std::thread verifier([&] {
-    std::vector<optm::core::Event> batch;
+    // Zero-copy reusable batch + self-pacing drain cadence: the pacer
+    // polls cheaply and only pays for a merge once the measured ingest
+    // rate says a batch is worth it.
+    optm::stm::EventBatch batch;
+    optm::stm::AdaptiveDrainPacer pacer;
     for (;;) {
       const bool finished = done.load(std::memory_order_acquire);
-      batch.clear();
-      if (live_recorder.drain(batch) > 0) {
-        ++batches;
-        (void)live_monitor.ingest(batch);
-      } else if (finished) {
-        return;
-      } else {
-        std::this_thread::yield();
+      if (finished || pacer.should_drain(live_recorder.stamps_issued(),
+                                         live_recorder.approx_pending())) {
+        batch.clear();
+        if (live_recorder.drain(batch) > 0) {
+          ++batches;
+          pacer.on_drain();
+          (void)live_monitor.ingest(batch.span());
+          continue;
+        }
+        if (finished) return;
       }
+      std::this_thread::yield();
     }
   });
   optm::wl::MixParams mix;

@@ -49,6 +49,9 @@ int main(int argc, char** argv) {
   cli.flag("window-free", "0",
            "drop the recorder windows and trust the runtime's stamps "
            "(stamping runtimes only; pair with --policy=stamped-read)");
+  cli.flag("json", "",
+           "also write the soak metrics as a machine-readable JSON object "
+           "to this file (the perf-trajectory artifact schema)");
   if (!cli.parse(argc, argv)) return 1;
 
   optm::core::VersionOrderPolicy policy =
@@ -93,24 +96,36 @@ int main(int argc, char** argv) {
       target_events / (static_cast<std::uint64_t>(threads) * events_per_tx) + 1;
 
   // Record + live-verify: drain stamp-contiguous batches into the
-  // streaming certificate monitor while the mix runs.
+  // streaming certificate monitor while the mix runs. The monitor is
+  // pre-sized for the soak (dense slab + flat version table), the batch
+  // buffer is reused across drains, and the drain cadence is derived from
+  // the measured ingest rate (AdaptiveDrainPacer) instead of a fixed poll
+  // interval.
   optm::core::OnlineCertificateMonitor monitor(recorder.model(), policy);
+  // Versions are one per write response: ~a quarter of the events at the
+  // mix's default write ratio (the table grows geometrically past it).
+  monitor.reserve(/*num_txs=*/mix.txs_per_thread * threads + 16,
+                  /*num_versions=*/target_events / 3 + vars + 16);
   std::atomic<bool> done{false};
   std::size_t batches = 0;
   const auto record_t0 = Clock::now();
   std::thread verifier([&] {
-    std::vector<optm::core::Event> batch;
+    optm::stm::EventBatch batch;
+    optm::stm::AdaptiveDrainPacer pacer;
     for (;;) {
       const bool finished = done.load(std::memory_order_acquire);
-      batch.clear();
-      if (recorder.drain(batch) > 0) {
-        ++batches;
-        (void)monitor.ingest(batch);
-      } else if (finished) {
-        return;
-      } else {
-        std::this_thread::yield();
+      if (finished || pacer.should_drain(recorder.stamps_issued(),
+                                         recorder.approx_pending())) {
+        batch.clear();
+        if (recorder.drain(batch) > 0) {
+          ++batches;
+          pacer.on_drain();
+          (void)monitor.ingest(batch.span());
+          continue;
+        }
+        if (finished) return;
       }
+      std::this_thread::yield();
     }
   });
   (void)optm::wl::run_random_mix(*stm, mix);
@@ -156,6 +171,37 @@ int main(int argc, char** argv) {
   if (recorded < target_events) {
     std::printf("soak.warning=recorded fewer events than the %zu target\n",
                 target_events);
+  }
+
+  // Machine-readable artifact (the perf trajectory schema consumed by
+  // tools/soak_trend.py and archived next to BENCH_5.json).
+  if (!cli.get("json").empty()) {
+    std::FILE* f = std::fopen(cli.get("json").c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write --json=%s\n", cli.get("json").c_str());
+      return 1;
+    }
+    std::fprintf(
+        f,
+        "{\n"
+        "  \"schema\": \"optm-soak-v1\",\n"
+        "  \"tool\": \"recorded_soak\",\n"
+        "  \"stm\": \"%s\",\n"
+        "  \"policy\": \"%s\",\n"
+        "  \"window_mode\": \"%s\",\n"
+        "  \"threads\": %u,\n"
+        "  \"recorded_events\": %zu,\n"
+        "  \"live_pipeline_events_per_sec\": %.0f,\n"
+        "  \"live_batches\": %zu,\n"
+        "  \"offline_events_per_sec\": %.0f,\n"
+        "  \"offline_shards\": %zu\n"
+        "}\n",
+        cli.get("stm").c_str(), to_string(policy),
+        stm->window_free() ? "window-free" : "windowed", threads, recorded,
+        events_per_sec(recorded, record_t0, record_t1), batches,
+        events_per_sec(offline.events, offline_t0, offline_t1),
+        offline.shards_used);
+    std::fclose(f);
   }
   return 0;
 }

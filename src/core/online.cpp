@@ -58,6 +58,10 @@ OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model,
     : model_(std::move(model)), policy_(policy), resolver_(policy) {
   current_.resize(model_.size());
   holders_.resize(model_.size());
+  versions_.reserve(model_.size() + 16);
+  if (policy_ == VersionOrderPolicy::kBlindWriteSmart) {
+    retained_ = History(model_);
+  }
   for (ObjId r = 0; r < model_.size(); ++r) {
     const auto* reg = dynamic_cast<const RegisterSpec*>(&model_.spec(r));
     if (reg == nullptr) {
@@ -65,9 +69,19 @@ OnlineCertificateMonitor::OnlineCertificateMonitor(ObjectModel model,
           "online certificate monitor: register histories only");
     }
     // The initializer's version of every register: open from rank 0.
-    const auto key = std::make_pair(r, reg->initial_value());
-    versions_[key] = VersionRec{kInitTx, 0, kOpen};
-    current_[r] = key;
+    const Value init = reg->initial_value();
+    versions_.slot(r, init) = VersionRec{kInitTx, 0, kOpen};
+    current_[r] = {r, init};
+  }
+}
+
+void OnlineCertificateMonitor::reserve(std::size_t num_txs,
+                                       std::size_t num_versions,
+                                       std::size_t holders_per_register) {
+  txs_.reserve(num_txs);
+  versions_.reserve(num_versions);
+  if (holders_per_register > 0) {
+    for (auto& h : holders_) h.reserve(holders_per_register);
   }
 }
 
@@ -92,25 +106,34 @@ namespace {
 }  // namespace
 
 bool OnlineCertificateMonitor::try_retro_order() {
-  History h(model_);
-  for (const Event& e : retained_) h.append(e);
-  const SmartReorderResult found = smart_reorder_search(h, cur_tx_);
+  SmartReorderOptions options;
+  options.prioritize = cur_tx_;
+  SmartReorderResult found = smart_reorder_search(retained_, options);
   if (!found.certified) return false;
   // A §3.6 reordering certifies the prefix exactly: the retro-ordered
   // version re-opened the window the commit order had closed. The
   // incremental rank state is stale from here on — keep streaming by
   // replaying prefixes through the bounded search. This event's prefix is
   // already verified; feed() must not run the search a second time.
+  witness_ = std::move(found.order);
   search_mode_ = true;
   prefix_verified_ = true;
   return true;
 }
 
 bool OnlineCertificateMonitor::search_verify() {
-  History h(model_);
-  for (const Event& e : retained_) h.append(e);
-  const SmartReorderResult found = smart_reorder_search(h, cur_tx_);
-  if (found.certified) return true;
+  // Incremental replay: the witness that certified the last prefix,
+  // extended with the transactions that appeared since, is tried before
+  // the bounded search — in the common case one exact pass re-verifies
+  // the suffix past the last certified anchor.
+  SmartReorderOptions options;
+  options.prioritize = cur_tx_;
+  options.hint = witness_.empty() ? nullptr : &witness_;
+  SmartReorderResult found = smart_reorder_search(retained_, options);
+  if (found.certified) {
+    witness_ = std::move(found.order);
+    return true;
+  }
   violation_ = OnlineViolation{
       pos_,
       "no bounded smart reordering certifies the prefix (" +
@@ -123,16 +146,19 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
                                                      TxState& tx) {
   if (e.op == OpCode::kWrite) {
     // Value-unique writes underpin reads-from resolution (§5.4).
-    const auto key = std::make_pair(e.obj, e.arg);
-    const auto [it, inserted] = versions_.emplace(key, VersionRec{e.tx, 0, 0});
-    if (!inserted && it->second.writer != e.tx) {
+    bool inserted = false;
+    VersionRec& wrec = versions_.slot(e.obj, e.arg, &inserted);
+    if (inserted) {
+      wrec.open_rank = 0;
+      wrec.close_rank = 0;  // uninstalled: the empty [0, 0) interval
+    } else if (wrec.writer != e.tx) {
       return fail(CertFlagKind::kValueNotUnique,
                   tx_tag(e.tx) + " rewrote value " + std::to_string(e.arg) + " of x" +
                   std::to_string(e.obj) + " (value-unique writes required)");
     }
-    it->second.writer = e.tx;  // ranks assigned at commit
+    wrec.writer = e.tx;  // ranks assigned at commit
     tx.has_write = true;
-    tx.writes[e.obj] = e.arg;
+    tx.writes.set(e.obj, e.arg, spill_pool_);
     return true;
   }
 
@@ -141,31 +167,30 @@ bool OnlineCertificateMonitor::on_operation_response(const Event& e,
   const bool stamped =
       policy_ == VersionOrderPolicy::kStampedRead && e.stamp != 0;
   if (stamped && e.stamp > tx.max_read_stamp) tx.max_read_stamp = e.stamp;
-  const auto own = tx.writes.find(e.obj);
-  if (own != tx.writes.end()) {
-    if (own->second != e.ret) {
+  if (const Value* own = tx.writes.find(e.obj)) {
+    if (*own != e.ret) {
       return fail(CertFlagKind::kLocalInconsistency,
                   tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                   std::to_string(e.ret) + " despite its own write of " +
-                  std::to_string(own->second) + " (local consistency)");
+                  std::to_string(*own) + " (local consistency)");
     }
     return true;
   }
 
-  const auto v = versions_.find({e.obj, e.ret});
-  if (v == versions_.end()) {
+  const VersionRec* v = versions_.find(e.obj, e.ret);
+  if (v == nullptr) {
     return fail(CertFlagKind::kUnwrittenValue,
                 tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
                 std::to_string(e.ret) + ", a value never written");
   }
-  const VersionRec& rec = v->second;
+  const VersionRec& rec = *v;
   if (rec.writer == e.tx) {
     return fail(CertFlagKind::kSelfRead,
                 tx_tag(e.tx) + " read back its own value without a prior write");
   }
   if (rec.writer != kInitTx) {
-    const auto w = txs_.find(rec.writer);
-    if (w == txs_.end() || !w->second.committed) {
+    const TxState* w = txs_.find(rec.writer);
+    if (w == nullptr || !w->committed) {
       // Possibly the H4 commit-pending case — conservative (see header).
       return fail(CertFlagKind::kReadFromNonCommitted,
                   tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
@@ -274,23 +299,25 @@ bool OnlineCertificateMonitor::on_commit(const Event& c, TxState& tx, TxId id) {
   if (!tx.has_write) return true;
 
   // Install: one rank for the whole commit; each written register's
-  // previous version closes here.
+  // previous version closes here. (Ascending-register order, exactly as
+  // the std::map-backed write set iterated.)
   ++commits_;
   for (const auto& [obj, value] : tx.writes) {
     auto& prev_key = current_[obj];
-    versions_[prev_key].close_rank = rank;
+    if (VersionRec* prev = versions_.find(prev_key.first, prev_key.second)) {
+      prev->close_rank = rank;
+    }
     for (const TxId holder : holders_[obj]) {
-      auto h = txs_.find(holder);
-      if (h != txs_.end() && rank < h->second.hi) h->second.hi = rank;
+      TxState* h = txs_.find(holder);
+      if (h != nullptr && rank < h->hi) h->hi = rank;
     }
     holders_[obj].clear();
 
-    const auto key = std::make_pair(obj, value);
-    VersionRec& rec = versions_[key];
+    VersionRec& rec = versions_.slot(obj, value);
     rec.writer = id;
     rec.open_rank = rank;
     rec.close_rank = kOpen;
-    prev_key = key;
+    prev_key = {obj, value};
   }
   return true;
 }
@@ -300,9 +327,9 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
     ++pos_;
     return false;
   }
-  if (policy_ == VersionOrderPolicy::kBlindWriteSmart) retained_.push_back(e);
+  if (policy_ == VersionOrderPolicy::kBlindWriteSmart) retained_.append(e);
   cur_tx_ = e.tx;
-  TxState& tx = txs_[e.tx];
+  TxState& tx = txs_.get(e.tx);
   if (!tx.born) {
     tx.born = true;
     tx.birth_rank = resolver_.floor();
@@ -359,6 +386,9 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
         } else {
           ok = on_commit(e, tx, e.tx);
         }
+        // The write set is installed (or the run is condemned): recycle
+        // any spill storage for the next write-heavy transaction.
+        tx.writes.release(spill_pool_);
       }
       break;
     case EventKind::kTryAbort:
@@ -376,6 +406,7 @@ bool OnlineCertificateMonitor::feed(const Event& e) {
                   tx_tag(e.tx) + " aborted after completing (well-formedness)");
       } else {
         tx.phase = Phase::kDone;  // aborted: writes never install
+        tx.writes.release(spill_pool_);
       }
       break;
   }

@@ -1,13 +1,11 @@
 #include "core/parallel_verify.hpp"
 
 #include <algorithm>
-#include <map>
-#include <queue>
 #include <stdexcept>
-#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
+#include "core/dense_state.hpp"
 #include "core/object_spec.hpp"
 #include "util/pool.hpp"
 
@@ -53,7 +51,9 @@ struct Flag {
 /// that couples registers together is computed here, sequentially and
 /// cheaply — the VersionOrderResolver hands out ranks (commit-order or
 /// stamp-space, per the policy) — so pass 1's shards never need to
-/// synchronize.
+/// synchronize. Per-transaction state lives in a TxId-indexed slab
+/// (dense_state.hpp): recorder tx ids are dense, so the sequential pass is
+/// one vector index per event instead of a hash probe.
 ///
 /// NOTE: this lifecycle machine (and ShardPass's register checks below)
 /// intentionally mirrors OnlineCertificateMonitor::feed condition-for-
@@ -63,7 +63,7 @@ struct Flag {
 /// see the header), and the BatchEquivalence + MvSnapshotFuzz suites
 /// enforce it. Change the two together.
 struct Pass0 {
-  std::unordered_map<TxId, TxMeta> txs;
+  TxSlab<TxMeta> txs;
   std::vector<Flag> flags;
 
   void run(const History& h, VersionOrderPolicy policy) {
@@ -71,7 +71,7 @@ struct Pass0 {
     const std::vector<Event>& events = h.events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
-      TxMeta& tx = txs[e.tx];
+      TxMeta& tx = txs.get(e.tx);
       if (!tx.born) {
         tx.born = true;
         tx.birth_rank = resolver.floor();
@@ -202,9 +202,20 @@ struct ShardPass {
   }
 
   void run() {
-    std::map<std::pair<ObjId, Value>, VersionRec> versions;
-    std::unordered_map<ObjId, std::pair<ObjId, Value>> current;
-    std::unordered_map<TxId, std::map<ObjId, Value>> local_writes;
+    VersionTable<VersionRec> versions(h->model().size() / num_shards + 16);
+    // Register -> key of its current committed version (dense by obj).
+    std::vector<std::pair<ObjId, Value>> current(h->model().size());
+    // Write sets, held compactly: the dense slab maps TxId -> 1-based
+    // index (4 bytes/tx), the sets themselves exist only for transactions
+    // that actually wrote in this shard — each of the N shards would
+    // otherwise touch a full TxId-range of ~100-byte SmallWriteSets.
+    TxSlab<std::uint32_t> writer_index;
+    std::vector<SmallWriteSet> writer_sets;
+    const auto writes_of = [&](TxId tx) -> SmallWriteSet* {
+      const std::uint32_t* idx = writer_index.find(tx);
+      return idx != nullptr && *idx != 0 ? &writer_sets[*idx - 1] : nullptr;
+    };
+    SmallWriteSet::SpillPool spill_pool;
     struct PendingRead {
       TxId tx;
       std::size_t pos;
@@ -218,72 +229,81 @@ struct ShardPass {
     for (ObjId r = 0; r < h->model().size(); ++r) {
       if (!mine(r)) continue;
       const auto* reg = dynamic_cast<const RegisterSpec*>(&h->model().spec(r));
-      const auto key = std::make_pair(r, reg->initial_value());
+      const Value init_val = reg->initial_value();
       VersionRec init;
       init.writer = kInitTx;
       init.installed = true;
-      versions[key] = init;
-      current[r] = key;
+      versions.slot(r, init_val) = init;
+      current[r] = {r, init_val};
     }
 
     const std::vector<Event>& events = h->events();
     for (std::size_t i = 0; i < events.size(); ++i) {
       const Event& e = events[i];
       if (e.kind == EventKind::kCommit) {
-        const auto meta = pass0->txs.find(e.tx);
-        if (meta == pass0->txs.end() || !meta->second.committed ||
-            meta->second.commit_pos != i || !meta->second.has_write) {
+        const TxMeta* meta = pass0->txs.find(e.tx);
+        if (meta == nullptr || !meta->committed || meta->commit_pos != i ||
+            !meta->has_write) {
           continue;
         }
-        const auto writes = local_writes.find(e.tx);
-        if (writes == local_writes.end()) continue;
-        const std::size_t rank = meta->second.commit_rank;
-        for (const auto& [obj, value] : writes->second) {
+        SmallWriteSet* writes = writes_of(e.tx);
+        if (writes == nullptr || writes->empty()) continue;
+        const std::size_t rank = meta->commit_rank;
+        for (const auto& [obj, value] : *writes) {
           auto& prev_key = current[obj];
-          VersionRec& prev = versions[prev_key];
-          prev.close_rank = rank;
-          prev.close_pos = i;
-          const auto key = std::make_pair(obj, value);
-          VersionRec& rec = versions[key];
+          if (VersionRec* prev =
+                  versions.find(prev_key.first, prev_key.second)) {
+            prev->close_rank = rank;
+            prev->close_pos = i;
+          }
+          VersionRec& rec = versions.slot(obj, value);
           rec.writer = e.tx;
           rec.open_rank = rank;
           rec.close_rank = kOpenRank;
           rec.close_pos = kNone;
           rec.installed = true;
-          prev_key = key;
+          prev_key = {obj, value};
         }
+        // NOTE: the write set is intentionally NOT recycled here — a
+        // malformed history can read after its commit, and the monitor-
+        // equivalent treatment of that read depends on the stale buffer
+        // (the streaming monitor never consults a completed transaction's
+        // writes, so it recycles; this pass has no lifecycle state).
         continue;
       }
       if (e.kind != EventKind::kResponse || !mine(e.obj)) continue;
 
       if (e.op == OpCode::kWrite) {
-        const auto key = std::make_pair(e.obj, e.arg);
-        const auto [it, inserted] = versions.emplace(key, VersionRec{});
+        bool inserted = false;
+        VersionRec& rec = versions.slot(e.obj, e.arg, &inserted);
         if (inserted) {
-          it->second.writer = e.tx;
-        } else if (it->second.writer != e.tx) {
+          rec.writer = e.tx;
+        } else if (rec.writer != e.tx) {
           flags.push_back({i, tx_tag(e.tx) + " rewrote value " +
                                   std::to_string(e.arg) + " of x" +
                                   std::to_string(e.obj) +
                                   " (value-unique writes required)",
                            CertFlagKind::kValueNotUnique, e.tx, shard});
-          it->second.writer = e.tx;
+          rec.writer = e.tx;
         }
-        local_writes[e.tx][e.obj] = e.arg;
+        std::uint32_t& windex = writer_index.get(e.tx);
+        if (windex == 0) {
+          writer_sets.emplace_back();
+          windex = static_cast<std::uint32_t>(writer_sets.size());
+        }
+        writer_sets[windex - 1].set(e.obj, e.arg, spill_pool);
         continue;
       }
       if (e.op != OpCode::kRead) continue;
 
       // Local reads answer from the write buffer; they never touch windows.
-      const auto own_map = local_writes.find(e.tx);
-      if (own_map != local_writes.end()) {
-        const auto own = own_map->second.find(e.obj);
-        if (own != own_map->second.end()) {
-          if (own->second != e.ret) {
+      if (const SmallWriteSet* own_set = writes_of(e.tx)) {
+        if (const Value* own = own_set->find(e.obj)) {
+          if (*own != e.ret) {
             flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
                                     "=" + std::to_string(e.ret) +
                                     " despite its own write of " +
-                                    std::to_string(own->second) +
+                                    std::to_string(*own) +
                                     " (local consistency)",
                              CertFlagKind::kLocalInconsistency, e.tx, shard});
           }
@@ -291,34 +311,34 @@ struct ShardPass {
         }
       }
 
-      const auto v = versions.find({e.obj, e.ret});
-      if (v == versions.end()) {
+      const VersionRec* v = versions.find(e.obj, e.ret);
+      if (v == nullptr) {
         flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
                                 "=" + std::to_string(e.ret) +
                                 ", a value never written",
                          CertFlagKind::kUnwrittenValue, e.tx, shard});
         continue;
       }
-      if (v->second.writer == e.tx) {
+      if (v->writer == e.tx) {
         flags.push_back(
             {i, tx_tag(e.tx) + " read back its own value without a prior write",
              CertFlagKind::kSelfRead, e.tx, shard});
         continue;
       }
-      if (v->second.writer != kInitTx) {
-        const auto w = pass0->txs.find(v->second.writer);
+      if (v->writer != kInitTx) {
+        const TxMeta* w = pass0->txs.find(v->writer);
         const bool committed_before =
-            w != pass0->txs.end() && w->second.committed && w->second.commit_pos < i;
+            w != nullptr && w->committed && w->commit_pos < i;
         if (!committed_before) {
           flags.push_back({i, tx_tag(e.tx) + " read x" + std::to_string(e.obj) +
                                   "=" + std::to_string(e.ret) +
                                   " from non-committed T" +
-                                  std::to_string(v->second.writer),
+                                  std::to_string(v->writer),
                            CertFlagKind::kReadFromNonCommitted, e.tx, shard});
           continue;
         }
       }
-      pending_reads.push_back({e.tx, i, e.obj, v->first,
+      pending_reads.push_back({e.tx, i, e.obj, {e.obj, e.ret},
                                policy == VersionOrderPolicy::kStampedRead
                                    ? e.stamp
                                    : 0,
@@ -330,7 +350,7 @@ struct ShardPass {
     // reconstructs what was known at any position).
     reads.reserve(pending_reads.size());
     for (const PendingRead& pr : pending_reads) {
-      const VersionRec& rec = versions.at(pr.key);
+      const VersionRec& rec = *versions.find(pr.key.first, pr.key.second);
       // kStampedRead: the read's (rv, version) pair must agree with the
       // value-resolved version chain — the same two checks, with the same
       // flag positions, as the streaming monitor's stamped-read path. (A
@@ -389,6 +409,11 @@ void merge_windows(const Pass0& pass0, VersionOrderPolicy policy,
               return a.pos < b.pos;
             });
 
+  // (close_pos, (close_rank, shard)) min-heap, reused across transactions
+  // so the sweep allocates nothing once warm.
+  using Close = std::pair<std::size_t, std::pair<std::size_t, std::size_t>>;
+  std::vector<Close> closes;
+
   std::size_t begin = 0;
   while (begin < all_reads.size()) {
     std::size_t end = begin;
@@ -396,20 +421,20 @@ void merge_windows(const Pass0& pass0, VersionOrderPolicy policy,
       ++end;
     }
     const TxId id = all_reads[begin].tx;
-    const TxMeta& meta = pass0.txs.at(id);
+    const TxMeta& meta = *pass0.txs.find(id);
 
     std::size_t lo = 0;
     std::size_t hi = kOpenRank;
     std::size_t hi_shard = kNoShard;
-    using Close = std::pair<std::size_t, std::pair<std::size_t, std::size_t>>;
-    std::priority_queue<Close, std::vector<Close>, std::greater<Close>> closes;
+    closes.clear();
     const auto apply_closes_before = [&](std::size_t pos) {
-      while (!closes.empty() && closes.top().first < pos) {
-        if (closes.top().second.first < hi) {
-          hi = closes.top().second.first;
-          hi_shard = closes.top().second.second;
+      while (!closes.empty() && closes.front().first < pos) {
+        if (closes.front().second.first < hi) {
+          hi = closes.front().second.first;
+          hi_shard = closes.front().second.second;
         }
-        closes.pop();
+        std::pop_heap(closes.begin(), closes.end(), std::greater<Close>{});
+        closes.pop_back();
       }
     };
 
@@ -425,7 +450,8 @@ void merge_windows(const Pass0& pass0, VersionOrderPolicy policy,
             hi_shard = r.shard;
           }
         } else {
-          closes.push({r.close_pos, {r.close_rank, r.shard}});
+          closes.push_back({r.close_pos, {r.close_rank, r.shard}});
+          std::push_heap(closes.begin(), closes.end(), std::greater<Close>{});
         }
       }
       if (lo >= hi) {
@@ -499,8 +525,8 @@ void check_readless_points(const Pass0& pass0, std::vector<Flag>& flags,
                            const std::vector<ReadRec>& all_reads) {
   std::unordered_set<TxId> with_reads;
   for (const ReadRec& r : all_reads) with_reads.insert(r.tx);
-  for (const auto& [id, meta] : pass0.txs) {
-    if (!meta.committed || with_reads.count(id) != 0) continue;
+  pass0.txs.for_each([&](TxId id, const TxMeta& meta) {
+    if (!meta.committed || with_reads.count(id) != 0) return;
     if (meta.has_write) {
       if (meta.commit_rank <= meta.birth_rank) {
         flags.push_back({meta.commit_pos,
@@ -516,7 +542,7 @@ void check_readless_points(const Pass0& pass0, std::vector<Flag>& flags,
                            " outside its snapshot window",
                        CertFlagKind::kNoReadOnlyPoint, id, kNoShard});
     }
-  }
+  });
 }
 
 }  // namespace

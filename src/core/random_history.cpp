@@ -289,15 +289,22 @@ History random_mv_history(const MvHistoryParams& params) {
         p.snapshot = clock;
         p.snapped = true;
       }
-      Value ret;
       if (own != p.writes.end()) {
-        ret = own->second;  // local read
+        // Local read: answered from the write buffer, never stamped.
+        h.append(ev::ret(p.tx, obj, OpCode::kRead, 0, own->second));
       } else {
         const Version& v = newest_visible(obj, p.snapshot);
-        ret = v.value;
         p.reads.emplace(obj, v.stamp);
+        if (params.stamp_reads) {
+          // The (2·snapshot+1, version) pair MvStm records window-free:
+          // the version named is the writer's wv (stamp-space open rank
+          // 2·ver), truthful by the snapshot-read construction.
+          h.append(ev::ret(p.tx, obj, OpCode::kRead, 0, v.value,
+                           2 * p.snapshot + 1, v.stamp));
+        } else {
+          h.append(ev::ret(p.tx, obj, OpCode::kRead, 0, v.value));
+        }
       }
-      h.append(ev::ret(p.tx, obj, OpCode::kRead, 0, ret));
       --p.ops_left;
       continue;
     }

@@ -70,11 +70,17 @@ struct MvHistoryParams {
   double record_delay_prob = 0.5;
   /// Maximum drift, in scheduler steps.
   std::size_t max_record_delay_steps = 6;
+  /// Stamp every non-local read with its (2·snapshot+1, version) pair —
+  /// what MvStm records window-free since PR 4. The stamps are truthful
+  /// by construction; kStampedRead validates them, and the BlindWriteSmart
+  /// stamp pruning (StampPruneIndex) keys off the named versions.
+  bool stamp_reads = true;
 };
 
 /// Generate a well-formed, opaque-by-construction MV register history with
 /// stamped C/A events (Event::stamp: 2·wv updates, 2·snapshot+1 snapshot
-/// transactions). Deterministic in `params`.
+/// transactions) and, by default, stamped non-local reads. Deterministic
+/// in `params`.
 [[nodiscard]] History random_mv_history(const MvHistoryParams& params);
 
 }  // namespace optm::core

@@ -234,8 +234,11 @@ struct SmartReorderResult {
   bool certified = false;
   /// The certified total order ≪ over all transactions (iff certified).
   std::vector<TxId> order;
-  /// Candidate orders examined (certified or not).
+  /// Candidate orders examined (certified, pruned or exactly refuted).
   std::size_t candidates_tried = 0;
+  /// Of those, candidates rejected by the O(reads) stamp scan WITHOUT an
+  /// exact verify_opacity_certificate pass (see StampPruneIndex).
+  std::size_t candidates_pruned = 0;
 };
 
 /// The recorder's anchor order: committed transactions at their C position,
@@ -244,14 +247,85 @@ struct SmartReorderResult {
 /// stm::detail::certificate_order_of with no stamps. Exposed for tests.
 [[nodiscard]] std::vector<TxId> anchor_order(const History& h);
 
-/// Bounded search over the §3.6 reorderings of `h`'s anchor order: for each
-/// of the last `max_moves` committers (trying `prioritize` first, if given),
-/// try serializing it up to `max_moves` positions earlier; every candidate
-/// is verified with verify_opacity_certificate, so `certified` is sound.
-/// Intended for checker-scale prefixes — each candidate costs
-/// O(|h| log |h|).
+/// Sound fast rejection of candidate version orders, built once per search
+/// from the history's value-resolved reads-from and its recorded read
+/// stamps (Event::ver — the version identity PRs 3–4 put on window-free
+/// read responses). Two necessary conditions of the exact certificate are
+/// checked in O(reads) per candidate, with no History replay:
+///
+///   * reads-from follows ≪ (certificate check (b)): a candidate that
+///     serializes a reader at or before its value-resolved writer is
+///     condemned for every reader — committed, aborted or live — because
+///     verify_opacity_certificate rejects any reads-from edge against ≪;
+///   * no intervening writer (certificate check (d)): when a stamped read
+///     names its version, the stamp chain names that version's OVERWRITER
+///     (the committed writer of the next version in stamp space). A
+///     candidate ranking writer < overwriter < reader puts a visible
+///     writer of the register strictly between the reads-from endpoints,
+///     which check (d) rejects.
+///
+/// Both conditions are implied by the exact pass, so pruning can only skip
+/// candidates the exact pass would refute — verdicts are unchanged (the
+/// stamp-prune fuzz suite differentially enforces this).
+class StampPruneIndex {
+ public:
+  explicit StampPruneIndex(const History& h);
+
+  /// True if `order` cannot be certified (sound: implied by the exact
+  /// certificate). O(reads) plus one O(|order|) rank fill.
+  [[nodiscard]] bool rejects(const std::vector<TxId>& order) const;
+
+  [[nodiscard]] std::size_t num_constraints() const noexcept {
+    return constraints_.size();
+  }
+
+ private:
+  struct Constraint {
+    TxId reader{kNoTx};
+    TxId writer{kNoTx};      // kInitTx: reader > init holds in every order
+    TxId overwriter{kNoTx};  // kNoTx: no stamped next version known
+  };
+  std::vector<Constraint> constraints_;
+  // Scratch for rejects(): dense tx -> candidate rank, epoch-validated so
+  // repeated calls neither clear nor allocate.
+  mutable std::vector<std::pair<std::uint32_t, std::size_t>> rank_;
+  mutable std::uint32_t epoch_ = 0;
+};
+
+struct SmartReorderOptions {
+  /// Transaction to try moving first (the flagged one), if any.
+  std::optional<TxId> prioritize;
+  /// Search bound: the last max_moves committers, each moved up to
+  /// max_moves positions earlier.
+  std::size_t max_moves = 8;
+  /// A previously certified order to extend and try FIRST (the streaming
+  /// monitor's incremental search-mode replay: the witness of the last
+  /// certified prefix usually certifies the next one, making the common
+  /// per-response cost one exact pass instead of a whole search).
+  const std::vector<TxId>* hint = nullptr;
+  /// Reject candidates via StampPruneIndex before the exact pass
+  /// (disabled only by the differential fuzz that proves it sound).
+  bool stamp_prune = true;
+};
+
+/// Bounded search over the §3.6 reorderings of `h`'s anchor order: for
+/// each of the last max_moves committers (trying options.prioritize
+/// first, if given), try serializing it up to max_moves positions earlier;
+/// every surviving candidate is verified with verify_opacity_certificate,
+/// so `certified` is sound. Candidates are first screened by the O(reads)
+/// StampPruneIndex scan (candidates_pruned counts the rejects). Intended
+/// for checker-scale prefixes — each exact pass costs O(|h| log |h|).
 [[nodiscard]] SmartReorderResult smart_reorder_search(
+    const History& h, const SmartReorderOptions& options);
+
+/// Convenience overload (pre-PR-5 signature).
+[[nodiscard]] inline SmartReorderResult smart_reorder_search(
     const History& h, std::optional<TxId> prioritize = std::nullopt,
-    std::size_t max_moves = 8);
+    std::size_t max_moves = 8) {
+  SmartReorderOptions options;
+  options.prioritize = prioritize;
+  options.max_moves = max_moves;
+  return smart_reorder_search(h, options);
+}
 
 }  // namespace optm::core

@@ -76,6 +76,26 @@
 //     default; scales with recording threads.
 //   * MutexRecorder — the original single-mutex engine, kept as the
 //     baseline for benchmarking and as a differential-testing oracle.
+//
+// DRAIN SIDE (the live-verification feed). drain() merges each lane's
+// published prefix directly out of the lanes' stable chunks into a
+// caller-owned, reusable EventBatch — no intermediate per-lane copy, no
+// per-drain allocation: the drain cursors cache the chunk pointers (chunks
+// never move once allocated, so the per-lane spinlock is taken only when a
+// lane has GROWN since the last drain), the k-way merge heap is a reused
+// member, and the batch keeps its high-water capacity across drains. A
+// consumer therefore pays exactly one copy per event, recorder chunk ->
+// batch, for the lifetime of the pipeline.
+//
+// PACING. A live consumer should neither busy-poll a quiet recorder nor
+// let a burst build unbounded verdict latency. AdaptiveDrainPacer derives
+// the poll threshold from the measured ingest rate (an EWMA of stamps
+// issued between polls): bursts raise the threshold toward max_interval so
+// batches amortize the merge, quiet periods drop it toward min_interval
+// and an idle-poll flush bounds the tail — so the events between a
+// violation being recorded and the monitor latching it stay under
+// Options::max_pending whatever the workload does (the cadence tests
+// enforce both the convergence and the latency bound).
 #pragma once
 
 #include <algorithm>
@@ -85,8 +105,8 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <queue>
 #include <set>
+#include <span>
 #include <type_traits>
 #include <unordered_map>
 #include <utility>
@@ -165,6 +185,106 @@ namespace detail {
 
 }  // namespace detail
 
+/// Caller-owned, reusable drain buffer: a thin wrapper over a contiguous
+/// event array whose capacity survives clear(), so a steady-state
+/// drain/ingest loop allocates nothing. Recorder::drain APPENDS to it;
+/// consumers clear() between drains and hand span() to
+/// OnlineCertificateMonitor::ingest.
+class EventBatch {
+ public:
+  void clear() noexcept { events_.clear(); }
+  void reserve(std::size_t n) { events_.reserve(n); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return events_.capacity();
+  }
+  [[nodiscard]] const core::Event& operator[](std::size_t i) const noexcept {
+    return events_[i];
+  }
+  [[nodiscard]] std::span<const core::Event> span() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] auto begin() const noexcept { return events_.begin(); }
+  [[nodiscard]] auto end() const noexcept { return events_.end(); }
+  void push_back(const core::Event& e) { events_.push_back(e); }
+
+ private:
+  std::vector<core::Event> events_;
+};
+
+/// Self-pacing policy for a live drain loop (see the file header). All
+/// units are EVENTS (recorder stamps), so behavior is deterministic and
+/// directly testable: no wall clock enters the decision.
+class AdaptiveDrainPacer {
+ public:
+  struct Options {
+    /// Poll-threshold floor/ceiling, in pending events.
+    std::uint64_t min_interval = 64;
+    std::uint64_t max_interval = 8192;
+    /// Hard verdict-latency bound: a drain is forced once this many events
+    /// are pending, whatever the rate estimate says.
+    std::uint64_t max_pending = 16384;
+    /// Consecutive polls with pending work but NO new ingest before a
+    /// flush (bounds latency when the lanes go quiet mid-batch).
+    std::uint32_t idle_polls = 4;
+    /// The threshold targets this many polls' worth of ingest per drain.
+    std::uint32_t target_polls = 4;
+    /// EWMA smoothing for the per-poll ingest rate.
+    double alpha = 0.25;
+  };
+
+  AdaptiveDrainPacer() noexcept : AdaptiveDrainPacer(Options()) {}
+  explicit AdaptiveDrainPacer(const Options& options) noexcept
+      : options_(options), interval_(clamp(options.min_interval)) {}
+
+  /// One poll: `issued` = Recorder::stamps_issued(), `pending` =
+  /// Recorder::approx_pending(). True -> the caller should drain now.
+  [[nodiscard]] bool should_drain(std::uint64_t issued,
+                                  std::uint64_t pending) noexcept {
+    // stamps_issued() is monotone; guard anyway so a swapped-in counter
+    // cannot underflow the rate estimate.
+    const std::uint64_t delta = issued >= last_issued_ ? issued - last_issued_ : 0;
+    last_issued_ = issued;
+    if (delta > 0) {
+      rate_ = rate_ <= 0.0 ? static_cast<double>(delta)
+                           : options_.alpha * static_cast<double>(delta) +
+                                 (1.0 - options_.alpha) * rate_;
+      interval_ = clamp(static_cast<std::uint64_t>(
+          rate_ * static_cast<double>(options_.target_polls)));
+      idle_ = 0;
+    }
+    if (pending == 0) {
+      idle_ = 0;
+      return false;
+    }
+    if (pending >= interval_ || pending >= options_.max_pending) return true;
+    if (delta == 0 && ++idle_ >= options_.idle_polls) return true;
+    return false;
+  }
+
+  /// Report a completed drain (resets the idle-flush counter; the rate
+  /// estimate feeds purely off stamps_issued deltas, so the batch size
+  /// itself is not a parameter).
+  void on_drain() noexcept { idle_ = 0; }
+
+  /// Current poll threshold, in pending events (what converges).
+  [[nodiscard]] std::uint64_t interval() const noexcept { return interval_; }
+
+ private:
+  [[nodiscard]] std::uint64_t clamp(std::uint64_t x) const noexcept {
+    const std::uint64_t hi =
+        std::min(options_.max_interval, options_.max_pending);
+    return std::max(options_.min_interval, std::min(x, hi));
+  }
+
+  Options options_;
+  double rate_ = 0.0;
+  std::uint64_t interval_;
+  std::uint64_t last_issued_ = 0;
+  std::uint32_t idle_ = 0;
+};
+
 /// Abstract recorder interface the runtimes talk to. `lane` is the
 /// recording process's slot (ctx.id()), < sim::kMaxThreads; it selects the
 /// per-process buffer in the sharded engine and is ignored by the mutex
@@ -212,6 +332,15 @@ class RecorderBase {
 
   virtual void window_enter(WindowKind kind) = 0;
   virtual void window_exit(WindowKind kind) = 0;
+
+  /// The reader/writer lock behind the windows, when the engine implements
+  /// them with one (the sharded Recorder): RuntimeBase caches it so a
+  /// window is two inlined RMWs instead of two virtual calls wrapping
+  /// them. nullptr (the default) -> the virtual window_enter/window_exit
+  /// path (the mutex engine's recursive mutex).
+  [[nodiscard]] virtual util::SharedSpinLock* window_lock() noexcept {
+    return nullptr;
+  }
 
   /// Snapshot of the recorded history. Exact in quiescence (no recording
   /// hook concurrently in flight); during a run it returns the published
@@ -262,9 +391,7 @@ class RecorderBase {
 class Recorder final : public RecorderBase {
  public:
   explicit Recorder(std::size_t num_vars)
-      : model_(core::ObjectModel::registers(num_vars, 0)) {
-    taken_.fill(0);
-  }
+      : model_(core::ObjectModel::registers(num_vars, 0)) {}
 
   [[nodiscard]] core::TxId begin_tx() override {
     return next_tx_.fetch_add(1, std::memory_order_relaxed);
@@ -311,6 +438,9 @@ class Recorder final : public RecorderBase {
       window_lock_.unlock_shared();
     }
   }
+  [[nodiscard]] util::SharedSpinLock* window_lock() noexcept override {
+    return &window_lock_;
+  }
 
   [[nodiscard]] core::History history() const override {
     std::vector<StampedEvent> all = collect();
@@ -348,49 +478,66 @@ class Recorder final : public RecorderBase {
     return seq_.load(std::memory_order_acquire);
   }
 
+  /// Stamps issued but not yet drained — the quantity AdaptiveDrainPacer
+  /// paces on. Approximate by nature (both ends move concurrently).
+  [[nodiscard]] std::uint64_t approx_pending() const noexcept {
+    return seq_.load(std::memory_order_acquire) -
+           drained_.load(std::memory_order_acquire);
+  }
+
   /// Epoch merge: append to `out` every not-yet-drained event whose stamp
   /// belongs to the contiguous completed prefix of the global sequence.
   /// Safe to call concurrently with recording (from ONE draining thread);
   /// events in flight past the first gap stay pending until a later drain.
-  /// A k-way merge over the per-lane runs (each lane is stamp-sorted by
-  /// construction), so the cost is O(new · log lanes) with sequential
-  /// access — no global sort. Returns the number of events appended.
-  std::size_t drain(std::vector<core::Event>& out) {
+  /// A k-way merge over the per-lane chunk cursors (each lane is
+  /// stamp-sorted by construction), copying each event exactly once,
+  /// chunk -> out; the cursors cache the stable chunk pointers, so the
+  /// per-lane spinlock is touched only when a lane grew a new chunk, and
+  /// nothing is allocated once `out` and the cursor caches reach their
+  /// high-water capacity. Returns the number of events appended.
+  std::size_t drain(EventBatch& out) {
     const std::lock_guard<std::mutex> guard(merge_mu_);
     if (next_seq_ == seq_.load(std::memory_order_acquire)) return 0;
+    heap_.clear();
     for (std::size_t l = 0; l < lanes_.size(); ++l) {
-      PendingRun& run = runs_[l];
-      const std::size_t before = run.buf.size();
-      copy_published(lanes_[l], taken_[l], run.buf);
-      taken_[l] += run.buf.size() - before;
+      DrainCursor& cur = cursors_[l];
+      cur.published = lanes_[l].count.load(std::memory_order_acquire);
+      if (cur.published > cur.chunks.size() * kChunkSize) {
+        // The lane grew: refresh the chunk-pointer cache (append-only —
+        // chunks are stable once allocated).
+        const std::lock_guard<util::SpinLock> lane_guard(lanes_[l].mu);
+        for (std::size_t c = cur.chunks.size(); c < lanes_[l].chunks.size();
+             ++c) {
+          cur.chunks.push_back(lanes_[l].chunks[c].get());
+        }
+      }
+      if (cur.taken < cur.published) {
+        heap_.push_back({stamp_at(cur, cur.taken), l});
+      }
     }
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
 
-    using Head = std::pair<std::uint64_t, std::size_t>;  // (stamp, lane)
-    std::priority_queue<Head, std::vector<Head>, std::greater<Head>> heads;
-    for (std::size_t l = 0; l < runs_.size(); ++l) {
-      if (runs_[l].cursor < runs_[l].buf.size()) {
-        heads.push({runs_[l].buf[runs_[l].cursor].seq, l});
-      }
-    }
     std::size_t consumed = 0;
-    while (!heads.empty() && heads.top().first == next_seq_) {
-      const std::size_t l = heads.top().second;
-      heads.pop();
-      PendingRun& run = runs_[l];
-      out.push_back(run.buf[run.cursor].event);
-      ++run.cursor;
-      ++next_seq_;
-      ++consumed;
-      if (run.cursor < run.buf.size()) {
-        heads.push({run.buf[run.cursor].seq, l});
+    while (!heap_.empty() && heap_.front().first == next_seq_) {
+      const std::size_t l = heap_.front().second;
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      heap_.pop_back();
+      DrainCursor& cur = cursors_[l];
+      // Consume the lane's whole run of consecutive stamps before going
+      // back to the heap (runs are long when one thread records a batch).
+      do {
+        out.push_back(event_at(cur, cur.taken));
+        ++cur.taken;
+        ++next_seq_;
+        ++consumed;
+      } while (cur.taken < cur.published &&
+               stamp_at(cur, cur.taken) == next_seq_);
+      if (cur.taken < cur.published) {
+        heap_.push_back({stamp_at(cur, cur.taken), l});
+        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
-    for (PendingRun& run : runs_) {
-      if (run.cursor == run.buf.size()) {
-        run.buf.clear();
-        run.cursor = 0;
-      }
-    }
+    drained_.store(next_seq_, std::memory_order_release);
     return consumed;
   }
 
@@ -429,10 +576,13 @@ class Recorder final : public RecorderBase {
   /// chunks never move once allocated, so no lock is needed on the hot
   /// path. The spinlock guards chunk-list growth (once per kChunkSize
   /// events), reader snapshots of the chunk-pointer list, and the rare
-  /// completion-stamp appends. Padded so lanes do not false-share.
+  /// completion-stamp appends. `tail` is the writer's private cache of the
+  /// current chunk, saving the vector indirection per push. Padded so
+  /// lanes do not false-share.
   struct alignas(64) Lane {
     mutable util::SpinLock mu;
     std::vector<std::unique_ptr<Chunk>> chunks;
+    Chunk* tail{nullptr};
     std::atomic<std::size_t> count{0};
     std::vector<std::pair<core::TxId, std::uint64_t>> stamps;
   };
@@ -445,13 +595,27 @@ class Recorder final : public RecorderBase {
     Lane& lane = lanes_[lane_id];
     const std::size_t i = lane.count.load(std::memory_order_relaxed);
     if (i == lane.chunks.size() * kChunkSize) {
+      // Default-init (`new Chunk`, not make_unique's value-init `new
+      // Chunk()`): value-initialization zero-fills the whole chunk before
+      // the no-op Slot constructors run — a ~230KB memset every
+      // kChunkSize events that the uninitialized-slot protocol exists to
+      // avoid. Allocated outside the lock.
+      std::unique_ptr<Chunk> chunk(new Chunk);
       const std::lock_guard<util::SpinLock> guard(lane.mu);
-      lane.chunks.push_back(std::make_unique<Chunk>());
+      lane.tail = chunk.get();
+      lane.chunks.push_back(std::move(chunk));
     }
     // The stamp is drawn at the instant of recording (inside the caller's
-    // window, when one is held): its order is the semantic order.
-    lane.chunks[i / kChunkSize]->slots[i % kChunkSize].value = {
-        seq_.fetch_add(1, std::memory_order_acq_rel), e};
+    // window, when one is held): its order is the semantic order. The
+    // fetch_add can be relaxed: RMWs on one atomic are totally ordered and
+    // happens-before implies modification order, so any cross-thread
+    // ordering established by the runtime (or a window) yields ordered
+    // stamps; the release store of `count` is what publishes the slot.
+    // Field-wise stores (not a StampedEvent temporary) keep the compiler
+    // from spilling through a 56-byte memcpy per event.
+    StampedEvent& slot = lane.tail->slots[i % kChunkSize].value;
+    slot.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    slot.event = e;
     lane.count.store(i + 1, std::memory_order_release);
   }
   void push(std::uint32_t lane_id, const core::Event& e, core::TxId tx,
@@ -495,19 +659,31 @@ class Recorder final : public RecorderBase {
   core::ObjectModel model_;
   std::array<Lane, sim::kMaxThreads> lanes_;
   std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> drained_{0};  // next_seq_, readable lock-free
   std::atomic<core::TxId> next_tx_{1};
   util::SharedSpinLock window_lock_;
 
-  /// Per-lane fetched-but-not-yet-merged events (a sorted run each).
-  struct PendingRun {
-    std::vector<StampedEvent> buf;
-    std::size_t cursor = 0;
+  /// Drain-side view of one lane: consumed count, last loaded published
+  /// count, and the cached (stable) chunk pointers.
+  struct DrainCursor {
+    std::vector<Chunk*> chunks;
+    std::size_t taken = 0;
+    std::size_t published = 0;
   };
 
-  // Epoch-merge cursor state (drain side only).
+  [[nodiscard]] static std::uint64_t stamp_at(const DrainCursor& cur,
+                                              std::size_t i) noexcept {
+    return cur.chunks[i / kChunkSize]->slots[i % kChunkSize].value.seq;
+  }
+  [[nodiscard]] static const core::Event& event_at(const DrainCursor& cur,
+                                                   std::size_t i) noexcept {
+    return cur.chunks[i / kChunkSize]->slots[i % kChunkSize].value.event;
+  }
+
+  // Epoch-merge cursor state (drain side only, under merge_mu_).
   std::mutex merge_mu_;
-  std::array<std::size_t, sim::kMaxThreads> taken_{};
-  std::array<PendingRun, sim::kMaxThreads> runs_;
+  std::array<DrainCursor, sim::kMaxThreads> cursors_;
+  std::vector<std::pair<std::uint64_t, std::size_t>> heap_;  // (stamp, lane)
   std::uint64_t next_seq_ = 0;  // first stamp not yet drained
 };
 

@@ -73,6 +73,15 @@ class RuntimeBase : public Stm {
 
   void set_recorder(RecorderBase* recorder) noexcept override {
     recorder_ = recorder;
+    // Cache the engine's window lock (when it has one) so every window on
+    // the recorded hot path is two inlined RMWs, not two virtual calls
+    // wrapping them. The mutex engine returns nullptr and keeps the
+    // virtual path.
+    window_lock_ = recorder != nullptr ? recorder->window_lock() : nullptr;
+    // Devirtualize the per-event hooks for the sharded engine: Recorder is
+    // final and header-defined, so calls through a concrete pointer inline
+    // the whole push (stamp draw + slot store) into the runtime's op.
+    sharded_ = dynamic_cast<Recorder*>(recorder);
   }
 
   bool set_window_free(bool on) noexcept override {
@@ -104,14 +113,61 @@ class RuntimeBase : public Stm {
   /// attached — and in window-free mode, where the stamps the runtime
   /// emits replace the window discipline entirely (the commit "window"
   /// shrinks to the recording instant of the C event itself).
-  using RecWindow = RecorderBase::Window;
+  ///
+  /// When the engine exposes its SharedSpinLock (the sharded Recorder),
+  /// the window takes it directly — the inlined fast path of the recorded
+  /// hot loop; otherwise it falls back to the virtual
+  /// window_enter/window_exit pair (the mutex engine).
+  class [[nodiscard]] RecWindow {
+   public:
+    RecWindow() = default;
+    RecWindow(RecorderBase* recorder, util::SharedSpinLock* lock,
+              RecorderBase::WindowKind kind)
+        : recorder_(recorder), lock_(lock), kind_(kind) {
+      if (lock_ != nullptr) {
+        if (kind_ == RecorderBase::WindowKind::kCommit) {
+          lock_->lock();
+        } else {
+          lock_->lock_shared();
+        }
+      } else if (recorder_ != nullptr) {
+        recorder_->window_enter(kind_);
+      }
+    }
+    RecWindow(RecWindow&& other) noexcept
+        : recorder_(other.recorder_), lock_(other.lock_), kind_(other.kind_) {
+      other.recorder_ = nullptr;
+      other.lock_ = nullptr;
+    }
+    RecWindow(const RecWindow&) = delete;
+    RecWindow& operator=(const RecWindow&) = delete;
+    RecWindow& operator=(RecWindow&&) = delete;
+    ~RecWindow() {
+      if (lock_ != nullptr) {
+        if (kind_ == RecorderBase::WindowKind::kCommit) {
+          lock_->unlock();
+        } else {
+          lock_->unlock_shared();
+        }
+      } else if (recorder_ != nullptr) {
+        recorder_->window_exit(kind_);
+      }
+    }
+
+   private:
+    RecorderBase* recorder_ = nullptr;
+    util::SharedSpinLock* lock_ = nullptr;
+    RecorderBase::WindowKind kind_ = RecorderBase::WindowKind::kSample;
+  };
 
   [[nodiscard]] RecWindow rec_sample_window() const {
-    return RecWindow(window_free_ ? nullptr : recorder_,
+    if (window_free_) return RecWindow();
+    return RecWindow(recorder_, window_lock_,
                      RecorderBase::WindowKind::kSample);
   }
   [[nodiscard]] RecWindow rec_commit_window() const {
-    return RecWindow(window_free_ ? nullptr : recorder_,
+    if (window_free_) return RecWindow();
+    return RecWindow(recorder_, window_lock_,
                      RecorderBase::WindowKind::kCommit);
   }
 
@@ -120,7 +176,10 @@ class RuntimeBase : public Stm {
   }
   void rec_inv(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
                std::uint64_t arg) {
-    if (recorder_ != nullptr) {
+    if (sharded_ != nullptr) {
+      sharded_->on_inv(ctx.id(), rec_tx_[ctx.id()], var, op,
+                       static_cast<core::Value>(arg));
+    } else if (recorder_ != nullptr) {
       recorder_->on_inv(ctx.id(), rec_tx_[ctx.id()], var, op,
                         static_cast<core::Value>(arg));
     }
@@ -131,7 +190,11 @@ class RuntimeBase : public Stm {
   void rec_ret(sim::ThreadCtx& ctx, VarId var, core::OpCode op,
                std::uint64_t arg, std::uint64_t ret, std::uint64_t stamp = 0,
                std::uint64_t ver = 0) {
-    if (recorder_ != nullptr) {
+    if (sharded_ != nullptr) {
+      sharded_->on_ret(ctx.id(), rec_tx_[ctx.id()], var, op,
+                       static_cast<core::Value>(arg),
+                       static_cast<core::Value>(ret), stamp, ver);
+    } else if (recorder_ != nullptr) {
       recorder_->on_ret(ctx.id(), rec_tx_[ctx.id()], var, op,
                         static_cast<core::Value>(arg),
                         static_cast<core::Value>(ret), stamp, ver);
@@ -172,6 +235,12 @@ class RuntimeBase : public Stm {
 
   std::size_t num_vars_;
   RecorderBase* recorder_ = nullptr;
+  /// Cached RecorderBase::window_lock() of the attached engine (nullptr
+  /// when the engine keeps the virtual window path).
+  util::SharedSpinLock* window_lock_ = nullptr;
+  /// recorder_ downcast to the final sharded engine (nullptr otherwise):
+  /// the devirtualized fast path of the per-event hooks.
+  Recorder* sharded_ = nullptr;
   /// Set (in the constructor) by runtimes that stamp every non-local read
   /// with its (rv, version) pair — clock-validated (tl2/tiny/norec/mv) or
   /// orec-published (dstm/astm) — the precondition for dropping windows.

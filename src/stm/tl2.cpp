@@ -109,12 +109,10 @@ bool Tl2Stm::commit(sim::ThreadCtx& ctx) {
 
   // Lock the write set in VarId order (global order -> no deadlock). Record
   // each variable's pre-lock version for release-on-abort and validation.
-  struct Locked {
-    VarId var;
-    std::uint64_t value;
-    std::uint64_t version;
-  };
-  std::vector<Locked> order;
+  // The order scratch lives in the slot so steady-state commits reuse its
+  // capacity instead of allocating.
+  std::vector<Locked>& order = slot.lock_order;
+  order.clear();
   order.reserve(slot.ws.size());
   for (const WriteEntry& w : slot.ws.entries()) order.push_back({w.var, w.value, 0});
   std::sort(order.begin(), order.end(),

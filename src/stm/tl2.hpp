@@ -62,12 +62,21 @@ class Tl2Stm final : public RuntimeBase {
     sim::BaseWord value;
   };
 
+  /// One write-set entry with its pre-lock version, in the commit's
+  /// VarId lock order (see commit()).
+  struct Locked {
+    VarId var;
+    std::uint64_t value;
+    std::uint64_t version;
+  };
+
   struct Slot {
     bool active = false;
     bool rv_sampled = false;  // lazy rv (see ensure_rv)
     std::uint64_t rv = 0;     // read version: clock sample at first access
     std::vector<ReadEntry> rs;
     WriteSet ws;
+    std::vector<Locked> lock_order;  // commit scratch, capacity reused
   };
 
   /// Lazy rv: the clock is sampled at the FIRST operation rather than at

@@ -119,7 +119,7 @@ TEST_P(WindowFreeRecorderFuzz, MutexAndShardedAgreeIncludingStamps) {
 
     // Drain path (what live verification consumes), not history(): the
     // stamp fields must survive the chunked-lane copy and the k-way merge.
-    std::vector<core::Event> drained;
+    EventBatch drained;
     while (sharded_recorder.drain(drained) > 0) {
     }
     ASSERT_EQ(a.size(), drained.size()) << "seed " << seed;
@@ -209,7 +209,7 @@ TEST(ShardedRecorder, DrainReconstructsHistoryIncrementally) {
 
   // Quiescent now: repeated drains must hand out the full linearization in
   // order, and agree with history() exactly.
-  std::vector<core::Event> drained;
+  EventBatch drained;
   while (recorder.drain(drained) > 0) {
   }
   const core::History h = recorder.history();
@@ -230,7 +230,7 @@ TEST(ShardedRecorder, DrainWhileRecordingYieldsCompletePrefixes) {
   params.txs_per_thread = 300;
   params.seed = 21;
 
-  std::vector<core::Event> drained;
+  EventBatch drained;
   core::OnlineCertificateMonitor live(recorder.model());
   std::thread worker([&] { (void)wl::run_random_mix(*stm, params); });
   // Live pipeline: drain stamp-contiguous batches while the workload runs
@@ -238,13 +238,13 @@ TEST(ShardedRecorder, DrainWhileRecordingYieldsCompletePrefixes) {
   for (int spin = 0; spin < 10000; ++spin) {
     const std::size_t before = drained.size();
     (void)recorder.drain(drained);
-    (void)live.ingest(std::span<const core::Event>(drained).subspan(before));
+    (void)live.ingest(drained.span().subspan(before));
   }
   worker.join();
   const std::size_t before = drained.size();
   while (recorder.drain(drained) > 0) {
   }
-  (void)live.ingest(std::span<const core::Event>(drained).subspan(before));
+  (void)live.ingest(drained.span().subspan(before));
 
   const core::History h = recorder.history();
   ASSERT_EQ(drained.size(), h.size());
@@ -270,20 +270,20 @@ TEST(ShardedRecorder, WindowFreeDrainWhileRecordingCertifiesStamped) {
   params.txs_per_thread = 300;
   params.seed = 77;
 
-  std::vector<core::Event> drained;
+  EventBatch drained;
   core::OnlineCertificateMonitor live(recorder.model(),
                                       core::VersionOrderPolicy::kStampedRead);
   std::thread worker([&] { (void)wl::run_random_mix(*stm, params); });
   for (int spin = 0; spin < 10000; ++spin) {
     const std::size_t before = drained.size();
     (void)recorder.drain(drained);
-    (void)live.ingest(std::span<const core::Event>(drained).subspan(before));
+    (void)live.ingest(drained.span().subspan(before));
   }
   worker.join();
   const std::size_t before = drained.size();
   while (recorder.drain(drained) > 0) {
   }
-  (void)live.ingest(std::span<const core::Event>(drained).subspan(before));
+  (void)live.ingest(drained.span().subspan(before));
 
   EXPECT_TRUE(live.ok()) << live.violation()->reason << " at event "
                          << live.violation()->pos;
