@@ -13,13 +13,20 @@
 // verification driver across shard counts.
 #include "bench_common.hpp"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <filesystem>
 #include <span>
 #include <thread>
 
 #include "core/online.hpp"
 #include "core/parallel_verify.hpp"
+#include "log/log_sink.hpp"
+#include "log/writer.hpp"
 #include "stm/recorder.hpp"
+#include "stm/sink.hpp"
+#include "util/cli.hpp"
 #include "util/pool.hpp"
 
 namespace optm::bench {
@@ -377,6 +384,84 @@ BENCHMARK(BM_ParallelOfflineVerify)
     ->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
+// Sink overhead: the durable segment-log sink vs the in-RAM append baseline
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Push a pre-recorded history through a sink in drain-sized chunks —
+/// the consumption side of the pipeline isolated from recording noise.
+void sink_append_chunks(const core::History& h, stm::EventSink& sink,
+                        std::size_t chunk) {
+  std::span<const core::Event> rest(h.events());
+  while (!rest.empty()) {
+    const std::size_t take = std::min(rest.size(), chunk);
+    if (!sink.accept(rest.first(take))) break;
+    rest = rest.subspan(take);
+  }
+  (void)sink.finish();
+}
+
+constexpr std::size_t kSinkChunkEvents = 8192;
+
+/// Baseline: the same chunks appended to an in-RAM History
+/// (History::append_batch via HistoryAppendSink).
+void BM_RamAppendDrain(benchmark::State& state) {
+  const core::History h = recorded_mix(4096);
+  for (auto _ : state) {
+    core::History out(h.model());
+    stm::HistoryAppendSink sink(out);
+    sink_append_chunks(h, sink, kSinkChunkEvents);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(h.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// The durable leg: identical chunks through log::LogWriterSink into a
+/// fresh multi-segment mmap-backed log per iteration (CRC framing,
+/// rotation and the final seal included). The delta against
+/// BM_RamAppendDrain is the cost of durability in the drain loop.
+void BM_LogAppendDrain(benchmark::State& state) {
+  const core::History h = recorded_mix(4096);
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("optm_bench_log_" + std::to_string(::getpid()));
+  std::uint64_t segments = 0;
+  for (auto _ : state) {
+    log::WriterOptions options;
+    options.directory = dir.string();
+    options.segment_bytes = std::size_t{2} << 20;  // force rotation
+    options.metadata.runtime = "tl2";
+    options.metadata.policy = "record-only";
+    options.metadata.window_mode = "windowed";
+    options.metadata.num_vars = 8;
+    log::LogWriter writer(options);
+    log::LogWriterSink sink(writer);
+    sink_append_chunks(h, sink, kSinkChunkEvents);
+    if (!writer.ok()) {
+      state.SkipWithError(writer.error().c_str());
+      return;
+    }
+    segments = writer.segments_written();
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    state.ResumeTiming();
+  }
+  state.counters["events"] = static_cast<double>(h.size());
+  state.counters["segments"] = static_cast<double>(segments);
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(h.size()),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+BENCHMARK(BM_RamAppendDrain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LogAppendDrain)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
 // --json=FILE: the machine-readable perf artifact (BENCH_5.json schema)
 // ---------------------------------------------------------------------------
 //
@@ -406,6 +491,8 @@ constexpr BenchMeta kBenchMeta[] = {
     {"BM_LiveVerifiedMixMutex", "tl2", "commit-order", "windowed"},
     {"BM_LiveVerifiedMixSharded", "tl2", "commit-order", "windowed"},
     {"BM_LiveVerifiedMixTl2WindowFree", "tl2", "stamped-read", "window-free"},
+    {"BM_RamAppendDrain", "tl2", "record-only", "windowed"},
+    {"BM_LogAppendDrain", "tl2", "record-only", "windowed"},
 };
 
 [[nodiscard]] const BenchMeta* meta_of(const std::string& name) {
@@ -494,17 +581,8 @@ class JsonCaptureReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   // Strip our --json=FILE flag before google-benchmark sees (and rejects)
   // it.
-  std::string json_path;
-  int out = 1;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      json_path = arg.substr(7);
-    } else {
-      argv[out++] = argv[i];
-    }
-  }
-  argc = out;
+  const std::string json_path =
+      optm::util::extract_flag(argc, argv, "json").value_or("");
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,12 +1,30 @@
-// The opacity checker as a tool: evaluate every correctness criterion of
-// §3 and §5 on the paper's worked histories (or on a freshly recorded STM
-// execution), printing the comparison matrix the paper develops in prose.
+// The opacity checker as a subcommand tool.
 //
-//   build/examples/checker_tool                    # all paper histories
-//   build/examples/checker_tool --history=h1       # Figure 1 only
-//   build/examples/checker_tool --record=weak      # record + judge a run
-//   build/examples/checker_tool --dot=h5           # OPG in Graphviz form
+//   checker_tool certify                     # judge all paper histories
+//   checker_tool certify --history=h1        # Figure 1 only
+//   checker_tool certify --record=weak       # record + judge a live run
+//   checker_tool certify --dot=h5            # OPG in Graphviz form
+//   checker_tool certify-log <dir>           # certify a segment log from disk
+//   checker_tool inspect-log <dir>           # header + per-segment stats
+//
+// `certify` evaluates every correctness criterion of §3 and §5 on the
+// paper's worked histories (or on a freshly recorded STM execution),
+// printing the comparison matrix the paper develops in prose.
+//
+// `certify-log` streams a durable segmented binary log (written by
+// recorded_soak --log-dir, format: src/log/format.hpp) through the
+// bounded-memory verification front-end (core/stream_verify.hpp): logs
+// that fit --window-events are verified by the sharded parallel driver,
+// larger ones fall over to the streaming certificate monitor — so a
+// multi-segment log far larger than RAM certifies with peak memory
+// bounded by the window, with the same verdict and flag position the
+// in-RAM monitor produces. The policy defaults to the one recorded in
+// the segment headers.
+//
+// Bare legacy invocations (checker_tool --history=h2) still work: no
+// subcommand means `certify`.
 #include <cstdio>
+#include <cstring>
 #include <string>
 
 #include "core/criteria.hpp"
@@ -14,6 +32,8 @@
 #include "core/opacity_graph.hpp"
 #include "core/paper.hpp"
 #include "core/phenomena.hpp"
+#include "core/stream_verify.hpp"
+#include "log/reader.hpp"
 #include "sim/thread_ctx.hpp"
 #include "stm/factory.hpp"
 #include "stm/recorder.hpp"
@@ -61,10 +81,8 @@ void judge(const std::string& label, const History& h) {
   std::fputs("\n", stdout);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  optm::util::Cli cli("checker_tool",
+int cmd_certify(int argc, char** argv) {
+  optm::util::Cli cli("checker_tool certify",
                       "judge histories against every §3/§5 criterion");
   cli.flag("history", "all",
            "h1|h2|h3|h4|h5|zombie|counter|blind|all (paper histories)");
@@ -115,4 +133,152 @@ int main(int argc, char** argv) {
         paper_history("counter"));
   judge("§3.6 blind writes — opaque but not rigorous", paper_history("blind"));
   return 0;
+}
+
+int cmd_certify_log(int argc, char** argv) {
+  optm::util::Cli cli("checker_tool certify-log",
+                      "stream a segmented binary event log from disk through "
+                      "the bounded-memory certifier");
+  cli.positional("dir", "log directory written by recorded_soak --log-dir");
+  cli.flag("policy", "",
+           "version-order policy override (default: the policy recorded "
+           "in the segment headers)");
+  cli.flag("window-events", "1048576",
+           "materialization window: logs up to this many events use the "
+           "sharded parallel driver, larger ones stream through the "
+           "monitor in windows of this size");
+  cli.flag("shards", "4", "register shards when the sharded driver runs");
+  if (!cli.parse(argc, argv)) return 1;
+
+  optm::log::LogReader reader;
+  if (!reader.open(cli.get("dir"))) {
+    std::fprintf(stderr, "certify-log: %s\n", reader.error().c_str());
+    return 2;
+  }
+  const optm::log::LogMetadata& meta = reader.metadata();
+  std::string policy_name =
+      cli.get("policy").empty() ? meta.policy : cli.get("policy");
+  const auto policy = optm::core::parse_version_order_policy(policy_name);
+  if (!policy) {
+    std::fprintf(stderr,
+                 "certify-log: unknown policy '%s' (override with --policy=)\n",
+                 policy_name.c_str());
+    return 2;
+  }
+  if (meta.num_vars == 0) {
+    std::fprintf(stderr, "certify-log: log metadata has num_vars == 0\n");
+    return 2;
+  }
+
+  std::printf("certlog.dir=%s\n", cli.get("dir").c_str());
+  std::printf("certlog.stm=%s\n", meta.runtime.c_str());
+  std::printf("certlog.window_mode=%s\n", meta.window_mode.c_str());
+  std::printf("certlog.policy=%s\n", to_string(*policy));
+  std::printf("certlog.segments=%zu\n", reader.num_segments());
+
+  optm::core::StreamVerifyOptions options;
+  options.policy = *policy;
+  options.window_events =
+      static_cast<std::size_t>(cli.get_int("window-events"));
+  options.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
+  const auto model =
+      optm::core::ObjectModel::registers(meta.num_vars, 0);
+  const auto result = optm::core::verify_event_stream(
+      model, [&reader] { return reader.next(); }, options);
+
+  if (!reader.ok()) {
+    std::fprintf(stderr, "certify-log: %s\n", reader.error().c_str());
+    return 2;
+  }
+  if (reader.tail_dropped()) {
+    std::printf("certlog.torn_tail_bytes_dropped=%llu\n",
+                static_cast<unsigned long long>(reader.dropped_bytes()));
+  }
+  std::printf("certlog.events=%zu\n", result.events);
+  std::printf("certlog.engine=%s\n",
+              result.used_sharded_driver ? "sharded-driver" : "streaming-monitor");
+  if (result.used_sharded_driver) {
+    std::printf("certlog.shards=%zu\n", result.shards_used);
+  } else {
+    std::printf("certlog.windows=%zu\n", result.windows);
+  }
+  std::printf("certlog.verdict=%s\n",
+              result.certified ? "certified" : "FLAGGED");
+  if (!result.certified) {
+    std::printf("certlog.flag_pos=%zu\n", result.violation->pos);
+    std::printf("certlog.flag_reason=%s\n", result.violation->reason.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+int cmd_inspect_log(int argc, char** argv) {
+  optm::util::Cli cli("checker_tool inspect-log",
+                      "print a segment log's metadata and per-segment stats");
+  cli.positional("dir", "log directory written by recorded_soak --log-dir");
+  if (!cli.parse(argc, argv)) return 1;
+
+  optm::log::LogReader reader;
+  if (!reader.open(cli.get("dir"))) {
+    std::fprintf(stderr, "inspect-log: %s\n", reader.error().c_str());
+    return 2;
+  }
+  // Walk the whole log so every segment's block/event counts are exact
+  // (and every CRC actually checked).
+  while (!reader.next().empty()) {
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "inspect-log: %s\n", reader.error().c_str());
+    return 2;
+  }
+  const optm::log::LogMetadata& meta = reader.metadata();
+  std::printf("log.dir=%s\n", cli.get("dir").c_str());
+  std::printf("log.stm=%s\n", meta.runtime.c_str());
+  std::printf("log.policy=%s\n", meta.policy.c_str());
+  std::printf("log.window_mode=%s\n", meta.window_mode.c_str());
+  std::printf("log.vars=%u\n", meta.num_vars);
+  std::printf("log.threads=%u\n", meta.threads);
+  std::printf("log.segments=%zu\n", reader.num_segments());
+  std::printf("log.events=%llu\n",
+              static_cast<unsigned long long>(reader.events_read()));
+  if (reader.tail_dropped()) {
+    std::printf("log.torn_tail_bytes_dropped=%llu\n",
+                static_cast<unsigned long long>(reader.dropped_bytes()));
+  }
+  for (const auto& seg : reader.segments()) {
+    std::printf(
+        "log.segment index=%llu first_stamp=%llu events=%llu blocks=%llu "
+        "bytes=%llu%s\n",
+        static_cast<unsigned long long>(seg.index),
+        static_cast<unsigned long long>(seg.first_stamp),
+        static_cast<unsigned long long>(seg.events),
+        static_cast<unsigned long long>(seg.blocks),
+        static_cast<unsigned long long>(seg.file_bytes),
+        seg.dropped_bytes != 0 ? " TORN-TAIL" : "");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* sub = argc > 1 ? argv[1] : "";
+  // Subcommands consume argv[1]; bare flags fall through to `certify`
+  // so pre-redesign invocations keep working.
+  if (std::strcmp(sub, "certify") == 0) return cmd_certify(argc - 1, argv + 1);
+  if (std::strcmp(sub, "certify-log") == 0) {
+    return cmd_certify_log(argc - 1, argv + 1);
+  }
+  if (std::strcmp(sub, "inspect-log") == 0) {
+    return cmd_inspect_log(argc - 1, argv + 1);
+  }
+  if (sub[0] != '\0' && sub[0] != '-') {
+    std::fprintf(stderr,
+                 "unknown subcommand '%s'\n"
+                 "usage: checker_tool <certify|certify-log|inspect-log> "
+                 "[flags]\n",
+                 sub);
+    return 1;
+  }
+  return cmd_certify(argc, argv);
 }

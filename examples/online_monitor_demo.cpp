@@ -22,8 +22,10 @@
 #include "core/paper.hpp"
 #include "core/parallel_verify.hpp"
 #include "sim/thread_ctx.hpp"
+#include "stm/cli_flags.hpp"
 #include "stm/factory.hpp"
 #include "stm/recorder.hpp"
+#include "stm/sink.hpp"
 #include "util/cli.hpp"
 #include "workload/workloads.hpp"
 
@@ -46,11 +48,16 @@ void report(const char* label,
 
 int main(int argc, char** argv) {
   optm::util::Cli cli("online_monitor_demo", "streaming opacity monitors");
-  cli.flag("stm", "weak", "STM to drive through the §2 interleaving");
+  optm::stm::RunFlags defaults;
+  defaults.stm = "weak";
+  optm::stm::add_run_flags(cli, defaults);
   if (!cli.parse(argc, argv)) return 1;
+  const auto flags = optm::stm::parse_run_flags(cli);
+  if (!flags) return 1;
 
   // The §2 interleaving: T1 reads x before, and y after, T2's commit.
-  const auto stm = optm::stm::make_stm(cli.get("stm"), 2);
+  const auto stm = optm::stm::make_run_stm(*flags, 2);
+  if (stm == nullptr) return 1;
   optm::stm::Recorder recorder(2);
   stm->set_recorder(&recorder);
   {
@@ -94,31 +101,16 @@ int main(int argc, char** argv) {
   const auto live_stm = optm::stm::make_stm("tl2", 32);
   optm::stm::Recorder live_recorder(32);
   live_stm->set_recorder(&live_recorder);
-  optm::core::OnlineCertificateMonitor live_monitor(live_recorder.model());
+  optm::core::OnlineCertificateMonitor live_monitor(live_recorder.model(),
+                                                    flags->policy);
+  // The shared drain loop: MonitorSink adapts the monitor to the
+  // EventSink interface and DrainPump runs the self-paced poll/drain
+  // cadence (same pump the soak driver and the log writer use).
+  optm::stm::MonitorSink live_sink(live_monitor);
+  optm::stm::DrainPump pump(live_recorder, live_sink);
   std::atomic<bool> done{false};
-  std::size_t batches = 0;
-  std::thread verifier([&] {
-    // Zero-copy reusable batch + self-pacing drain cadence: the pacer
-    // polls cheaply and only pays for a merge once the measured ingest
-    // rate says a batch is worth it.
-    optm::stm::EventBatch batch;
-    optm::stm::AdaptiveDrainPacer pacer;
-    for (;;) {
-      const bool finished = done.load(std::memory_order_acquire);
-      if (finished || pacer.should_drain(live_recorder.stamps_issued(),
-                                         live_recorder.approx_pending())) {
-        batch.clear();
-        if (live_recorder.drain(batch) > 0) {
-          ++batches;
-          pacer.on_drain();
-          (void)live_monitor.ingest(batch.span());
-          continue;
-        }
-        if (finished) return;
-      }
-      std::this_thread::yield();
-    }
-  });
+  optm::stm::DrainPump::Stats pump_stats;
+  std::thread verifier([&] { pump_stats = pump.run(done); });
   optm::wl::MixParams mix;
   mix.threads = 4;
   mix.vars = 32;
@@ -129,7 +121,7 @@ int main(int argc, char** argv) {
   verifier.join();
   std::printf("live certificate:        %s (%zu events in %zu batches)\n",
               live_monitor.ok() ? "clean" : "VIOLATION",
-              live_monitor.events_fed(), batches);
+              live_monitor.events_fed(), pump_stats.batches);
 
   // ... and the same history re-verified offline by the sharded parallel
   // driver (register shards checked concurrently, ranks precomputed).

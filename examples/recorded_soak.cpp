@@ -1,176 +1,122 @@
 // Recorded-mode soak: the full pipeline — multi-threaded mix recording
 // into the sharded recorder, a verifier thread draining stamp-contiguous
-// batches into the streaming certificate monitor, and the sharded offline
-// driver re-verifying the complete history — at soak scale (>= 1M events),
-// reporting events/sec for each stage. CI runs this nightly and uploads
-// the numbers next to the bench-smoke timing artifacts, so recorded-mode
-// throughput regressions show up in the artifact history.
+// batches into the streaming certificate monitor (and optionally a
+// durable segment log), and the sharded offline driver re-verifying the
+// complete history — at soak scale (>= 1M events), reporting events/sec
+// for each stage. CI runs this nightly and uploads the numbers next to
+// the bench-smoke timing artifacts, so recorded-mode throughput
+// regressions show up in the artifact history.
+//
+// A thin CLI wrapper: the pipeline itself is stm::SoakDriver
+// (src/stm/soak_driver.hpp); this file only parses flags, wires in the
+// optional log::LogWriterSink, and prints/serializes the results.
 //
 //   build/recorded_soak --stm=tl2 --events=1200000 --threads=4
-#include <atomic>
-#include <chrono>
+//   build/recorded_soak --window-free=1 --policy=stamped-read
+//       --log-dir=/tmp/soaklog --segment-bytes=8388608
 #include <cstdio>
-#include <thread>
-#include <vector>
+#include <memory>
 
-#include "core/online.hpp"
-#include "core/parallel_verify.hpp"
-#include "stm/factory.hpp"
-#include "stm/recorder.hpp"
+#include "log/log_sink.hpp"
+#include "log/writer.hpp"
+#include "stm/cli_flags.hpp"
+#include "stm/soak_driver.hpp"
 #include "util/cli.hpp"
-#include "workload/workloads.hpp"
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-[[nodiscard]] double events_per_sec(std::size_t events, Clock::time_point t0,
-                                    Clock::time_point t1) {
-  const double secs =
-      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0).count();
-  return secs > 0 ? static_cast<double>(events) / secs : 0.0;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
   optm::util::Cli cli("recorded_soak",
-                      "recorded-mode soak: sharded recorder -> live monitor -> "
-                      "sharded offline driver");
-  cli.flag("stm", "tl2", "STM runtime to drive");
+                      "recorded-mode soak: sharded recorder -> live monitor "
+                      "(+ optional segment log) -> sharded offline driver");
+  optm::stm::add_run_flags(cli);
   cli.flag("events", "1200000", "target number of recorded events (>= 1M soak)");
   cli.flag("threads", "4", "recording threads");
   cli.flag("vars", "64", "shared registers");
   cli.flag("ops-per-tx", "4", "operations per transaction");
   cli.flag("shards", "4", "register shards for the offline driver");
-  cli.flag("policy", "commit-order",
-           "version-order policy for the live monitor and the offline "
-           "driver (commit-order | snapshot-rank | stamped-read)");
-  cli.flag("window-free", "0",
-           "drop the recorder windows and trust the runtime's stamps "
-           "(stamping runtimes only; pair with --policy=stamped-read)");
+  cli.flag("log-dir", "",
+           "also append every drained batch to a segmented binary log in "
+           "this directory (re-certify with: checker_tool certify-log)");
+  cli.flag("segment-bytes", "67108864", "log segment capacity (with --log-dir)");
   cli.flag("json", "",
            "also write the soak metrics as a machine-readable JSON object "
            "to this file (the perf-trajectory artifact schema)");
   if (!cli.parse(argc, argv)) return 1;
 
-  optm::core::VersionOrderPolicy policy =
-      optm::core::VersionOrderPolicy::kCommitOrder;
-  if (cli.get("policy") == "snapshot-rank") {
-    policy = optm::core::VersionOrderPolicy::kSnapshotRank;
-  } else if (cli.get("policy") == "stamped-read") {
-    policy = optm::core::VersionOrderPolicy::kStampedRead;
-  } else if (cli.get("policy") != "commit-order") {
-    std::fprintf(stderr, "unknown --policy=%s\n%s", cli.get("policy").c_str(),
-                 cli.usage().c_str());
+  const auto flags = optm::stm::parse_run_flags(cli);
+  if (!flags) return 1;
+
+  optm::stm::SoakOptions options;
+  options.run = *flags;
+  options.target_events = static_cast<std::size_t>(cli.get_int("events"));
+  options.threads = static_cast<std::uint32_t>(cli.get_int("threads"));
+  options.vars = static_cast<std::uint32_t>(cli.get_int("vars"));
+  options.ops_per_tx = static_cast<std::uint32_t>(cli.get_int("ops-per-tx"));
+  options.shards = static_cast<std::size_t>(cli.get_int("shards"));
+
+  std::unique_ptr<optm::log::LogWriter> log_writer;
+  std::unique_ptr<optm::log::LogWriterSink> log_sink;
+  if (!cli.get("log-dir").empty()) {
+    optm::log::WriterOptions wopt;
+    wopt.directory = cli.get("log-dir");
+    wopt.segment_bytes = static_cast<std::size_t>(cli.get_int("segment-bytes"));
+    wopt.metadata.runtime = flags->stm;
+    wopt.metadata.policy = flags->policy_name();
+    wopt.metadata.window_mode = flags->window_mode();
+    wopt.metadata.num_vars = options.vars;
+    wopt.metadata.threads = options.threads;
+    log_writer = std::make_unique<optm::log::LogWriter>(wopt);
+    log_sink = std::make_unique<optm::log::LogWriterSink>(*log_writer);
+    options.extra_sink = log_sink.get();
+  }
+
+  optm::stm::SoakResult result;
+  try {
+    result = optm::stm::SoakDriver(options).run();
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
 
-  const std::size_t target_events =
-      static_cast<std::size_t>(cli.get_int("events"));
-  const std::uint32_t threads = static_cast<std::uint32_t>(cli.get_int("threads"));
-  const std::uint32_t vars = static_cast<std::uint32_t>(cli.get_int("vars"));
-  const std::uint32_t ops = static_cast<std::uint32_t>(cli.get_int("ops-per-tx"));
-
-  const auto stm = optm::stm::make_stm(cli.get("stm"), vars);
-  if (cli.get_bool("window-free") && !stm->set_window_free(true)) {
-    std::fprintf(stderr,
-                 "--window-free=1: %s does not stamp its reads and stays "
-                 "windowed (use tl2, tiny, norec, dstm, astm or mv)\n",
-                 cli.get("stm").c_str());
-    return 1;
-  }
-  optm::stm::Recorder recorder(vars);
-  stm->set_recorder(&recorder);
-
-  // ~2 events per op (inv+ret) plus lifecycle events per transaction;
-  // sized low (aborted transactions record fewer events) so the run clears
-  // the target rather than undershooting it.
-  const std::uint64_t events_per_tx = 2ull * ops;
-  optm::wl::MixParams mix;
-  mix.threads = threads;
-  mix.vars = vars;
-  mix.ops_per_tx = ops;
-  mix.seed = 20260730;
-  mix.txs_per_thread =
-      target_events / (static_cast<std::uint64_t>(threads) * events_per_tx) + 1;
-
-  // Record + live-verify: drain stamp-contiguous batches into the
-  // streaming certificate monitor while the mix runs. The monitor is
-  // pre-sized for the soak (dense slab + flat version table), the batch
-  // buffer is reused across drains, and the drain cadence is derived from
-  // the measured ingest rate (AdaptiveDrainPacer) instead of a fixed poll
-  // interval.
-  optm::core::OnlineCertificateMonitor monitor(recorder.model(), policy);
-  // Versions are one per write response: ~a quarter of the events at the
-  // mix's default write ratio (the table grows geometrically past it).
-  monitor.reserve(/*num_txs=*/mix.txs_per_thread * threads + 16,
-                  /*num_versions=*/target_events / 3 + vars + 16);
-  std::atomic<bool> done{false};
-  std::size_t batches = 0;
-  const auto record_t0 = Clock::now();
-  std::thread verifier([&] {
-    optm::stm::EventBatch batch;
-    optm::stm::AdaptiveDrainPacer pacer;
-    for (;;) {
-      const bool finished = done.load(std::memory_order_acquire);
-      if (finished || pacer.should_drain(recorder.stamps_issued(),
-                                         recorder.approx_pending())) {
-        batch.clear();
-        if (recorder.drain(batch) > 0) {
-          ++batches;
-          pacer.on_drain();
-          (void)monitor.ingest(batch.span());
-          continue;
-        }
-        if (finished) return;
-      }
-      std::this_thread::yield();
-    }
-  });
-  (void)optm::wl::run_random_mix(*stm, mix);
-  done.store(true, std::memory_order_release);
-  verifier.join();
-  const auto record_t1 = Clock::now();
-
-  const std::size_t recorded = recorder.num_events();
-  std::printf("soak.stm=%s\n", cli.get("stm").c_str());
+  std::printf("soak.stm=%s\n", result.stm.c_str());
   // Self-describing artifacts: which window mode and resolver policy this
   // run used, so soak_*.txt files are comparable across CI runs.
-  std::printf("soak.window_mode=%s\n",
-              stm->window_free() ? "window-free" : "windowed");
-  std::printf("soak.policy=%s\n", to_string(policy));
-  std::printf("soak.recorded_events=%zu\n", recorded);
+  std::printf("soak.window_mode=%s\n", result.window_mode.c_str());
+  std::printf("soak.policy=%s\n", to_string(result.policy));
+  std::printf("soak.recorded_events=%zu\n", result.recorded_events);
   std::printf("soak.live_pipeline_events_per_sec=%.0f\n",
-              events_per_sec(recorded, record_t0, record_t1));
-  std::printf("soak.live_batches=%zu\n", batches);
-  std::printf("soak.live_monitor=%s\n", monitor.ok() ? "clean" : "VIOLATION");
-  if (!monitor.ok()) {
+              result.live_events_per_sec);
+  std::printf("soak.live_batches=%zu\n", result.live_batches);
+  std::printf("soak.live_monitor=%s\n", result.live_ok ? "clean" : "VIOLATION");
+  if (!result.live_ok) {
     std::printf("soak.live_monitor_reason=%s\n",
-                monitor.violation()->reason.c_str());
+                result.live_violation->reason.c_str());
     return 1;
   }
-
-  // Offline: the sharded parallel driver over the complete history.
-  const optm::core::History h = recorder.history();
-  optm::core::ShardVerifyOptions options;
-  options.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
-  options.policy = policy;
-  const auto offline_t0 = Clock::now();
-  const auto offline = optm::core::verify_history_sharded(h, options);
-  const auto offline_t1 = Clock::now();
-  std::printf("soak.offline_policy=%s\n", to_string(options.policy));
-  std::printf("soak.offline_shards=%zu\n", offline.shards_used);
+  if (log_writer != nullptr) {
+    std::printf("soak.log_segments=%llu\n",
+                static_cast<unsigned long long>(log_writer->segments_written()));
+    std::printf("soak.log_blocks=%llu\n",
+                static_cast<unsigned long long>(log_writer->blocks_written()));
+    std::printf("soak.log_bytes=%llu\n",
+                static_cast<unsigned long long>(log_writer->bytes_written()));
+    if (!result.sink_ok) {
+      std::printf("soak.log_error=%s\n", log_writer->error().c_str());
+      return 1;
+    }
+  }
+  std::printf("soak.offline_policy=%s\n", to_string(result.policy));
+  std::printf("soak.offline_shards=%zu\n", result.offline_shards);
   std::printf("soak.offline_events_per_sec=%.0f\n",
-              events_per_sec(offline.events, offline_t0, offline_t1));
-  std::printf("soak.offline=%s\n", offline.certified ? "certified" : "FLAGGED");
-  if (!offline.certified) {
-    std::printf("soak.offline_reason=%s\n", offline.violation->reason.c_str());
+              result.offline_events_per_sec);
+  std::printf("soak.offline=%s\n", result.offline_ok ? "certified" : "FLAGGED");
+  if (!result.offline_ok) {
+    std::printf("soak.offline_reason=%s\n",
+                result.offline_violation->reason.c_str());
     return 1;
   }
-  if (recorded < target_events) {
+  if (result.recorded_events < options.target_events) {
     std::printf("soak.warning=recorded fewer events than the %zu target\n",
-                target_events);
+                options.target_events);
   }
 
   // Machine-readable artifact (the perf trajectory schema consumed by
@@ -196,11 +142,10 @@ int main(int argc, char** argv) {
         "  \"offline_events_per_sec\": %.0f,\n"
         "  \"offline_shards\": %zu\n"
         "}\n",
-        cli.get("stm").c_str(), to_string(policy),
-        stm->window_free() ? "window-free" : "windowed", threads, recorded,
-        events_per_sec(recorded, record_t0, record_t1), batches,
-        events_per_sec(offline.events, offline_t0, offline_t1),
-        offline.shards_used);
+        result.stm.c_str(), to_string(result.policy),
+        result.window_mode.c_str(), options.threads, result.recorded_events,
+        result.live_events_per_sec, result.live_batches,
+        result.offline_events_per_sec, result.offline_shards);
     std::fclose(f);
   }
   return 0;

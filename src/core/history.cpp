@@ -82,10 +82,8 @@ bool History::equivalent(const History& other) const {
 }
 
 History History::concat(const History& other) const {
-  History out(model_);
-  out.events_ = events_;
-  out.events_.insert(out.events_.end(), other.events_.begin(),
-                     other.events_.end());
+  History out = from_batch(model_, events_);
+  out.append_batch(other.events());
   return out;
 }
 

@@ -6,6 +6,7 @@
 
 #include <cstddef>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,21 @@ class History {
   History& append(Event e) {
     events_.push_back(e);
     return *this;
+  }
+
+  /// Bulk append of an event run — THE conversion from the drain side
+  /// (stm::EventBatch::span(), a log reader's block) into a history.
+  History& append_batch(std::span<const Event> batch) {
+    events_.insert(events_.end(), batch.begin(), batch.end());
+    return *this;
+  }
+
+  /// A history over `model` from one contiguous event run.
+  [[nodiscard]] static History from_batch(ObjectModel model,
+                                          std::span<const Event> batch) {
+    History h(std::move(model));
+    h.append_batch(batch);
+    return h;
   }
 
   [[nodiscard]] const std::vector<Event>& events() const noexcept { return events_; }

@@ -256,7 +256,10 @@ class OnlineCertificateMonitor {
   /// recorded-mode pipeline. Equivalent to feeding every event of `batch`
   /// one at a time (the equivalence is tested), but amortizes the sticky
   /// violation handling across the batch. Returns false once a violation
-  /// has been latched.
+  /// has been latched. Live pipelines usually reach this through
+  /// stm::MonitorSink fed by a DrainPump (stm/sink.hpp); the same spans
+  /// also arrive replayed from disk via log::SegmentReader and the
+  /// bounded-memory front-end core::verify_event_stream.
   bool ingest(std::span<const Event> batch);
 
   /// Pre-size the dense hot-path state: the transaction slab (expected

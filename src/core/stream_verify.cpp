@@ -1,0 +1,77 @@
+#include "core/stream_verify.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/history.hpp"
+
+namespace optm::core {
+
+StreamVerifyResult verify_event_stream(const ObjectModel& model,
+                                       const EventPull& next,
+                                       const StreamVerifyOptions& options) {
+  const std::size_t window = std::max<std::size_t>(options.window_events, 1);
+  StreamVerifyResult out;
+
+  // Phase 1: buffer optimistically, hoping the stream fits the window.
+  History buffered(model);
+  std::span<const Event> carry;  // unconsumed remainder of the last pull
+  bool exhausted = false;
+  while (buffered.size() < window) {
+    carry = next();
+    if (carry.empty()) {
+      exhausted = true;
+      break;
+    }
+    const std::size_t take = std::min(carry.size(), window - buffered.size());
+    buffered.append_batch(carry.first(take));
+    carry = carry.subspan(take);
+    if (!carry.empty()) break;  // window full mid-pull
+  }
+
+  if (exhausted) {
+    ShardVerifyOptions sharded;
+    sharded.policy = options.policy;
+    sharded.num_shards = options.num_shards;
+    sharded.num_threads = options.num_threads;
+    const ParallelVerifyResult r = verify_history_sharded(buffered, sharded);
+    out.certified = r.certified;
+    out.violation = r.violation;
+    out.events = buffered.size();
+    out.used_sharded_driver = true;
+    out.shards_used = r.shards_used;
+    return out;
+  }
+
+  // Phase 2: the stream outgrew the window — fall over to the streaming
+  // monitor. Replay the buffer, drop it, then feed the rest straight from
+  // the source in window-bounded spans. The monitor's verdict and flag
+  // position match the driver's on the same events (see online.hpp).
+  OnlineCertificateMonitor monitor(model, options.policy);
+  if (options.reserve_txs != 0 || options.reserve_versions != 0) {
+    monitor.reserve(options.reserve_txs, options.reserve_versions);
+  }
+  const auto ingest_windowed = [&](std::span<const Event> span) {
+    while (!span.empty()) {
+      const std::size_t take = std::min(span.size(), window);
+      (void)monitor.ingest(span.first(take));
+      span = span.subspan(take);
+      ++out.windows;
+    }
+  };
+  ingest_windowed(buffered.events());
+  {
+    History drop(model);
+    std::swap(buffered, drop);  // release the window's memory
+  }
+  ingest_windowed(carry);
+  for (std::span<const Event> batch = next(); !batch.empty(); batch = next()) {
+    ingest_windowed(batch);
+  }
+  out.certified = monitor.ok();
+  out.violation = monitor.violation();
+  out.events = monitor.events_fed();
+  return out;
+}
+
+}  // namespace optm::core

@@ -61,6 +61,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/history.hpp"
@@ -82,6 +83,17 @@ enum class VersionOrderPolicy : std::uint8_t {
     case VersionOrderPolicy::kStampedRead: return "stamped-read";
   }
   return "?";
+}
+
+/// Inverse of to_string — the one parser behind every --policy flag and
+/// the log headers' policy metadata. nullopt for unknown names.
+[[nodiscard]] constexpr std::optional<VersionOrderPolicy>
+parse_version_order_policy(std::string_view name) noexcept {
+  if (name == "commit-order") return VersionOrderPolicy::kCommitOrder;
+  if (name == "blind-write-smart") return VersionOrderPolicy::kBlindWriteSmart;
+  if (name == "snapshot-rank") return VersionOrderPolicy::kSnapshotRank;
+  if (name == "stamped-read") return VersionOrderPolicy::kStampedRead;
+  return std::nullopt;
 }
 
 /// Policies whose serialization ranks live in the runtimes' stamp space

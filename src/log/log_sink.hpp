@@ -1,0 +1,28 @@
+// LogWriterSink: the durable leg of the drain pipeline — adapts
+// log::LogWriter to the stm::EventSink interface so "append to disk" can
+// be fed by the same DrainPump (and tee'd with live certification).
+#pragma once
+
+#include <span>
+
+#include "log/writer.hpp"
+#include "stm/sink.hpp"
+
+namespace optm::log {
+
+class LogWriterSink final : public stm::EventSink {
+ public:
+  explicit LogWriterSink(LogWriter& writer) noexcept : writer_(&writer) {}
+
+  bool accept(std::span<const core::Event> batch) override {
+    return writer_->append(batch);
+  }
+  /// Seals the log (truncates the tail segment); a write error anywhere
+  /// in the run surfaces here at the latest.
+  bool finish() override { return writer_->close(); }
+
+ private:
+  LogWriter* writer_;
+};
+
+}  // namespace optm::log

@@ -1,0 +1,140 @@
+// SegmentReader / LogReader: stream events back out of a segmented
+// binary log (format.hpp), zero-copy — every batch handed out is a
+// `std::span<const core::Event>` view straight over the read-only mmap,
+// valid until the owning reader advances past that segment or is
+// destroyed.
+//
+// Damage policy (see format.hpp "Truncation rules"): a torn tail in the
+// final segment is recovered — the reader drops the damaged suffix,
+// reports the dropped byte count, and the surviving stamp-contiguous
+// prefix streams normally. Any other damage (mid-segment corruption,
+// damage in a non-final segment, a bad segment header, a stamp gap) is a
+// hard error so a gapped history is never certified.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/event.hpp"
+#include "log/format.hpp"
+#include "log/writer.hpp"  // LogMetadata
+
+namespace optm::log {
+
+/// Reads one segment file. `allow_torn_tail` is set by LogReader for the
+/// final segment only.
+class SegmentReader {
+ public:
+  SegmentReader() = default;
+  ~SegmentReader();
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+
+  bool open(const std::string& path, bool allow_torn_tail);
+  void close_map();
+
+  /// Next block's events; empty at end of segment (or after an error —
+  /// check ok()). The span aliases the mapping.
+  [[nodiscard]] std::span<const core::Event> next();
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  [[nodiscard]] const SegmentHeader& header() const noexcept { return header_; }
+
+  /// True when a damaged suffix was dropped. torn_stub_ covers the
+  /// zero-byte-file case (crash between creat and the header write),
+  /// where there are no bytes to count but the tail is still torn.
+  [[nodiscard]] bool tail_dropped() const noexcept {
+    return dropped_bytes_ != 0 || torn_stub_;
+  }
+  [[nodiscard]] std::uint64_t dropped_bytes() const noexcept { return dropped_bytes_; }
+  [[nodiscard]] std::uint64_t events_read() const noexcept { return events_read_; }
+  [[nodiscard]] std::uint64_t blocks_read() const noexcept { return blocks_read_; }
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept { return file_bytes_; }
+
+ private:
+  bool fail(const std::string& what);
+  /// Tail damage at `at_`: recover (drop the suffix) or flag.
+  std::span<const core::Event> torn(const std::string& what);
+
+  std::string path_;
+  std::string error_;
+  bool allow_torn_tail_ = false;
+  bool torn_stub_ = false;  // whole file is an unreadable (but final) stub
+  bool done_ = false;
+
+  const unsigned char* map_ = nullptr;
+  std::size_t map_bytes_ = 0;   // mapped length (page-rounded file size)
+  std::size_t file_bytes_ = 0;  // actual file size
+  std::size_t at_ = 0;          // read cursor
+
+  SegmentHeader header_{};
+  std::uint64_t next_stamp_ = 0;  // expected first_stamp of the next block
+  std::uint64_t events_read_ = 0;
+  std::uint64_t blocks_read_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+};
+
+/// Per-segment stats surfaced by `checker_tool inspect-log`.
+struct SegmentInfo {
+  std::string file;
+  std::uint64_t index = 0;
+  std::uint64_t first_stamp = 0;
+  std::uint64_t events = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t dropped_bytes = 0;  // torn tail recovered (final segment only)
+};
+
+/// Streams an entire log directory in stamp order, one drained batch at a
+/// time. Validates segment-index and stamp continuity across files.
+class LogReader {
+ public:
+  LogReader() = default;
+
+  bool open(const std::string& directory);
+
+  /// Next batch (may come from the next segment); empty at end of log or
+  /// error — check ok() after the stream dries up. The span aliases the
+  /// current segment's mapping and is invalidated by the next next().
+  [[nodiscard]] std::span<const core::Event> next();
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  /// Metadata from the first segment header (all headers must agree).
+  [[nodiscard]] const LogMetadata& metadata() const noexcept { return metadata_; }
+  [[nodiscard]] std::size_t num_segments() const noexcept { return files_.size(); }
+  [[nodiscard]] std::uint64_t events_read() const noexcept { return events_read_; }
+  [[nodiscard]] bool tail_dropped() const noexcept { return tail_torn_; }
+  [[nodiscard]] std::uint64_t dropped_bytes() const noexcept { return dropped_bytes_; }
+
+  /// Completed segments' stats (grows as the stream advances; complete
+  /// after the stream ends). inspect-log drives next() to exhaustion and
+  /// then reads this.
+  [[nodiscard]] const std::vector<SegmentInfo>& segments() const noexcept {
+    return segments_;
+  }
+
+ private:
+  bool fail(const std::string& what);
+  bool open_current();     // open files_[cursor_]
+  void finish_current();   // record stats, close mapping
+
+  std::string error_;
+  std::vector<std::string> files_;  // sorted segment paths
+  std::size_t cursor_ = 0;
+  bool current_open_ = false;
+  SegmentReader seg_;
+  LogMetadata metadata_;
+  std::uint64_t expected_stamp_ = 0;
+  std::uint64_t events_read_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  bool tail_torn_ = false;
+  std::vector<SegmentInfo> segments_;
+};
+
+}  // namespace optm::log

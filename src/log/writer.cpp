@@ -1,0 +1,154 @@
+#include "log/writer.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "util/hash.hpp"
+
+namespace optm::log {
+
+namespace {
+
+void copy_padded(char* dst, std::size_t cap, const std::string& src) {
+  std::memset(dst, 0, cap);
+  std::memcpy(dst, src.data(), std::min(src.size(), cap - 1));
+}
+
+}  // namespace
+
+LogWriter::LogWriter(WriterOptions options) : options_(std::move(options)) {
+  options_.segment_bytes = std::max(options_.segment_bytes, kMinSegmentBytes);
+  std::error_code ec;
+  std::filesystem::create_directories(options_.directory, ec);
+  if (ec) {
+    fail("create_directories(" + options_.directory + "): " + ec.message());
+  }
+}
+
+LogWriter::~LogWriter() { close(); }
+
+bool LogWriter::fail(const std::string& what) {
+  if (error_.empty()) error_ = what;
+  return false;
+}
+
+std::size_t LogWriter::room_events() const noexcept {
+  const std::size_t used = used_ == 0 ? kSegmentHeaderBytes : used_;
+  if (used + sizeof(BlockHeader) >= map_bytes_) return 0;
+  return (map_bytes_ - used - sizeof(BlockHeader)) / sizeof(core::Event);
+}
+
+bool LogWriter::open_segment() {
+  const auto path = std::filesystem::path(options_.directory) /
+                    segment_file_name(segments_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_RDWR | O_EXCL, 0644);
+  if (fd_ < 0) {
+    return fail("open(" + path.string() + "): " + std::strerror(errno));
+  }
+  if (::ftruncate(fd_, static_cast<off_t>(options_.segment_bytes)) != 0) {
+    return fail("ftruncate(" + path.string() + "): " + std::strerror(errno));
+  }
+  void* map = ::mmap(nullptr, options_.segment_bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd_, 0);
+  if (map == MAP_FAILED) {
+    return fail("mmap(" + path.string() + "): " + std::strerror(errno));
+  }
+  map_ = static_cast<unsigned char*>(map);
+  map_bytes_ = options_.segment_bytes;
+
+  SegmentHeader h;
+  h.segment_index = segments_;
+  h.segment_bytes = options_.segment_bytes;
+  h.first_stamp = events_written_;
+  h.num_vars = options_.metadata.num_vars;
+  h.threads = options_.metadata.threads;
+  copy_padded(h.runtime, kRuntimeChars, options_.metadata.runtime);
+  copy_padded(h.policy, kPolicyChars, options_.metadata.policy);
+  copy_padded(h.window_mode, kWindowModeChars, options_.metadata.window_mode);
+  h.header_crc = util::crc32c(&h, offsetof(SegmentHeader, header_crc));
+  std::memset(map_, 0, kSegmentHeaderBytes);
+  std::memcpy(map_, &h, sizeof h);
+  used_ = kSegmentHeaderBytes;
+  ++segments_;
+  bytes_written_ += kSegmentHeaderBytes;
+  return true;
+}
+
+void LogWriter::put_block(std::span<const core::Event> events) {
+  const std::size_t payload = events.size_bytes();
+  unsigned char* at = map_ + used_;
+  // Payload first, header last: until the header bytes land, the reader
+  // sees either zeroes (end of segment) or a CRC-failing torn tail.
+  unsigned char* body = at + sizeof(BlockHeader);
+  std::memcpy(body, events.data(), payload);
+  BlockHeader bh;
+  bh.event_count = static_cast<std::uint32_t>(events.size());
+  bh.first_stamp = events_written_;
+  bh.payload_crc = util::crc32c(body, payload);
+  bh.header_crc = util::crc32c(&bh, kBlockHeaderCrcBytes);
+  std::memcpy(at, &bh, sizeof bh);
+  used_ += sizeof(BlockHeader) + payload;
+  bytes_written_ += sizeof(BlockHeader) + payload;
+  events_written_ += events.size();
+  ++blocks_written_;
+}
+
+bool LogWriter::append(std::span<const core::Event> events) {
+  if (!ok()) return false;
+  if (closed_) return fail("append after close");
+  while (!events.empty()) {
+    if (map_ == nullptr && !open_segment()) return false;
+    std::size_t room = room_events();
+    if (room == 0) {
+      if (!close_segment(/*truncate_to_used=*/false)) return false;
+      if (!open_segment()) return false;
+      room = room_events();
+    }
+    const std::size_t take = std::min(events.size(), room);
+    // event_count is u32; a drained batch can't realistically exceed it,
+    // but split defensively rather than truncate.
+    const std::size_t n = std::min(take, std::size_t{0x7fffffff});
+    put_block(events.first(n));
+    events = events.subspan(n);
+  }
+  return true;
+}
+
+bool LogWriter::close_segment(bool truncate_to_used) {
+  if (map_ == nullptr) return true;
+  bool ok_here = true;
+  if (::msync(map_, map_bytes_, MS_SYNC) != 0) {
+    ok_here = fail(std::string("msync: ") + std::strerror(errno));
+  }
+  ::munmap(map_, map_bytes_);
+  map_ = nullptr;
+  map_bytes_ = 0;
+  if (ok_here && truncate_to_used &&
+      ::ftruncate(fd_, static_cast<off_t>(used_)) != 0) {
+    ok_here = fail(std::string("ftruncate(tail): ") + std::strerror(errno));
+  }
+  ::close(fd_);
+  fd_ = -1;
+  used_ = 0;
+  return ok_here;
+}
+
+bool LogWriter::close() {
+  if (closed_) return ok();
+  closed_ = true;
+  // An empty log still gets one (header-only) segment so the metadata —
+  // and the fact that zero events were recorded — is durable.
+  if (ok() && map_ == nullptr && segments_ == 0) open_segment();
+  close_segment(/*truncate_to_used=*/true);
+  return ok();
+}
+
+}  // namespace optm::log

@@ -1,0 +1,84 @@
+// LogWriter: appends drained event batches to an mmap-backed segmented
+// binary log (format.hpp). One writer owns one log directory; segments
+// rotate at the configured capacity and a clean close() truncates the
+// tail segment to its used size.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/event.hpp"
+#include "log/format.hpp"
+
+namespace optm::log {
+
+/// The optm-soak-v1 metadata mirrored into every segment header, so a log
+/// is self-describing: `checker_tool certify-log` recovers the policy and
+/// the model size without side-channel flags.
+struct LogMetadata {
+  std::string runtime = "?";
+  std::string policy = "?";
+  std::string window_mode = "?";
+  std::uint32_t num_vars = 0;
+  std::uint32_t threads = 0;
+};
+
+struct WriterOptions {
+  std::string directory;  // created if absent; must be empty of segments
+  /// Per-segment capacity (header page included). Clamped up to
+  /// kMinSegmentBytes. Default 64 MiB ≈ 1.4M events per segment.
+  std::size_t segment_bytes = std::size_t{64} << 20;
+  LogMetadata metadata;
+};
+
+/// Not thread-safe: exactly one thread appends (the drain pump). All
+/// methods are no-ops after the first failure; check ok()/error().
+class LogWriter {
+ public:
+  explicit LogWriter(WriterOptions options);
+  ~LogWriter();
+  LogWriter(const LogWriter&) = delete;
+  LogWriter& operator=(const LogWriter&) = delete;
+
+  /// Append one stamp-contiguous batch as one block (split across
+  /// segments only when it outgrows the remaining capacity).
+  bool append(std::span<const core::Event> events);
+
+  /// Seal the log: msync, truncate the tail segment to its used bytes,
+  /// close the mapping. Idempotent. append() after close() fails.
+  bool close();
+
+  [[nodiscard]] bool ok() const noexcept { return error_.empty(); }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+
+  [[nodiscard]] std::uint64_t events_written() const noexcept { return events_written_; }
+  [[nodiscard]] std::uint64_t blocks_written() const noexcept { return blocks_written_; }
+  [[nodiscard]] std::uint64_t segments_written() const noexcept { return segments_; }
+  [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+
+ private:
+  bool open_segment();
+  bool close_segment(bool truncate_to_used);
+  bool fail(const std::string& what);
+  /// Events that still fit in the current segment as one more block.
+  [[nodiscard]] std::size_t room_events() const noexcept;
+  void put_block(std::span<const core::Event> events);
+
+  WriterOptions options_;
+  std::string error_;
+  bool closed_ = false;
+
+  int fd_ = -1;
+  unsigned char* map_ = nullptr;  // current segment mapping
+  std::size_t map_bytes_ = 0;
+  std::size_t used_ = 0;  // bytes written into the current segment
+
+  std::uint64_t segments_ = 0;
+  std::uint64_t events_written_ = 0;
+  std::uint64_t blocks_written_ = 0;
+  std::uint64_t bytes_written_ = 0;
+};
+
+}  // namespace optm::log

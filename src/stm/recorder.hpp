@@ -87,6 +87,14 @@
 // consumer therefore pays exactly one copy per event, recorder chunk ->
 // batch, for the lifetime of the pipeline.
 //
+// CONSUMPTION is decoupled from draining by stm::EventSink (sink.hpp):
+// the DrainPump loop owns the pacing and the reusable batch, and hands
+// each stamp-contiguous batch to an interchangeable sink — certify live
+// (MonitorSink), buffer in RAM (HistoryAppendSink), append to the
+// durable segment log (log::LogWriterSink), or fan out (TeeSink). New
+// consumers implement the sink interface instead of re-rolling this
+// drain loop.
+//
 // PACING. A live consumer should neither busy-poll a quiet recorder nor
 // let a burst build unbounded verdict latency. AdaptiveDrainPacer derives
 // the poll threshold from the measured ingest rate (an EWMA of stamps
@@ -739,9 +747,7 @@ class MutexRecorder final : public RecorderBase {
 
   [[nodiscard]] core::History history() const override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);
-    core::History h(model_);
-    for (const core::Event& e : events_) h.append(e);
-    return h;
+    return core::History::from_batch(model_, events_);
   }
 
   [[nodiscard]] std::vector<core::TxId> certificate_order() const override {

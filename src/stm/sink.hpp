@@ -1,0 +1,170 @@
+// EventSink: the consumption side of the drain pipeline.
+//
+// Recorder::drain() produces stamp-contiguous event batches; what happens
+// to them — certify live (MonitorSink), build an in-RAM history
+// (HistoryAppendSink), persist to the segmented binary log
+// (log::LogWriterSink, src/log/log_sink.hpp), or fan out to several of
+// those at once (TeeSink) — is a sink chosen by the caller. DrainPump is
+// the one drain loop all of them share: poll, pace (AdaptiveDrainPacer),
+// drain, feed the sink, flush the tail when the producers finish. The
+// soak driver, the examples and the benchmarks all run this loop rather
+// than hand-rolling their own.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/history.hpp"
+#include "core/online.hpp"
+#include "stm/recorder.hpp"
+
+namespace optm::stm {
+
+/// A consumer of drained event batches. accept() is called from the ONE
+/// draining thread with each stamp-contiguous batch, in stamp order.
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+
+  /// Consume one batch. The span is only valid for the duration of the
+  /// call. Returning false reports a SINK failure (an I/O error, a full
+  /// disk) and stops the pump; a certificate violation is NOT a sink
+  /// failure — the monitor latches it and the pump keeps feeding, so the
+  /// recording stays complete for post-mortems.
+  [[nodiscard]] virtual bool accept(std::span<const core::Event> batch) = 0;
+
+  /// End of stream: durably finalize whatever accept() buffered (the log
+  /// sink seals its tail segment here). Called once by DrainPump::run()
+  /// after the final drain.
+  virtual bool finish() { return true; }
+};
+
+/// Feeds batches to an OnlineCertificateMonitor. ingest() returning false
+/// (violation latched) is deliberately not surfaced as a sink failure —
+/// read monitor.ok()/violation() after the run.
+class MonitorSink final : public EventSink {
+ public:
+  explicit MonitorSink(core::OnlineCertificateMonitor& monitor) noexcept
+      : monitor_(&monitor) {}
+  bool accept(std::span<const core::Event> batch) override {
+    (void)monitor_->ingest(batch);
+    return true;
+  }
+
+ private:
+  core::OnlineCertificateMonitor* monitor_;
+};
+
+/// Appends batches to a core::History (the in-RAM baseline the offline
+/// sharded verifier consumes).
+class HistoryAppendSink final : public EventSink {
+ public:
+  explicit HistoryAppendSink(core::History& h) noexcept : h_(&h) {}
+  bool accept(std::span<const core::Event> batch) override {
+    h_->append_batch(batch);
+    return true;
+  }
+
+ private:
+  core::History* h_;
+};
+
+/// Swallows batches. The pure-drain baseline for sink-overhead benchmarks.
+class NullSink final : public EventSink {
+ public:
+  bool accept(std::span<const core::Event> batch) override {
+    events_ += batch.size();
+    return true;
+  }
+  [[nodiscard]] std::size_t events() const noexcept { return events_; }
+
+ private:
+  std::size_t events_ = 0;
+};
+
+/// Fans one batch out to several sinks ("certify live AND append to
+/// disk"). Every sink sees every batch even after one fails; the first
+/// failure is remembered and reported.
+class TeeSink final : public EventSink {
+ public:
+  TeeSink() = default;
+  TeeSink(std::initializer_list<EventSink*> sinks) : sinks_(sinks) {}
+  TeeSink& add(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+    return *this;
+  }
+
+  bool accept(std::span<const core::Event> batch) override {
+    for (EventSink* s : sinks_) ok_ = s->accept(batch) && ok_;
+    return ok_;
+  }
+  bool finish() override {
+    for (EventSink* s : sinks_) ok_ = s->finish() && ok_;
+    return ok_;
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+  bool ok_ = true;
+};
+
+/// The shared drain loop: recorder -> pacer -> sink. run() polls until
+/// `done` is set by the producers AND the recorder is fully drained, then
+/// finish()es the sink. Call from exactly one thread (the verifier /
+/// writer thread of the pipeline).
+class DrainPump {
+ public:
+  struct Stats {
+    std::size_t batches = 0;  // non-empty drains fed to the sink
+    std::size_t events = 0;
+    bool sink_ok = true;  // false -> the sink failed and the pump stopped
+  };
+
+  DrainPump(Recorder& recorder, EventSink& sink,
+            const AdaptiveDrainPacer::Options& pacing = {})
+      : recorder_(&recorder), sink_(&sink), pacer_(pacing) {
+    batch_.reserve(pacing.max_pending);
+  }
+
+  [[nodiscard]] Stats run(const std::atomic<bool>& done) {
+    Stats stats;
+    for (;;) {
+      const bool finished = done.load(std::memory_order_acquire);
+      if (pacer_.should_drain(recorder_->stamps_issued(),
+                              recorder_->approx_pending()) ||
+          finished) {
+        batch_.clear();
+        recorder_->drain(batch_);
+        pacer_.on_drain();
+        if (!batch_.empty()) {
+          ++stats.batches;
+          stats.events += batch_.size();
+          if (!sink_->accept(batch_.span())) {
+            stats.sink_ok = false;
+            break;
+          }
+        }
+        // Drained after the producers finished and nothing was pending:
+        // the stream is complete (drain() returns the contiguous prefix,
+        // which at quiescence is everything).
+        if (finished && recorder_->approx_pending() == 0) break;
+      } else {
+        std::this_thread::yield();
+      }
+    }
+    stats.sink_ok = sink_->finish() && stats.sink_ok;
+    return stats;
+  }
+
+ private:
+  Recorder* recorder_;
+  EventSink* sink_;
+  AdaptiveDrainPacer pacer_;
+  EventBatch batch_;
+};
+
+}  // namespace optm::stm

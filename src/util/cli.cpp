@@ -16,7 +16,13 @@ Cli& Cli::flag(std::string name, std::string default_value, std::string help) {
   return *this;
 }
 
+Cli& Cli::positional(std::string name, std::string help) {
+  positionals_.push_back(Positional{std::move(name), "", std::move(help)});
+  return *this;
+}
+
 bool Cli::parse(int argc, const char* const* argv) {
+  std::size_t next_positional = 0;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
@@ -24,6 +30,10 @@ bool Cli::parse(int argc, const char* const* argv) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      if (next_positional < positionals_.size()) {
+        positionals_[next_positional++].value = std::move(arg);
+        continue;
+      }
       std::fprintf(stderr, "unexpected positional argument '%s'\n%s",
                    arg.c_str(), usage().c_str());
       return false;
@@ -42,11 +52,21 @@ bool Cli::parse(int argc, const char* const* argv) {
       it->second.value = "true";  // bare --flag means boolean true
     }
   }
+  if (next_positional < positionals_.size()) {
+    std::fprintf(stderr, "missing required argument <%s>\n%s",
+                 positionals_[next_positional].name.c_str(), usage().c_str());
+    return false;
+  }
   return true;
 }
 
 const std::string& Cli::get(const std::string& name) const {
-  return flags_.at(name).value;
+  const auto it = flags_.find(name);
+  if (it != flags_.end()) return it->second.value;
+  for (const auto& p : positionals_) {
+    if (p.name == name) return p.value;
+  }
+  throw std::out_of_range("no such flag or positional: " + name);
 }
 
 std::int64_t Cli::get_int(const std::string& name) const {
@@ -60,13 +80,39 @@ bool Cli::get_bool(const std::string& name) const {
 
 std::string Cli::usage() const {
   std::ostringstream os;
-  os << program_ << " — " << blurb_ << "\n\nflags:\n";
+  os << program_;
+  for (const auto& p : positionals_) os << " <" << p.name << ">";
+  os << " — " << blurb_ << "\n";
+  if (!positionals_.empty()) {
+    os << "\narguments:\n";
+    for (const auto& p : positionals_) {
+      os << "  <" << p.name << ">   " << p.help << "\n";
+    }
+  }
+  os << "\nflags:\n";
   for (const auto& name : order_) {
     const auto& f = flags_.at(name);
     os << "  --" << name << "=<value>   " << f.help << " (default: " << f.value
        << ")\n";
   }
   return os.str();
+}
+
+std::optional<std::string> extract_flag(int& argc, char** argv,
+                                        std::string_view name) {
+  const std::string prefix = "--" + std::string(name) + "=";
+  std::optional<std::string> value;
+  int w = 0;
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) {
+      value = std::string(arg.substr(prefix.size()));
+    } else {
+      argv[w++] = argv[i];
+    }
+  }
+  argc = w;
+  return value;
 }
 
 }  // namespace optm::util

@@ -1,11 +1,15 @@
-// A tiny `--flag=value` command-line parser for the example binaries.
-// Deliberately minimal: flags are strings/integers/bools with defaults;
-// unknown flags are an error so typos fail loudly.
+// A tiny command-line parser for the example binaries. Deliberately
+// minimal: `--flag=value` flags (strings/integers/bools with defaults)
+// plus declared, required positional arguments (the subcommand CLIs pass
+// e.g. a log directory positionally); anything undeclared is an error so
+// typos fail loudly.
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace optm::util {
@@ -16,9 +20,14 @@ class Cli {
 
   Cli& flag(std::string name, std::string default_value, std::string help);
 
+  /// Declare a required positional argument; fills in declaration order.
+  Cli& positional(std::string name, std::string help);
+
   /// Parse argv. Returns false (after printing usage) on error or --help.
   [[nodiscard]] bool parse(int argc, const char* const* argv);
 
+  /// Value of a flag or a positional (parse() must have succeeded for
+  /// positionals to be set).
   [[nodiscard]] const std::string& get(const std::string& name) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
@@ -30,10 +39,22 @@ class Cli {
     std::string value;
     std::string help;
   };
+  struct Positional {
+    std::string name;
+    std::string value;
+    std::string help;
+  };
   std::string program_;
   std::string blurb_;
   std::vector<std::string> order_;
   std::map<std::string, Flag> flags_;
+  std::vector<Positional> positionals_;
 };
+
+/// Pluck `--name=value` out of argv in place (compacting argc) and return
+/// the value — for binaries whose flag parsing belongs to another library
+/// (google-benchmark's main) but that still take one flag of ours.
+[[nodiscard]] std::optional<std::string> extract_flag(int& argc, char** argv,
+                                                      std::string_view name);
 
 }  // namespace optm::util

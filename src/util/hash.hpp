@@ -1,6 +1,8 @@
-// Hashing building blocks shared by the checker memo tables.
+// Hashing building blocks shared by the checker memo tables, plus the
+// CRC-32C used to frame the durable event log (log/format.hpp).
 #pragma once
 
+#include <array>
 #include <cstddef>
 #include <cstdint>
 
@@ -38,6 +40,40 @@ namespace optm::util {
   x *= 0x94d049bb133111ebULL;
   x ^= x >> 31;
   return x;
+}
+
+namespace detail {
+
+/// Reflected table for CRC-32C (Castagnoli, poly 0x1EDC6F41 reflected to
+/// 0x82F63B78) — the checksum framing the on-disk event log. Software
+/// byte-at-a-time: the log writer amortizes it over whole drained batches,
+/// and torn-write detection only needs agreement, not peak speed.
+consteval std::array<std::uint32_t, 256> crc32c_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = crc32c_table();
+
+}  // namespace detail
+
+/// CRC-32C of `n` bytes. `seed` chains incremental computations: pass the
+/// previous call's return value to continue a running checksum.
+[[nodiscard]] inline std::uint32_t crc32c(const void* data, std::size_t n,
+                                          std::uint32_t seed = 0) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    c = detail::kCrc32cTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
 }
 
 }  // namespace optm::util
