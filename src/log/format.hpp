@@ -29,7 +29,12 @@
 // crash leaves zeroed, cleanly-detectable space, never garbage from a
 // recycled file) and rotates when the next block would not fit. A clean
 // close truncates the tail segment to its used size and seals the end
-// with either exact EOF or a zero `block_magic`.
+// with either exact EOF or a zero `block_magic`. A rotated segment that
+// packs full can leave a residual SHORTER than a BlockHeader — the 4 KiB
+// header is 16 mod 24 and blocks are 24+48n bytes, so the residual is
+// (segment_bytes - 4096) mod 24 — which stays all-zero; the reader
+// treats an all-zero sub-header residual as clean end-of-segment and
+// only a nonzero byte in it as a torn write.
 //
 // Truncation rules (crash tolerance): a block in the LAST segment whose
 // header or payload fails magic/CRC/bounds checks is a torn tail — the
@@ -94,7 +99,7 @@ struct BlockHeader {
   std::uint32_t event_count = 0;
   std::uint64_t first_stamp = 0;  // global stamp of the block's first event
   std::uint32_t payload_crc = 0;  // CRC-32C over event_count * sizeof(Event)
-  std::uint32_t header_crc = 0;   // CRC-32C over the 16 bytes above
+  std::uint32_t header_crc = 0;   // CRC-32C over the 20 bytes above
 };
 
 inline constexpr std::size_t kBlockHeaderCrcBytes =

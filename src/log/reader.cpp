@@ -102,9 +102,18 @@ std::span<const core::Event> SegmentReader::torn(const std::string& what) {
 
 std::span<const core::Event> SegmentReader::next() {
   if (done_ || map_ == nullptr) return {};
-  if (at_ == file_bytes_ || at_ + sizeof(BlockHeader) > file_bytes_) {
-    // Exact EOF is a clean seal; a sub-header remainder is torn.
-    if (at_ != file_bytes_) return torn("trailing bytes shorter than a block header");
+  if (at_ + sizeof(BlockHeader) > file_bytes_) {
+    // Exact EOF is a clean seal. A remainder shorter than a BlockHeader
+    // that is all zeroes is the pre-sized segment's padding, not a tear:
+    // the 4 KiB header page is 16 mod 24 and blocks are 24+48n bytes, so
+    // a segment that packs full leaves a zeroed residual of
+    // (segment_bytes - 4096) mod 24 bytes — in (0, 24) for sizes like
+    // 2 MiB or 8 MiB. Only a nonzero residual byte means a torn write.
+    for (std::size_t i = at_; i < file_bytes_; ++i) {
+      if (map_[i] != 0) {
+        return torn("nonzero trailing bytes shorter than a block header");
+      }
+    }
     done_ = true;
     return {};
   }
@@ -161,7 +170,16 @@ bool LogReader::open(const std::string& directory) {
     }
   }
   if (files_.empty()) return fail(directory + ": no segment files");
-  std::sort(files_.begin(), files_.end());
+  // seg-%06llu names outgrow their zero padding at 1,000,000 segments,
+  // where plain lexicographic order would put seg-1000000 before
+  // seg-999999. Shorter names (fewer digits) sort first; ties (equal
+  // padding) stay lexicographic, which is numeric for zero-padded names.
+  std::sort(files_.begin(), files_.end(),
+            [](const std::string& a, const std::string& b) {
+              const auto an = std::filesystem::path(a).filename().string();
+              const auto bn = std::filesystem::path(b).filename().string();
+              return an.size() != bn.size() ? an.size() < bn.size() : an < bn;
+            });
   return open_current();
 }
 

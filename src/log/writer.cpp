@@ -54,12 +54,18 @@ bool LogWriter::open_segment() {
     return fail("open(" + path.string() + "): " + std::strerror(errno));
   }
   if (::ftruncate(fd_, static_cast<off_t>(options_.segment_bytes)) != 0) {
-    return fail("ftruncate(" + path.string() + "): " + std::strerror(errno));
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    return fail("ftruncate(" + path.string() + "): " + std::strerror(e));
   }
   void* map = ::mmap(nullptr, options_.segment_bytes, PROT_READ | PROT_WRITE,
                      MAP_SHARED, fd_, 0);
   if (map == MAP_FAILED) {
-    return fail("mmap(" + path.string() + "): " + std::strerror(errno));
+    const int e = errno;
+    ::close(fd_);
+    fd_ = -1;
+    return fail("mmap(" + path.string() + "): " + std::strerror(e));
   }
   map_ = static_cast<unsigned char*>(map);
   map_bytes_ = options_.segment_bytes;

@@ -207,6 +207,41 @@ TEST(LogRoundTrip, VerdictEquivalenceDiskVsRamAllPolicies) {
   }
 }
 
+TEST(LogRoundTrip, FullPackedSegmentSubHeaderResidualReadsClean) {
+  // The 4 KiB segment header is 16 mod 24 and blocks are 24+48n bytes, so
+  // a segment whose capacity is 16 mod 24 past the header can pack FULL,
+  // leaving a 16-byte zeroed residual — shorter than a BlockHeader.
+  // Production sizes land in this residue class (2 MiB, the documented
+  // 8 MiB --segment-bytes example); rotated segments with such a residual
+  // must read back clean, not be rejected as a torn tail.
+  const std::string dir = fresh_dir("residual");
+  const std::size_t per_segment = 100;  // events in a full-packed segment
+  log::WriterOptions wopt;
+  wopt.directory = dir;
+  wopt.segment_bytes = log::kSegmentHeaderBytes + sizeof(log::BlockHeader) +
+                       per_segment * sizeof(core::Event) + 16;
+  log::LogWriter writer(wopt);
+
+  std::vector<core::Event> events;
+  for (std::size_t i = 0; i < 2 * per_segment + per_segment / 2; ++i) {
+    events.push_back(core::ev::try_commit(static_cast<core::TxId>(i)));
+  }
+  ASSERT_TRUE(writer.append(events)) << writer.error();
+  ASSERT_TRUE(writer.close()) << writer.error();
+  // Two full-packed rotated segments (16-byte residual each) + the tail.
+  EXPECT_EQ(writer.segments_written(), 3u);
+
+  log::LogReader reader;
+  const std::vector<core::Event> from_disk = read_all(dir, reader);
+  ASSERT_EQ(from_disk.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    ASSERT_EQ(from_disk[i], events[i]) << "event " << i;
+  }
+  EXPECT_FALSE(reader.tail_dropped());
+  EXPECT_EQ(reader.dropped_bytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LogRoundTrip, EmptyLogKeepsMetadata) {
   const std::string dir = fresh_dir("empty");
   {

@@ -314,6 +314,81 @@ TEST(LogTruncation, MissingMiddleSegmentIsHardError) {
   fs::remove_all(dir);
 }
 
+// --- sub-header residual of a full-packed segment ---------------------------
+
+/// Build a log whose rotated segments pack completely full, leaving a
+/// 16-byte all-zero residual — shorter than a BlockHeader — before each
+/// rotation (the residue class 2 MiB and 8 MiB segments land in: the
+/// 4 KiB header is 16 mod 24 and blocks are 24+48n bytes).
+struct ResidualLog {
+  fs::path dir;
+  std::size_t per_segment = 0;  // events in each full-packed segment
+  std::size_t total_events = 0;
+  std::uint64_t segment_bytes = 0;
+  std::vector<fs::path> files;  // sorted segment files
+};
+
+ResidualLog build_residual_log(const std::string& tag) {
+  ResidualLog out;
+  out.dir = scratch_root() / tag;
+  fs::remove_all(out.dir);
+  out.per_segment = 40;
+  log::WriterOptions wopt;
+  wopt.directory = out.dir.string();
+  wopt.segment_bytes = log::kSegmentHeaderBytes + sizeof(log::BlockHeader) +
+                       out.per_segment * sizeof(core::Event) + 16;
+  out.segment_bytes = wopt.segment_bytes;
+  log::LogWriter writer(wopt);
+  std::vector<core::Event> events;
+  for (std::size_t i = 0; i < 2 * out.per_segment + 10; ++i) {
+    events.push_back(core::ev::try_commit(static_cast<core::TxId>(i)));
+  }
+  EXPECT_TRUE(writer.append(events)) << writer.error();
+  EXPECT_TRUE(writer.close()) << writer.error();
+  EXPECT_EQ(writer.segments_written(), 3u);
+  out.total_events = events.size();
+  for (const auto& entry : fs::directory_iterator(out.dir)) {
+    out.files.push_back(entry.path());
+  }
+  std::sort(out.files.begin(), out.files.end());
+  return out;
+}
+
+TEST(LogTruncation, ZeroSubHeaderResidualReadsClean) {
+  const ResidualLog rlog = build_residual_log("residual_clean");
+  const auto out = replay(rlog.dir);
+  EXPECT_TRUE(out.reader_ok);
+  EXPECT_FALSE(out.torn);
+  EXPECT_EQ(out.events.size(), rlog.total_events);
+  fs::remove_all(rlog.dir);
+}
+
+TEST(LogTruncation, NonzeroSubHeaderResidualInNonFinalSegmentIsHardError) {
+  const ResidualLog rlog = build_residual_log("residual_nonfinal");
+  // A nonzero byte inside a rotated segment's residual is damage in a
+  // non-final segment: hard error, never silent recovery.
+  flip_byte(rlog.files[0], rlog.segment_bytes - 8);
+  const auto out = replay(rlog.dir);
+  EXPECT_FALSE(out.reader_ok);
+  certify_never_crashes(rlog.dir);
+  fs::remove_all(rlog.dir);
+}
+
+TEST(LogTruncation, NonzeroSubHeaderResidualInFinalSegmentIsTornTail) {
+  const ResidualLog rlog = build_residual_log("residual_final");
+  // Drop the tail segment so a full-packed residual segment becomes
+  // final, then dirty its residual: recovered as a torn tail with every
+  // event before the residual intact.
+  fs::remove(rlog.files[2]);
+  flip_byte(rlog.files[1], rlog.segment_bytes - 8);
+  const auto out = replay(rlog.dir);
+  EXPECT_TRUE(out.reader_ok);
+  EXPECT_TRUE(out.torn);
+  EXPECT_EQ(out.events.size(), 2 * rlog.per_segment);
+  certify_never_crashes(rlog.dir);
+  fs::remove_all(rlog.dir);
+}
+
 TEST(LogTruncation, EmptyDirectoryIsOperationalError) {
   const fs::path dir = scratch_root() / "empty_dir";
   fs::remove_all(dir);
