@@ -15,11 +15,12 @@
 // recorded_soak --log-dir, format: src/log/format.hpp) through the
 // bounded-memory verification front-end (core/stream_verify.hpp): logs
 // that fit --window-events are verified by the sharded parallel driver,
-// larger ones fall over to the streaming certificate monitor — so a
-// multi-segment log far larger than RAM certifies with peak memory
-// bounded by the window, with the same verdict and flag position the
-// in-RAM monitor produces. The policy defaults to the one recorded in
-// the segment headers.
+// larger ones fall over to a streaming engine — the parallel streaming
+// certifier with --stream-threads > 1, the serial certificate monitor
+// otherwise — so a multi-segment log far larger than RAM certifies with
+// peak memory bounded by the window, with the same verdict and flag
+// position the in-RAM monitor produces. The policy defaults to the one
+// recorded in the segment headers.
 //
 // Bare legacy invocations (checker_tool --history=h2) still work: no
 // subcommand means `certify`.
@@ -148,6 +149,10 @@ int cmd_certify_log(int argc, char** argv) {
            "sharded parallel driver, larger ones stream through the "
            "monitor in windows of this size");
   cli.flag("shards", "4", "register shards when the sharded driver runs");
+  cli.flag("stream-threads", "1",
+           "verification threads (0 = auto): >1 runs the sharded driver "
+           "multi-threaded, and streams oversized logs through the parallel "
+           "certifier instead of the serial monitor");
   if (!cli.parse(argc, argv)) return 1;
 
   optm::log::LogReader reader;
@@ -181,6 +186,7 @@ int cmd_certify_log(int argc, char** argv) {
   options.window_events =
       static_cast<std::size_t>(cli.get_int("window-events"));
   options.num_shards = static_cast<std::size_t>(cli.get_int("shards"));
+  options.num_threads = static_cast<std::size_t>(cli.get_int("stream-threads"));
   const auto model =
       optm::core::ObjectModel::registers(meta.num_vars, 0);
   const auto result = optm::core::verify_event_stream(
@@ -196,10 +202,15 @@ int cmd_certify_log(int argc, char** argv) {
   }
   std::printf("certlog.events=%zu\n", result.events);
   std::printf("certlog.engine=%s\n",
-              result.used_sharded_driver ? "sharded-driver" : "streaming-monitor");
-  if (result.used_sharded_driver) {
+              result.used_sharded_driver
+                  ? "sharded-driver"
+                  : (result.used_parallel_certifier ? "parallel-certifier"
+                                                    : "streaming-monitor"));
+  std::printf("certlog.threads=%zu\n", result.threads_used);
+  if (result.used_sharded_driver || result.used_parallel_certifier) {
     std::printf("certlog.shards=%zu\n", result.shards_used);
-  } else {
+  }
+  if (!result.used_sharded_driver) {
     std::printf("certlog.windows=%zu\n", result.windows);
   }
   std::printf("certlog.verdict=%s\n",

@@ -26,6 +26,14 @@
 //    produce them, because the recorder window makes commit points atomic
 //    with their C events.
 //
+// Both backends are single-threaded. When live certification needs to
+// scale past one core, core::ParallelStreamCertifier
+// (parallel_stream.hpp) shards the certificate pass across worker
+// threads with the SAME verdict and first condemned position as
+// OnlineCertificateMonitor (differentially fuzz-tested) — the trade is
+// verdict latency: it answers at merge barriers and finish(), not per
+// event.
+//
 // The committed VERSION ORDER the certificate checks against is no longer
 // hard-wired to the commit (C-record) order: the monitor takes a
 // core::VersionOrderPolicy (see version_order.hpp) that decides how ranks

@@ -1,0 +1,767 @@
+#include "core/parallel_stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/dense_state.hpp"
+#include "core/object_spec.hpp"
+#include "core/parallel_verify.hpp"
+#include "core/window_merge.hpp"
+#include "util/pool.hpp"
+
+namespace optm::core {
+namespace {
+
+constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+constexpr std::size_t kOpenRank = static_cast<std::size_t>(-1);
+
+using detail::tx_tag;
+using Flag = detail::MergeFlag;
+using ReadRec = detail::MergeReadRec;
+using TxMeta = detail::MergeTxState;
+
+/// Bounded blocking queue. Single producer in both uses (the ingest thread
+/// feeds the chunk channel, the pass-0 worker feeds each shard channel),
+/// single consumer; the mutex keeps it correct even if a caller bends
+/// that. push blocks while full, pop blocks while empty; close() wakes
+/// everyone — pop then drains the backlog and returns false.
+template <typename T>
+class BoundedChannel {
+ public:
+  explicit BoundedChannel(std::size_t capacity)
+      : capacity_(capacity > 0 ? capacity : 1) {}
+
+  /// False iff the channel was closed (the item is dropped then).
+  bool push(T&& item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_push_.wait(lock, [&] { return closed_ || q_.size() < capacity_; });
+    if (closed_) return false;
+    q_.push_back(std::move(item));
+    lock.unlock();
+    can_pop_.notify_one();
+    return true;
+  }
+
+  /// False iff closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    can_pop_.wait(lock, [&] { return closed_ || !q_.empty(); });
+    if (q_.empty()) return false;
+    out = std::move(q_.front());
+    q_.pop_front();
+    lock.unlock();
+    can_push_.notify_one();
+    return true;
+  }
+
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    can_push_.notify_all();
+    can_pop_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable can_push_;
+  std::condition_variable can_pop_;
+  std::deque<T> q_;
+  std::size_t capacity_;
+  bool closed_ = false;
+};
+
+/// Free list for the pipeline's buffer vectors (event chunks, shard item
+/// batches): consumers hand buffers back instead of freeing them, so a
+/// warmed-up stream stops allocating.
+template <typename T>
+class Recycler {
+ public:
+  [[nodiscard]] T take() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (free_.empty()) return T{};
+    T out = std::move(free_.back());
+    free_.pop_back();
+    return out;
+  }
+
+  void give(T&& t) {
+    t.clear();
+    const std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(t));
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<T> free_;
+};
+
+/// One event routed to a shard. kResponse items carry only (e, pos);
+/// kCommit items are broadcast to every shard on the genuine committed
+/// transition, with `install` set when the committer has writes and `rank`
+/// its pass-0 serialization rank.
+struct ShardItem {
+  Event e{};
+  std::size_t pos{0};
+  std::size_t rank{0};
+  bool install{false};
+};
+
+struct ShardBatch {
+  std::vector<ShardItem> items;
+  bool barrier{false};
+  bool final{false};
+  /// Transactions that COMPLETED (committed or aborted) in the window this
+  /// barrier closes; shared read-only across all shards.
+  std::shared_ptr<const std::vector<TxId>> completed;
+};
+
+}  // namespace
+
+struct ParallelStreamCertifier::Impl {
+  struct Chunk {
+    std::vector<Event> events;
+    std::size_t base{0};
+  };
+
+  struct PendingRead {
+    TxId tx;
+    std::size_t pos;
+    ObjId obj;
+    std::pair<ObjId, Value> key;
+    std::uint64_t stamp;  // 2·rv+1 when the read is stamped, else 0
+    std::uint64_t ver;    // version half of the read-stamp pair
+  };
+
+  /// The shard worker's state: ShardPass's containers (parallel_verify.cpp)
+  /// run incrementally. All fields except `queue` are touched only by the
+  /// shard's worker task — and by the pass-0 worker during a merge, while
+  /// the shard is parked at the barrier (the barrier mutex orders the
+  /// handoff).
+  struct Shard {
+    std::size_t shard;
+    std::size_t num_shards;
+    VersionOrderPolicy policy;
+    BoundedChannel<ShardBatch> queue;
+
+    struct VersionRec {
+      TxId writer{kNoTx};
+      std::size_t open_rank{0};
+      std::size_t close_rank{kOpenRank};
+      std::size_t close_pos{kNone};
+      bool installed{false};
+    };
+    VersionTable<VersionRec> versions;
+    // Register -> key of its current committed version (dense by obj).
+    std::vector<std::pair<ObjId, Value>> current;
+    // Write sets, held compactly exactly as in ShardPass: dense index slab,
+    // sets only for transactions that wrote in this shard.
+    TxSlab<std::uint32_t> writer_index;
+    std::vector<SmallWriteSet> writer_sets;
+    SmallWriteSet::SpillPool spill_pool;
+    // Marks fed by the broadcast C items / the barrier completed lists. A
+    // bool committed mark suffices where ShardPass compares commit_pos < i:
+    // items arrive in position order, so the mark is set iff the commit
+    // preceded the current item.
+    TxSlab<std::uint8_t> committed;
+    TxSlab<std::uint8_t> done;
+    std::vector<PendingRead> pending;
+    // Handoff slots, consumed by the pass-0 worker at each barrier.
+    std::vector<Flag> flags;
+    std::vector<ReadRec> reads;
+
+    Shard(std::size_t s, std::size_t n, VersionOrderPolicy p,
+          std::size_t expected_versions, std::size_t queue_cap)
+        : shard(s),
+          num_shards(n),
+          policy(p),
+          queue(queue_cap),
+          versions(expected_versions) {}
+
+    [[nodiscard]] SmallWriteSet* writes_of(TxId tx) {
+      const std::uint32_t* idx = writer_index.find(tx);
+      return idx != nullptr && *idx != 0 ? &writer_sets[*idx - 1] : nullptr;
+    }
+
+    void seed(const ObjectModel& model) {
+      current.resize(model.size());
+      for (ObjId r = 0; r < model.size(); ++r) {
+        if (r % num_shards != shard) continue;
+        const auto* reg = dynamic_cast<const RegisterSpec*>(&model.spec(r));
+        const Value init_val = reg->initial_value();
+        VersionRec init;
+        init.writer = kInitTx;
+        init.installed = true;
+        versions.slot(r, init_val) = init;
+        current[r] = {r, init_val};
+      }
+    }
+
+    void flag(std::size_t pos, std::string reason, CertFlagKind kind, TxId tx,
+              std::atomic<bool>& flagged) {
+      flags.push_back({pos, std::move(reason), kind, tx, shard});
+      flagged.store(true, std::memory_order_relaxed);
+    }
+
+    /// ShardPass's per-event scan, one item at a time. Items arrive in
+    /// stream position order, which is all the scan ever relied on.
+    void process(const ShardItem& it, std::atomic<bool>& flagged) {
+      const Event& e = it.e;
+      const std::size_t i = it.pos;
+      if (e.kind == EventKind::kCommit) {
+        committed.get(e.tx) = 1;
+        if (!it.install) return;
+        SmallWriteSet* writes = writes_of(e.tx);
+        if (writes == nullptr || writes->empty()) return;
+        const std::size_t rank = it.rank;
+        for (const auto& [obj, value] : *writes) {
+          auto& prev_key = current[obj];
+          if (VersionRec* prev =
+                  versions.find(prev_key.first, prev_key.second)) {
+            prev->close_rank = rank;
+            prev->close_pos = i;
+          }
+          VersionRec& rec = versions.slot(obj, value);
+          rec.writer = e.tx;
+          rec.open_rank = rank;
+          rec.close_rank = kOpenRank;
+          rec.close_pos = kNone;
+          rec.installed = true;
+          prev_key = {obj, value};
+        }
+        // As in ShardPass: the write set is intentionally NOT recycled — a
+        // malformed history can read after its commit, and the equivalent
+        // treatment of that read depends on the stale buffer.
+        return;
+      }
+
+      if (e.op == OpCode::kWrite) {
+        bool inserted = false;
+        VersionRec& rec = versions.slot(e.obj, e.arg, &inserted);
+        if (inserted) {
+          rec.writer = e.tx;
+        } else if (rec.writer != e.tx) {
+          flag(i,
+               tx_tag(e.tx) + " rewrote value " + std::to_string(e.arg) +
+                   " of x" + std::to_string(e.obj) +
+                   " (value-unique writes required)",
+               CertFlagKind::kValueNotUnique, e.tx, flagged);
+          rec.writer = e.tx;
+        }
+        std::uint32_t& windex = writer_index.get(e.tx);
+        if (windex == 0) {
+          writer_sets.emplace_back();
+          windex = static_cast<std::uint32_t>(writer_sets.size());
+        }
+        writer_sets[windex - 1].set(e.obj, e.arg, spill_pool);
+        return;
+      }
+      if (e.op != OpCode::kRead) return;
+
+      // Local reads answer from the write buffer; they never touch windows.
+      if (const SmallWriteSet* own_set = writes_of(e.tx)) {
+        if (const Value* own = own_set->find(e.obj)) {
+          if (*own != e.ret) {
+            flag(i,
+                 tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+                     std::to_string(e.ret) + " despite its own write of " +
+                     std::to_string(*own) + " (local consistency)",
+                 CertFlagKind::kLocalInconsistency, e.tx, flagged);
+          }
+          return;
+        }
+      }
+
+      const VersionRec* v = versions.find(e.obj, e.ret);
+      if (v == nullptr) {
+        flag(i,
+             tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+                 std::to_string(e.ret) + ", a value never written",
+             CertFlagKind::kUnwrittenValue, e.tx, flagged);
+        return;
+      }
+      if (v->writer == e.tx) {
+        flag(i,
+             tx_tag(e.tx) + " read back its own value without a prior write",
+             CertFlagKind::kSelfRead, e.tx, flagged);
+        return;
+      }
+      if (v->writer != kInitTx) {
+        const std::uint8_t* c = committed.find(v->writer);
+        if (c == nullptr || *c == 0) {
+          flag(i,
+               tx_tag(e.tx) + " read x" + std::to_string(e.obj) + "=" +
+                   std::to_string(e.ret) + " from non-committed T" +
+                   std::to_string(v->writer),
+               CertFlagKind::kReadFromNonCommitted, e.tx, flagged);
+          return;
+        }
+      }
+      pending.push_back({e.tx, i, e.obj, {e.obj, e.ret},
+                         policy == VersionOrderPolicy::kStampedRead ? e.stamp
+                                                                    : 0,
+                         e.ver});
+    }
+
+    /// At a barrier: resolve the pending reads of the transactions that
+    /// completed in the closed window against the version chain — which is
+    /// final as far as those transactions' checks go (see the header's
+    /// soundness argument) — with ShardPass's exact resolution code. At
+    /// the final barrier, resolve everything (reads of still-live
+    /// transactions, against the genuinely final chain).
+    void resolve_at_barrier(const std::vector<TxId>& completed_txs,
+                            bool is_final, std::atomic<bool>& flagged) {
+      for (const TxId id : completed_txs) done.get(id) = 1;
+      std::size_t kept = 0;
+      for (std::size_t k = 0; k < pending.size(); ++k) {
+        const PendingRead pr = pending[k];
+        if (!is_final) {
+          const std::uint8_t* d = done.find(pr.tx);
+          if (d == nullptr || *d == 0) {
+            pending[kept++] = pr;
+            continue;
+          }
+        }
+        resolve(pr, flagged);
+      }
+      pending.resize(kept);
+    }
+
+    void resolve(const PendingRead& pr, std::atomic<bool>& flagged) {
+      const VersionRec& rec = *versions.find(pr.key.first, pr.key.second);
+      // kStampedRead: identical to ShardPass's resolution, including the
+      // monitor's empty [0, 0) interval for never-installed versions.
+      if (pr.stamp != 0) {
+        const std::size_t open = rec.installed ? rec.open_rank : 0;
+        if (pr.ver != kNoReadVersion &&
+            !read_stamp_names_version(pr.ver, open)) {
+          flag(pr.pos,
+               tx_tag(pr.tx) + " stamped its read of x" +
+                   std::to_string(pr.obj) + "=" +
+                   std::to_string(pr.key.second) + " with version " +
+                   std::to_string(pr.ver) +
+                   " but the value belongs to the version opened at rank " +
+                   std::to_string(open),
+               CertFlagKind::kReadStampMismatch, pr.tx, flagged);
+          return;
+        }
+        if (open > static_cast<std::size_t>(pr.stamp)) {
+          flag(pr.pos,
+               tx_tag(pr.tx) + " read x" + std::to_string(pr.obj) + "=" +
+                   std::to_string(pr.key.second) +
+                   " from a version opened at rank " + std::to_string(open) +
+                   ", after its snapshot stamp " + std::to_string(pr.stamp),
+               CertFlagKind::kReadStampMismatch, pr.tx, flagged);
+          return;
+        }
+      }
+      if (!rec.installed) {
+        reads.push_back({pr.tx, pr.pos, pr.obj, shard, 0, 0, 0});
+      } else {
+        reads.push_back({pr.tx, pr.pos, pr.obj, shard, rec.open_rank,
+                         rec.close_rank, rec.close_pos});
+      }
+    }
+  };
+
+  // --- configuration (immutable after the constructor) ---
+  ObjectModel model;
+  VersionOrderPolicy policy;
+  Options opts;
+  util::ThreadPool* pool{nullptr};
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  std::size_t num_shards{1};
+
+  // kBlindWriteSmart serial fallback (see the header for why).
+  std::unique_ptr<OnlineCertificateMonitor> monitor;
+
+  // --- ingest-thread state ---
+  bool started{false};
+  bool finished{false};
+  std::size_t fed{0};
+  std::size_t reserve_txs{0};
+  std::size_t reserve_versions{0};
+  std::optional<OnlineViolation> latched;
+
+  std::atomic<bool> flagged{false};
+
+  // --- pipeline ---
+  std::unique_ptr<BoundedChannel<Chunk>> chunks;
+  Recycler<std::vector<Event>> chunk_recycler;
+  Recycler<std::vector<ShardItem>> item_recycler;
+  std::vector<std::unique_ptr<Shard>> shards;
+
+  // --- pass-0 worker state ---
+  TxSlab<TxMeta> txs;
+  VersionOrderResolver resolver;
+  std::vector<Flag> flags;
+  std::vector<TxId> completed_window;
+  std::vector<std::vector<ShardItem>> stage;
+  std::size_t since_barrier{0};
+  // merge scratch
+  std::vector<ReadRec> merge_reads;
+  std::vector<detail::MergeClose> closes_scratch;
+  std::unordered_set<TxId> with_reads;
+
+  // --- barrier + shutdown ---
+  struct BarrierSync {
+    std::mutex mu;
+    std::condition_variable arrived_cv;
+    std::condition_variable resume_cv;
+    std::size_t arrived{0};
+    std::uint64_t generation{0};
+  };
+  BarrierSync sync;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  std::size_t workers_done{0};
+  std::size_t workers_total{0};
+
+  Impl(ObjectModel m, VersionOrderPolicy p, Options o, util::ThreadPool* ext)
+      : model(std::move(m)), policy(p), opts(o), resolver(p) {
+    for (ObjId r = 0; r < model.size(); ++r) {
+      if (dynamic_cast<const RegisterSpec*>(&model.spec(r)) == nullptr) {
+        throw std::invalid_argument(
+            "parallel stream certification: register histories only");
+      }
+    }
+    if (opts.merge_window_events == 0) opts.merge_window_events = 1;
+    if (opts.max_queued_chunks == 0) opts.max_queued_chunks = 1;
+    if (policy == VersionOrderPolicy::kBlindWriteSmart) {
+      monitor = std::make_unique<OnlineCertificateMonitor>(model, policy);
+      return;
+    }
+    const std::size_t budget =
+        ext != nullptr
+            ? ext->size()
+            : resolve_verify_concurrency(model.size(), 0, opts.num_threads)
+                  .threads;
+    num_shards = resolve_verify_concurrency(model.size(), opts.num_shards,
+                                            budget > 1 ? budget - 1 : 1)
+                     .shards;
+    if (ext != nullptr) {
+      if (ext->size() < num_shards + 1) {
+        throw std::invalid_argument(
+            "parallel stream certification: external pool needs at least "
+            "num_shards + 1 threads (long-running workers)");
+      }
+      pool = ext;
+    }
+  }
+
+  ~Impl() { finish(); }
+
+  bool ingest(std::span<const Event> batch) {
+    if (monitor) return monitor->ingest(batch);
+    if (finished) return ok();
+    if (!batch.empty()) {
+      if (!started) start();
+      Chunk c;
+      c.events = chunk_recycler.take();
+      c.events.assign(batch.begin(), batch.end());
+      c.base = fed;
+      fed += batch.size();
+      chunks->push(std::move(c));
+    }
+    return !flagged.load(std::memory_order_relaxed);
+  }
+
+  void reserve(std::size_t num_txs, std::size_t num_versions) {
+    if (monitor) {
+      monitor->reserve(num_txs, num_versions);
+      return;
+    }
+    if (started) return;
+    reserve_txs = num_txs;
+    reserve_versions = num_versions;
+  }
+
+  bool finish() {
+    if (monitor) {
+      finished = true;
+      return monitor->ok();
+    }
+    if (finished) return ok();
+    finished = true;
+    if (!started) return true;
+    chunks->close();
+    {
+      std::unique_lock<std::mutex> lock(done_mu);
+      done_cv.wait(lock, [&] { return workers_done == workers_total; });
+    }
+    std::sort(flags.begin(), flags.end(),
+              [](const Flag& a, const Flag& b) { return a.pos < b.pos; });
+    if (!flags.empty()) {
+      latched = OnlineViolation{flags.front().pos, flags.front().reason,
+                                flags.front().kind};
+    }
+    return ok();
+  }
+
+  [[nodiscard]] bool ok() const {
+    if (monitor) return monitor->ok();
+    if (finished) return !latched.has_value();
+    return !flagged.load(std::memory_order_relaxed);
+  }
+
+  void start() {
+    started = true;
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<util::ThreadPool>(num_shards + 1);
+      pool = owned_pool.get();
+    }
+    chunks = std::make_unique<BoundedChannel<Chunk>>(opts.max_queued_chunks);
+    stage.resize(num_shards);
+    if (reserve_txs != 0) txs.reserve(reserve_txs);
+    const std::size_t per_shard_versions =
+        reserve_versions / num_shards + model.size() / num_shards + 16;
+    shards.reserve(num_shards);
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      shards.push_back(std::make_unique<Shard>(
+          s, num_shards, policy, per_shard_versions, opts.max_queued_chunks));
+      shards.back()->seed(model);
+      if (reserve_txs != 0) {
+        shards.back()->writer_index.reserve(reserve_txs);
+        shards.back()->committed.reserve(reserve_txs);
+        shards.back()->done.reserve(reserve_txs);
+      }
+    }
+    workers_total = num_shards + 1;
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      pool->submit([this, s] { shard_loop(s); });
+    }
+    pool->submit([this] { pass0_loop(); });
+  }
+
+  void worker_exit() {
+    // Notify UNDER the mutex: this is the last thing a worker does, and
+    // finish()'s waiter may destroy this Impl (and done_cv with it) the
+    // moment it sees workers_done == workers_total. Held lock means the
+    // waiter cannot leave wait() until this thread has released it —
+    // i.e. until notify_all() has fully returned.
+    const std::lock_guard<std::mutex> lock(done_mu);
+    ++workers_done;
+    done_cv.notify_all();
+  }
+
+  // ------------------------------------------------------------------
+  // pass-0 worker
+  // ------------------------------------------------------------------
+
+  void pass0_loop() {
+    Chunk chunk;
+    while (chunks->pop(chunk)) {
+      process_chunk(chunk);
+      chunk_recycler.give(std::move(chunk.events));
+      if (since_barrier >= opts.merge_window_events) {
+        run_barrier(false);
+        since_barrier = 0;
+      }
+    }
+    run_barrier(true);
+    for (auto& s : shards) s->queue.close();
+    worker_exit();
+  }
+
+  void process_chunk(const Chunk& chunk) {
+    for (std::size_t k = 0; k < chunk.events.size(); ++k) {
+      const Event& e = chunk.events[k];
+      const std::size_t i = chunk.base + k;
+      TxMeta& tx = txs.get(e.tx);
+      const std::size_t flags_before = flags.size();
+      const bool completed_now =
+          detail::pass0_step(tx, e, i, model, policy, resolver, flags);
+      if (flags.size() != flags_before) {
+        flagged.store(true, std::memory_order_relaxed);
+      }
+      if (completed_now) {
+        completed_window.push_back(e.tx);
+        if (e.kind == EventKind::kCommit) {
+          // Broadcast every genuine committed transition: shards install
+          // only their own registers' writes, but each needs the
+          // committed-writer mark — a read may resolve to a version whose
+          // writer committed with writes entirely in other shards' sets
+          // (it wrote this shard's register too; the mark, not the write
+          // set, is what the reads-from check consults).
+          for (std::size_t s = 0; s < num_shards; ++s) {
+            stage[s].push_back(
+                {e, i, tx.has_write ? tx.commit_rank : 0, tx.has_write});
+          }
+        }
+      }
+      if (e.kind == EventKind::kResponse && model.contains(e.obj)) {
+        stage[e.obj % num_shards].push_back({e, i, 0, false});
+      }
+    }
+    since_barrier += chunk.events.size();
+    flush_stage();
+  }
+
+  void flush_stage() {
+    for (std::size_t s = 0; s < num_shards; ++s) {
+      if (stage[s].empty()) continue;
+      ShardBatch b;
+      b.items = std::move(stage[s]);
+      stage[s] = item_recycler.take();
+      shards[s]->queue.push(std::move(b));
+    }
+  }
+
+  void run_barrier(bool is_final) {
+    flush_stage();
+    auto completed =
+        std::make_shared<std::vector<TxId>>(std::move(completed_window));
+    completed_window = std::vector<TxId>{};
+    for (auto& s : shards) {
+      ShardBatch b;
+      b.barrier = true;
+      b.final = is_final;
+      b.completed = completed;
+      s->queue.push(std::move(b));
+    }
+    {
+      std::unique_lock<std::mutex> lock(sync.mu);
+      sync.arrived_cv.wait(lock, [&] { return sync.arrived == num_shards; });
+    }
+    // All shards are parked on resume_cv; their handoff slots are ours
+    // (the barrier mutex ordered their writes before our reads).
+    merge_window(*completed);
+    {
+      const std::lock_guard<std::mutex> lock(sync.mu);
+      sync.arrived = 0;
+      ++sync.generation;
+    }
+    sync.resume_cv.notify_all();
+  }
+
+  /// The sequential merge, identical in structure to the offline driver's
+  /// merge_windows + check_readless_points, restricted to the
+  /// transactions whose windows this barrier closed (their reads all
+  /// resolved here — see the header).
+  void merge_window(const std::vector<TxId>& completed) {
+    merge_reads.clear();
+    for (auto& s : shards) {
+      flags.insert(flags.end(), s->flags.begin(), s->flags.end());
+      s->flags.clear();
+      merge_reads.insert(merge_reads.end(), s->reads.begin(), s->reads.end());
+      s->reads.clear();
+    }
+    std::sort(merge_reads.begin(), merge_reads.end(),
+              [](const ReadRec& a, const ReadRec& b) {
+                if (a.tx != b.tx) return a.tx < b.tx;
+                return a.pos < b.pos;
+              });
+    with_reads.clear();
+    std::size_t begin = 0;
+    while (begin < merge_reads.size()) {
+      std::size_t end = begin;
+      while (end < merge_reads.size() &&
+             merge_reads[end].tx == merge_reads[begin].tx) {
+        ++end;
+      }
+      const TxId id = merge_reads[begin].tx;
+      with_reads.insert(id);
+      detail::sweep_tx_windows(id, detail::to_merge_meta(*txs.find(id)),
+                               merge_reads.data() + begin, end - begin,
+                               stamp_space(policy), closes_scratch, flags);
+      begin = end;
+    }
+    if (stamp_space(policy)) {
+      for (const TxId id : completed) {
+        if (with_reads.count(id) != 0) continue;
+        const TxMeta* meta = txs.find(id);
+        if (meta != nullptr) {
+          detail::check_readless_tx(id, detail::to_merge_meta(*meta), flags);
+        }
+      }
+    }
+    if (!flags.empty()) flagged.store(true, std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------------
+  // shard workers
+  // ------------------------------------------------------------------
+
+  void shard_loop(std::size_t s) {
+    Shard& sh = *shards[s];
+    ShardBatch b;
+    while (sh.queue.pop(b)) {
+      if (!b.items.empty()) {
+        for (const ShardItem& it : b.items) sh.process(it, flagged);
+        item_recycler.give(std::move(b.items));
+      }
+      if (b.barrier) {
+        sh.resolve_at_barrier(*b.completed, b.final, flagged);
+        b.completed.reset();
+        std::unique_lock<std::mutex> lock(sync.mu);
+        const std::uint64_t gen = sync.generation;
+        ++sync.arrived;
+        if (sync.arrived == num_shards) sync.arrived_cv.notify_one();
+        sync.resume_cv.wait(lock, [&] { return sync.generation != gen; });
+      }
+    }
+    worker_exit();
+  }
+};
+
+ParallelStreamCertifier::ParallelStreamCertifier(ObjectModel model,
+                                                 VersionOrderPolicy policy)
+    : ParallelStreamCertifier(std::move(model), policy, Options{}) {}
+
+ParallelStreamCertifier::ParallelStreamCertifier(ObjectModel model,
+                                                 VersionOrderPolicy policy,
+                                                 Options options,
+                                                 util::ThreadPool* pool)
+    : impl_(std::make_unique<Impl>(std::move(model), policy, options, pool)) {}
+
+ParallelStreamCertifier::~ParallelStreamCertifier() = default;
+
+bool ParallelStreamCertifier::ingest(std::span<const Event> batch) {
+  return impl_->ingest(batch);
+}
+
+void ParallelStreamCertifier::reserve(std::size_t num_txs,
+                                      std::size_t num_versions,
+                                      std::size_t /*holders_per_register*/) {
+  impl_->reserve(num_txs, num_versions);
+}
+
+bool ParallelStreamCertifier::finish() { return impl_->finish(); }
+
+bool ParallelStreamCertifier::ok() const noexcept { return impl_->ok(); }
+
+const std::optional<OnlineViolation>& ParallelStreamCertifier::violation()
+    const noexcept {
+  return impl_->monitor ? impl_->monitor->violation() : impl_->latched;
+}
+
+VersionOrderPolicy ParallelStreamCertifier::policy() const noexcept {
+  return impl_->policy;
+}
+
+std::size_t ParallelStreamCertifier::events_fed() const noexcept {
+  return impl_->monitor ? impl_->monitor->events_fed() : impl_->fed;
+}
+
+std::size_t ParallelStreamCertifier::shards_used() const noexcept {
+  return impl_->monitor ? 1 : impl_->num_shards;
+}
+
+std::size_t ParallelStreamCertifier::threads_used() const noexcept {
+  return impl_->monitor ? 1 : impl_->num_shards + 1;
+}
+
+bool ParallelStreamCertifier::serial_fallback() const noexcept {
+  return impl_->monitor != nullptr;
+}
+
+}  // namespace optm::core

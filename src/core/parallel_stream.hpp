@@ -1,0 +1,182 @@
+// ParallelStreamCertifier — the online certificate monitor, sharded
+// across cores.
+//
+// Every live pipeline (DrainPump -> MonitorSink, verify_event_stream's
+// streaming path, checker_tool certify-log) previously topped out at the
+// throughput of one OnlineCertificateMonitor core. The offline driver
+// (parallel_verify.hpp) already proved that the §5.4 certificate
+// decomposes by register shard; this class ports that decomposition to
+// the STREAMING path, so live certification scales past one core while
+// preserving the monitor's verdict and first-flag position exactly.
+//
+// PIPELINE. ingest(span) copies each stamp-contiguous batch into a chunk
+// and hands it to a bounded SPSC channel feeding the GLOBAL PASS-0
+// WORKER, which runs the sequential register-free part of the
+// certificate — the §4 lifecycle state machine, birth floors, and the
+// VersionOrderResolver rank assignment (ranks are what couple registers
+// together; computing them on one thread is what keeps the shards
+// independent, exactly as in the offline driver's pass 0). Pass 0
+// annotates each committed update C event with its serialization rank and
+// PARTITIONS the batch by `register % num_shards` into per-shard SPSC
+// queues (C events broadcast to every shard — each shard installs only
+// its own registers' writes but needs the committed-writer marks);
+// util::ThreadPool workers — one long-running task per shard, plus one
+// for pass 0 — consume the queues, each running the shard-local
+// certificate pass of parallel_verify.cpp's ShardPass over its own
+// dense-state slices (VersionTable version chains, TxSlab write-set
+// index, SmallWriteSet buffers; see dense_state.hpp).
+//
+// WINDOWED MERGE. Every merge_window_events ingested events, pass 0
+// pushes a barrier through all shard queues. Each shard, on reaching it,
+// resolves the pending reads of transactions that COMPLETED in the closed
+// window against its version chain and parks; pass 0 then replays each
+// completed transaction's snapshot-window intersection over its reads
+// from all shards in position order with the shared close-heap sweep
+// (detail::sweep_tx_windows, window_merge.hpp — the same function the
+// offline merge runs), applies the commit-point check, and releases the
+// shards. finish() runs a final barrier that also sweeps the reads of
+// transactions still live at stream end and the readless birth-floor
+// checks of the stamp policies, then sorts all flags by position: the
+// earliest is the violation.
+//
+// WHY PER-REGISTER PARTITIONING PRESERVES FLAG POSITIONS (the soundness
+// argument, satellite of the offline driver's):
+//
+//   * every flag the certificate can raise is attributable to either the
+//     register-free pass (well-formedness, commit-stamp monotonicity —
+//     computed sequentially here, identical to the monitor), to ONE
+//     register (value-unique writes, local consistency, reads-from
+//     resolution, per-read stamp checks — each register's version chain
+//     is touched only by its own shard, which sees that register's
+//     events in stream order, so the shard-local scan is byte-identical
+//     to the monitor's view of that register), or to the per-transaction
+//     WINDOW INTERSECTION across registers — which the merge replays
+//     sequentially from the shard-resolved (open, close) intervals with
+//     the monitor's knowledge timing (a close participates only once its
+//     closing C event precedes the check position);
+//   * resolving a transaction's reads at the barrier where it completed
+//     is equivalent to the offline driver's end-of-history resolution:
+//     every check on a transaction T happens at positions <= T's
+//     completion position <= the barrier position B, and the sweep
+//     applies a close only when close_pos < check position, so closes
+//     recorded after B (the only difference between the chain at B and
+//     the final chain) can never participate in T's checks — they would
+//     fail the close_pos < check test anyway. Hence the flag set, and
+//     therefore the EARLIEST flag position, equals the offline driver's,
+//     which is fuzz-proven position-equivalent to the monitor.
+//
+// Unlike the monitor, a latched violation does NOT stop the pipeline
+// early: flags surface out of position order (a shard may flag position
+// 50 after another already flagged 90), so the certifier processes the
+// whole stream and selects the earliest flag at finish(). ingest()'s
+// return value turns (stickily) false as soon as ANY flag is known —
+// same contract shape as the monitor — but ok()/violation() are final
+// only after finish().
+//
+// kBlindWriteSmart FALLS BACK TO THE SERIAL MONITOR: the §3.6 bounded
+// reorder search retains and replays the whole prefix and a successful
+// retro-order re-opens version windows across ALL registers at once —
+// both inherently global and sequential, so there is no shard-local pass
+// to run (the offline driver has the same asymmetry: it repairs once over
+// the whole history). serial_fallback() reports when this happened;
+// shards_used()/threads_used() are then 1.
+//
+// MEMORY stays within a constant factor of the monitor's: per-transaction
+// slabs and the per-shard version chains grow exactly like the monitor's
+// (O(transactions + versions)), and pending reads are retained only for
+// LIVE transactions — a transaction's reads are resolved and freed at the
+// barrier closing the window in which it completed.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+
+#include "core/event.hpp"
+#include "core/online.hpp"
+#include "core/version_order.hpp"
+
+namespace optm::util {
+class ThreadPool;  // util/pool.hpp
+}
+
+namespace optm::core {
+
+class ParallelStreamCertifier {
+ public:
+  struct Options {
+    /// Register shards (= shard worker tasks); 0 = auto via
+    /// resolve_verify_concurrency (min(#registers, worker budget)).
+    std::size_t num_shards = 0;
+    /// Worker-thread budget when the certifier OWNS its pool (no external
+    /// pool passed); 0 = auto. The pipeline needs num_shards + 1
+    /// concurrently parked tasks, so an owned pool is always sized to
+    /// exactly that — this knob only feeds the shard auto-resolution.
+    std::size_t num_threads = 0;
+    /// Merge-barrier cadence, in ingested events. Smaller windows bound
+    /// the pending-read retention tighter; larger ones amortize the
+    /// barrier. Verdicts and flag positions are window-size-invariant.
+    std::size_t merge_window_events = std::size_t{1} << 16;
+    /// Bounded depth (in chunks) of the ingest -> pass-0 channel;
+    /// ingest() blocks when the pipeline is this far behind.
+    std::size_t max_queued_chunks = 8;
+  };
+
+  /// Same preconditions as OnlineCertificateMonitor: all-register model
+  /// (throws std::invalid_argument otherwise). When `pool` is given it is
+  /// borrowed, must outlive the certifier, and must have at least
+  /// resolved-shards + 1 threads DEDICATED while the certifier is live
+  /// (throws std::invalid_argument if too small) — the workers are
+  /// long-running tasks, not finite jobs. With pool == nullptr the
+  /// certifier owns a right-sized pool.
+  explicit ParallelStreamCertifier(
+      ObjectModel model,
+      VersionOrderPolicy policy = VersionOrderPolicy::kCommitOrder);
+  ParallelStreamCertifier(ObjectModel model, VersionOrderPolicy policy,
+                          Options options, util::ThreadPool* pool = nullptr);
+  ~ParallelStreamCertifier();
+
+  ParallelStreamCertifier(const ParallelStreamCertifier&) = delete;
+  ParallelStreamCertifier& operator=(const ParallelStreamCertifier&) = delete;
+
+  /// Feed the next stamp-contiguous batch (same contract as the
+  /// monitor's ingest). Blocks when the pipeline is max_queued_chunks
+  /// behind. Returns false once a violation is known (sticky) — but see
+  /// the header: the definitive verdict needs finish().
+  bool ingest(std::span<const Event> batch);
+
+  /// Pre-size the dense state (monitor-compatible signature; the version
+  /// budget is split across shards, holders_per_register is accepted for
+  /// symmetry but unused — this engine has no holder lists). Only
+  /// effective before the first ingest().
+  void reserve(std::size_t num_txs, std::size_t num_versions,
+               std::size_t holders_per_register = 0);
+
+  /// End of stream: run the final merge barrier, shut the workers down,
+  /// and latch the earliest flag. Idempotent. Returns ok().
+  bool finish();
+
+  /// Final after finish(); provisional (flags may still be in flight in
+  /// the shard workers) before.
+  [[nodiscard]] bool ok() const noexcept;
+  [[nodiscard]] const std::optional<OnlineViolation>& violation() const noexcept;
+
+  [[nodiscard]] VersionOrderPolicy policy() const noexcept;
+  [[nodiscard]] std::size_t events_fed() const noexcept;
+  /// Register shards certifying in parallel (1 under serial fallback).
+  [[nodiscard]] std::size_t shards_used() const noexcept;
+  /// Long-running worker tasks the pipeline occupies: shards + the pass-0
+  /// worker (1 under serial fallback — everything runs on the ingest
+  /// thread).
+  [[nodiscard]] std::size_t threads_used() const noexcept;
+  /// True iff the policy forced the serial-monitor fallback
+  /// (kBlindWriteSmart; see the header for why it cannot shard).
+  [[nodiscard]] bool serial_fallback() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace optm::core

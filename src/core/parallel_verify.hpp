@@ -97,6 +97,23 @@ struct ShardVerifyOptions {
   std::uint64_t fallback_max_states = 200'000;
 };
 
+/// Resolved worker/shard counts after applying the "0 = auto" defaults.
+struct VerifyConcurrency {
+  std::size_t threads{1};  // worker threads (>= 1)
+  std::size_t shards{1};   // register shards (>= 1)
+};
+
+/// THE one resolution rule behind every `num_shards` / `num_threads`
+/// option pair in the verification drivers (ShardVerifyOptions,
+/// StreamVerifyOptions, ParallelStreamCertifier::Options): 0 threads means
+/// std::thread::hardware_concurrency() (at least 1), 0 shards means
+/// min(#registers, threads) (at least 1). Explicit values pass through
+/// unclamped — a caller may deliberately oversubscribe a one-core box
+/// (the conformance fuzz does).
+[[nodiscard]] VerifyConcurrency resolve_verify_concurrency(
+    std::size_t num_registers, std::size_t num_shards,
+    std::size_t num_threads) noexcept;
+
 inline constexpr std::size_t kNoShard = static_cast<std::size_t>(-1);
 
 /// One certificate flag. `shard` is the register shard the flag is

@@ -37,12 +37,18 @@ struct StreamVerifyOptions {
   VersionOrderPolicy policy = VersionOrderPolicy::kCommitOrder;
   /// The materialization window, in events: histories up to this size are
   /// verified with the sharded parallel driver; longer streams fall over
-  /// to the streaming monitor. Also bounds the span size fed per ingest.
+  /// to the streaming engines. Also bounds the span size fed per ingest.
   std::size_t window_events = std::size_t{1} << 20;
-  /// Passed through to the sharded driver when it runs.
+  /// Concurrency, resolved ONCE per stream by resolve_verify_concurrency
+  /// (parallel_verify.hpp — the same "0 = auto" rule as
+  /// ShardVerifyOptions), and applied on BOTH paths: the sharded driver
+  /// when the stream fits the window, and the parallel streaming
+  /// certifier (parallel_stream.hpp) when it does not. When the resolved
+  /// thread count is 1 — or the policy is kBlindWriteSmart, which cannot
+  /// shard — the streaming path runs the serial monitor instead.
   std::size_t num_shards = 0;
   std::size_t num_threads = 0;
-  /// Monitor pre-sizing hints (events within the bounds allocate nothing).
+  /// Engine pre-sizing hints (events within the bounds allocate nothing).
   std::size_t reserve_txs = 0;
   std::size_t reserve_versions = 0;
 };
@@ -55,8 +61,13 @@ struct StreamVerifyResult {
   std::size_t events = 0;
   /// True when the stream fit the window and the sharded driver ran.
   bool used_sharded_driver = false;
-  std::size_t shards_used = 0;  // sharded driver only
-  /// Number of ingest windows fed to the monitor (streaming path only).
+  /// True when the streaming path ran the parallel certifier instead of
+  /// the serial monitor.
+  bool used_parallel_certifier = false;
+  std::size_t shards_used = 0;  // sharded driver / parallel certifier
+  /// Worker threads the verification occupied (1 = serial monitor).
+  std::size_t threads_used = 0;
+  /// Number of ingest windows fed on the streaming path.
   std::size_t windows = 0;
 };
 

@@ -1,0 +1,354 @@
+// The §5.4 windowed merge, shared by the sharded offline driver
+// (parallel_verify.cpp) and the parallel streaming certifier
+// (parallel_stream.cpp).
+//
+// Both engines split the certificate the same way: a sequential pass 0
+// assigns serialization ranks, per-register-shard passes resolve each
+// non-local read to its version's (open, close) rank interval and date the
+// close with the POSITION of the closing C event, and a sequential merge
+// replays every transaction's snapshot-window intersection over its reads
+// from all shards in position order — applying a close only once its
+// closing C event precedes the current check position, which is exactly
+// the knowledge the streaming OnlineCertificateMonitor had at that moment.
+// Keeping the sweep in one place is what makes the two drivers
+// byte-for-byte equivalent on verdicts and flag positions BY CONSTRUCTION
+// rather than by parallel maintenance: the offline driver calls
+// sweep_tx_windows once per transaction over the whole history, the
+// streaming certifier calls the identical function once per transaction at
+// the merge barrier where that transaction completed (see
+// parallel_stream.hpp for why the barrier-time version-chain state is
+// final as far as that transaction's checks are concerned).
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/types.hpp"
+#include "core/version_order.hpp"
+
+namespace optm::core::detail {
+
+inline constexpr std::size_t kMergeNone = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kMergeOpenRank = static_cast<std::size_t>(-1);
+inline constexpr std::size_t kMergeNoShard = static_cast<std::size_t>(-1);
+
+[[nodiscard]] inline std::string tx_tag(TxId tx) {
+  return "T" + std::to_string(tx);
+}
+
+/// §4 life-cycle, mirroring OnlineCertificateMonitor's state machine.
+enum class TxPhase : std::uint8_t {
+  kIdle,
+  kOpPending,
+  kCommitPending,
+  kAbortPending,
+  kDone,
+};
+
+/// The full per-transaction pass-0 state, shared by the offline driver's
+/// Pass0 and the streaming certifier's pass-0 worker. Default construction
+/// means "never seen" (TxSlab absence).
+struct MergeTxState {
+  TxPhase phase{TxPhase::kIdle};
+  Event pending{};
+  bool born{false};
+  bool committed{false};
+  bool has_write{false};
+  std::size_t birth_rank{0};
+  std::size_t commit_pos{kMergeNone};
+  std::size_t commit_rank{0};   // meaningful for committed update txs
+  std::size_t ro_point{kMergeNone};  // pinned read-only serialization point
+  std::uint64_t max_read_stamp{0};  // kStampedRead: largest read snapshot
+};
+
+/// The slice of per-transaction pass-0 state the merge consumes.
+struct MergeTxMeta {
+  bool committed{false};
+  bool has_write{false};
+  std::size_t birth_rank{0};
+  std::size_t commit_pos{kMergeNone};
+  std::size_t commit_rank{0};   // meaningful for committed update txs
+  std::size_t ro_point{kMergeNone};  // pinned read-only serialization point
+};
+
+/// One certificate flag, as both drivers stage it internally.
+struct MergeFlag {
+  std::size_t pos;
+  std::string reason;
+  CertFlagKind kind;
+  TxId tx;
+  std::size_t shard;
+};
+
+[[nodiscard]] inline MergeTxMeta to_merge_meta(const MergeTxState& tx) {
+  MergeTxMeta m;
+  m.committed = tx.committed;
+  m.has_write = tx.has_write;
+  m.birth_rank = tx.birth_rank;
+  m.commit_pos = tx.commit_pos;
+  m.commit_rank = tx.commit_rank;
+  m.ro_point = tx.ro_point;
+  return m;
+}
+
+/// One pass-0 step: the §4 lifecycle transition for event `e` at position
+/// `i`, plus birth floors and the VersionOrderResolver rank assignment.
+/// This mirrors OnlineCertificateMonitor::feed condition-for-condition,
+/// including flag positions — the shared contract is verdict and position
+/// equivalence with the streaming monitor under kCommitOrder,
+/// kSnapshotRank and kStampedRead, and the BatchEquivalence +
+/// MvSnapshotFuzz + ParallelStreamFuzz suites enforce it; change the
+/// monitor and this function together. Both pass-0 drivers (the offline
+/// Pass0 scan and the streaming certifier's pass-0 worker) call it for
+/// every event in record order. Returns true when the event COMPLETED the
+/// transaction (the C or A transition to done) — the streaming certifier
+/// uses that to close the transaction's merge window.
+inline bool pass0_step(MergeTxState& tx, const Event& e, std::size_t i,
+                       const ObjectModel& model, VersionOrderPolicy policy,
+                       VersionOrderResolver& resolver,
+                       std::vector<MergeFlag>& flags) {
+  if (!tx.born) {
+    tx.born = true;
+    tx.birth_rank = resolver.floor();
+  }
+  bool completed = false;
+  switch (e.kind) {
+    case EventKind::kInvoke:
+      if (tx.phase != TxPhase::kIdle) {
+        flags.push_back({i, tx_tag(e.tx) +
+                                " invoked an operation while not idle "
+                                "(well-formedness)",
+                         CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else if (!model.contains(e.obj)) {
+        flags.push_back({i, tx_tag(e.tx) +
+                                " invoked an operation on unknown object x" +
+                                std::to_string(e.obj),
+                         CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kOpPending;
+        tx.pending = e;
+      }
+      break;
+    case EventKind::kResponse:
+      if (tx.phase != TxPhase::kOpPending || !tx.pending.matches(e)) {
+        flags.push_back({i, tx_tag(e.tx) +
+                                " received a response with no matching "
+                                "invocation (well-formedness)",
+                         CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kIdle;
+        if (e.op == OpCode::kWrite) tx.has_write = true;
+        if (policy == VersionOrderPolicy::kStampedRead &&
+            e.op == OpCode::kRead && e.stamp > tx.max_read_stamp) {
+          tx.max_read_stamp = e.stamp;
+        }
+      }
+      break;
+    case EventKind::kTryCommit:
+      if (tx.phase != TxPhase::kIdle) {
+        flags.push_back(
+            {i, tx_tag(e.tx) + " issued tryC while not idle (well-formedness)",
+             CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kCommitPending;
+      }
+      break;
+    case EventKind::kCommit:
+      if (tx.phase != TxPhase::kCommitPending) {
+        flags.push_back(
+            {i, tx_tag(e.tx) + " committed without tryC (well-formedness)",
+             CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kDone;
+        tx.committed = true;
+        tx.commit_pos = i;
+        completed = true;
+        if (policy == VersionOrderPolicy::kStampedRead && e.stamp != 0 &&
+            e.stamp < tx.max_read_stamp) {
+          flags.push_back({i, tx_tag(e.tx) + " committed at stamp " +
+                                  std::to_string(e.stamp) +
+                                  " below its latest read snapshot " +
+                                  std::to_string(tx.max_read_stamp),
+                           CertFlagKind::kReadStampMismatch, e.tx,
+                           kMergeNoShard});
+        }
+        if (tx.has_write) {
+          tx.commit_rank = resolver.update_commit_rank(e);
+        } else if (const auto point = resolver.read_only_point(e)) {
+          tx.ro_point = *point;
+        }
+      }
+      break;
+    case EventKind::kTryAbort:
+      if (tx.phase != TxPhase::kIdle) {
+        flags.push_back(
+            {i, tx_tag(e.tx) + " issued tryA while not idle (well-formedness)",
+             CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kAbortPending;
+      }
+      break;
+    case EventKind::kAbort:
+      if (tx.phase == TxPhase::kDone) {
+        flags.push_back(
+            {i, tx_tag(e.tx) + " aborted after completing (well-formedness)",
+             CertFlagKind::kNotWellFormed, e.tx, kMergeNoShard});
+      } else {
+        tx.phase = TxPhase::kDone;
+        completed = true;
+      }
+      break;
+  }
+  return completed;
+}
+
+/// One non-local read, with its version's validity interval resolved by a
+/// shard pass; `close_pos` dates the close so the merge sweep can apply it
+/// with the streaming monitor's timing.
+struct MergeReadRec {
+  TxId tx;
+  std::size_t pos;
+  ObjId obj;
+  std::size_t shard;
+  std::size_t open_rank;
+  std::size_t close_rank;  // kMergeOpenRank if never overwritten
+  std::size_t close_pos;   // kMergeNone if never overwritten
+};
+
+/// (close_pos, (close_rank, shard)) — min-heap element of the sweep.
+using MergeClose = std::pair<std::size_t, std::pair<std::size_t, std::size_t>>;
+
+/// Replay one transaction's snapshot window over its reads (all shards,
+/// sorted by position; `count` >= 1), applying version closes only once
+/// their closing C event precedes the current position, then run the
+/// serialization-point check at the commit position. `closes` is caller
+/// scratch (reused across transactions so the sweep allocates nothing once
+/// warm). Flags are appended with monitor-identical positions.
+inline void sweep_tx_windows(TxId id, const MergeTxMeta& meta,
+                             const MergeReadRec* reads, std::size_t count,
+                             bool snapshot_rank,
+                             std::vector<MergeClose>& closes,
+                             std::vector<MergeFlag>& flags) {
+  std::size_t lo = 0;
+  std::size_t hi = kMergeOpenRank;
+  std::size_t hi_shard = kMergeNoShard;
+  closes.clear();
+  const auto apply_closes_before = [&](std::size_t pos) {
+    while (!closes.empty() && closes.front().first < pos) {
+      if (closes.front().second.first < hi) {
+        hi = closes.front().second.first;
+        hi_shard = closes.front().second.second;
+      }
+      std::pop_heap(closes.begin(), closes.end(), std::greater<MergeClose>{});
+      closes.pop_back();
+    }
+  };
+
+  bool flagged = false;
+  for (std::size_t i = 0; i < count && !flagged; ++i) {
+    const MergeReadRec& r = reads[i];
+    apply_closes_before(r.pos);
+    if (r.open_rank > lo) lo = r.open_rank;
+    if (r.close_pos != kMergeNone) {
+      if (r.close_pos < r.pos) {
+        if (r.close_rank < hi) {
+          hi = r.close_rank;
+          hi_shard = r.shard;
+        }
+      } else {
+        closes.push_back({r.close_pos, {r.close_rank, r.shard}});
+        std::push_heap(closes.begin(), closes.end(),
+                       std::greater<MergeClose>{});
+      }
+    }
+    if (lo >= hi) {
+      flags.push_back({r.pos, tx_tag(id) +
+                                  "'s reads form no consistent snapshot "
+                                  "(window empty after reading x" +
+                                  std::to_string(r.obj) + ")",
+                       CertFlagKind::kSnapshotEmpty, id, r.shard});
+      flagged = true;
+    } else if (hi <= meta.birth_rank) {
+      flags.push_back({r.pos, tx_tag(id) + " read the outdated x" +
+                                  std::to_string(r.obj) +
+                                  ", overwritten before the transaction's "
+                                  "first event (real-time order)",
+                       CertFlagKind::kStaleRead, id, r.shard});
+      flagged = true;
+    }
+  }
+  if (!flagged && meta.committed && meta.commit_pos != kMergeNone) {
+    apply_closes_before(meta.commit_pos);
+    if (meta.has_write) {
+      if (snapshot_rank) {
+        const std::size_t rank = meta.commit_rank;
+        if (rank < lo || rank >= hi || rank <= meta.birth_rank) {
+          flags.push_back({meta.commit_pos,
+                           tx_tag(id) + " committed updates at rank " +
+                               std::to_string(rank) +
+                               " outside its snapshot window (version order)",
+                           CertFlagKind::kNotCurrentAtCommit, id,
+                           hi_shard != kMergeNoShard ? hi_shard
+                                                     : reads[0].shard});
+        }
+      } else if (hi != kMergeOpenRank) {
+        flags.push_back({meta.commit_pos,
+                         tx_tag(id) +
+                             " committed updates although a version it read "
+                             "was overwritten (reads not current at commit)",
+                         CertFlagKind::kNotCurrentAtCommit, id, hi_shard});
+      }
+    } else if (meta.ro_point != kMergeNone) {
+      const std::size_t point = meta.ro_point;
+      if (point < lo || point >= hi || point <= meta.birth_rank) {
+        flags.push_back({meta.commit_pos,
+                         tx_tag(id) +
+                             " (read-only) committed at snapshot point " +
+                             std::to_string(point) +
+                             " outside its snapshot window",
+                         CertFlagKind::kNoReadOnlyPoint, id,
+                         hi_shard != kMergeNoShard ? hi_shard
+                                                   : reads[0].shard});
+      }
+    } else if (lo >= hi || hi <= meta.birth_rank) {
+      flags.push_back({meta.commit_pos,
+                       tx_tag(id) +
+                           " (read-only) committed with no serialization "
+                           "point compatible with real-time order",
+                       CertFlagKind::kNoReadOnlyPoint, id,
+                       hi_shard != kMergeNoShard ? hi_shard : reads[0].shard});
+    }
+  }
+}
+
+/// The birth-floor check for committed transactions with NO non-local
+/// reads (they never enter sweep_tx_windows, which iterates read groups);
+/// only meaningful under the stamp-space policies — the monitor fires it
+/// at the C event.
+inline void check_readless_tx(TxId id, const MergeTxMeta& meta,
+                              std::vector<MergeFlag>& flags) {
+  if (!meta.committed) return;
+  if (meta.has_write) {
+    if (meta.commit_rank <= meta.birth_rank) {
+      flags.push_back({meta.commit_pos,
+                       tx_tag(id) + " committed updates at rank " +
+                           std::to_string(meta.commit_rank) +
+                           " outside its snapshot window (version order)",
+                       CertFlagKind::kNotCurrentAtCommit, id, kMergeNoShard});
+    }
+  } else if (meta.ro_point != kMergeNone &&
+             meta.ro_point <= meta.birth_rank) {
+    flags.push_back({meta.commit_pos,
+                     tx_tag(id) + " (read-only) committed at snapshot point " +
+                         std::to_string(meta.ro_point) +
+                         " outside its snapshot window",
+                     CertFlagKind::kNoReadOnlyPoint, id, kMergeNoShard});
+  }
+}
+
+}  // namespace optm::core::detail

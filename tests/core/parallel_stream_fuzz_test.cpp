@@ -1,0 +1,204 @@
+// Conformance fuzz for the parallel streaming certifier: on every corpus
+// history, ParallelStreamCertifier must return the SAME verdict and the
+// SAME first condemned position as OnlineCertificateMonitor — across
+// {1, 2, 4, 8} register shards, varying ingest chunk sizes and merge-
+// window cadences — under each of the three supported policies
+// (kCommitOrder, kSnapshotRank, kStampedRead; kBlindWriteSmart falls back
+// to the serial monitor, tested separately). The corpus mixes certified
+// and flagged histories: coherent random histories (realistic snapshot
+// violations), adversarial ones (reject paths), and opaque-by-construction
+// MV histories with drifted C records and stamped reads (certified under
+// the stamp policies, flagged under commit order). 150 seeds — the same
+// acceptance bar as the monitor/driver conformance suite. This test also
+// runs under TSan in CI: the pipeline (bounded channels, barrier protocol,
+// handoff slots) must be clean.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/online.hpp"
+#include "core/parallel_stream.hpp"
+#include "core/random_history.hpp"
+#include "util/pool.hpp"
+
+namespace optm::core {
+namespace {
+
+struct StreamVerdict {
+  bool certified{true};
+  std::size_t pos{0};
+};
+
+StreamVerdict monitor_verdict(const History& h, VersionOrderPolicy policy) {
+  OnlineCertificateMonitor monitor(h.model(), policy);
+  (void)monitor.ingest(std::span<const Event>(h.events()));
+  StreamVerdict v;
+  v.certified = monitor.ok();
+  if (monitor.violation()) v.pos = monitor.violation()->pos;
+  return v;
+}
+
+StreamVerdict certifier_verdict(const History& h, VersionOrderPolicy policy,
+                                std::size_t shards, std::size_t chunk,
+                                std::size_t window) {
+  ParallelStreamCertifier::Options opts;
+  opts.num_shards = shards;
+  opts.merge_window_events = window;
+  ParallelStreamCertifier cert(h.model(), policy, opts);
+  EXPECT_FALSE(cert.serial_fallback());
+  EXPECT_EQ(cert.shards_used(), shards);
+  EXPECT_EQ(cert.threads_used(), shards + 1);
+  const std::vector<Event>& events = h.events();
+  for (std::size_t at = 0; at < events.size(); at += chunk) {
+    const std::size_t n = std::min(chunk, events.size() - at);
+    (void)cert.ingest(std::span<const Event>(events.data() + at, n));
+  }
+  (void)cert.finish();
+  EXPECT_EQ(cert.events_fed(), events.size());
+  StreamVerdict v;
+  v.certified = cert.ok();
+  if (cert.violation()) v.pos = cert.violation()->pos;
+  return v;
+}
+
+constexpr VersionOrderPolicy kPolicies[] = {VersionOrderPolicy::kCommitOrder,
+                                            VersionOrderPolicy::kSnapshotRank,
+                                            VersionOrderPolicy::kStampedRead};
+constexpr std::size_t kShardCounts[] = {1, 2, 4, 8};
+// Cycled per seed rather than cross-producted: chunk sizes stress the
+// ingest/chunk boundary handling, windows the barrier cadence (1 = a merge
+// barrier after every chunk, 1<<16 = one final barrier only).
+constexpr std::size_t kChunks[] = {1, 3, 7, 64};
+constexpr std::size_t kWindows[] = {1, 2, 8, std::size_t{1} << 16};
+
+void expect_conformant(const History& h, const char* corpus,
+                       std::uint64_t seed, std::size_t variant) {
+  const std::size_t chunk = kChunks[variant % std::size(kChunks)];
+  const std::size_t window = kWindows[(variant / 2) % std::size(kWindows)];
+  for (const VersionOrderPolicy policy : kPolicies) {
+    const StreamVerdict want = monitor_verdict(h, policy);
+    for (const std::size_t shards : kShardCounts) {
+      const StreamVerdict got =
+          certifier_verdict(h, policy, shards, chunk, window);
+      ASSERT_EQ(got.certified, want.certified)
+          << corpus << " seed " << seed << " policy " << to_string(policy)
+          << " shards " << shards << " chunk " << chunk << " window "
+          << window << ": certifier says " << (got.certified ? "yes" : "no")
+          << " at " << got.pos << ", monitor says "
+          << (want.certified ? "yes" : "no") << " at " << want.pos;
+      if (!want.certified) {
+        ASSERT_EQ(got.pos, want.pos)
+            << corpus << " seed " << seed << " policy " << to_string(policy)
+            << " shards " << shards << " chunk " << chunk << " window "
+            << window << ": first condemned position diverged";
+      }
+    }
+  }
+}
+
+constexpr std::uint64_t kSeeds = 150;
+
+TEST(ParallelStreamFuzz, CoherentAndAdversarialCorpus) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    RandomHistoryParams params;
+    params.seed = seed;
+    params.num_txs = 6;
+    params.num_objects = 4;
+    params.value_model =
+        seed % 3 == 0 ? ValueModel::kAdversarial : ValueModel::kCoherent;
+    expect_conformant(random_history(params),
+                      params.value_model == ValueModel::kAdversarial
+                          ? "adversarial"
+                          : "coherent",
+                      seed, static_cast<std::size_t>(seed));
+  }
+}
+
+TEST(ParallelStreamFuzz, MvStampedCorpus) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    MvHistoryParams params;
+    params.seed = seed;
+    params.num_txs = 10;
+    params.num_objects = 5;
+    expect_conformant(random_mv_history(params), "mv", seed,
+                      static_cast<std::size_t>(seed) + 1);
+  }
+}
+
+TEST(ParallelStreamFuzz, BlindWriteSmartFallsBackToSerialMonitor) {
+  RandomHistoryParams params;
+  params.seed = 7;
+  params.num_txs = 6;
+  params.num_objects = 4;
+  const History h = random_history(params);
+  ParallelStreamCertifier::Options opts;
+  opts.num_shards = 4;
+  ParallelStreamCertifier cert(h.model(), VersionOrderPolicy::kBlindWriteSmart,
+                               opts);
+  EXPECT_TRUE(cert.serial_fallback());
+  EXPECT_EQ(cert.shards_used(), 1u);
+  EXPECT_EQ(cert.threads_used(), 1u);
+  (void)cert.ingest(std::span<const Event>(h.events()));
+  (void)cert.finish();
+  OnlineCertificateMonitor monitor(h.model(),
+                                   VersionOrderPolicy::kBlindWriteSmart);
+  (void)monitor.ingest(std::span<const Event>(h.events()));
+  EXPECT_EQ(cert.ok(), monitor.ok());
+  if (monitor.violation()) {
+    ASSERT_TRUE(cert.violation().has_value());
+    EXPECT_EQ(cert.violation()->pos, monitor.violation()->pos);
+  }
+}
+
+TEST(ParallelStreamFuzz, ExternalPoolAndReserve) {
+  RandomHistoryParams params;
+  params.seed = 11;
+  params.num_txs = 8;
+  params.num_objects = 6;
+  const History h = random_history(params);
+  util::ThreadPool pool(4);
+  ParallelStreamCertifier::Options opts;
+  opts.num_shards = 3;  // needs 3 + 1 = pool.size() threads
+  ParallelStreamCertifier cert(h.model(), VersionOrderPolicy::kCommitOrder,
+                               opts, &pool);
+  cert.reserve(64, 256);
+  (void)cert.ingest(std::span<const Event>(h.events()));
+  (void)cert.finish();
+  const StreamVerdict want =
+      monitor_verdict(h, VersionOrderPolicy::kCommitOrder);
+  EXPECT_EQ(cert.ok(), want.certified);
+  if (!want.certified) {
+    ASSERT_TRUE(cert.violation().has_value());
+    EXPECT_EQ(cert.violation()->pos, want.pos);
+  }
+}
+
+TEST(ParallelStreamFuzz, ExternalPoolTooSmallThrows) {
+  RandomHistoryParams params;
+  params.seed = 3;
+  const History h = random_history(params);
+  util::ThreadPool pool(2);
+  ParallelStreamCertifier::Options opts;
+  opts.num_shards = 4;  // would need 5 dedicated threads
+  EXPECT_THROW(ParallelStreamCertifier(h.model(),
+                                       VersionOrderPolicy::kCommitOrder, opts,
+                                       &pool),
+               std::invalid_argument);
+}
+
+TEST(ParallelStreamFuzz, EmptyStreamCertifies) {
+  RandomHistoryParams params;
+  params.seed = 5;
+  const History h = random_history(params);
+  ParallelStreamCertifier cert(h.model(), VersionOrderPolicy::kSnapshotRank);
+  EXPECT_TRUE(cert.finish());
+  EXPECT_TRUE(cert.ok());
+  EXPECT_FALSE(cert.violation().has_value());
+  EXPECT_EQ(cert.events_fed(), 0u);
+}
+
+}  // namespace
+}  // namespace optm::core
