@@ -6,6 +6,8 @@
 //   checker_tool certify --dot=h5            # OPG in Graphviz form
 //   checker_tool certify-log <dir>           # certify a segment log from disk
 //   checker_tool inspect-log <dir>           # header + per-segment stats
+//   checker_tool serve --port=0              # networked certification service
+//   checker_tool certify-remote <dir> --connect=host:port  # replay to a server
 //
 // `certify` evaluates every correctness criterion of §3 and §5 on the
 // paper's worked histories (or on a freshly recorded STM execution),
@@ -24,11 +26,15 @@
 //
 // Bare legacy invocations (checker_tool --history=h2) still work: no
 // subcommand means `certify`.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <poll.h>
 #include <string>
 
 #include "core/criteria.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "core/opacity.hpp"
 #include "core/opacity_graph.hpp"
 #include "core/paper.hpp"
@@ -144,12 +150,12 @@ int cmd_certify_log(int argc, char** argv) {
   cli.flag("policy", "",
            "version-order policy override (default: the policy recorded "
            "in the segment headers)");
-  cli.flag("window-events", "1048576",
+  cli.flag("window-events", std::int64_t{1'048'576},
            "materialization window: logs up to this many events use the "
            "sharded parallel driver, larger ones stream through the "
            "monitor in windows of this size");
-  cli.flag("shards", "4", "register shards when the sharded driver runs");
-  cli.flag("stream-threads", "1",
+  cli.flag("shards", std::int64_t{4}, "register shards when the sharded driver runs");
+  cli.flag("stream-threads", std::int64_t{1},
            "verification threads (0 = auto): >1 runs the sharded driver "
            "multi-threaded, and streams oversized logs through the parallel "
            "certifier instead of the serial monitor");
@@ -270,6 +276,130 @@ int cmd_inspect_log(int argc, char** argv) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void on_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(int argc, char** argv) {
+  optm::util::Cli cli("checker_tool serve",
+                      "run the networked certification service: one "
+                      "connection-private engine per client stream");
+  cli.flag("bind", "127.0.0.1", "IPv4 address to listen on");
+  cli.flag("port", std::int64_t{0},
+           "TCP port (0 = ephemeral; the bound port is printed)");
+  cli.flag("stream-threads", std::int64_t{1},
+           "certification threads per stream: >1 gives each connection a "
+           "parallel streaming certifier where its policy can shard");
+  cli.flag("credit-events", std::int64_t{1} << 16,
+           "per-stream in-flight credit window, in events");
+  cli.flag("max-connections", std::int64_t{256},
+           "concurrent tenant connections accepted");
+  if (!cli.parse(argc, argv)) return 1;
+
+  optm::net::ServerOptions options;
+  options.bind_address = cli.get("bind");
+  options.port = static_cast<std::uint16_t>(cli.get_int("port"));
+  options.stream_threads = static_cast<std::size_t>(cli.get_int("stream-threads"));
+  options.credit_events = static_cast<std::uint64_t>(cli.get_int("credit-events"));
+  options.max_connections = static_cast<std::size_t>(cli.get_int("max-connections"));
+
+  optm::net::CertServer server(options);
+  if (!server.start()) {
+    std::fprintf(stderr, "serve: %s\n", server.error().c_str());
+    return 2;
+  }
+  std::printf("serve.bind=%s\n", options.bind_address.c_str());
+  std::printf("serve.port=%u\n", server.port());
+  std::printf("serve.stream_threads=%zu\n", options.stream_threads);
+  std::fflush(stdout);  // scripts scrape serve.port before connecting
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop_requested == 0) {
+    ::poll(nullptr, 0, 200);  // EINTR on signal; the flag does the rest
+  }
+  server.stop();
+  const auto stats = server.stats();
+  std::printf("serve.connections=%llu\n",
+              static_cast<unsigned long long>(stats.connections_accepted));
+  std::printf("serve.streams_completed=%llu\n",
+              static_cast<unsigned long long>(stats.streams_completed));
+  std::printf("serve.streams_flagged=%llu\n",
+              static_cast<unsigned long long>(stats.streams_flagged));
+  std::printf("serve.streams_failed=%llu\n",
+              static_cast<unsigned long long>(stats.streams_failed));
+  std::printf("serve.events=%llu\n",
+              static_cast<unsigned long long>(stats.events_ingested));
+  return 0;
+}
+
+int cmd_certify_remote(int argc, char** argv) {
+  optm::util::Cli cli("checker_tool certify-remote",
+                      "replay an on-disk segment log against a running "
+                      "certification service (checker_tool serve)");
+  cli.positional("dir", "log directory written by recorded_soak --log-dir");
+  cli.flag("connect", "127.0.0.1:7444", "host:port of the service");
+  cli.flag("policy", "",
+           "version-order policy override (default: the policy recorded "
+           "in the segment headers)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::string host;
+  std::uint16_t port = 0;
+  if (!optm::net::parse_host_port(cli.get("connect"), host, port)) {
+    std::fprintf(stderr, "certify-remote: bad --connect '%s' (want host:port)\n",
+                 cli.get("connect").c_str());
+    return 2;
+  }
+  optm::log::LogReader reader;
+  if (!reader.open(cli.get("dir"))) {
+    std::fprintf(stderr, "certify-remote: %s\n", reader.error().c_str());
+    return 2;
+  }
+  optm::log::LogMetadata meta = reader.metadata();
+  if (!cli.get("policy").empty()) meta.policy = cli.get("policy");
+
+  optm::net::CertClient client;
+  if (!client.connect(host, port, optm::net::make_hello(meta))) {
+    std::fprintf(stderr, "certify-remote: %s\n", client.error().c_str());
+    return 2;
+  }
+  std::printf("certremote.dir=%s\n", cli.get("dir").c_str());
+  std::printf("certremote.connect=%s:%u\n", host.c_str(), port);
+  std::printf("certremote.policy=%s\n", meta.policy.c_str());
+  std::printf("certremote.window=%llu\n",
+              static_cast<unsigned long long>(client.window()));
+
+  for (;;) {
+    const auto batch = reader.next();
+    if (batch.empty()) break;
+    if (!client.send_events(batch)) {
+      std::fprintf(stderr, "certify-remote: %s\n", client.error().c_str());
+      return 2;
+    }
+  }
+  if (!reader.ok()) {
+    std::fprintf(stderr, "certify-remote: %s\n", reader.error().c_str());
+    return 2;
+  }
+  if (!client.finish()) {
+    std::fprintf(stderr, "certify-remote: %s\n", client.error().c_str());
+    return 2;
+  }
+  const auto& verdict = client.verdict();
+  std::printf("certremote.events=%llu\n",
+              static_cast<unsigned long long>(verdict.events));
+  std::printf("certremote.verdict=%s\n",
+              verdict.certified ? "certified" : "FLAGGED");
+  if (!verdict.certified) {
+    std::printf("certremote.flag_pos=%zu\n", verdict.violation->pos);
+    std::printf("certremote.flag_reason=%s\n",
+                verdict.violation->reason.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -283,11 +413,15 @@ int main(int argc, char** argv) {
   if (std::strcmp(sub, "inspect-log") == 0) {
     return cmd_inspect_log(argc - 1, argv + 1);
   }
+  if (std::strcmp(sub, "serve") == 0) return cmd_serve(argc - 1, argv + 1);
+  if (std::strcmp(sub, "certify-remote") == 0) {
+    return cmd_certify_remote(argc - 1, argv + 1);
+  }
   if (sub[0] != '\0' && sub[0] != '-') {
     std::fprintf(stderr,
                  "unknown subcommand '%s'\n"
-                 "usage: checker_tool <certify|certify-log|inspect-log> "
-                 "[flags]\n",
+                 "usage: checker_tool <certify|certify-log|inspect-log|serve|"
+                 "certify-remote> [flags]\n",
                  sub);
     return 1;
   }

@@ -70,8 +70,8 @@ void deterministic_conflict() {
 int main(int argc, char** argv) {
   optm::util::Cli cli("counter_demo",
                       "semantic vs register counter increments (§3.4)");
-  cli.flag("threads", "4", "incrementing threads");
-  cli.flag("increments", "5000", "increments per thread");
+  cli.flag("threads", std::int64_t{4}, "incrementing threads");
+  cli.flag("increments", std::int64_t{5000}, "increments per thread");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto threads = static_cast<std::uint32_t>(cli.get_int("threads"));

@@ -16,7 +16,7 @@
 
 int main(int argc, char** argv) {
   optm::util::Cli cli("lower_bound_demo", "Theorem 3's Ω(k) bound, measured");
-  cli.flag("max-k", "4096", "largest read-set size to probe");
+  cli.flag("max-k", std::int64_t{4096}, "largest read-set size to probe");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto max_k = static_cast<std::size_t>(cli.get_int("max-k"));

@@ -15,8 +15,8 @@
 
 int main(int argc, char** argv) {
   optm::util::Cli cli("multiversion_demo", "the H4 long-reader probe");
-  cli.flag("vars", "8", "variables scanned by the long reader");
-  cli.flag("writer-rounds", "4", "writer generations during the scan");
+  cli.flag("vars", std::int64_t{8}, "variables scanned by the long reader");
+  cli.flag("writer-rounds", std::int64_t{4}, "writer generations during the scan");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto vars = static_cast<std::uint32_t>(cli.get_int("vars"));

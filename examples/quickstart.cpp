@@ -24,9 +24,9 @@ int main(int argc, char** argv) {
   cli.flag("stm", "tl2",
            "tl2 | tiny | dstm | astm | visible | mv | sistm | norec | weak "
            "| glock | twopl");
-  cli.flag("threads", "4", "worker threads");
-  cli.flag("accounts", "32", "number of accounts");
-  cli.flag("transfers", "2000", "transfers per thread");
+  cli.flag("threads", std::int64_t{4}, "worker threads");
+  cli.flag("accounts", std::int64_t{32}, "number of accounts");
+  cli.flag("transfers", std::int64_t{2000}, "transfers per thread");
   cli.flag("verify", "false", "record the run and certificate-check opacity");
   if (!cli.parse(argc, argv)) return 1;
 

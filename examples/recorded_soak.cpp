@@ -19,6 +19,7 @@
 
 #include "log/log_sink.hpp"
 #include "log/writer.hpp"
+#include "net/socket_sink.hpp"
 #include "stm/cli_flags.hpp"
 #include "stm/soak_driver.hpp"
 #include "util/cli.hpp"
@@ -28,18 +29,21 @@ int main(int argc, char** argv) {
                       "recorded-mode soak: sharded recorder -> live monitor "
                       "(+ optional segment log) -> sharded offline driver");
   optm::stm::add_run_flags(cli);
-  cli.flag("events", "1200000", "target number of recorded events (>= 1M soak)");
-  cli.flag("threads", "4", "recording threads");
-  cli.flag("vars", "64", "shared registers");
-  cli.flag("ops-per-tx", "4", "operations per transaction");
-  cli.flag("shards", "4", "register shards for the offline driver");
-  cli.flag("stream-threads", "1",
+  cli.flag("events", std::int64_t{1'200'000}, "target number of recorded events (>= 1M soak)");
+  cli.flag("threads", std::int64_t{4}, "recording threads");
+  cli.flag("vars", std::int64_t{64}, "shared registers");
+  cli.flag("ops-per-tx", std::int64_t{4}, "operations per transaction");
+  cli.flag("shards", std::int64_t{4}, "register shards for the offline driver");
+  cli.flag("stream-threads", std::int64_t{1},
            "live certification threads: 1 = serial monitor, >1 = parallel "
            "streaming certifier (same verdict, same flag position)");
   cli.flag("log-dir", "",
            "also append every drained batch to a segmented binary log in "
            "this directory (re-certify with: checker_tool certify-log)");
-  cli.flag("segment-bytes", "67108864", "log segment capacity (with --log-dir)");
+  cli.flag("segment-bytes", std::int64_t{67'108'864}, "log segment capacity (with --log-dir)");
+  cli.flag("connect", "",
+           "also stream every drained batch to a networked certification "
+           "service at host:port (checker_tool serve)");
   cli.flag("json", "",
            "also write the soak metrics as a machine-readable JSON object "
            "to this file (the perf-trajectory artifact schema)");
@@ -58,20 +62,53 @@ int main(int argc, char** argv) {
   options.live_stream_threads =
       static_cast<std::size_t>(cli.get_int("stream-threads"));
 
+  optm::log::LogMetadata meta;
+  meta.runtime = flags->stm;
+  meta.policy = flags->policy_name();
+  meta.window_mode = flags->window_mode();
+  meta.num_vars = options.vars;
+  meta.threads = options.threads;
+
   std::unique_ptr<optm::log::LogWriter> log_writer;
   std::unique_ptr<optm::log::LogWriterSink> log_sink;
   if (!cli.get("log-dir").empty()) {
     optm::log::WriterOptions wopt;
     wopt.directory = cli.get("log-dir");
     wopt.segment_bytes = static_cast<std::size_t>(cli.get_int("segment-bytes"));
-    wopt.metadata.runtime = flags->stm;
-    wopt.metadata.policy = flags->policy_name();
-    wopt.metadata.window_mode = flags->window_mode();
-    wopt.metadata.num_vars = options.vars;
-    wopt.metadata.threads = options.threads;
+    wopt.metadata = meta;
     log_writer = std::make_unique<optm::log::LogWriter>(wopt);
     log_sink = std::make_unique<optm::log::LogWriterSink>(*log_writer);
     options.extra_sink = log_sink.get();
+  }
+
+  // --connect: a remote certification service rides the same drain as the
+  // log sink; with both set they tee (every batch goes to both legs).
+  optm::net::CertClient remote;
+  std::unique_ptr<optm::stm::SocketSink> socket_sink;
+  optm::stm::TeeSink extra_tee;
+  if (!cli.get("connect").empty()) {
+    std::string host;
+    std::uint16_t port = 0;
+    if (!optm::net::parse_host_port(cli.get("connect"), host, port)) {
+      std::fprintf(stderr, "bad --connect '%s' (want host:port)\n",
+                   cli.get("connect").c_str());
+      return 1;
+    }
+    // Reserve hints: the target event count bounds both distinct
+    // transactions and written versions.
+    const auto hint = static_cast<std::uint64_t>(options.target_events);
+    if (!remote.connect(host, port, optm::net::make_hello(meta, hint, hint))) {
+      std::fprintf(stderr, "cannot reach certification service: %s\n",
+                   remote.error().c_str());
+      return 1;
+    }
+    socket_sink = std::make_unique<optm::stm::SocketSink>(remote);
+    if (options.extra_sink != nullptr) {
+      extra_tee.add(options.extra_sink).add(socket_sink.get());
+      options.extra_sink = &extra_tee;
+    } else {
+      options.extra_sink = socket_sink.get();
+    }
   }
 
   optm::stm::SoakResult result;
@@ -110,6 +147,23 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(log_writer->bytes_written()));
     if (!result.sink_ok) {
       std::printf("soak.log_error=%s\n", log_writer->error().c_str());
+      return 1;
+    }
+  }
+  if (socket_sink != nullptr) {
+    std::printf("soak.remote_events_sent=%llu\n",
+                static_cast<unsigned long long>(remote.events_sent()));
+    if (!remote.error().empty()) {
+      std::printf("soak.remote_error=%s\n", remote.error().c_str());
+      return 1;
+    }
+    const auto& verdict = remote.verdict();
+    std::printf("soak.remote_verdict=%s\n",
+                verdict.certified ? "certified" : "FLAGGED");
+    if (!verdict.certified) {
+      std::printf("soak.remote_flag_pos=%zu\n", verdict.violation->pos);
+      std::printf("soak.remote_flag_reason=%s\n",
+                  verdict.violation->reason.c_str());
       return 1;
     }
   }

@@ -22,7 +22,7 @@
 int main(int argc, char** argv) {
   optm::util::Cli cli("si_anomaly_demo", "write skew under snapshot isolation");
   cli.flag("stm", "sistm", "non-blocking STM name (try tl2, dstm, sistm)");
-  cli.flag("rounds", "50", "overlapped withdraw rounds");
+  cli.flag("rounds", std::int64_t{50}, "overlapped withdraw rounds");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto stm = optm::stm::make_stm(cli.get("stm"), 2);

@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
   cli.flag("stm", "weak",
            "weak (non-opaque) | sistm | tl2 | tiny | dstm | astm | visible "
            "| mv | norec | twopl");
-  cli.flag("rounds", "20000", "victim transactions for the racy part");
+  cli.flag("rounds", std::int64_t{20000}, "victim transactions for the racy part");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto rounds = static_cast<std::uint64_t>(cli.get_int("rounds"));

@@ -1,0 +1,218 @@
+#include "net/client.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace optm::net {
+
+namespace {
+
+/// Blocks bigger than this are split before framing: a single block must
+/// fit the credit window or the stream deadlocks waiting for credit it
+/// can never have.
+constexpr std::uint64_t kMaxChunkEvents = std::uint64_t{1} << 14;
+
+}  // namespace
+
+bool parse_host_port(const std::string& spec, std::string& host,
+                     std::uint16_t& port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const auto parsed = util::parse_int(spec.substr(colon + 1));
+  if (!parsed || *parsed <= 0 || *parsed > 65535) return false;
+  host = spec.substr(0, colon);
+  port = static_cast<std::uint16_t>(*parsed);
+  return true;
+}
+
+CertClient::~CertClient() { close(); }
+
+void CertClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool CertClient::fail(const std::string& why) {
+  if (error_.empty()) error_ = why;
+  close();
+  return false;
+}
+
+bool CertClient::connect(const std::string& host, std::uint16_t port,
+                         const HelloFrame& hello) {
+  if (fd_ >= 0) return fail("connect() on an open client");
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr) {
+    return fail("cannot resolve '" + host + "'");
+  }
+  fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+  const bool ok =
+      fd_ >= 0 && ::connect(fd_, res->ai_addr, res->ai_addrlen) == 0;
+  ::freeaddrinfo(res);
+  if (!ok) {
+    return fail("cannot connect to " + host + ":" + port_str + ": " +
+                std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (!send_all(&hello, sizeof(hello))) return false;
+  // The handshake ack announces the credit window (and is where an
+  // immediate kError for a rejected handshake lands).
+  RespFrame r;
+  std::string reason;
+  if (!read_resp(r, reason)) return false;
+  if (!apply_resp(r, reason)) return false;
+  if (r.kind != static_cast<std::uint32_t>(RespKind::kAck) || window_ == 0) {
+    return fail("handshake did not ack");
+  }
+  return true;
+}
+
+bool CertClient::send_all(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return fail(std::string("send failed: ") + std::strerror(errno));
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool CertClient::read_resp(RespFrame& out, std::string& reason) {
+  auto read_exact = [&](void* dst, std::size_t n) -> bool {
+    auto* p = static_cast<unsigned char*>(dst);
+    while (n > 0) {
+      const ssize_t r = ::recv(fd_, p, n, 0);
+      if (r == 0) return fail("server closed the connection");
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return fail(std::string("recv failed: ") + std::strerror(errno));
+      }
+      p += r;
+      n -= static_cast<std::size_t>(r);
+    }
+    return true;
+  };
+  if (!read_exact(&out, sizeof(out))) return false;
+  if (out.magic != kRespMagic || !resp_crc_ok(out)) {
+    return fail("corrupt response frame");
+  }
+  if (out.reason_len > kMaxReasonBytes) {
+    return fail("oversized response reason");
+  }
+  reason.resize(out.reason_len);
+  return out.reason_len == 0 || read_exact(reason.data(), reason.size());
+}
+
+bool CertClient::apply_resp(const RespFrame& r, const std::string& reason) {
+  switch (static_cast<RespKind>(r.kind)) {
+    case RespKind::kAck:
+      acked_ = r.events;
+      if (r.window != 0) window_ = r.window;
+      return true;
+    case RespKind::kFlag:
+      if (!verdict_.violation) {
+        verdict_.violation = core::OnlineViolation{
+            r.flag_pos, reason, static_cast<core::CertFlagKind>(r.flag_kind)};
+      }
+      return true;
+    case RespKind::kFinal:
+      verdict_.certified = r.certified != 0;
+      verdict_.events = r.events;
+      if (r.certified == 0) {
+        // kFinal's violation is authoritative (the engine's finish() ran);
+        // it supersedes any provisional mid-stream flag.
+        verdict_.violation = core::OnlineViolation{
+            r.flag_pos, reason, static_cast<core::CertFlagKind>(r.flag_kind)};
+      }
+      finished_ = true;
+      return true;
+    case RespKind::kError:
+      return fail("server error: " + (reason.empty() ? "(no reason)" : reason));
+  }
+  return fail("unknown response kind");
+}
+
+bool CertClient::poll_resps() {
+  for (;;) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = ::poll(&pfd, 1, 0);
+    if (n <= 0) return true;  // nothing buffered
+    RespFrame r;
+    std::string reason;
+    if (!read_resp(r, reason)) return false;
+    if (!apply_resp(r, reason)) return false;
+  }
+}
+
+bool CertClient::wait_credit(std::uint64_t incoming) {
+  while (sent_ - acked_ + incoming > window_) {
+    RespFrame r;
+    std::string reason;
+    if (!read_resp(r, reason)) return false;  // blocks: the throttle point
+    if (!apply_resp(r, reason)) return false;
+  }
+  return true;
+}
+
+bool CertClient::send_events(std::span<const core::Event> batch) {
+  if (fd_ < 0) return false;
+  if (!poll_resps()) return false;  // pick up flags/acks already queued
+  while (!batch.empty()) {
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>({batch.size(), kMaxChunkEvents, window_}));
+    if (!wait_credit(n)) return false;
+    log::BlockHeader bh;
+    bh.event_count = static_cast<std::uint32_t>(n);
+    bh.first_stamp = sent_;
+    bh.payload_crc = util::crc32c(batch.data(), n * sizeof(core::Event));
+    bh.header_crc = util::crc32c(&bh, log::kBlockHeaderCrcBytes);
+    if (!send_all(&bh, sizeof(bh))) return false;
+    if (!send_all(batch.data(), n * sizeof(core::Event))) return false;
+    sent_ += n;
+    batch = batch.subspan(n);
+  }
+  return true;
+}
+
+bool CertClient::finish() {
+  if (finished_) return fd_ >= 0 || error_.empty();
+  if (fd_ < 0) return false;
+  log::BlockHeader fin;
+  fin.block_magic = 0;  // the log's end-of-segment seal doubles as FIN
+  fin.event_count = 0;
+  fin.first_stamp = sent_;
+  fin.payload_crc = 0;
+  fin.header_crc = util::crc32c(&fin, log::kBlockHeaderCrcBytes);
+  if (!send_all(&fin, sizeof(fin))) return false;
+  while (!finished_) {
+    RespFrame r;
+    std::string reason;
+    if (!read_resp(r, reason)) return false;
+    if (!apply_resp(r, reason)) return false;
+  }
+  return true;
+}
+
+}  // namespace optm::net

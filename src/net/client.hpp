@@ -1,0 +1,95 @@
+// CertClient: the client half of optm-net-v1 (protocol.hpp).
+//
+// One CertClient drives one tenant stream: connect() dials the service,
+// sends the CRC-sealed handshake and blocks for the first kAck (which
+// announces the credit window); send_events() frames stamp-contiguous
+// batches as optm-log-v1 blocks, chunked so no block exceeds the window,
+// and enforces the credit discipline — (sent - acked) stays within the
+// window, blocking on acks when the server's verifier falls behind (the
+// backpressure path); finish() sends the FIN marker and blocks for the
+// definitive kFinal verdict.
+//
+// kFlag frames picked up along the way (drained opportunistically between
+// sends) latch the first violation early, mirroring MonitorSink: a flag
+// does not stop the stream. Transport/protocol failures latch error() and
+// make every later call a cheap no-op returning false.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "core/event.hpp"
+#include "core/online.hpp"
+#include "net/protocol.hpp"
+
+namespace optm::net {
+
+/// The final (or early-flag) state of a remote stream.
+struct RemoteVerdict {
+  bool certified = false;
+  std::uint64_t events = 0;  // events the server's engine ingested
+  std::optional<core::OnlineViolation> violation;
+};
+
+/// "host:port" -> (host, port). False on malformed input (no colon, empty
+/// host, non-numeric or out-of-range port).
+[[nodiscard]] bool parse_host_port(const std::string& spec, std::string& host,
+                                   std::uint16_t& port);
+
+class CertClient {
+ public:
+  CertClient() = default;
+  ~CertClient();
+  CertClient(const CertClient&) = delete;
+  CertClient& operator=(const CertClient&) = delete;
+
+  /// Dial host:port, send `hello`, block for the handshake ack (or an
+  /// immediate kError, which surfaces through error()).
+  [[nodiscard]] bool connect(const std::string& host, std::uint16_t port,
+                             const HelloFrame& hello);
+
+  /// Frame + send one stamp-contiguous batch (stamps continue from the
+  /// previous call), respecting the credit window. False on any
+  /// transport/protocol failure (error() says why).
+  [[nodiscard]] bool send_events(std::span<const core::Event> batch);
+
+  /// FIN + block for kFinal. False on transport failure; the verdict —
+  /// including a flagged one — is in verdict(). Idempotent.
+  [[nodiscard]] bool finish();
+
+  void close();
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// Populated by finish(); before that, a kFlag picked up mid-stream
+  /// already fills `violation`.
+  [[nodiscard]] const RemoteVerdict& verdict() const noexcept {
+    return verdict_;
+  }
+  [[nodiscard]] std::uint64_t events_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t window() const noexcept { return window_; }
+
+ private:
+  [[nodiscard]] bool fail(const std::string& why);
+  [[nodiscard]] bool send_all(const void* data, std::size_t n);
+  /// Read exactly one response frame (blocking). False on EOF/error.
+  [[nodiscard]] bool read_resp(RespFrame& out, std::string& reason);
+  /// Apply one response frame to the client state. False on kError.
+  [[nodiscard]] bool apply_resp(const RespFrame& r, const std::string& reason);
+  /// Drain any responses already buffered by the kernel without blocking.
+  [[nodiscard]] bool poll_resps();
+  /// Block until (sent_ - acked_ + incoming) fits the window.
+  [[nodiscard]] bool wait_credit(std::uint64_t incoming);
+
+  int fd_ = -1;
+  bool finished_ = false;
+  std::string error_;
+  RemoteVerdict verdict_;
+  std::uint64_t sent_ = 0;    // events framed + written
+  std::uint64_t acked_ = 0;   // last kAck's cumulative count
+  std::uint64_t window_ = 0;  // credit budget from the handshake ack
+};
+
+}  // namespace optm::net

@@ -11,9 +11,12 @@
 // than hand-rolling their own.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <initializer_list>
+#include <optional>
 #include <span>
 #include <thread>
 #include <vector>
@@ -110,29 +113,91 @@ class NullSink final : public EventSink {
 };
 
 /// Fans one batch out to several sinks ("certify live AND append to
-/// disk"). Every sink sees every batch even after one fails; the first
-/// failure is remembered and reported.
+/// disk"). Every sink sees every batch even after one fails — a full disk
+/// on the log leg must not stop the live monitor from certifying, and a
+/// transiently failing sink keeps receiving batches so it can recover.
+/// Status is tracked PER SINK: accept() reports the current batch only
+/// (true while at least one sink still consumed it, so the pump keeps
+/// running through partial failures and stops only when every leg is
+/// lost), while the first failure of each sink stays latched and is
+/// surfaced through ok()/first_failure() and the finish() conjunction.
 class TeeSink final : public EventSink {
  public:
+  /// One sink's latched failure record.
+  struct SinkStatus {
+    bool ok = true;
+    /// Batch ordinal (0-based, counting accept() calls) of the first
+    /// failed accept, or SIZE_MAX; finish-only failures keep it there.
+    std::size_t first_failed_batch = static_cast<std::size_t>(-1);
+  };
+
   TeeSink() = default;
-  TeeSink(std::initializer_list<EventSink*> sinks) : sinks_(sinks) {}
+  TeeSink(std::initializer_list<EventSink*> sinks) : sinks_(sinks) {
+    status_.resize(sinks_.size());
+  }
   TeeSink& add(EventSink* sink) {
-    if (sink != nullptr) sinks_.push_back(sink);
+    if (sink != nullptr) {
+      sinks_.push_back(sink);
+      status_.emplace_back();
+    }
     return *this;
   }
 
   bool accept(std::span<const core::Event> batch) override {
-    for (EventSink* s : sinks_) ok_ = s->accept(batch) && ok_;
-    return ok_;
+    bool any = sinks_.empty();  // no sinks: trivially consumed
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      if (sinks_[i]->accept(batch)) {
+        any = true;
+      } else if (status_[i].ok) {
+        status_[i].ok = false;
+        status_[i].first_failed_batch = batches_;
+      }
+    }
+    ++batches_;
+    return any;
   }
   bool finish() override {
-    for (EventSink* s : sinks_) ok_ = s->finish() && ok_;
-    return ok_;
+    for (std::size_t i = 0; i < sinks_.size(); ++i) {
+      if (!sinks_[i]->finish()) status_[i].ok = false;
+    }
+    return ok();
   }
+
+  /// True while every sink has accepted every batch (and finish, once
+  /// called) cleanly.
+  [[nodiscard]] bool ok() const noexcept {
+    for (const auto& s : status_) {
+      if (!s.ok) return false;
+    }
+    return true;
+  }
+  /// Index (in add order) of the first sink that failed, or nullopt.
+  [[nodiscard]] std::optional<std::size_t> first_failure() const noexcept {
+    std::optional<std::size_t> first;
+    std::size_t best = static_cast<std::size_t>(-1);
+    for (std::size_t i = 0; i < status_.size(); ++i) {
+      if (!status_[i].ok && status_[i].first_failed_batch < best) {
+        best = status_[i].first_failed_batch;
+        first = i;
+      }
+    }
+    // Finish-only failures have no batch ordinal; fall back to add order.
+    if (!first) {
+      for (std::size_t i = 0; i < status_.size(); ++i) {
+        if (!status_[i].ok) return i;
+      }
+    }
+    return first;
+  }
+  [[nodiscard]] const SinkStatus& status(std::size_t i) const {
+    return status_.at(i);
+  }
+  [[nodiscard]] std::size_t num_sinks() const noexcept { return sinks_.size(); }
 
  private:
   std::vector<EventSink*> sinks_;
-  bool ok_ = true;
+  std::vector<SinkStatus> status_;
+  std::size_t batches_ = 0;  // accept() calls seen (failed batches included)
 };
 
 /// The shared drain loop: recorder -> pacer -> sink. run() polls until
@@ -145,6 +210,9 @@ class DrainPump {
     std::size_t batches = 0;  // non-empty drains fed to the sink
     std::size_t events = 0;
     bool sink_ok = true;  // false -> the sink failed and the pump stopped
+    /// Events still pending in the recorder when a sink failure aborted
+    /// the run (0 on a clean run): the recording the sink chain never saw.
+    std::size_t events_undrained = 0;
   };
 
   DrainPump(Recorder& recorder, EventSink& sink,
@@ -155,6 +223,17 @@ class DrainPump {
 
   [[nodiscard]] Stats run(const std::atomic<bool>& done) {
     Stats stats;
+    // Idle backoff: the pacer is clock-free, so a quiet recorder would
+    // otherwise busy-spin this thread at 100% — fatal once a server runs
+    // one pump per tenant. A handful of yields keeps the reaction to a
+    // fresh burst instant; after that the poll sleeps, doubling up to
+    // kMaxSleep (well under the event-count latency bounds, which are
+    // pending-based and unaffected by wall-clock pauses between polls).
+    constexpr std::uint32_t kSpinPolls = 64;
+    constexpr auto kMinSleep = std::chrono::microseconds(50);
+    constexpr auto kMaxSleep = std::chrono::microseconds(1000);
+    std::uint32_t idle_polls = 0;
+    auto sleep = kMinSleep;
     for (;;) {
       const bool finished = done.load(std::memory_order_acquire);
       if (pacer_.should_drain(recorder_->stamps_issued(),
@@ -163,11 +242,14 @@ class DrainPump {
         batch_.clear();
         recorder_->drain(batch_);
         pacer_.on_drain();
+        idle_polls = 0;
+        sleep = kMinSleep;
         if (!batch_.empty()) {
           ++stats.batches;
           stats.events += batch_.size();
           if (!sink_->accept(batch_.span())) {
             stats.sink_ok = false;
+            stats.events_undrained = recorder_->approx_pending();
             break;
           }
         }
@@ -175,8 +257,11 @@ class DrainPump {
         // the stream is complete (drain() returns the contiguous prefix,
         // which at quiescence is everything).
         if (finished && recorder_->approx_pending() == 0) break;
-      } else {
+      } else if (++idle_polls <= kSpinPolls) {
         std::this_thread::yield();
+      } else {
+        std::this_thread::sleep_for(sleep);
+        sleep = std::min(sleep * 2, kMaxSleep);
       }
     }
     stats.sink_ok = sink_->finish() && stats.sink_ok;

@@ -1,18 +1,39 @@
 #include "util/cli.hpp"
 
+#include <charconv>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 #include <utility>
 
 namespace optm::util {
+
+std::optional<std::int64_t> parse_int(std::string_view text) noexcept {
+  if (text.empty()) return std::nullopt;
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  // Anything left over ("4x", "1.5", a stray sign) is garbage, and
+  // std::errc::result_out_of_range covers values past int64.
+  if (ec != std::errc() || ptr != last) return std::nullopt;
+  return value;
+}
 
 Cli::Cli(std::string program, std::string blurb)
     : program_(std::move(program)), blurb_(std::move(blurb)) {}
 
 Cli& Cli::flag(std::string name, std::string default_value, std::string help) {
   order_.push_back(name);
-  flags_[std::move(name)] = Flag{std::move(default_value), std::move(help)};
+  flags_[std::move(name)] = Flag{std::move(default_value), std::move(help), false};
+  return *this;
+}
+
+Cli& Cli::flag(std::string name, std::int64_t default_value, std::string help) {
+  order_.push_back(name);
+  flags_[std::move(name)] =
+      Flag{std::to_string(default_value), std::move(help), true};
   return *this;
 }
 
@@ -51,6 +72,11 @@ bool Cli::parse(int argc, const char* const* argv) {
     } else {
       it->second.value = "true";  // bare --flag means boolean true
     }
+    if (it->second.is_int && !parse_int(it->second.value)) {
+      std::fprintf(stderr, "invalid integer '%s' for flag '--%s'\n%s",
+                   it->second.value.c_str(), name.c_str(), usage().c_str());
+      return false;
+    }
   }
   if (next_positional < positionals_.size()) {
     std::fprintf(stderr, "missing required argument <%s>\n%s",
@@ -70,7 +96,15 @@ const std::string& Cli::get(const std::string& name) const {
 }
 
 std::int64_t Cli::get_int(const std::string& name) const {
-  return std::stoll(get(name));
+  const std::string& text = get(name);
+  const auto value = parse_int(text);
+  if (!value) {
+    throw std::invalid_argument("flag '--" + name + "' value '" + text +
+                                "' is not an integer (declare it with the "
+                                "integer flag() overload to reject it at "
+                                "parse time)");
+  }
+  return *value;
 }
 
 bool Cli::get_bool(const std::string& name) const {

@@ -2,7 +2,10 @@
 // minimal: `--flag=value` flags (strings/integers/bools with defaults)
 // plus declared, required positional arguments (the subcommand CLIs pass
 // e.g. a log directory positionally); anything undeclared is an error so
-// typos fail loudly.
+// typos fail loudly. Integer flags declared with the std::int64_t
+// overload are validated at parse() time (std::from_chars, no trailing
+// garbage, range-checked), so `--threads=abc` is a usage error, not an
+// uncaught std::stoll exception deep in the tool.
 #pragma once
 
 #include <cstdint>
@@ -14,11 +17,21 @@
 
 namespace optm::util {
 
+/// Strict integer parse: the whole string must be one base-10 integer
+/// (optional leading '-'), in std::int64_t range. nullopt on empty input,
+/// trailing garbage ("4x"), or overflow.
+[[nodiscard]] std::optional<std::int64_t> parse_int(std::string_view text) noexcept;
+
 class Cli {
  public:
   Cli(std::string program, std::string blurb);
 
   Cli& flag(std::string name, std::string default_value, std::string help);
+
+  /// Integer-typed flag: parse() rejects a value that is not a clean
+  /// base-10 std::int64_t, printing the usage instead of letting get_int
+  /// throw later.
+  Cli& flag(std::string name, std::int64_t default_value, std::string help);
 
   /// Declare a required positional argument; fills in declaration order.
   Cli& positional(std::string name, std::string help);
@@ -29,6 +42,10 @@ class Cli {
   /// Value of a flag or a positional (parse() must have succeeded for
   /// positionals to be set).
   [[nodiscard]] const std::string& get(const std::string& name) const;
+  /// Strictly parsed integer value. For flags declared with the integer
+  /// overload a bad value was already rejected by parse(); on a string
+  /// flag whose value fails parse_int this throws std::invalid_argument
+  /// (a call-site bug: declare the flag as integer-typed instead).
   [[nodiscard]] std::int64_t get_int(const std::string& name) const;
   [[nodiscard]] bool get_bool(const std::string& name) const;
 
@@ -38,6 +55,7 @@ class Cli {
   struct Flag {
     std::string value;
     std::string help;
+    bool is_int = false;
   };
   struct Positional {
     std::string name;

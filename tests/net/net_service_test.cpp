@@ -1,0 +1,501 @@
+// The networked certification service, end to end over loopback:
+// verdict/flag-position equivalence with the local engines, multi-tenant
+// isolation, handshake rejection, credit backpressure, and the hard
+// robustness property — nothing a client sends (malformed frames, bad
+// CRCs, truncation, mid-stream disconnects) takes the server down or
+// poisons another tenant's verdict.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/event.hpp"
+#include "core/online.hpp"
+#include "log/format.hpp"
+#include "net/client.hpp"
+#include "net/protocol.hpp"
+#include "net/server.hpp"
+#include "net/socket_sink.hpp"
+#include "stm/factory.hpp"
+#include "stm/recorder.hpp"
+#include "stm/sink.hpp"
+#include "util/hash.hpp"
+#include "workload/workloads.hpp"
+
+namespace {
+
+using namespace optm;
+
+// ---------------------------------------------------------------------------
+// Stream builders
+// ---------------------------------------------------------------------------
+
+void append_writer(std::vector<core::Event>& h, core::TxId tx, core::ObjId var,
+                   core::Value value) {
+  h.push_back(core::ev::inv(tx, var, core::OpCode::kWrite, value));
+  h.push_back(core::ev::ret(tx, var, core::OpCode::kWrite, value, core::kOk));
+  h.push_back(core::ev::try_commit(tx));
+  h.push_back(core::ev::commit(tx));
+}
+
+/// Sequential committed writers: certifies under commit-order.
+[[nodiscard]] std::vector<core::Event> certified_stream(std::size_t txs) {
+  std::vector<core::Event> h;
+  core::TxId tx = 1;
+  for (std::size_t i = 0; i < txs; ++i) {
+    append_writer(h, tx++, static_cast<core::ObjId>(i % 4),
+                  static_cast<core::Value>(i + 1));
+  }
+  return h;
+}
+
+/// A read returning a value nobody ever wrote, planted after `prefix_txs`
+/// clean transactions: flagged at a deterministic position.
+[[nodiscard]] std::vector<core::Event> flagged_stream(std::size_t prefix_txs) {
+  auto h = certified_stream(prefix_txs);
+  const core::TxId tx = static_cast<core::TxId>(prefix_txs + 1);
+  h.push_back(core::ev::inv(tx, 0, core::OpCode::kRead, 0));
+  h.push_back(core::ev::ret(tx, 0, core::OpCode::kRead, 0,
+                            core::Value{987654321}));
+  h.push_back(core::ev::try_commit(tx));
+  h.push_back(core::ev::commit(tx));
+  return h;
+}
+
+[[nodiscard]] log::LogMetadata meta_for(std::uint32_t vars,
+                                        const std::string& policy) {
+  log::LogMetadata meta;
+  meta.runtime = "test";
+  meta.policy = policy;
+  meta.window_mode = "windowed";
+  meta.num_vars = vars;
+  meta.threads = 1;
+  return meta;
+}
+
+/// Local ground truth: the serial monitor over the same stream.
+[[nodiscard]] std::optional<core::OnlineViolation> local_verdict(
+    std::span<const core::Event> events, std::uint32_t vars,
+    const std::string& policy) {
+  core::OnlineCertificateMonitor monitor(
+      core::ObjectModel::registers(vars, 0),
+      *core::parse_version_order_policy(policy));
+  (void)monitor.ingest(events);
+  return monitor.violation();
+}
+
+/// Stream `events` through a fresh client; true if the transport stayed
+/// clean (the verdict lands in `out`).
+[[nodiscard]] bool stream_to(std::uint16_t port,
+                             std::span<const core::Event> events,
+                             const log::LogMetadata& meta,
+                             net::RemoteVerdict& out) {
+  net::CertClient client;
+  if (!client.connect("127.0.0.1", port, net::make_hello(meta))) return false;
+  if (!client.send_events(events)) return false;
+  if (!client.finish()) return false;
+  out = client.verdict();
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(NetService, CertifiedRoundTrip) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto events = certified_stream(200);
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), events, meta_for(4, "commit-order"),
+                        verdict));
+  EXPECT_TRUE(verdict.certified);
+  EXPECT_EQ(verdict.events, events.size());
+  EXPECT_FALSE(verdict.violation.has_value());
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.streams_completed, 1u);
+  EXPECT_EQ(stats.streams_failed, 0u);
+  EXPECT_EQ(stats.events_ingested, events.size());
+}
+
+TEST(NetService, FlaggedStreamMatchesLocalMonitor) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto events = flagged_stream(50);
+  const auto local = local_verdict(events, 4, "commit-order");
+  ASSERT_TRUE(local.has_value());
+
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), events, meta_for(4, "commit-order"),
+                        verdict));
+  EXPECT_FALSE(verdict.certified);
+  ASSERT_TRUE(verdict.violation.has_value());
+  EXPECT_EQ(verdict.violation->pos, local->pos);
+  EXPECT_EQ(verdict.violation->kind, local->kind);
+  EXPECT_EQ(verdict.violation->reason, local->reason);
+
+  server.stop();
+  EXPECT_EQ(server.stats().streams_flagged, 1u);
+}
+
+TEST(NetService, PerStreamParallelCertifierMatchesMonitor) {
+  net::ServerOptions options;
+  options.stream_threads = 3;
+  net::CertServer server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto bad = flagged_stream(64);
+  const auto local = local_verdict(bad, 4, "commit-order");
+  ASSERT_TRUE(local.has_value());
+
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), bad, meta_for(4, "commit-order"),
+                        verdict));
+  EXPECT_FALSE(verdict.certified);
+  ASSERT_TRUE(verdict.violation.has_value());
+  EXPECT_EQ(verdict.violation->pos, local->pos);
+
+  net::RemoteVerdict clean;
+  ASSERT_TRUE(stream_to(server.port(), certified_stream(100),
+                        meta_for(4, "commit-order"), clean));
+  EXPECT_TRUE(clean.certified);
+}
+
+TEST(NetService, BackpressureWithTinyCreditWindowCompletes) {
+  net::ServerOptions options;
+  options.credit_events = 64;  // forces many wait_credit round trips
+  net::CertServer server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto events = certified_stream(500);  // 2000 events >> window
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), events, meta_for(4, "commit-order"),
+                        verdict));
+  EXPECT_TRUE(verdict.certified);
+  EXPECT_EQ(verdict.events, events.size());
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant
+// ---------------------------------------------------------------------------
+
+TEST(NetService, ConcurrentTenantsGetIsolatedVerdicts) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const auto good = certified_stream(300);
+  const auto bad = flagged_stream(30);
+  const auto local = local_verdict(bad, 4, "commit-order");
+  ASSERT_TRUE(local.has_value());
+
+  net::RemoteVerdict good_verdict, bad_verdict;
+  std::atomic<bool> good_sent{false}, bad_sent{false};
+  std::thread t1([&] {
+    good_sent = stream_to(server.port(), good, meta_for(4, "commit-order"),
+                          good_verdict);
+  });
+  std::thread t2([&] {
+    bad_sent = stream_to(server.port(), bad, meta_for(4, "commit-order"),
+                         bad_verdict);
+  });
+  t1.join();
+  t2.join();
+
+  ASSERT_TRUE(good_sent.load());
+  ASSERT_TRUE(bad_sent.load());
+  EXPECT_TRUE(good_verdict.certified);
+  EXPECT_FALSE(bad_verdict.certified);
+  ASSERT_TRUE(bad_verdict.violation.has_value());
+  EXPECT_EQ(bad_verdict.violation->pos, local->pos);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.streams_completed, 2u);
+  EXPECT_EQ(stats.streams_flagged, 1u);
+  EXPECT_EQ(stats.streams_failed, 0u);
+  EXPECT_EQ(stats.events_ingested, good.size() + bad.size());
+}
+
+// ---------------------------------------------------------------------------
+// Handshake + robustness
+// ---------------------------------------------------------------------------
+
+TEST(NetService, RejectedHandshakesDoNotPoisonLaterStreams) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  {  // Unknown policy: the server must answer kError.
+    net::CertClient client;
+    EXPECT_FALSE(client.connect("127.0.0.1", server.port(),
+                                net::make_hello(meta_for(4, "no-such-policy"))));
+    EXPECT_NE(client.error().find("server error"), std::string::npos)
+        << client.error();
+  }
+  {  // Corrupted handshake CRC.
+    auto hello = net::make_hello(meta_for(4, "commit-order"));
+    hello.header_crc ^= 0x5a5a5a5a;
+    net::CertClient client;
+    EXPECT_FALSE(client.connect("127.0.0.1", server.port(), hello));
+  }
+  {  // Cross-ABI event size.
+    auto meta = meta_for(4, "commit-order");
+    auto hello = net::make_hello(meta);
+    hello.event_size = 40;
+    hello.header_crc = util::crc32c(&hello, net::kHelloCrcBytes);
+    net::CertClient client;
+    EXPECT_FALSE(client.connect("127.0.0.1", server.port(), hello));
+  }
+
+  // The service is still healthy for the next tenant.
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), certified_stream(50),
+                        meta_for(4, "commit-order"), verdict));
+  EXPECT_TRUE(verdict.certified);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.streams_failed, 3u);
+  EXPECT_EQ(stats.streams_completed, 1u);
+}
+
+/// Raw loopback socket for speaking deliberately broken optm-net-v1.
+class RawClient {
+ public:
+  explicit RawClient(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~RawClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  [[nodiscard]] bool ok() const { return fd_ >= 0; }
+  void send_bytes(const void* data, std::size_t n) {
+    (void)::send(fd_, data, n, MSG_NOSIGNAL);
+  }
+  template <typename T>
+  void send_struct(const T& t) {
+    send_bytes(&t, sizeof(t));
+  }
+  /// True if the server eventually closes our end (read returns 0/err).
+  [[nodiscard]] bool server_closed() {
+    char buf[256];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) return true;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+TEST(NetService, MalformedAndTruncatedStreamsNeverKillTheServer) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+  const auto meta = meta_for(4, "commit-order");
+
+  {  // Pure garbage instead of a handshake.
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.ok());
+    std::vector<unsigned char> junk(512);
+    for (std::size_t i = 0; i < junk.size(); ++i) {
+      junk[i] = static_cast<unsigned char>(i * 37 + 11);
+    }
+    raw.send_bytes(junk.data(), junk.size());
+    EXPECT_TRUE(raw.server_closed());
+  }
+  {  // Valid handshake, then a block header with a corrupt CRC.
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.ok());
+    raw.send_struct(net::make_hello(meta));
+    log::BlockHeader bh;
+    bh.event_count = 4;
+    bh.first_stamp = 0;
+    bh.payload_crc = 0xdeadbeef;
+    bh.header_crc = 0xbadbad00;  // wrong
+    raw.send_struct(bh);
+    EXPECT_TRUE(raw.server_closed());
+  }
+  {  // Valid handshake + valid header, payload truncated by a disconnect.
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.ok());
+    raw.send_struct(net::make_hello(meta));
+    const auto events = certified_stream(8);
+    log::BlockHeader bh;
+    bh.event_count = static_cast<std::uint32_t>(events.size());
+    bh.first_stamp = 0;
+    bh.payload_crc =
+        util::crc32c(events.data(), events.size() * sizeof(core::Event));
+    bh.header_crc = util::crc32c(&bh, log::kBlockHeaderCrcBytes);
+    raw.send_struct(bh);
+    raw.send_bytes(events.data(), 100);  // partial payload, then vanish
+  }
+  {  // Valid handshake, then a stamp discontinuity.
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.ok());
+    raw.send_struct(net::make_hello(meta));
+    const auto events = certified_stream(2);
+    log::BlockHeader bh;
+    bh.event_count = static_cast<std::uint32_t>(events.size());
+    bh.first_stamp = 999;  // stream starts at 0
+    bh.payload_crc =
+        util::crc32c(events.data(), events.size() * sizeof(core::Event));
+    bh.header_crc = util::crc32c(&bh, log::kBlockHeaderCrcBytes);
+    raw.send_struct(bh);
+    raw.send_bytes(events.data(), events.size() * sizeof(core::Event));
+    EXPECT_TRUE(raw.server_closed());
+  }
+  {  // CRC-valid header demanding an absurd event_count.
+    RawClient raw(server.port());
+    ASSERT_TRUE(raw.ok());
+    raw.send_struct(net::make_hello(meta));
+    log::BlockHeader bh;
+    bh.event_count = 0x7fffffff;
+    bh.first_stamp = 0;
+    bh.payload_crc = 0;
+    bh.header_crc = util::crc32c(&bh, log::kBlockHeaderCrcBytes);
+    raw.send_struct(bh);
+    EXPECT_TRUE(raw.server_closed());
+  }
+
+  // After all of that, a healthy tenant still gets a correct verdict.
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), certified_stream(100), meta, verdict));
+  EXPECT_TRUE(verdict.certified);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.streams_completed, 1u);
+  EXPECT_GE(stats.streams_failed, 5u);
+}
+
+// ---------------------------------------------------------------------------
+// SocketSink in the drain pipeline
+// ---------------------------------------------------------------------------
+
+TEST(NetService, SocketSinkStreamsALiveRecording) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  const std::uint32_t vars = 8;
+  auto stm = stm::make_stm("tl2", vars);
+  stm::Recorder recorder(vars);
+  stm->set_recorder(&recorder);
+
+  net::CertClient client;
+  auto meta = meta_for(vars, "commit-order");
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port(),
+                             net::make_hello(meta)))
+      << client.error();
+  stm::SocketSink sink(client);
+
+  std::atomic<bool> done{false};
+  stm::DrainPump pump(recorder, sink);
+  stm::DrainPump::Stats stats;
+  std::thread pumper([&] { stats = pump.run(done); });
+
+  wl::MixParams mix;
+  mix.threads = 2;
+  mix.vars = vars;
+  mix.txs_per_thread = 200;
+  mix.ops_per_tx = 3;
+  mix.seed = 42;
+  (void)wl::run_random_mix(*stm, mix);
+  done.store(true, std::memory_order_release);
+  pumper.join();
+
+  ASSERT_TRUE(stats.sink_ok) << client.error();
+  EXPECT_EQ(client.verdict().certified, true);
+  EXPECT_EQ(client.verdict().events, recorder.num_events());
+  EXPECT_EQ(stats.events, recorder.num_events());
+}
+
+// ---------------------------------------------------------------------------
+// Acceptance: remote == local across runtimes × policies
+// ---------------------------------------------------------------------------
+
+/// Collects every drained event, in stamp order.
+class VectorSink final : public stm::EventSink {
+ public:
+  std::vector<core::Event> events;
+  bool accept(std::span<const core::Event> batch) override {
+    events.insert(events.end(), batch.begin(), batch.end());
+    return true;
+  }
+};
+
+void expect_remote_matches_local(const std::string& stm_name,
+                                 const std::string& policy, bool window_free,
+                                 std::uint16_t port) {
+  SCOPED_TRACE(stm_name + "/" + policy);
+  const std::uint32_t vars = 12;
+  auto stm = stm::make_stm(stm_name, vars);
+  if (window_free) {
+    ASSERT_TRUE(stm->set_window_free(true));
+  }
+  stm::Recorder recorder(vars);
+  stm->set_recorder(&recorder);
+
+  VectorSink collected;
+  std::atomic<bool> done{false};
+  stm::DrainPump pump(recorder, collected);
+  std::thread pumper([&] { (void)pump.run(done); });
+  wl::MixParams mix;
+  mix.threads = 3;
+  mix.vars = vars;
+  mix.txs_per_thread = 150;
+  mix.ops_per_tx = 4;
+  mix.seed = 7;
+  (void)wl::run_random_mix(*stm, mix);
+  done.store(true, std::memory_order_release);
+  pumper.join();
+
+  const auto local = local_verdict(collected.events, vars, policy);
+
+  auto meta = meta_for(vars, policy);
+  meta.runtime = stm_name;
+  meta.window_mode = window_free ? "window-free" : "windowed";
+  net::RemoteVerdict remote;
+  ASSERT_TRUE(stream_to(port, collected.events, meta, remote));
+
+  EXPECT_EQ(remote.certified, !local.has_value());
+  EXPECT_EQ(remote.events, collected.events.size());
+  if (local.has_value()) {
+    ASSERT_TRUE(remote.violation.has_value());
+    EXPECT_EQ(remote.violation->pos, local->pos);
+    EXPECT_EQ(remote.violation->kind, local->kind);
+  }
+}
+
+TEST(NetService, RemoteVerdictMatchesLocalAcrossRuntimesAndPolicies) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+  for (const char* stm_name : {"tl2", "dstm", "mv"}) {
+    expect_remote_matches_local(stm_name, "commit-order", false,
+                                server.port());
+    expect_remote_matches_local(stm_name, "stamped-read", true, server.port());
+  }
+  server.stop();
+  EXPECT_EQ(server.stats().streams_failed, 0u);
+}
+
+}  // namespace

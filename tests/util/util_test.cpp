@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <set>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -165,6 +167,82 @@ TEST(Cli, RejectsUnknownFlag) {
   cli.flag("threads", "4", "thread count");
   const char* argv[] = {"prog", "--bogus=1"};
   EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, ParseIntAcceptsIntegers) {
+  EXPECT_EQ(parse_int("0"), 0);
+  EXPECT_EQ(parse_int("42"), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_EQ(parse_int("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(parse_int("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(Cli, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(parse_int(""));
+  EXPECT_FALSE(parse_int("abc"));
+  EXPECT_FALSE(parse_int("4x"));       // trailing garbage
+  EXPECT_FALSE(parse_int("1.5"));      // not an integer
+  EXPECT_FALSE(parse_int(" 4"));       // no leading whitespace
+  EXPECT_FALSE(parse_int("--4"));      // stray sign
+  EXPECT_FALSE(parse_int("9223372036854775808"));  // past int64
+}
+
+TEST(Cli, IntFlagRejectsMalformedValueAtParse) {
+  for (const char* bad : {"--threads=abc", "--threads=4x", "--threads=",
+                          "--threads=99999999999999999999"}) {
+    Cli cli("prog", "test");
+    cli.flag("threads", std::int64_t{4}, "thread count");
+    const char* argv[] = {"prog", bad};
+    EXPECT_FALSE(cli.parse(2, argv)) << bad;
+  }
+}
+
+TEST(Cli, IntFlagAcceptsValidValueAndDefault) {
+  Cli cli("prog", "test");
+  cli.flag("threads", std::int64_t{4}, "thread count");
+  cli.flag("seed", std::int64_t{-1}, "rng seed");
+  const char* argv[] = {"prog", "--threads=8"};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_EQ(cli.get_int("threads"), 8);
+  EXPECT_EQ(cli.get_int("seed"), -1);  // default untouched
+}
+
+TEST(Cli, BareIntFlagRejected) {
+  // A bare boolean-style mention of an int flag has no integer value.
+  Cli cli("prog", "test");
+  cli.flag("threads", std::int64_t{4}, "thread count");
+  const char* argv[] = {"prog", "--threads"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, EmptyValueAllowedForStringFlags) {
+  Cli cli("prog", "test");
+  cli.flag("log-dir", "", "output directory");
+  const char* argv[] = {"prog", "--log-dir="};
+  ASSERT_TRUE(cli.parse(2, argv));
+  EXPECT_TRUE(cli.get("log-dir").empty());
+}
+
+TEST(Cli, MissingPositionalFails) {
+  Cli cli("prog", "test");
+  cli.positional("dir", "input directory");
+  const char* argv[] = {"prog"};
+  EXPECT_FALSE(cli.parse(1, argv));
+}
+
+TEST(Cli, UnexpectedPositionalFails) {
+  Cli cli("prog", "test");
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(Cli, GetIntThrowsOnUndeclaredNonInteger) {
+  // The backstop for call sites reading a string-declared flag as int.
+  Cli cli("prog", "test");
+  cli.flag("mode", "fast", "mode name");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_THROW((void)cli.get_int("mode"), std::invalid_argument);
 }
 
 TEST(Backoff, PausesWithoutHanging) {
