@@ -9,8 +9,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <exception>
 #include <list>
 #include <vector>
 
@@ -95,6 +97,12 @@ struct CertServer::Loop {
   CertServer* server = nullptr;
   int epoll_fd = -1;
   std::list<Conn> conns;
+  /// Connections closed mid-batch park here until the end of the
+  /// epoll_wait batch: later events[] entries may still carry the
+  /// Conn* in data.ptr, and freeing the node immediately would let a
+  /// connection accepted later in the SAME batch reuse the address —
+  /// find() would then deliver the stale event to the wrong tenant.
+  std::list<Conn> graveyard;
 
   ~Loop() {
     for (Conn& c : conns) {
@@ -128,6 +136,29 @@ struct CertServer::Loop {
     c.tx.insert(c.tx.end(), r, r + n);
   }
 
+  /// Largest rx backlog a credit-respecting client can legitimately
+  /// accumulate: the handshake, a full credit window of events (worst
+  /// case framed as one-event blocks), and one maximal block of slack.
+  /// A backlog beyond this means the sender is ignoring its window.
+  [[nodiscard]] std::size_t rx_bound() {
+    const ServerOptions& o = options();
+    return sizeof(HelloFrame) +
+           static_cast<std::size_t>(o.credit_events) *
+               (sizeof(core::Event) + sizeof(log::BlockHeader)) +
+           o.max_block_events * sizeof(core::Event) + sizeof(log::BlockHeader);
+  }
+
+  /// Best-effort tx push with no close/arm logic — used on paths that
+  /// close the connection regardless of whether the bytes got out.
+  void try_flush_bytes(Conn& c) {
+    while (c.tx_off < c.tx.size()) {
+      const ssize_t n = ::send(c.fd, c.tx.data() + c.tx_off,
+                               c.tx.size() - c.tx_off, MSG_NOSIGNAL);
+      if (n <= 0) return;
+      c.tx_off += static_cast<std::size_t>(n);
+    }
+  }
+
   void queue_ack(Conn& c) {
     RespFrame f;
     f.kind = static_cast<std::uint32_t>(RespKind::kAck);
@@ -138,8 +169,13 @@ struct CertServer::Loop {
   }
 
   /// Queue kError and start draining: the connection dies, the server
-  /// does not.
+  /// does not. Idempotent — once a terminal frame is queued, later
+  /// defects on the same connection are not reported again.
   void protocol_error(Conn& c, const std::string& reason) {
+    if (c.state == Conn::State::kDraining) {
+      c.failed = true;
+      return;
+    }
     RespFrame f;
     f.kind = static_cast<std::uint32_t>(RespKind::kError);
     f.events = c.events_ingested;
@@ -159,12 +195,15 @@ struct CertServer::Loop {
     if (c.fd >= 0) {
       ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c.fd, nullptr);
       ::close(c.fd);
+      c.fd = -1;
     }
     {
       std::lock_guard<std::mutex> lk(server->stats_mu_);
       --server->stats_.open_connections;
     }
-    conns.erase(it);
+    // Defer the free: splice keeps the node's address alive (out of
+    // conns, so find() skips it) until the epoll batch ends.
+    graveyard.splice(graveyard.end(), conns, it);
   }
 
   /// Handshake frame -> connection-private engine. False on any defect
@@ -182,8 +221,8 @@ struct CertServer::Loop {
       protocol_error(c, "event size mismatch (cross-ABI stream)");
       return false;
     }
-    if (hello.num_vars == 0) {
-      protocol_error(c, "handshake num_vars == 0");
+    if (hello.num_vars == 0 || hello.num_vars > options().max_num_vars) {
+      protocol_error(c, "handshake num_vars out of bounds");
       return false;
     }
     const std::string policy_name = unpad(hello.policy, log::kPolicyChars);
@@ -192,24 +231,39 @@ struct CertServer::Loop {
       protocol_error(c, "unknown version-order policy '" + policy_name + "'");
       return false;
     }
-    auto model = core::ObjectModel::registers(hello.num_vars, 0);
-    const bool parallel =
-        options().stream_threads > 1 &&
-        *policy != core::VersionOrderPolicy::kBlindWriteSmart;
-    if (parallel) {
-      core::ParallelStreamCertifier::Options popts;
-      popts.num_threads = options().stream_threads;
-      c.certifier = std::make_unique<core::ParallelStreamCertifier>(
-          std::move(model), *policy, popts);
-      if (hello.reserve_txs != 0 || hello.reserve_versions != 0) {
-        c.certifier->reserve(hello.reserve_txs, hello.reserve_versions);
+    // The reserve hints are client-controlled: saturate, never trust —
+    // an absurd hint must not turn into an absurd allocation.
+    const std::uint64_t reserve_txs =
+        std::min(hello.reserve_txs, options().max_reserve_hint);
+    const std::uint64_t reserve_versions =
+        std::min(hello.reserve_versions, options().max_reserve_hint);
+    try {
+      auto model = core::ObjectModel::registers(hello.num_vars, 0);
+      const bool parallel =
+          options().stream_threads > 1 &&
+          *policy != core::VersionOrderPolicy::kBlindWriteSmart;
+      if (parallel) {
+        core::ParallelStreamCertifier::Options popts;
+        popts.num_threads = options().stream_threads;
+        c.certifier = std::make_unique<core::ParallelStreamCertifier>(
+            std::move(model), *policy, popts);
+        if (reserve_txs != 0 || reserve_versions != 0) {
+          c.certifier->reserve(reserve_txs, reserve_versions);
+        }
+      } else {
+        c.monitor = std::make_unique<core::OnlineCertificateMonitor>(
+            std::move(model), *policy);
+        if (reserve_txs != 0 || reserve_versions != 0) {
+          c.monitor->reserve(reserve_txs, reserve_versions);
+        }
       }
-    } else {
-      c.monitor = std::make_unique<core::OnlineCertificateMonitor>(
-          std::move(model), *policy);
-      if (hello.reserve_txs != 0 || hello.reserve_versions != 0) {
-        c.monitor->reserve(hello.reserve_txs, hello.reserve_versions);
-      }
+    } catch (const std::exception&) {
+      // bad_alloc/length_error (or a pool that failed to spawn): a
+      // per-connection failure, never a server crash.
+      c.certifier.reset();
+      c.monitor.reset();
+      protocol_error(c, "engine setup failed");
+      return false;
     }
     c.state = Conn::State::kStreaming;
     queue_ack(c);  // the "go" frame: announces the credit window
@@ -306,7 +360,18 @@ struct CertServer::Loop {
   void on_readable(std::list<Conn>::iterator it) {
     Conn& c = *it;
     char buf[65536];
+    const std::size_t bound = rx_bound();
     for (;;) {
+      if (c.rx.size() - c.rx_off > bound) {
+        // The sender is ignoring the credit window (a compliant client
+        // never has more than the window in flight). Mirror the
+        // slow-reader rule: best-effort kError, then drop — buffering
+        // for this tenant must stay bounded.
+        protocol_error(c, "credit window exceeded");
+        try_flush_bytes(c);
+        close_conn(it);
+        return;
+      }
       const ssize_t n = ::recv(c.fd, buf, sizeof(buf), 0);
       if (n > 0) {
         c.rx.insert(c.rx.end(), buf, buf + n);
@@ -432,11 +497,13 @@ struct CertServer::Loop {
           continue;
         }
         if ((events[i].events & EPOLLIN) != 0) {
-          on_readable(it);  // flushes too; may erase
+          on_readable(it);  // flushes too; may close
         } else if ((events[i].events & EPOLLOUT) != 0) {
           flush(it);
         }
       }
+      // Batch over: no events[] entry can reference a closed conn now.
+      graveyard.clear();
     }
   }
 };

@@ -13,19 +13,25 @@
 //
 // FAILURE ISOLATION. Everything that can go wrong on one connection —
 // malformed frames, CRC failures, event-size or stamp-continuity
-// mismatches, an unknown policy, a mid-stream disconnect, a slow reader
-// whose response buffer overflows — is a per-connection error: the
-// server sends kError where it still can, closes that connection, counts
-// it in stats().streams_failed, and keeps serving every other tenant.
-// Nothing a client sends can take the service down or poison another
-// stream's verdict (each engine is connection-private).
+// mismatches, an unknown policy, out-of-bounds handshake sizing fields,
+// an engine allocation failure, a mid-stream disconnect, a slow reader
+// whose response buffer overflows, a sender that ignores its credit
+// window — is a per-connection error: the server sends kError where it
+// still can, closes that connection, counts it in
+// stats().streams_failed, and keeps serving every other tenant. Nothing
+// a client sends can take the service down or poison another stream's
+// verdict (each engine is connection-private).
 //
 // BACKPRESSURE. Each stream gets a fixed in-flight budget
 // (Options::credit_events, announced in the handshake ack); the server
 // grants fresh credit roughly every half window of ingested events, the
 // AdaptiveDrainPacer shape applied across the wire: bursts batch up, a
 // verifier that falls behind throttles its producer, and per-tenant
-// buffering stays bounded.
+// buffering stays bounded. The window is enforced on BOTH sides: a
+// compliant client throttles itself on acks, and the server bounds each
+// connection's receive backlog to what a credit-respecting sender could
+// legitimately have in flight — a sender that ignores credit is dropped
+// with kError instead of growing the rx buffer without bound.
 //
 // THREADING. One loop thread owns the epoll set, all connection state and
 // all serial engines; ParallelStreamCertifier connections additionally
@@ -58,6 +64,15 @@ struct ServerOptions {
   /// Upper bound on one block's event_count; a CRC-valid header asking
   /// for more is a protocol error (bounds per-connection scratch memory).
   std::size_t max_block_events = std::size_t{1} << 20;
+  /// Upper bound on the handshake's num_vars; a CRC-valid hello asking
+  /// for a larger model is a protocol error (the model is allocated on
+  /// the loop thread — this bounds what one handshake can demand).
+  std::uint32_t max_num_vars = std::uint32_t{1} << 20;
+  /// Saturation cap for the hello's reserve_txs/reserve_versions
+  /// pre-sizing hints: larger hints are clamped, never trusted — a hint
+  /// is an optimization, not a client-controlled allocation. Streams
+  /// that outgrow the clamped hint just fall back to dynamic growth.
+  std::uint64_t max_reserve_hint = std::uint64_t{1} << 20;
   /// Slow-reader bound: a connection whose unsent response bytes exceed
   /// this is dropped.
   std::size_t max_response_buffer = std::size_t{1} << 20;

@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <cstring>
+#include <limits>
 #include <span>
 #include <string>
 #include <thread>
@@ -270,6 +271,63 @@ TEST(NetService, RejectedHandshakesDoNotPoisonLaterStreams) {
   EXPECT_EQ(stats.streams_completed, 1u);
 }
 
+TEST(NetService, AbsurdReserveHintsAreSaturatedNotFatal) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // reserve_txs/reserve_versions are client-controlled: UINT64_MAX must
+  // be clamped server-side, not handed to vector::reserve (which would
+  // throw on the loop thread and take the whole service down).
+  const auto events = certified_stream(100);
+  net::CertClient client;
+  ASSERT_TRUE(client.connect(
+      "127.0.0.1", server.port(),
+      net::make_hello(meta_for(4, "commit-order"),
+                      std::numeric_limits<std::uint64_t>::max(),
+                      std::numeric_limits<std::uint64_t>::max())))
+      << client.error();
+  ASSERT_TRUE(client.send_events(events));
+  ASSERT_TRUE(client.finish());
+  EXPECT_TRUE(client.verdict().certified);
+  EXPECT_EQ(client.verdict().events, events.size());
+
+  server.stop();
+  EXPECT_EQ(server.stats().streams_failed, 0u);
+}
+
+TEST(NetService, OutOfBoundsNumVarsIsARejectedHandshake) {
+  net::CertServer server({});
+  ASSERT_TRUE(server.start()) << server.error();
+
+  {  // num_vars ~4e9: must be a kError, not a 4-billion-register model.
+    auto meta = meta_for(4, "commit-order");
+    meta.num_vars = std::numeric_limits<std::uint32_t>::max();
+    net::CertClient client;
+    EXPECT_FALSE(
+        client.connect("127.0.0.1", server.port(), net::make_hello(meta)));
+    EXPECT_NE(client.error().find("server error"), std::string::npos)
+        << client.error();
+  }
+  {  // num_vars == 0 is equally out of bounds.
+    auto meta = meta_for(4, "commit-order");
+    meta.num_vars = 0;
+    net::CertClient client;
+    EXPECT_FALSE(
+        client.connect("127.0.0.1", server.port(), net::make_hello(meta)));
+  }
+
+  // The service is still healthy for the next tenant.
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), certified_stream(50),
+                        meta_for(4, "commit-order"), verdict));
+  EXPECT_TRUE(verdict.certified);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.streams_failed, 2u);
+  EXPECT_EQ(stats.streams_completed, 1u);
+}
+
 /// Raw loopback socket for speaking deliberately broken optm-net-v1.
 class RawClient {
  public:
@@ -386,6 +444,57 @@ TEST(NetService, MalformedAndTruncatedStreamsNeverKillTheServer) {
   const auto stats = server.stats();
   EXPECT_EQ(stats.streams_completed, 1u);
   EXPECT_GE(stats.streams_failed, 5u);
+}
+
+TEST(NetService, CreditIgnoringFloodIsDroppedNotBuffered) {
+  net::ServerOptions options;
+  options.credit_events = 16;       // rx bound ≈ hello + 16·72B + one block
+  options.max_block_events = 64;
+  options.max_response_buffer = 4096;
+  net::CertServer server(options);
+  ASSERT_TRUE(server.start()) << server.error();
+
+  // A sender that never reads acks and ships far more than the credit
+  // window: the server must drop the connection (credit-window or
+  // slow-reader rule) instead of growing the rx/tx buffers without
+  // bound — and keep serving compliant tenants.
+  RawClient raw(server.port());
+  ASSERT_TRUE(raw.ok());
+  raw.send_struct(net::make_hello(meta_for(4, "commit-order")));
+  const auto events = certified_stream(1000);  // 4000 events >> window
+  std::vector<unsigned char> flood;
+  flood.reserve(events.size() * (sizeof(log::BlockHeader) + sizeof(core::Event)));
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    log::BlockHeader bh;
+    bh.event_count = 1;
+    bh.first_stamp = i;
+    bh.payload_crc = util::crc32c(&events[i], sizeof(core::Event));
+    bh.header_crc = util::crc32c(&bh, log::kBlockHeaderCrcBytes);
+    const auto* h = reinterpret_cast<const unsigned char*>(&bh);
+    flood.insert(flood.end(), h, h + sizeof(bh));
+    const auto* p = reinterpret_cast<const unsigned char*>(&events[i]);
+    flood.insert(flood.end(), p, p + sizeof(core::Event));
+  }
+  // Corrupt trailer: even a server that somehow kept pace with the whole
+  // flood must close (CRC error) — server_closed() can never hang.
+  log::BlockHeader trailer;
+  trailer.event_count = 1;
+  trailer.first_stamp = events.size();
+  trailer.header_crc = 0xdeadbeef;
+  const auto* t = reinterpret_cast<const unsigned char*>(&trailer);
+  flood.insert(flood.end(), t, t + sizeof(trailer));
+  raw.send_bytes(flood.data(), flood.size());
+  EXPECT_TRUE(raw.server_closed());
+
+  net::RemoteVerdict verdict;
+  ASSERT_TRUE(stream_to(server.port(), certified_stream(50),
+                        meta_for(4, "commit-order"), verdict));
+  EXPECT_TRUE(verdict.certified);
+
+  server.stop();
+  const auto stats = server.stats();
+  EXPECT_GE(stats.streams_failed, 1u);
+  EXPECT_EQ(stats.streams_completed, 1u);
 }
 
 // ---------------------------------------------------------------------------
