@@ -342,6 +342,9 @@ int cmd_certify_remote(int argc, char** argv) {
   cli.flag("policy", "",
            "version-order policy override (default: the policy recorded "
            "in the segment headers)");
+  cli.flag("net-timeout-ms", std::int64_t{30'000},
+           "connect/send/recv deadline (0 = no deadline); an expired "
+           "deadline is an operational error (exit 2), not a hang");
   if (!cli.parse(argc, argv)) return 1;
 
   std::string host;
@@ -359,7 +362,9 @@ int cmd_certify_remote(int argc, char** argv) {
   optm::log::LogMetadata meta = reader.metadata();
   if (!cli.get("policy").empty()) meta.policy = cli.get("policy");
 
-  optm::net::CertClient client;
+  optm::net::ClientOptions client_options;
+  client_options.timeout_ms = static_cast<int>(cli.get_int("net-timeout-ms"));
+  optm::net::CertClient client(client_options);
   if (!client.connect(host, port, optm::net::make_hello(meta))) {
     std::fprintf(stderr, "certify-remote: %s\n", client.error().c_str());
     return 2;

@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   cli.flag("connect", "",
            "also stream every drained batch to a networked certification "
            "service at host:port (checker_tool serve)");
+  cli.flag("net-timeout-ms", std::int64_t{30'000},
+           "connect/send/recv deadline for --connect (0 = no deadline)");
   cli.flag("json", "",
            "also write the soak metrics as a machine-readable JSON object "
            "to this file (the perf-trajectory artifact schema)");
@@ -83,7 +85,9 @@ int main(int argc, char** argv) {
 
   // --connect: a remote certification service rides the same drain as the
   // log sink; with both set they tee (every batch goes to both legs).
-  optm::net::CertClient remote;
+  optm::net::ClientOptions remote_options;
+  remote_options.timeout_ms = static_cast<int>(cli.get_int("net-timeout-ms"));
+  optm::net::CertClient remote(remote_options);
   std::unique_ptr<optm::stm::SocketSink> socket_sink;
   optm::stm::TeeSink extra_tee;
   if (!cli.get("connect").empty()) {
@@ -124,6 +128,7 @@ int main(int argc, char** argv) {
   // run used, so soak_*.txt files are comparable across CI runs.
   std::printf("soak.window_mode=%s\n", result.window_mode.c_str());
   std::printf("soak.policy=%s\n", to_string(result.policy));
+  std::printf("soak.stamp_batch=%u\n", flags->stamp_batch);
   std::printf("soak.recorded_events=%zu\n", result.recorded_events);
   std::printf("soak.live_pipeline_events_per_sec=%.0f\n",
               result.live_events_per_sec);
@@ -198,6 +203,7 @@ int main(int argc, char** argv) {
         "  \"stm\": \"%s\",\n"
         "  \"policy\": \"%s\",\n"
         "  \"window_mode\": \"%s\",\n"
+        "  \"stamp_batch\": %u,\n"
         "  \"threads\": %u,\n"
         "  \"recorded_events\": %zu,\n"
         "  \"live_pipeline_events_per_sec\": %.0f,\n"
@@ -209,7 +215,8 @@ int main(int argc, char** argv) {
         "  \"offline_shards\": %zu\n"
         "}\n",
         result.stm.c_str(), to_string(result.policy),
-        result.window_mode.c_str(), options.threads, result.recorded_events,
+        result.window_mode.c_str(), flags->stamp_batch, options.threads,
+        result.recorded_events,
         result.live_events_per_sec, result.live_batches,
         result.live_parallel ? "parallel" : "serial", result.live_threads_used,
         result.live_shards_used, result.offline_events_per_sec,

@@ -30,6 +30,15 @@ LogWriter::LogWriter(WriterOptions options) : options_(std::move(options)) {
   std::filesystem::create_directories(options_.directory, ec);
   if (ec) {
     fail("create_directories(" + options_.directory + "): " + ec.message());
+    return;
+  }
+  // Hold the directory open for the lifetime of the writer: segment
+  // creation/rotation/truncation must fsync the DIRECTORY too, or a crash
+  // can lose the entry of a fully-msync'd segment (recovery would then
+  // see a hole and hard-fail as non-final damage).
+  dir_fd_ = ::open(options_.directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd_ < 0) {
+    fail("open(" + options_.directory + "): " + std::strerror(errno));
   }
 }
 
@@ -85,6 +94,18 @@ bool LogWriter::open_segment() {
   used_ = kSegmentHeaderBytes;
   ++segments_;
   bytes_written_ += kSegmentHeaderBytes;
+  // The new segment's directory entry (name + inode) must be durable
+  // before any block lands in it: otherwise a crash after rotation can
+  // drop a whole mid-log segment even though its pages were msync'd.
+  return sync_directory();
+}
+
+bool LogWriter::sync_directory() {
+  if (dir_fd_ < 0) return fail("directory fd not open");
+  if (::fsync(dir_fd_) != 0) {
+    return fail(std::string("fsync(directory): ") + std::strerror(errno));
+  }
+  ++dir_fsyncs_;
   return true;
 }
 
@@ -137,9 +158,14 @@ bool LogWriter::close_segment(bool truncate_to_used) {
   ::munmap(map_, map_bytes_);
   map_ = nullptr;
   map_bytes_ = 0;
-  if (ok_here && truncate_to_used &&
-      ::ftruncate(fd_, static_cast<off_t>(used_)) != 0) {
-    ok_here = fail(std::string("ftruncate(tail): ") + std::strerror(errno));
+  if (ok_here && truncate_to_used) {
+    if (::ftruncate(fd_, static_cast<off_t>(used_)) != 0) {
+      ok_here = fail(std::string("ftruncate(tail): ") + std::strerror(errno));
+    } else if (::fsync(fd_) != 0) {
+      // msync covered the mapped pages; the tail truncation is an INODE
+      // change and needs its own fsync to be durable.
+      ok_here = fail(std::string("fsync(tail): ") + std::strerror(errno));
+    }
   }
   ::close(fd_);
   fd_ = -1;
@@ -154,6 +180,13 @@ bool LogWriter::close() {
   // and the fact that zero events were recorded — is durable.
   if (ok() && map_ == nullptr && segments_ == 0) open_segment();
   close_segment(/*truncate_to_used=*/true);
+  // Seal the directory state (covers the tail truncation above and any
+  // rename-like metadata still in flight) before declaring the log closed.
+  if (ok()) sync_directory();
+  if (dir_fd_ >= 0) {
+    ::close(dir_fd_);
+    dir_fd_ = -1;
+  }
   return ok();
 }
 

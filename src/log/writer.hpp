@@ -57,10 +57,17 @@ class LogWriter {
   [[nodiscard]] std::uint64_t blocks_written() const noexcept { return blocks_written_; }
   [[nodiscard]] std::uint64_t segments_written() const noexcept { return segments_; }
   [[nodiscard]] std::uint64_t bytes_written() const noexcept { return bytes_written_; }
+  /// Directory fsyncs performed (one per segment created, one at close):
+  /// the durability discipline regression tests assert on this — an
+  /// msync'd segment whose DIRECTORY ENTRY is not durable can vanish
+  /// wholesale in a crash, which recovery would misread as non-final
+  /// damage and hard-fail.
+  [[nodiscard]] std::uint64_t dir_fsyncs() const noexcept { return dir_fsyncs_; }
 
  private:
   bool open_segment();
   bool close_segment(bool truncate_to_used);
+  bool sync_directory();
   bool fail(const std::string& what);
   /// Events that still fit in the current segment as one more block.
   [[nodiscard]] std::size_t room_events() const noexcept;
@@ -71,6 +78,7 @@ class LogWriter {
   bool closed_ = false;
 
   int fd_ = -1;
+  int dir_fd_ = -1;  // the log directory, held open for entry fsyncs
   unsigned char* map_ = nullptr;  // current segment mapping
   std::size_t map_bytes_ = 0;
   std::size_t used_ = 0;  // bytes written into the current segment
@@ -79,6 +87,7 @@ class LogWriter {
   std::uint64_t events_written_ = 0;
   std::uint64_t blocks_written_ = 0;
   std::uint64_t bytes_written_ = 0;
+  std::uint64_t dir_fsyncs_ = 0;
 };
 
 }  // namespace optm::log

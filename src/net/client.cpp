@@ -1,10 +1,12 @@
 #include "net/client.hpp"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -26,11 +28,28 @@ constexpr std::uint64_t kMaxChunkEvents = std::uint64_t{1} << 14;
 
 bool parse_host_port(const std::string& spec, std::string& host,
                      std::uint16_t& port) {
-  const auto colon = spec.rfind(':');
-  if (colon == std::string::npos || colon == 0) return false;
-  const auto parsed = util::parse_int(spec.substr(colon + 1));
+  std::string host_part;
+  std::string port_part;
+  if (!spec.empty() && spec.front() == '[') {
+    // RFC 3986 bracketed literal: [v6-address]:port.
+    const auto close = spec.find(']');
+    if (close == std::string::npos || close == 1) return false;
+    if (close + 1 >= spec.size() || spec[close + 1] != ':') return false;
+    host_part = spec.substr(1, close - 1);
+    port_part = spec.substr(close + 2);
+  } else {
+    // Unbracketed: exactly one colon. A bare IPv6 literal ("::1:9000")
+    // has several, and any split would be a guess — reject it so the
+    // caller learns to bracket instead of dialing a garbage host.
+    const auto colon = spec.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    if (spec.find(':', colon + 1) != std::string::npos) return false;
+    host_part = spec.substr(0, colon);
+    port_part = spec.substr(colon + 1);
+  }
+  const auto parsed = util::parse_int(port_part);
   if (!parsed || *parsed <= 0 || *parsed > 65535) return false;
-  host = spec.substr(0, colon);
+  host = host_part;
   port = static_cast<std::uint16_t>(*parsed);
   return true;
 }
@@ -50,11 +69,45 @@ bool CertClient::fail(const std::string& why) {
   return false;
 }
 
+int CertClient::connect_with_deadline(int fd, const void* addr,
+                                      unsigned int addrlen) const {
+  const auto* sa = static_cast<const sockaddr*>(addr);
+  if (options_.timeout_ms <= 0) {
+    return ::connect(fd, sa, addrlen) == 0 ? 0 : errno;
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return errno;
+  int err = 0;
+  if (::connect(fd, sa, addrlen) != 0) {
+    if (errno != EINPROGRESS) {
+      err = errno;
+    } else {
+      pollfd pfd{fd, POLLOUT, 0};
+      const int n = ::poll(&pfd, 1, options_.timeout_ms);
+      if (n == 0) {
+        err = ETIMEDOUT;
+      } else if (n < 0) {
+        err = errno;
+      } else {
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) < 0) {
+          err = errno;
+        } else {
+          err = so_error;
+        }
+      }
+    }
+  }
+  if (err == 0 && ::fcntl(fd, F_SETFL, flags) < 0) err = errno;
+  return err;
+}
+
 bool CertClient::connect(const std::string& host, std::uint16_t port,
                          const HelloFrame& hello) {
   if (fd_ >= 0) return fail("connect() on an open client");
   addrinfo hints{};
-  hints.ai_family = AF_INET;
+  hints.ai_family = AF_UNSPEC;  // v4 and v6 (parse_host_port accepts [::1])
   hints.ai_socktype = SOCK_STREAM;
   addrinfo* res = nullptr;
   const std::string port_str = std::to_string(port);
@@ -62,16 +115,40 @@ bool CertClient::connect(const std::string& host, std::uint16_t port,
       res == nullptr) {
     return fail("cannot resolve '" + host + "'");
   }
-  fd_ = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
-  const bool ok =
-      fd_ >= 0 && ::connect(fd_, res->ai_addr, res->ai_addrlen) == 0;
+  // Try every resolved address (a dual-stack name like "localhost" may
+  // resolve v6-first against a v4-only listener), each under the connect
+  // deadline.
+  int last_err = 0;
+  for (const addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd_ = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd_ < 0) {
+      last_err = errno;
+      continue;
+    }
+    last_err = connect_with_deadline(
+        fd_, ai->ai_addr, static_cast<unsigned int>(ai->ai_addrlen));
+    if (last_err == 0) break;
+    ::close(fd_);
+    fd_ = -1;
+  }
   ::freeaddrinfo(res);
-  if (!ok) {
+  if (fd_ < 0) {
     return fail("cannot connect to " + host + ":" + port_str + ": " +
-                std::strerror(errno));
+                (last_err == ETIMEDOUT ? std::string("timed out")
+                                       : std::string(std::strerror(last_err))));
   }
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (options_.timeout_ms > 0) {
+    // Per-syscall deadlines for the blocking stream I/O: a recv/send that
+    // sits this long fails with EAGAIN, which read/send surface as an
+    // operational "timed out" error instead of hanging the pipeline.
+    timeval tv{};
+    tv.tv_sec = options_.timeout_ms / 1000;
+    tv.tv_usec = static_cast<long>(options_.timeout_ms % 1000) * 1000;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   if (!send_all(&hello, sizeof(hello))) return false;
   // The handshake ack announces the credit window (and is where an
   // immediate kError for a rejected handshake lands).
@@ -91,6 +168,9 @@ bool CertClient::send_all(const void* data, std::size_t n) {
     const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
     if (w < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return fail("send timed out (server unresponsive)");
+      }
       return fail(std::string("send failed: ") + std::strerror(errno));
     }
     p += w;
@@ -107,6 +187,9 @@ bool CertClient::read_resp(RespFrame& out, std::string& reason) {
       if (r == 0) return fail("server closed the connection");
       if (r < 0) {
         if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return fail("recv timed out (server unresponsive)");
+        }
         return fail(std::string("recv failed: ") + std::strerror(errno));
       }
       p += r;

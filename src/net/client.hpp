@@ -33,14 +33,27 @@ struct RemoteVerdict {
   std::optional<core::OnlineViolation> violation;
 };
 
-/// "host:port" -> (host, port). False on malformed input (no colon, empty
-/// host, non-numeric or out-of-range port).
+/// "host:port" -> (host, port). IPv6 literals use RFC 3986 brackets:
+/// "[::1]:9000" -> ("::1", 9000). False on malformed input: no colon,
+/// empty host, non-numeric or out-of-range port, an unterminated or empty
+/// bracket, or a bare multi-colon spec ("::1:9000" is ambiguous — which
+/// colon splits? — and is rejected rather than silently mis-split).
 [[nodiscard]] bool parse_host_port(const std::string& spec, std::string& host,
                                    std::uint16_t& port);
+
+/// Transport deadlines. Without one, a hung (or SIGSTOPped) server blocks
+/// connect()/recv()/send() forever — and with it the whole
+/// DrainPump/TeeSink chain behind SocketSink.
+struct ClientOptions {
+  /// Applies to connect establishment and to every blocking send/recv
+  /// (SO_RCVTIMEO/SO_SNDTIMEO). 0 disables the deadline entirely.
+  int timeout_ms = 30'000;
+};
 
 class CertClient {
  public:
   CertClient() = default;
+  explicit CertClient(const ClientOptions& options) : options_(options) {}
   ~CertClient();
   CertClient(const CertClient&) = delete;
   CertClient& operator=(const CertClient&) = delete;
@@ -73,6 +86,12 @@ class CertClient {
 
  private:
   [[nodiscard]] bool fail(const std::string& why);
+  /// Nonblocking connect with the configured deadline; 0 on success,
+  /// errno-style code on failure (ETIMEDOUT when the deadline expired).
+  /// `addr` is a const sockaddr* (void to keep <sys/socket.h> out of this
+  /// header).
+  [[nodiscard]] int connect_with_deadline(int fd, const void* addr,
+                                          unsigned int addrlen) const;
   [[nodiscard]] bool send_all(const void* data, std::size_t n);
   /// Read exactly one response frame (blocking). False on EOF/error.
   [[nodiscard]] bool read_resp(RespFrame& out, std::string& reason);
@@ -83,6 +102,7 @@ class CertClient {
   /// Block until (sent_ - acked_ + incoming) fits the window.
   [[nodiscard]] bool wait_credit(std::uint64_t incoming);
 
+  ClientOptions options_;
   int fd_ = -1;
   bool finished_ = false;
   std::string error_;

@@ -240,7 +240,7 @@ bool DstmStm::commit(sim::ThreadCtx& ctx) {
   if (!slot.active) return false;
   rec_try_commit(ctx);
 
-  const RecWindow window = rec_commit_window();
+  const RecWindow window = rec_commit_window(ctx);
 
   auto fail = [&]() {
     status_[ctx.id()]->store(ctx, status_word(slot.epoch, kAborted));

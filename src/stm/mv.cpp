@@ -143,7 +143,7 @@ bool MvStm::commit(sim::ThreadCtx& ctx) {
     return true;
   }
 
-  const RecWindow window = rec_commit_window();
+  const RecWindow window = rec_commit_window(ctx);
   ensure_snapshot(ctx, slot);
 
   // Lock write-set seqlocks in VarId order.

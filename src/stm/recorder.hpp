@@ -70,6 +70,62 @@
 // cross-runtime conformance suite differentially tests window-free
 // against windowed recordings of identical schedules.
 //
+// BATCH STAMPING (Recorder::Options::stamp_batch = N > 1) amortizes the
+// remaining per-event cost — one relaxed fetch_add on the global counter —
+// by drawing ONE ticket per batch of up to N same-lane events and giving
+// every event of the batch the same recorder stamp. What keeps this sound
+// is a seqlock-style validation against the global counter itself: a lane
+// may extend its open batch (reuse ticket T) only while the counter still
+// reads T+1, i.e. NOBODY — no other lane, no commit record, nothing — has
+// drawn a ticket since the batch opened. The moment any other event
+// anywhere draws a ticket, the extension check fails and the lane cuts a
+// fresh batch. Consequences, in order of importance:
+//
+//   * What coarsens: only runs of same-lane events with NO intervening
+//     ticket draw anywhere share a stamp. Those events were already
+//     adjacent in every admissible merge order, so collapsing their stamps
+//     loses nothing: the drained stream is byte-identical to per-event
+//     stamping on any schedule (deterministic or concurrent) — the merge
+//     emits a batch's events in lane push order, which is exactly the
+//     order per-event tickets would have recorded.
+//   * What cannot coarsen: serialization points. A commit or abort record
+//     closes the lane's open batch and always draws its own private
+//     ticket ("serial at birth"), so no batch ever spans a C/A record of
+//     its own lane — and the seqlock bars it from spanning any OTHER
+//     lane's C/A draw. A reader that observed a committer's write-back
+//     observes the committer's ticket draw too (the draw is
+//     sequenced-before write-back; RMWs on one atomic are totally
+//     ordered), so its next extension check fails and the read records
+//     under a fresh ticket AFTER the commit record. Theorem-2-on-stamps
+//     (kStampedRead, core/online.hpp) is untouched for the deeper reason
+//     that it never reads recorder stamps at all: it judges the
+//     Event::stamp intervals the RUNTIME emits, which batching does not
+//     touch. The recorder stamp only orders the drained stream, and that
+//     order is unchanged (see above).
+//   * Windows: RuntimeBase::rec_commit_window flushes the recording
+//     thread's open batch before taking the exclusive window, so a batch
+//     never spans a commit-window transition. Sample windows do not flush
+//     (they may overlap each other by design; flushing there would undo
+//     the batching) — the exclusive window's mutual exclusion plus the
+//     seqlock already order samples against commit points.
+//   * Accounting stays in EVENT units so AdaptiveDrainPacer's EWMA keeps
+//     converging on the same inputs: stamps_issued() reports events whose
+//     batch has closed (events_issued_, bumped once per batch — the
+//     amortization), approx_pending() derives from published-event counts,
+//     and tickets_issued() exposes the raw counter for tests asserting the
+//     amortization itself. stamps_issued() lags open batches by at most
+//     lanes·(N−1) events; the pacer's idle-poll flush bounds the latency
+//     tail exactly as before.
+//   * drain() may emit the published prefix of a still-open batch without
+//     advancing past its ticket (the rest of the batch completes the same
+//     stamp later) — sound because a batch's events are contiguous at its
+//     ticket, and it keeps approx_pending() able to reach 0 at quiescence
+//     even if a lane parks an open batch forever.
+//
+// N = 1 (the default) bypasses all of it and is byte-for-byte today's
+// per-event path: same instructions on the hot path, same counters, same
+// drained bytes.
+//
 // Two implementations:
 //   * Recorder      — the sharded engine: per-lane (per-process) buffers,
 //     lock-free against each other, merged on demand by stamp order. The
@@ -398,8 +454,17 @@ class RecorderBase {
 /// recording continues — the feed for live batch verification.
 class Recorder final : public RecorderBase {
  public:
-  explicit Recorder(std::size_t num_vars)
-      : model_(core::ObjectModel::registers(num_vars, 0)) {}
+  struct Options {
+    /// Events per global-clock ticket (the batch-stamp grain; see the
+    /// file-header BATCH STAMPING section). 1 = per-event stamping,
+    /// byte-for-byte today's behavior. Values are clamped to >= 1.
+    std::uint32_t stamp_batch = 1;
+  };
+
+  explicit Recorder(std::size_t num_vars) : Recorder(num_vars, Options()) {}
+  Recorder(std::size_t num_vars, Options options)
+      : model_(core::ObjectModel::registers(num_vars, 0)),
+        batch_n_(options.stamp_batch < 1 ? 1 : options.stamp_batch) {}
 
   [[nodiscard]] core::TxId begin_tx() override {
     return next_tx_.fetch_add(1, std::memory_order_relaxed);
@@ -478,47 +543,104 @@ class Recorder final : public RecorderBase {
     return n;
   }
 
-  /// Total stamps handed out so far — an upper bound on what the next
-  /// drain() can return, readable without touching any lane. Lets a live
-  /// consumer poll cheaply and only pay for a drain once enough events
-  /// accumulated.
+  /// Events stamped so far, in EVENT units whatever the batch grain — the
+  /// ingest-rate signal AdaptiveDrainPacer's EWMA feeds on. Per-event mode
+  /// reads the global counter (1 ticket ≡ 1 event, exactly today's value);
+  /// batch mode reads the per-batch-close accumulator, which lags open
+  /// batches by at most lanes·(N−1) events (the pacer's idle-poll flush
+  /// bounds the resulting latency tail, as before).
   [[nodiscard]] std::uint64_t stamps_issued() const noexcept {
+    if (batch_n_ == 1) return seq_.load(std::memory_order_acquire);
+    return events_issued_.load(std::memory_order_acquire);
+  }
+
+  /// Raw global-clock tickets drawn. In per-event mode this equals
+  /// stamps_issued(); in batch mode it is what the batching amortizes —
+  /// tests assert tickets_issued() << events recorded.
+  [[nodiscard]] std::uint64_t tickets_issued() const noexcept {
     return seq_.load(std::memory_order_acquire);
   }
 
-  /// Stamps issued but not yet drained — the quantity AdaptiveDrainPacer
-  /// paces on. Approximate by nature (both ends move concurrently).
+  /// Events recorded but not yet drained — the quantity AdaptiveDrainPacer
+  /// paces on. Approximate by nature (both ends move concurrently). Batch
+  /// mode derives it from the published lane counts (an open batch's
+  /// already-published events are drainable, so they must count), and
+  /// saturates because a drain may race ahead of a stale count sum.
   [[nodiscard]] std::uint64_t approx_pending() const noexcept {
-    return seq_.load(std::memory_order_acquire) -
-           drained_.load(std::memory_order_acquire);
+    if (batch_n_ == 1) {
+      return seq_.load(std::memory_order_acquire) -
+             drained_events_.load(std::memory_order_acquire);
+    }
+    const std::uint64_t published = num_events();
+    const std::uint64_t drained =
+        drained_events_.load(std::memory_order_acquire);
+    return published > drained ? published - drained : 0;
   }
 
+  /// Close the calling lane's open stamp batch, if any: its events keep the
+  /// ticket they already carry, but no further event will join it. MUST be
+  /// called by the lane's owning thread (the batch fields are owner-private)
+  /// — RuntimeBase calls it on every commit-window transition so a batch
+  /// never spans one. No-op in per-event mode.
+  void flush_lane(std::uint32_t lane_id) {
+    assert(lane_id < sim::kMaxThreads);
+    if (batch_n_ == 1) return;
+    Lane& lane = lanes_[lane_id];
+    if (lane.batch_ticket == kNoTicket) return;
+    events_issued_.fetch_add(lane.batch_len, std::memory_order_release);
+    lane.batch_ticket = kNoTicket;
+    lane.batch_len = 0;
+    lane.open_ticket.store(kNoTicket, std::memory_order_release);
+  }
+
+  /// The batch-stamp grain this engine was built with.
+  [[nodiscard]] std::uint32_t stamp_batch() const noexcept { return batch_n_; }
+
   /// Epoch merge: append to `out` every not-yet-drained event whose stamp
-  /// belongs to the contiguous completed prefix of the global sequence.
-  /// Safe to call concurrently with recording (from ONE draining thread);
-  /// events in flight past the first gap stay pending until a later drain.
-  /// A k-way merge over the per-lane chunk cursors (each lane is
-  /// stamp-sorted by construction), copying each event exactly once,
-  /// chunk -> out; the cursors cache the stable chunk pointers, so the
-  /// per-lane spinlock is touched only when a lane grew a new chunk, and
-  /// nothing is allocated once `out` and the cursor caches reach their
+  /// belongs to the contiguous completed prefix of the global ticket
+  /// sequence. Safe to call concurrently with recording (from ONE draining
+  /// thread); events in flight past the first ticket gap stay pending until
+  /// a later drain. A k-way merge over the per-lane chunk cursors (each
+  /// lane is stamp-sorted by construction), copying each event exactly
+  /// once, chunk -> out; the cursors cache the stable chunk pointers, so
+  /// the per-lane spinlock is touched only when a lane grew a new chunk,
+  /// and nothing is allocated once `out` and the cursor caches reach their
   /// high-water capacity. Returns the number of events appended.
+  ///
+  /// Batch mode: a ticket may cover several events (all from one lane, in
+  /// its push order). The merge consumes a whole ticket run at a time; at
+  /// the published tail it distinguishes a STILL-OPEN batch (the lane's
+  /// open_ticket gate reads next_seq_ — emit what is published but keep
+  /// next_seq_ parked on the ticket, the rest of the batch completes the
+  /// same stamp later) from a CLOSED one (a single count reload after the
+  /// acquire read of the gate is guaranteed to show the batch's full tail
+  /// — the close store is sequenced after every tail publish — so the
+  /// ticket can be retired).
   std::size_t drain(EventBatch& out) {
     const std::lock_guard<std::mutex> guard(merge_mu_);
     if (next_seq_ == seq_.load(std::memory_order_acquire)) return 0;
+    // A ticket parked by an earlier drain (its batch was open, its
+    // published prefix already emitted) is re-examined here: once the
+    // lane's gate has moved on, the batch is closed, and if no published
+    // event still carries the parked ticket, the emitted prefix was the
+    // whole batch — retire the ticket or the merge wedges on it forever
+    // (the lane re-enters the heap only with NEWER stamps).
+    if (stall_lane_ != kNoLane) {
+      if (lanes_[stall_lane_].open_ticket.load(std::memory_order_acquire) !=
+          next_seq_) {
+        DrainCursor& cur = cursors_[stall_lane_];
+        refresh_cursor(stall_lane_, cur);
+        if (cur.taken == cur.published ||
+            stamp_at(cur, cur.taken) != next_seq_) {
+          ++next_seq_;
+        }
+        stall_lane_ = kNoLane;
+      }
+    }
     heap_.clear();
     for (std::size_t l = 0; l < lanes_.size(); ++l) {
       DrainCursor& cur = cursors_[l];
-      cur.published = lanes_[l].count.load(std::memory_order_acquire);
-      if (cur.published > cur.chunks.size() * kChunkSize) {
-        // The lane grew: refresh the chunk-pointer cache (append-only —
-        // chunks are stable once allocated).
-        const std::lock_guard<util::SpinLock> lane_guard(lanes_[l].mu);
-        for (std::size_t c = cur.chunks.size(); c < lanes_[l].chunks.size();
-             ++c) {
-          cur.chunks.push_back(lanes_[l].chunks[c].get());
-        }
-      }
+      refresh_cursor(l, cur);
       if (cur.taken < cur.published) {
         heap_.push_back({stamp_at(cur, cur.taken), l});
       }
@@ -526,26 +648,54 @@ class Recorder final : public RecorderBase {
     std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
 
     std::size_t consumed = 0;
-    while (!heap_.empty() && heap_.front().first == next_seq_) {
+    bool stalled = false;
+    while (!stalled && !heap_.empty() && heap_.front().first == next_seq_) {
       const std::size_t l = heap_.front().second;
       std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
       heap_.pop_back();
       DrainCursor& cur = cursors_[l];
-      // Consume the lane's whole run of consecutive stamps before going
-      // back to the heap (runs are long when one thread records a batch).
-      do {
+      // Consume the lane's whole run of consecutive tickets before going
+      // back to the heap (runs are long when one thread records a burst).
+      for (;;) {
+        if (cur.taken == cur.published) {
+          if (batch_n_ > 1 && lanes_[l].open_ticket.load(
+                                  std::memory_order_acquire) == next_seq_) {
+            // Open batch: its published prefix is already emitted (sound —
+            // the batch's events are contiguous at this ticket), but the
+            // ticket is not complete. Park next_seq_ on it and remember the
+            // lane so a later drain can retire the ticket once it closes.
+            stalled = true;
+            stall_lane_ = l;
+            break;
+          }
+          // Ticket closed (or per-event mode): one reload catches a tail
+          // published between the cursor refresh and the close.
+          const std::size_t before = cur.published;
+          refresh_cursor(l, cur);
+          if (cur.published == before) {
+            ++next_seq_;
+            break;
+          }
+          continue;
+        }
+        const std::uint64_t s = stamp_at(cur, cur.taken);
+        if (s != next_seq_) {
+          ++next_seq_;
+          if (s != next_seq_) {
+            // This lane's next ticket is not adjacent: park it in the heap.
+            heap_.push_back({s, l});
+            std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+            break;
+          }
+        }
         out.push_back(event_at(cur, cur.taken));
         ++cur.taken;
-        ++next_seq_;
         ++consumed;
-      } while (cur.taken < cur.published &&
-               stamp_at(cur, cur.taken) == next_seq_);
-      if (cur.taken < cur.published) {
-        heap_.push_back({stamp_at(cur, cur.taken), l});
-        std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
       }
     }
-    drained_.store(next_seq_, std::memory_order_release);
+    drained_events_.store(
+        drained_events_.load(std::memory_order_relaxed) + consumed,
+        std::memory_order_release);
     return consumed;
   }
 
@@ -578,6 +728,9 @@ class Recorder final : public RecorderBase {
                 "the uninitialized-chunk protocol stores into raw union "
                 "slots; a non-trivial StampedEvent would need placement-new");
 
+  /// "No open batch" sentinel for the batch-ticket fields below.
+  static constexpr std::uint64_t kNoTicket = ~std::uint64_t{0};
+
   /// One per-process single-writer buffer. The owning process is the only
   /// writer; it publishes each entry with a release store of `count`.
   /// Readers load `count` (acquire) and may then read any entry below it —
@@ -587,13 +740,63 @@ class Recorder final : public RecorderBase {
   /// completion-stamp appends. `tail` is the writer's private cache of the
   /// current chunk, saving the vector indirection per push. Padded so
   /// lanes do not false-share.
+  ///
+  /// Batch-stamp state (unused when batch_n_ == 1): `batch_ticket` /
+  /// `batch_len` are owner-private (only the lane's writer touches them);
+  /// `open_ticket` is the drain-side gate — it holds the open batch's
+  /// ticket, stored (release) BEFORE the batch's first event publishes and
+  /// cleared (release) only AFTER a closing batch's last event published,
+  /// so a drainer that acquire-reads it can tell "this ticket may still
+  /// grow" from "this ticket is complete once I reload the count".
   struct alignas(64) Lane {
     mutable util::SpinLock mu;
     std::vector<std::unique_ptr<Chunk>> chunks;
     Chunk* tail{nullptr};
     std::atomic<std::size_t> count{0};
     std::vector<std::pair<core::TxId, std::uint64_t>> stamps;
+    std::uint64_t batch_ticket{kNoTicket};
+    std::uint32_t batch_len{0};
+    std::atomic<std::uint64_t> open_ticket{kNoTicket};
   };
+
+  /// Stamp one event in batch mode (batch_n_ > 1); returns its ticket.
+  /// Seqlock rule: extend the open batch only if the global counter still
+  /// reads batch_ticket + 1 — no event anywhere (in particular no commit
+  /// record) drew a ticket since the batch opened, so the batch's events
+  /// are contiguous in every admissible order. Commit/abort records are
+  /// serialization points and never share a ticket ("serial at birth").
+  [[nodiscard]] std::uint64_t batch_stamp(Lane& lane, const core::Event& e) {
+    const bool serial = e.kind == core::EventKind::kCommit ||
+                        e.kind == core::EventKind::kAbort;
+    if (!serial && lane.batch_ticket != kNoTicket &&
+        lane.batch_len < batch_n_ &&
+        seq_.load(std::memory_order_acquire) == lane.batch_ticket + 1) {
+      ++lane.batch_len;
+      return lane.batch_ticket;
+    }
+    if (lane.batch_ticket != kNoTicket) {
+      // Close the open batch: its events become visible to stamps_issued()
+      // (event-unit accounting, one RMW per batch — the amortization).
+      events_issued_.fetch_add(lane.batch_len, std::memory_order_release);
+      lane.batch_ticket = kNoTicket;
+      lane.batch_len = 0;
+    }
+    const std::uint64_t ticket =
+        seq_.fetch_add(1, std::memory_order_relaxed);
+    if (serial) {
+      events_issued_.fetch_add(1, std::memory_order_release);
+      lane.open_ticket.store(kNoTicket, std::memory_order_release);
+      return ticket;
+    }
+    lane.batch_ticket = ticket;
+    lane.batch_len = 1;
+    // Publish the gate before the event itself publishes (the caller's
+    // count store is sequenced after us): a drainer that sees a ticket-T
+    // event therefore sees open_ticket == T or a later value, never a
+    // stale pre-T one.
+    lane.open_ticket.store(ticket, std::memory_order_release);
+    return ticket;
+  }
 
   void push(std::uint32_t lane_id, const core::Event& e) {
     // A lane id out of range is a caller bug (the same id already indexes
@@ -622,7 +825,11 @@ class Recorder final : public RecorderBase {
     // Field-wise stores (not a StampedEvent temporary) keep the compiler
     // from spilling through a 56-byte memcpy per event.
     StampedEvent& slot = lane.tail->slots[i % kChunkSize].value;
-    slot.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    if (batch_n_ == 1) {
+      slot.seq = seq_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      slot.seq = batch_stamp(lane, e);
+    }
     slot.event = e;
     lane.count.store(i + 1, std::memory_order_release);
   }
@@ -657,18 +864,28 @@ class Recorder final : public RecorderBase {
     for (const Lane& lane : lanes_) {
       copy_published(lane, 0, all);
     }
-    std::sort(all.begin(), all.end(),
-              [](const StampedEvent& a, const StampedEvent& b) {
-                return a.seq < b.seq;
-              });
+    // stable_sort: batch mode hands several events the same seq; their
+    // relative order in `all` is the lane push order (collect appends each
+    // lane in order, and one ticket never spans lanes), which is exactly
+    // the order drain() emits — keep it.
+    std::stable_sort(all.begin(), all.end(),
+                     [](const StampedEvent& a, const StampedEvent& b) {
+                       return a.seq < b.seq;
+                     });
     return all;
   }
 
   core::ObjectModel model_;
   std::array<Lane, sim::kMaxThreads> lanes_;
   std::atomic<std::uint64_t> seq_{0};
-  std::atomic<std::uint64_t> drained_{0};  // next_seq_, readable lock-free
+  /// Events drained so far (event units, accumulated per drain).
+  std::atomic<std::uint64_t> drained_events_{0};
+  /// Events whose batch has CLOSED (event units; maintained only when
+  /// batch_n_ > 1 — per-event mode reads seq_ instead and pays zero extra
+  /// RMWs).
+  std::atomic<std::uint64_t> events_issued_{0};
   std::atomic<core::TxId> next_tx_{1};
+  std::uint32_t batch_n_ = 1;
   util::SharedSpinLock window_lock_;
 
   /// Drain-side view of one lane: consumed count, last loaded published
@@ -688,11 +905,29 @@ class Recorder final : public RecorderBase {
     return cur.chunks[i / kChunkSize]->slots[i % kChunkSize].value.event;
   }
 
+  /// Reload a cursor's published count and (only if the lane grew a chunk)
+  /// refresh its chunk-pointer cache under the lane spinlock.
+  void refresh_cursor(std::size_t l, DrainCursor& cur) {
+    cur.published = lanes_[l].count.load(std::memory_order_acquire);
+    if (cur.published > cur.chunks.size() * kChunkSize) {
+      const std::lock_guard<util::SpinLock> lane_guard(lanes_[l].mu);
+      for (std::size_t c = cur.chunks.size(); c < lanes_[l].chunks.size();
+           ++c) {
+        cur.chunks.push_back(lanes_[l].chunks[c].get());
+      }
+    }
+  }
+
   // Epoch-merge cursor state (drain side only, under merge_mu_).
   std::mutex merge_mu_;
   std::array<DrainCursor, sim::kMaxThreads> cursors_;
   std::vector<std::pair<std::uint64_t, std::size_t>> heap_;  // (stamp, lane)
   std::uint64_t next_seq_ = 0;  // first stamp not yet drained
+  /// Lane owning the open batch next_seq_ is parked on, or kNoLane. Set
+  /// when drain stalls on an open batch; consulted (and cleared) by the
+  /// next drain to retire the ticket once the batch has closed.
+  static constexpr std::size_t kNoLane = ~std::size_t{0};
+  std::size_t stall_lane_ = kNoLane;
 };
 
 /// The original single-mutex engine: every hook appends under one recursive
@@ -702,8 +937,14 @@ class Recorder final : public RecorderBase {
 /// a deterministic schedule).
 class MutexRecorder final : public RecorderBase {
  public:
+  /// Accepts (and ignores) the sharded engine's Options so differential
+  /// harnesses can construct either engine from one configuration: the
+  /// mutex engine serializes every push, so batching its stamps could
+  /// never reorder anything — per-event stamping IS its batch-N behavior.
   explicit MutexRecorder(std::size_t num_vars)
       : model_(core::ObjectModel::registers(num_vars, 0)) {}
+  MutexRecorder(std::size_t num_vars, Recorder::Options /*options*/)
+      : MutexRecorder(num_vars) {}
 
   [[nodiscard]] core::TxId begin_tx() override {
     const std::lock_guard<std::recursive_mutex> guard(mu_);

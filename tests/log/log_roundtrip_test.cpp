@@ -108,6 +108,44 @@ std::vector<core::Event> read_all(const std::string& dir,
   return events;
 }
 
+TEST(LogRoundTrip, DirectoryFsyncCoversEverySegmentAndTheClose) {
+  // Durability regression: each segment's directory entry must be fsync'd
+  // when the segment is created (a crash after rotation must not lose a
+  // fully-msync'd mid-log segment to a vanished entry — recovery would
+  // hard-fail on the hole), and close() must seal the directory once more
+  // after the tail truncation. The counter is the observable: one dir
+  // fsync per segment created, plus one at close.
+  const std::string dir = fresh_dir("dirsync");
+  log::WriterOptions wopt;
+  wopt.directory = dir;
+  wopt.segment_bytes = 64 * 1024;  // force rotation
+  wopt.metadata.num_vars = 4;
+  log::LogWriter writer(wopt);
+  ASSERT_TRUE(writer.ok()) << writer.error();
+  EXPECT_EQ(writer.dir_fsyncs(), 0u);  // nothing durable yet
+
+  std::vector<core::Event> batch;
+  for (int i = 0; i < 128; ++i) {
+    batch.push_back(core::ev::commit(static_cast<core::TxId>(i + 1)));
+  }
+  while (writer.segments_written() < 3) {
+    ASSERT_TRUE(writer.append(batch)) << writer.error();
+  }
+  // Every segment creation sync'd the directory entry before any block
+  // landed in the segment.
+  EXPECT_EQ(writer.dir_fsyncs(), writer.segments_written());
+
+  ASSERT_TRUE(writer.close()) << writer.error();
+  EXPECT_EQ(writer.dir_fsyncs(), writer.segments_written() + 1);
+
+  // The log still reads back clean (the fsyncs changed durability, not
+  // content).
+  log::LogReader reader;
+  const auto events = read_all(dir, reader);
+  EXPECT_EQ(events.size(), writer.events_written());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LogRoundTrip, LiveWriterByteEqualAcrossRuntimes) {
   struct Config {
     const char* stm;

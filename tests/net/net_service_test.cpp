@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <span>
@@ -105,6 +106,97 @@ void append_writer(std::vector<core::Event>& h, core::TxId tx, core::ObjId var,
   if (!client.finish()) return false;
   out = client.verdict();
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// parse_host_port
+// ---------------------------------------------------------------------------
+
+TEST(NetService, ParseHostPortAcceptsV4AndBracketedV6) {
+  std::string host;
+  std::uint16_t port = 0;
+
+  ASSERT_TRUE(net::parse_host_port("127.0.0.1:9000", host, port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 9000);
+
+  ASSERT_TRUE(net::parse_host_port("example.test:1", host, port));
+  EXPECT_EQ(host, "example.test");
+  EXPECT_EQ(port, 1);
+
+  // RFC 3986 bracketed IPv6 literal.
+  ASSERT_TRUE(net::parse_host_port("[::1]:9000", host, port));
+  EXPECT_EQ(host, "::1");
+  EXPECT_EQ(port, 9000);
+
+  ASSERT_TRUE(net::parse_host_port("[fe80::1%eth0]:65535", host, port));
+  EXPECT_EQ(host, "fe80::1%eth0");
+  EXPECT_EQ(port, 65535);
+}
+
+TEST(NetService, ParseHostPortRejectsMalformedSpecs) {
+  std::string host = "unchanged";
+  std::uint16_t port = 7;
+
+  // A bare multi-colon IPv6 spec is ambiguous (which colon splits?) and
+  // must be rejected, not silently mis-split.
+  EXPECT_FALSE(net::parse_host_port("::1:9000", host, port));
+  EXPECT_FALSE(net::parse_host_port("fe80::1:9000", host, port));
+
+  EXPECT_FALSE(net::parse_host_port("", host, port));
+  EXPECT_FALSE(net::parse_host_port("nocolon", host, port));
+  EXPECT_FALSE(net::parse_host_port(":9000", host, port));         // empty host
+  EXPECT_FALSE(net::parse_host_port("host:", host, port));         // empty port
+  EXPECT_FALSE(net::parse_host_port("host:abc", host, port));      // non-numeric
+  EXPECT_FALSE(net::parse_host_port("host:0", host, port));        // port 0
+  EXPECT_FALSE(net::parse_host_port("host:65536", host, port));    // overflow
+  EXPECT_FALSE(net::parse_host_port("[::1]", host, port));         // no port
+  EXPECT_FALSE(net::parse_host_port("[::1]9000", host, port));     // no colon
+  EXPECT_FALSE(net::parse_host_port("[]:9000", host, port));       // empty brkt
+  EXPECT_FALSE(net::parse_host_port("[::1:9000", host, port));     // unclosed
+
+  // Rejected parses must not clobber the out-params.
+  EXPECT_EQ(host, "unchanged");
+  EXPECT_EQ(port, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Transport deadlines
+// ---------------------------------------------------------------------------
+
+TEST(NetService, ClientTimesOutOnUnresponsiveAcceptor) {
+  // A listener that never accepts: the kernel completes the TCP handshake
+  // into the backlog, so the hang point is the protocol handshake read.
+  // Without ClientOptions::timeout_ms this blocked forever (the bug);
+  // with it, connect() must fail with a "timed out" operational error in
+  // bounded time.
+  const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listener, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listener, 1), 0);
+  socklen_t len = sizeof(addr);
+  ASSERT_EQ(::getsockname(listener, reinterpret_cast<sockaddr*>(&addr), &len),
+            0);
+  const std::uint16_t port = ntohs(addr.sin_port);
+
+  net::ClientOptions options;
+  options.timeout_ms = 300;
+  net::CertClient client(options);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_FALSE(client.connect("127.0.0.1", port,
+                              net::make_hello(meta_for(4, "commit-order"))));
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_NE(client.error().find("timed out"), std::string::npos)
+      << client.error();
+  // Bounded: well past the 300ms deadline counts as hanging. Generous
+  // margin for loaded CI machines.
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+  ::close(listener);
 }
 
 // ---------------------------------------------------------------------------
