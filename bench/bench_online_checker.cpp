@@ -28,6 +28,7 @@
 #include "stm/recorder.hpp"
 #include "stm/sink.hpp"
 #include "util/cli.hpp"
+#include "util/hash.hpp"
 #include "util/pool.hpp"
 
 namespace optm::bench {
@@ -494,8 +495,10 @@ void BM_RamAppendDrain(benchmark::State& state) {
 /// The durable leg: identical chunks through log::LogWriterSink into a
 /// fresh multi-segment mmap-backed log per iteration (CRC framing,
 /// rotation and the final seal included). The delta against
-/// BM_RamAppendDrain is the cost of durability in the drain loop.
-void BM_LogAppendDrain(benchmark::State& state) {
+/// BM_RamAppendDrain is the cost of durability in the drain loop; the
+/// pipelined/synchronous pair isolates what the background prep/seal
+/// thread buys on top of the hardware CRC.
+void log_append_drain(benchmark::State& state, bool pipeline) {
   const core::History h = recorded_mix(4096);
   const auto dir = std::filesystem::temp_directory_path() /
                    ("optm_bench_log_" + std::to_string(::getpid()));
@@ -504,6 +507,7 @@ void BM_LogAppendDrain(benchmark::State& state) {
     log::WriterOptions options;
     options.directory = dir.string();
     options.segment_bytes = std::size_t{2} << 20;  // force rotation
+    options.pipeline = pipeline;
     options.metadata.runtime = "tl2";
     options.metadata.policy = "record-only";
     options.metadata.window_mode = "windowed";
@@ -527,10 +531,48 @@ void BM_LogAppendDrain(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 
+void BM_LogAppendDrain(benchmark::State& state) {
+  log_append_drain(state, /*pipeline=*/false);
+}
+
+void BM_LogAppendDrainPipelined(benchmark::State& state) {
+  log_append_drain(state, /*pipeline=*/true);
+}
+
+/// The checksum kernel alone (util::crc32c as dispatched — hardware
+/// where the CPU has it), at a block-header-ish size, the drain-chunk
+/// payload scale, and a streaming megabyte. The label records which
+/// backend actually ran so archived numbers are comparable across hosts.
+void BM_Crc32c(benchmark::State& state) {
+  const std::size_t bytes = static_cast<std::size_t>(state.range(0));
+  std::vector<unsigned char> buf(bytes);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (auto& b : buf) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<unsigned char>(x);
+  }
+  std::uint32_t crc = 0;
+  for (auto _ : state) {
+    crc = util::crc32c(buf.data(), buf.size(), crc);
+    benchmark::DoNotOptimize(crc);
+  }
+  state.SetLabel(util::crc32c_backend_name());
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+  state.counters["events"] = static_cast<double>(bytes);  // bytes per iter
+  state.counters["events_per_sec"] = benchmark::Counter(
+      static_cast<double>(bytes),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
 }  // namespace
 
 BENCHMARK(BM_RamAppendDrain)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_LogAppendDrain)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_LogAppendDrainPipelined)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096)->Arg(1 << 20);
 
 // ---------------------------------------------------------------------------
 // --json=FILE: the machine-readable perf artifact (BENCH_5.json schema)
@@ -567,6 +609,8 @@ constexpr BenchMeta kBenchMeta[] = {
     {"BM_LiveVerifiedMixTl2WindowFree", "tl2", "stamped-read", "window-free"},
     {"BM_RamAppendDrain", "tl2", "record-only", "windowed"},
     {"BM_LogAppendDrain", "tl2", "record-only", "windowed"},
+    {"BM_LogAppendDrainPipelined", "tl2", "record-only", "windowed"},
+    {"BM_Crc32c", "tl2", "record-only", "windowed"},
 };
 
 [[nodiscard]] const BenchMeta* meta_of(const std::string& name) {

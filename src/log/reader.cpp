@@ -71,6 +71,17 @@ bool SegmentReader::open(const std::string& path, bool allow_torn_tail) {
     return fail("segment shorter than its header");
   }
   std::memcpy(&header_, map_, sizeof header_);
+  if (header_.magic == 0 && allow_torn_tail_) {
+    // A final segment whose header page never reached the disk: either a
+    // pipelined writer's prepared-but-unwritten next segment, or a crash
+    // between sizing the file and the header write-back (the kernel may
+    // write block pages before the header page, so the rest of the file
+    // is untrustworthy even if nonzero). Nothing here was ever reported
+    // durable — drop the whole file as a torn stub.
+    dropped_bytes_ = file_bytes_;
+    torn_stub_ = true;
+    return fail("segment header never written (torn stub)");
+  }
   if (header_.magic != kSegmentMagic) return fail("bad segment magic");
   if (header_.format_version != kFormatVersion) {
     return fail("unsupported format version " +
@@ -180,7 +191,44 @@ bool LogReader::open(const std::string& directory) {
               const auto bn = std::filesystem::path(b).filename().string();
               return an.size() != bn.size() ? an.size() < bn.size() : an < bn;
             });
+  // The pipelined writer keeps the NEXT segment created (all-zero, no
+  // header yet) while the current one fills, so a crash can leave one
+  // trailing headerless stub AFTER the segment that holds the real tail.
+  // Drop that stub up front — otherwise the preceding segment would be
+  // opened as non-final and its (legitimate, recoverable) torn tail
+  // would hard-fail. Only the LAST file can be such a stub; a headerless
+  // file anywhere else is still mid-log damage and hard-fails below.
+  if (files_.size() >= 2 && trailing_stub(files_.back())) {
+    tail_torn_ = true;
+    files_.pop_back();
+  }
   return open_current();
+}
+
+/// True when `path` is a headerless crash stub (zero-length, shorter
+/// than a header, or an all-zero header magic): nothing in it was ever
+/// reported durable. Counts its bytes as dropped.
+bool LogReader::trailing_stub(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<std::uint64_t>(st.st_size);
+  bool stub = false;
+  if (size < kSegmentHeaderBytes) {
+    stub = true;  // includes the zero-length crash-between-creat-and-size case
+  } else {
+    std::uint64_t magic = 1;
+    if (::pread(fd, &magic, sizeof magic, 0) == sizeof magic && magic == 0) {
+      stub = true;
+    }
+  }
+  ::close(fd);
+  if (stub) dropped_bytes_ += size;
+  return stub;
 }
 
 bool LogReader::open_current() {

@@ -123,6 +123,7 @@ class LogReader {
   bool fail(const std::string& what);
   bool open_current();     // open files_[cursor_]
   void finish_current();   // record stats, close mapping
+  bool trailing_stub(const std::string& path);  // headerless crash stub?
 
   std::string error_;
   std::vector<std::string> files_;  // sorted segment paths

@@ -327,6 +327,9 @@ struct CertServer::Loop {
     const std::size_t payload = bh.event_count * sizeof(core::Event);
     if (c.rx_avail() < sizeof(bh) + payload) return false;
     const unsigned char* body = c.rx_data() + sizeof(bh);
+    // Per-block integrity check on the ingest hot path: util::crc32c is
+    // hardware-dispatched, so checksumming keeps up with the socket
+    // instead of rate-limiting every tenant's stream.
     if (bh.payload_crc != util::crc32c(body, payload)) {
       protocol_error(c, "block payload CRC mismatch");
       return false;

@@ -1,0 +1,208 @@
+// Runtime-dispatched CRC-32C kernels (declared in util/hash.hpp).
+//
+// The checksum frames every block of the durable event log AND both
+// directions of the optm-net-v1 wire (the protocol reuses the log's
+// block framing verbatim), so it is paid per drained batch on the hot
+// drain thread and per received block on the certification server. The
+// seed repo's byte-at-a-time table kernel costs ~2.5 cycles/byte; the
+// SSE4.2/ARMv8 CRC instructions do 8 bytes per ~1-cycle-throughput op
+// (~20x), and the slice-by-8 fallback ~3x. All three kernels are
+// bit-identical to the consteval-table oracle in hash.hpp — enforced by
+// the differential fuzz in tests/util/crc32c_test.cpp — so the on-disk
+// and on-wire bytes do not change, only the cycles.
+//
+// Dispatch: a cached function pointer, resolved once on first use (the
+// classic ifunc shape, done portably). The resolver races benignly:
+// every thread that loses the race stores the same pointer value.
+#include "util/hash.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define OPTM_CRC32C_X86 1
+#include <nmmintrin.h>
+#elif defined(__aarch64__) && defined(__linux__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define OPTM_CRC32C_ARM 1
+#include <arm_acle.h>
+#include <sys/auxv.h>
+#ifndef HWCAP_CRC32
+#define HWCAP_CRC32 (1 << 7)
+#endif
+#endif
+
+namespace optm::util {
+
+namespace {
+
+// --- slice-by-8 software kernel ---------------------------------------------
+//
+// Eight derived tables let the loop fold one 64-bit word per iteration
+// (8 independent table lookups, no carry chain between bytes) instead of
+// the oracle's one byte per iteration. Table j holds the CRC of a byte
+// followed by j zero bytes; XORing the eight lookups advances the CRC by
+// the whole word.
+
+consteval std::array<std::array<std::uint32_t, 256>, 8> slice8_tables() {
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+  t[0] = detail::crc32c_table();
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = t[0][i];
+    for (std::size_t j = 1; j < 8; ++j) {
+      c = t[0][c & 0xffu] ^ (c >> 8);
+      t[j][i] = c;
+    }
+  }
+  return t;
+}
+
+constexpr std::array<std::array<std::uint32_t, 256>, 8> kSlice8 =
+    slice8_tables();
+
+[[nodiscard]] std::uint32_t crc32c_slice8(const void* data, std::size_t n,
+                                          std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  // The word loop assumes little-endian byte order in the loaded u64;
+  // big-endian hosts keep the byte kernel (the log is native-endian and
+  // same-machine anyway, so no BE deployment exists to speed up).
+  if constexpr (std::endian::native == std::endian::little) {
+    while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+      c = kSlice8[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+      --n;
+    }
+    while (n >= 8) {
+      std::uint64_t w;
+      std::memcpy(&w, p, sizeof w);
+      w ^= c;
+      c = kSlice8[7][w & 0xffu] ^ kSlice8[6][(w >> 8) & 0xffu] ^
+          kSlice8[5][(w >> 16) & 0xffu] ^ kSlice8[4][(w >> 24) & 0xffu] ^
+          kSlice8[3][(w >> 32) & 0xffu] ^ kSlice8[2][(w >> 40) & 0xffu] ^
+          kSlice8[1][(w >> 48) & 0xffu] ^ kSlice8[0][(w >> 56) & 0xffu];
+      p += 8;
+      n -= 8;
+    }
+  }
+  while (n != 0) {
+    c = kSlice8[0][(c ^ *p++) & 0xffu] ^ (c >> 8);
+    --n;
+  }
+  return ~c;
+}
+
+// --- hardware kernels --------------------------------------------------------
+
+#if defined(OPTM_CRC32C_X86)
+
+__attribute__((target("sse4.2"))) [[nodiscard]] std::uint32_t
+crc32c_hw_impl(const void* data, std::size_t n, std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  std::uint64_t c64 = c;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof w);
+    c64 = _mm_crc32_u64(c64, w);
+    p += 8;
+    n -= 8;
+  }
+  c = static_cast<std::uint32_t>(c64);
+  while (n != 0) {
+    c = _mm_crc32_u8(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+
+[[nodiscard]] bool hw_probe() noexcept {
+  return __builtin_cpu_supports("sse4.2") != 0;
+}
+constexpr const char* kHwName = "sse4.2";
+
+#elif defined(OPTM_CRC32C_ARM)
+
+__attribute__((target("+crc"))) [[nodiscard]] std::uint32_t
+crc32c_hw_impl(const void* data, std::size_t n, std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = ~seed;
+  while (n != 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, sizeof w);
+    c = __crc32cd(c, w);
+    p += 8;
+    n -= 8;
+  }
+  while (n != 0) {
+    c = __crc32cb(c, *p++);
+    --n;
+  }
+  return ~c;
+}
+
+[[nodiscard]] bool hw_probe() noexcept {
+  return (::getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+}
+constexpr const char* kHwName = "armv8-crc";
+
+#else
+
+[[nodiscard]] std::uint32_t crc32c_hw_impl(const void* data, std::size_t n,
+                                           std::uint32_t seed) noexcept {
+  return crc32c_slice8(data, n, seed);  // unreachable: hw_probe() is false
+}
+[[nodiscard]] bool hw_probe() noexcept { return false; }
+constexpr const char* kHwName = "slice8";
+
+#endif
+
+// --- dispatch ---------------------------------------------------------------
+
+using CrcFn = std::uint32_t (*)(const void*, std::size_t,
+                                std::uint32_t) noexcept;
+
+std::uint32_t resolve_then_run(const void* data, std::size_t n,
+                               std::uint32_t seed) noexcept;
+
+std::atomic<CrcFn> g_crc32c{&resolve_then_run};
+
+std::uint32_t resolve_then_run(const void* data, std::size_t n,
+                               std::uint32_t seed) noexcept {
+  const CrcFn fn = hw_probe() ? &crc32c_hw_impl : &crc32c_slice8;
+  g_crc32c.store(fn, std::memory_order_relaxed);
+  return fn(data, n, seed);
+}
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t n,
+                     std::uint32_t seed) noexcept {
+  return g_crc32c.load(std::memory_order_relaxed)(data, n, seed);
+}
+
+std::uint32_t crc32c_portable(const void* data, std::size_t n,
+                              std::uint32_t seed) noexcept {
+  return crc32c_slice8(data, n, seed);
+}
+
+bool crc32c_hw_available() noexcept { return hw_probe(); }
+
+std::uint32_t crc32c_hw(const void* data, std::size_t n,
+                        std::uint32_t seed) noexcept {
+  return crc32c_hw_impl(data, n, seed);
+}
+
+const char* crc32c_backend_name() noexcept {
+  return hw_probe() ? kHwName : "slice8";
+}
+
+}  // namespace optm::util

@@ -45,9 +45,11 @@ namespace optm::util {
 namespace detail {
 
 /// Reflected table for CRC-32C (Castagnoli, poly 0x1EDC6F41 reflected to
-/// 0x82F63B78) — the checksum framing the on-disk event log. Software
-/// byte-at-a-time: the log writer amortizes it over whole drained batches,
-/// and torn-write detection only needs agreement, not peak speed.
+/// 0x82F63B78) — the checksum framing the on-disk event log and the
+/// optm-net-v1 wire. This byte-at-a-time table is the ORACLE: the
+/// dispatched implementations in crc32c.cpp (SSE4.2 / ARMv8 CRC
+/// instructions, slice-by-8 software) are differentially fuzzed against
+/// it, so the format's checksum can never silently change.
 consteval std::array<std::uint32_t, 256> crc32c_table() {
   std::array<std::uint32_t, 256> table{};
   for (std::uint32_t i = 0; i < 256; ++i) {
@@ -64,10 +66,11 @@ inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = crc32c_table();
 
 }  // namespace detail
 
-/// CRC-32C of `n` bytes. `seed` chains incremental computations: pass the
-/// previous call's return value to continue a running checksum.
-[[nodiscard]] inline std::uint32_t crc32c(const void* data, std::size_t n,
-                                          std::uint32_t seed = 0) noexcept {
+/// Byte-at-a-time reference CRC-32C: the oracle the dispatched kernels
+/// are tested against. constexpr so tests can also evaluate it at
+/// compile time. Not for hot paths — use crc32c().
+[[nodiscard]] constexpr std::uint32_t crc32c_reference(
+    const void* data, std::size_t n, std::uint32_t seed = 0) noexcept {
   const auto* p = static_cast<const unsigned char*>(data);
   std::uint32_t c = ~seed;
   for (std::size_t i = 0; i < n; ++i) {
@@ -75,5 +78,32 @@ inline constexpr std::array<std::uint32_t, 256> kCrc32cTable = crc32c_table();
   }
   return ~c;
 }
+
+/// CRC-32C of `n` bytes. `seed` chains incremental computations: pass the
+/// previous call's return value to continue a running checksum.
+///
+/// Runtime-dispatched (crc32c.cpp): the first call probes the CPU and
+/// caches a function pointer — SSE4.2 crc32q on x86-64, the ARMv8 CRC32
+/// extension on aarch64, a slice-by-8 software kernel everywhere else.
+/// All backends produce bit-identical results (enforced by the
+/// differential fuzz in tests/util/crc32c_test.cpp), so the on-disk and
+/// on-wire formats are unchanged by the dispatch.
+[[nodiscard]] std::uint32_t crc32c(const void* data, std::size_t n,
+                                   std::uint32_t seed = 0) noexcept;
+
+/// The portable slice-by-8 kernel, callable directly for tests/benches.
+[[nodiscard]] std::uint32_t crc32c_portable(const void* data, std::size_t n,
+                                            std::uint32_t seed = 0) noexcept;
+
+/// True when this CPU has a CRC-32C instruction the dispatcher will use.
+[[nodiscard]] bool crc32c_hw_available() noexcept;
+
+/// The hardware kernel. Precondition: crc32c_hw_available().
+[[nodiscard]] std::uint32_t crc32c_hw(const void* data, std::size_t n,
+                                      std::uint32_t seed = 0) noexcept;
+
+/// Name of the backend crc32c() dispatches to: "sse4.2", "armv8-crc" or
+/// "slice8" (for logs and bench labels).
+[[nodiscard]] const char* crc32c_backend_name() noexcept;
 
 }  // namespace optm::util

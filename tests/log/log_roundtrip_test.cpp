@@ -304,6 +304,40 @@ TEST(LogRoundTrip, EmptyLogKeepsMetadata) {
   std::filesystem::remove_all(dir);
 }
 
+// A LogWriter pointed at a directory that already holds segments must
+// refuse up front rather than clobber or interleave with the old log:
+// the reader sorts by name, so a silent second writer would splice two
+// histories into one stream.
+TEST(LogRoundTrip, RefusesExistingLogDirectory) {
+  const std::string dir = fresh_dir("refuse");
+  {
+    log::WriterOptions wopt;
+    wopt.directory = dir;
+    log::LogWriter writer(wopt);
+    const core::Event e = core::ev::try_commit(1);
+    ASSERT_TRUE(writer.append({&e, 1}));
+    ASSERT_TRUE(writer.close()) << writer.error();
+  }
+  for (const bool pipeline : {true, false}) {
+    log::WriterOptions wopt;
+    wopt.directory = dir;
+    wopt.pipeline = pipeline;
+    log::LogWriter writer(wopt);
+    EXPECT_FALSE(writer.ok()) << "pipeline=" << pipeline;
+    EXPECT_NE(writer.error().find("refusing to overwrite existing log"),
+              std::string::npos)
+        << writer.error();
+    const core::Event e = core::ev::try_commit(2);
+    EXPECT_FALSE(writer.append({&e, 1}));
+  }
+  // The original log is untouched and still reads back.
+  log::LogReader reader;
+  ASSERT_TRUE(reader.open(dir)) << reader.error();
+  EXPECT_EQ(reader.next().size(), 1u);
+  EXPECT_TRUE(reader.ok()) << reader.error();
+  std::filesystem::remove_all(dir);
+}
+
 TEST(LogRoundTrip, AppendAfterCloseFails) {
   const std::string dir = fresh_dir("closed");
   log::WriterOptions wopt;
